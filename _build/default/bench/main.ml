@@ -1,0 +1,126 @@
+(* Benchmark harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. regenerates every evaluation table/figure from DESIGN.md §4
+      (T1-T6, F1-F5) via Hs_experiments — these are the paper-shaped
+      results recorded in EXPERIMENTS.md;
+   2. times the hot paths with Bechamel (exact vs float simplex, the full
+      pipeline, the schedulers, branch and bound, and the bignum
+      substrate).
+
+   `dune exec bench/main.exe -- quick` shrinks the sweeps.
+   `dune exec bench/main.exe -- experiments` / `-- timings` run one half. *)
+
+open Bechamel
+open Hs_model
+module T = Hs_laminar.Topology
+
+(* ---------------- Bechamel micro-benchmarks --------------------------- *)
+
+let pipeline_instance ~n ~m =
+  let rng = Hs_workloads.Rng.create (900 + n) in
+  Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned m) ~n
+    ~base:(2, 15) ~heterogeneity:1.7 ~overhead:0.2 ()
+
+let scheduler_case ~n ~m =
+  let rng = Hs_workloads.Rng.create (1700 + n) in
+  let inst =
+    Hs_workloads.Generators.hierarchical rng
+      ~lam:(T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:(Stdlib.max 1 (m / 4)))
+      ~n ~base:(2, 15) ~heterogeneity:1.5 ~overhead:0.2 ()
+  in
+  let lam = Instance.laminar inst in
+  let a = Array.init n (fun j -> j * 7 mod Hs_laminar.Laminar.size lam) in
+  let t = Assignment.min_makespan inst a in
+  (inst, a, t)
+
+let tests =
+  let exact_lp ~n ~m =
+    let inst = pipeline_instance ~n ~m in
+    Test.make
+      ~name:(Printf.sprintf "pipeline/exact n=%d m=%d" n m)
+      (Staged.stage (fun () -> ignore (Hs_core.Approx.Exact.solve inst)))
+  in
+  let float_lp ~n ~m =
+    let inst = pipeline_instance ~n ~m in
+    Test.make
+      ~name:(Printf.sprintf "pipeline/float n=%d m=%d" n m)
+      (Staged.stage (fun () -> ignore (Hs_core.Approx.Fast.solve inst)))
+  in
+  let scheduler ~n ~m =
+    let inst, a, t = scheduler_case ~n ~m in
+    Test.make
+      ~name:(Printf.sprintf "alg2+3 n=%d m=%d" n m)
+      (Staged.stage (fun () -> ignore (Hs_core.Hierarchical.schedule inst a ~tmax:t)))
+  in
+  let bnb =
+    let inst = pipeline_instance ~n:9 ~m:4 in
+    Test.make ~name:"branch&bound n=9 m=4"
+      (Staged.stage (fun () -> ignore (Hs_core.Exact.optimal inst)))
+  in
+  let bigmul =
+    let a = Hs_numeric.Bigint.of_string (String.make 120 '7') in
+    let b = Hs_numeric.Bigint.of_string (String.make 97 '3') in
+    Test.make ~name:"bigint mul 120x97 digits"
+      (Staged.stage (fun () -> ignore (Hs_numeric.Bigint.mul a b)))
+  in
+  let mcnaughton =
+    let lengths = Array.init 500 (fun i -> 1 + (i * 37 mod 90)) in
+    Test.make ~name:"mcnaughton n=500 m=16"
+      (Staged.stage (fun () -> ignore (Hs_baselines.Mcnaughton.schedule ~m:16 ~lengths)))
+  in
+  Test.make_grouped ~name:"hsched"
+    [
+      exact_lp ~n:8 ~m:4;
+      float_lp ~n:8 ~m:4;
+      exact_lp ~n:16 ~m:4;
+      float_lp ~n:16 ~m:4;
+      scheduler ~n:30 ~m:8;
+      bnb;
+      bigmul;
+      mcnaughton;
+    ]
+
+let run_timings () =
+  print_endline "\n== Bechamel timings (monotonic clock) ==";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) ->
+      let value, unit_ =
+        if est > 1e9 then (est /. 1e9, "s")
+        else if est > 1e6 then (est /. 1e6, "ms")
+        else if est > 1e3 then (est /. 1e3, "us")
+        else (est, "ns")
+      in
+      Printf.printf "%-32s %10.2f %s/run\n" name value unit_)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let which =
+    if List.mem "experiments" args then `Experiments
+    else if List.mem "timings" args then `Timings
+    else `Both
+  in
+  (match which with
+  | `Experiments | `Both ->
+      print_endline "== Evaluation suite (DESIGN.md section 4; see EXPERIMENTS.md) ==";
+      Hs_experiments.Experiments.all ~quick ()
+  | `Timings -> ());
+  match which with
+  | `Timings | `Both -> run_timings ()
+  | `Experiments -> ()

@@ -1,0 +1,270 @@
+(* hsched — command-line front end for the hierarchical scheduling library.
+
+   Sub-commands:
+     solve       run the Theorem V.2 pipeline on a file or generated instance
+     exact       branch-and-bound optimum (small instances)
+     generate    emit an instance file from the workload generators
+     experiment  run one of the DESIGN.md evaluation experiments (T1..F5)
+     simulate    replay the solved schedule under migration latencies *)
+
+open Cmdliner
+open Hs_model
+module L = Hs_laminar.Laminar
+module T = Hs_laminar.Topology
+
+(* ---------- shared argument bundles ---------------------------------- *)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Instance file (see Instance_io format).")
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (enum [ ("semi", `Semi); ("clustered", `Clustered); ("smp-cmp", `Smp); ("random", `Random); ("singletons", `Singletons) ]) `Semi
+    & info [ "topology" ] ~docv:"KIND" ~doc:"Generated machine family: semi, clustered, smp-cmp, random, singletons.")
+
+let m_arg = Arg.(value & opt int 4 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Machine count.")
+let n_arg = Arg.(value & opt int 8 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Job count.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic workload seed.")
+
+let overhead_arg =
+  Arg.(value & opt float 0.2 & info [ "overhead" ] ~docv:"F" ~doc:"Per-level migration overhead fraction.")
+
+let het_arg =
+  Arg.(value & opt float 1.5 & info [ "heterogeneity" ] ~docv:"F" ~doc:"Per-machine speed spread (>= 1).")
+
+let build_topology kind ~m =
+  match kind with
+  | `Semi -> T.semi_partitioned m
+  | `Clustered ->
+      let clusters = if m mod 2 = 0 then 2 else 1 in
+      T.clustered ~m ~clusters
+  | `Smp ->
+      (* nearest 2 x 2 x c decomposition *)
+      let c = Stdlib.max 1 (m / 4) in
+      T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:c
+  | `Random -> Hs_workloads.Generators.random_laminar (Hs_workloads.Rng.create 7) ~m ()
+  | `Singletons -> T.singletons m
+
+let load_or_generate file topology m n seed overhead het =
+  match file with
+  | Some path -> Instance_io.load path
+  | None ->
+      let rng = Hs_workloads.Rng.create seed in
+      let lam = build_topology topology ~m in
+      Ok
+        (Hs_workloads.Generators.hierarchical rng ~lam ~n ~base:(1, 9)
+           ~heterogeneity:het ~overhead ())
+
+let exit_err msg =
+  prerr_endline ("hsched: " ^ msg);
+  exit 1
+
+(* ---------- solve ----------------------------------------------------- *)
+
+let print_outcome ~show_schedule (o : Hs_core.Approx.Exact.outcome) =
+  Printf.printf "LP lower bound T* = %d\n" o.t_lp;
+  Printf.printf "achieved makespan = %d  (guarantee: <= %d)\n" o.makespan (2 * o.t_lp);
+  Printf.printf "fractional jobs rounded: %d (matched %d)\n" o.rounding.fractional_jobs
+    o.rounding.matched;
+  let lam = Instance.laminar o.instance in
+  Array.iteri
+    (fun j s ->
+      Printf.printf "  job %d -> {%s} (p=%s)\n" j
+        (String.concat ","
+           (List.map string_of_int (Array.to_list (L.members lam s))))
+        (Ptime.to_string (Instance.ptime o.instance ~job:j ~set:s)))
+    o.assignment;
+  (match Schedule.validate o.instance o.assignment o.schedule with
+  | Ok () -> Printf.printf "schedule: VALID, horizon %d\n" (Schedule.horizon o.schedule)
+  | Error e -> Printf.printf "schedule: INVALID (%s)\n" e);
+  if show_schedule then Format.printf "%a@." Schedule.pp o.schedule
+
+let solve_cmd =
+  let show_schedule =
+    Arg.(value & flag & info [ "print-schedule" ] ~doc:"Print every execution segment.")
+  in
+  let show_gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart of the schedule.")
+  in
+  let use_float =
+    Arg.(value & flag & info [ "float-lp" ] ~doc:"Use the floating-point LP (faster, uncertified).")
+  in
+  let run file topology m n seed overhead het show_schedule show_gantt use_float =
+    match load_or_generate file topology m n seed overhead het with
+    | Error e -> exit_err e
+    | Ok inst -> (
+        if use_float then
+          match Hs_core.Approx.Fast.solve inst with
+          | Error e -> exit_err e
+          | Ok o ->
+              Printf.printf "(float LP path)\n";
+              Printf.printf "LP lower bound T* = %d\nachieved makespan = %d\n" o.t_lp o.makespan
+        else
+          match Hs_core.Approx.Exact.solve inst with
+          | Error e -> exit_err e
+          | Ok o ->
+              print_outcome ~show_schedule o;
+              if show_gantt then Gantt.print o.schedule)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Run the 2-approximation pipeline (Theorem V.2).")
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float)
+
+(* ---------- exact ------------------------------------------------------ *)
+
+let exact_cmd =
+  let limit =
+    Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~docv:"K" ~doc:"Branch-and-bound node budget.")
+  in
+  let run file topology m n seed overhead het limit =
+    match load_or_generate file topology m n seed overhead het with
+    | Error e -> exit_err e
+    | Ok inst -> (
+        match Hs_core.Exact.optimal ~node_limit:limit inst with
+        | None -> exit_err "instance is infeasible (a job has no finite mask)"
+        | Some (a, span, stats) ->
+            Printf.printf "optimal makespan = %d%s (nodes=%d pruned=%d)\n" span
+              (if stats.proven then "" else " (NOT proven: node limit hit)")
+              stats.nodes stats.pruned;
+            Array.iteri (fun j s -> Printf.printf "  job %d -> set #%d\n" j s) a)
+  in
+  Cmd.v (Cmd.info "exact" ~doc:"Compute the optimal makespan by branch and bound.")
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit)
+
+(* ---------- generate --------------------------------------------------- *)
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run topology m n seed overhead het out =
+    match load_or_generate None topology m n seed overhead het with
+    | Error e -> exit_err e
+    | Ok inst -> (
+        let text = Instance_io.to_string inst in
+        match out with
+        | None -> print_string text
+        | Some path ->
+            Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+            Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic instance file.")
+    Term.(const run $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ out)
+
+(* ---------- experiment -------------------------------------------------- *)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"T1..T6, F1..F5, or 'all'.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps.") in
+  let run exp_name quick = Hs_experiments.Experiments.by_name exp_name ~quick () in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the evaluation tables/figures from DESIGN.md.")
+    Term.(const run $ exp_name $ quick)
+
+(* ---------- realtime ------------------------------------------------------ *)
+
+let realtime_cmd =
+  let tasks_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' (pair ~sep:':' int int)) [ (10, 6); (20, 9); (10, 5); (40, 8) ]
+      & info [ "tasks" ] ~docv:"P:C,P:C,.."
+          ~doc:"Periodic tasks as period:wcet pairs (base WCET on a single core).")
+  in
+  let run topology m seed overhead tasks =
+    ignore seed;
+    let lam = build_topology topology ~m in
+    let taskset =
+      Array.of_list
+        (List.mapi
+           (fun i (period, base) ->
+             Hs_realtime.Task.of_base ~lam ~name:(Printf.sprintf "t%d" i) ~period ~base
+               ~overhead ())
+           tasks)
+    in
+    Printf.printf "slice D = %d, hyperperiod = %d, total min utilization = %s / %d cores\n"
+      (Hs_realtime.Task.slice_length taskset)
+      (Hs_realtime.Task.hyperperiod taskset)
+      (Hs_numeric.Q.to_string (Hs_realtime.Task.total_min_utilization taskset))
+      (L.m lam);
+    match Hs_realtime.Dpfair.analyze lam taskset with
+    | Hs_realtime.Dpfair.Schedulable s ->
+        Printf.printf "SCHEDULABLE with template of length %d:\n" s.slice;
+        Array.iteri
+          (fun j set ->
+            Printf.printf "  %-4s -> {%s}\n" taskset.(j).Hs_realtime.Task.name
+              (String.concat ","
+                 (List.map string_of_int (Array.to_list (L.members lam set)))))
+          s.assignment;
+        Gantt.print s.template
+    | Hs_realtime.Dpfair.Infeasible why -> Printf.printf "INFEASIBLE: %s\n" why
+    | Hs_realtime.Dpfair.Unknown why -> Printf.printf "UNKNOWN: %s\n" why
+  in
+  Cmd.v
+    (Cmd.info "realtime"
+       ~doc:"DP-Fair style schedulability analysis of periodic tasks with affinities.")
+    Term.(const run $ topology_arg $ m_arg $ seed_arg $ overhead_arg $ tasks_arg)
+
+(* ---------- topology ----------------------------------------------------- *)
+
+let topology_cmd =
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT instead of text.") in
+  let run topology m dot =
+    let lam = build_topology topology ~m in
+    if dot then print_string (L.to_dot lam) else Format.printf "%a@." L.pp lam
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Show a machine family (text or GraphViz DOT).")
+    Term.(const run $ topology_arg $ m_arg $ dot)
+
+(* ---------- simulate ----------------------------------------------------- *)
+
+let simulate_cmd =
+  let latencies =
+    Arg.(
+      value
+      & opt (list int) [ 0; 1; 2; 4 ]
+      & info [ "latencies" ] ~docv:"L0,L1,.."
+          ~doc:"Migration latency per LCA height (clamped at the last entry).")
+  in
+  let run file topology m n seed overhead het latencies =
+    match load_or_generate file topology m n seed overhead het with
+    | Error e -> exit_err e
+    | Ok inst -> (
+        match Hs_core.Approx.Exact.solve inst with
+        | Error e -> exit_err e
+        | Ok o ->
+            let lam = Instance.laminar o.instance in
+            let latency =
+              Hs_sim.Simulator.latency_of_levels lam (Array.of_list latencies)
+            in
+            let r = Hs_sim.Simulator.run ~lam o.schedule ~latency in
+            Printf.printf "model makespan    = %d\n" r.model_makespan;
+            Printf.printf "realised makespan = %d\n" r.realised_makespan;
+            Printf.printf "total stall       = %d\n" r.total_stall;
+            List.iter
+              (fun (h, c) -> Printf.printf "migrations at LCA height %d: %d\n" h c)
+              r.migrations_by_level)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Replay the solved schedule under explicit migration latencies.")
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ latencies)
+
+let () =
+  let doc = "hierarchical and semi-partitioned parallel scheduling (IPDPS'17 reproduction)" in
+  let info = Cmd.info "hsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            exact_cmd;
+            generate_cmd;
+            experiment_cmd;
+            simulate_cmd;
+            topology_cmd;
+            realtime_cmd;
+          ]))

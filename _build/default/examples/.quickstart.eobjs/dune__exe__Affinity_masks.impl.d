@@ -1,0 +1,1 @@
+examples/affinity_masks.ml: Array General_instance Hs_core Hs_laminar Hs_model Hs_workloads Instance_io List Printf Ptime String

@@ -1,0 +1,1 @@
+examples/capacity_loss.ml: Array Assignment Format Hs_baselines Hs_core Hs_laminar Hs_model Hs_workloads Instance List Option Printf Schedule

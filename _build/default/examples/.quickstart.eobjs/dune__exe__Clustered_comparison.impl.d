@@ -1,0 +1,1 @@
+examples/clustered_comparison.ml: Hs_core Hs_laminar Hs_model Hs_workloads List Printf Schedule

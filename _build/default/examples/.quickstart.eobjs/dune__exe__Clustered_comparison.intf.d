@@ -1,0 +1,1 @@
+examples/clustered_comparison.mli:

@@ -1,0 +1,1 @@
+examples/memory_constrained.ml: Array Hs_core Hs_laminar Hs_model Hs_numeric Hs_workloads Instance List Printf Schedule

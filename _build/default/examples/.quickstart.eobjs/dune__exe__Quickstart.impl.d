@@ -1,0 +1,1 @@
+examples/quickstart.ml: Assignment Format Hs_core Hs_laminar Hs_model Instance Option Printf Ptime Schedule

@@ -1,0 +1,1 @@
+examples/realtime_dpfair.ml: Array Dpfair Gantt Hs_laminar Hs_model Hs_numeric Hs_realtime List Printf Schedule String Task

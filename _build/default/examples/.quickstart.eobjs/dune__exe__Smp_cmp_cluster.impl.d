@@ -1,0 +1,1 @@
+examples/smp_cmp_cluster.ml: Array Assignment Hs_core Hs_laminar Hs_model Hs_sim Hs_workloads Instance List Option Printf Schedule String

@@ -1,0 +1,1 @@
+examples/smp_cmp_cluster.mli:

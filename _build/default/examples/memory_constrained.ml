@@ -1,0 +1,56 @@
+(* Section VI: scheduling under memory capacities.
+
+   Model 1: each machine has a budget B_i and jobs charge s_ij against
+   every machine of their mask; iterative rounding gives a schedule with
+   makespan <= 3T and memory <= 3 B_i (Theorem VI.1).
+
+   Model 2: a tree of caches scaling as mu^height with job sizes s_j <= 1;
+   the Lemma VI.2 rounding gives sigma = 2 + H_k on both criteria
+   (Theorem VI.3).
+
+     dune exec examples/memory_constrained.exe *)
+
+open Hs_model
+module Q = Hs_numeric.Q
+
+let () =
+  (* ---- Model 1 on a 3-machine semi-partitioned system -------------- *)
+  let rng = Hs_workloads.Rng.create 77 in
+  let inst =
+    Hs_workloads.Generators.semi_partitioned_load rng ~m:3 ~load:0.6 ~pmin:2 ~pmax:7 ()
+  in
+  let payload = Hs_workloads.Generators.model1_payload rng inst ~smax:4 ~slack:1.3 in
+  Printf.printf "Model 1: %d jobs on 3 machines, budget %d each\n"
+    (Instance.njobs inst) payload.budgets.(0);
+  (match Hs_core.Memory.solve_model1 inst payload with
+  | Error e -> failwith e
+  | Ok r ->
+      assert (Schedule.is_valid inst r.assignment r.schedule);
+      Printf.printf "  reference T = %d, achieved makespan = %d (factor %s <= 3)\n"
+        r.t_reference r.makespan (Q.to_string r.makespan_factor);
+      Printf.printf "  worst memory factor = %s (<= 3)\n"
+        (Q.to_string r.max_capacity_factor);
+      List.iter
+        (fun (name, f) ->
+          if Q.sign f > 0 then Printf.printf "    %s: usage/bound = %s\n" name (Q.to_string f))
+        r.capacity_factors);
+
+  (* ---- Model 2 on a 2x2x2 cache tree -------------------------------- *)
+  let lam = Hs_laminar.Topology.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
+  let rng = Hs_workloads.Rng.create 78 in
+  let inst =
+    Hs_workloads.Generators.hierarchical rng ~lam ~n:8 ~base:(2, 6) ~overhead:0.2 ()
+  in
+  let payload = Hs_workloads.Generators.model2_payload rng inst ~mu:(Q.of_int 2) in
+  let k = Hs_laminar.Laminar.nlevels lam in
+  Printf.printf "\nModel 2: k = %d levels, mu = 2, sigma bound = %s\n" k
+    (Q.to_string (Hs_core.Memory.sigma_bound ~k));
+  match Hs_core.Memory.solve_model2 inst payload with
+  | Error e -> failwith e
+  | Ok r ->
+      assert (Schedule.is_valid inst r.assignment r.schedule);
+      Printf.printf "  reference T = %d, makespan = %d (factor %s)\n" r.t_reference
+        r.makespan (Q.to_string r.makespan_factor);
+      Printf.printf "  worst capacity factor = %s, rounding rounds = %d, fallbacks = %d\n"
+        (Q.to_string r.max_capacity_factor) r.rounds r.fallback_drops;
+      print_endline "memory_constrained OK"

@@ -1,0 +1,1 @@
+lib/baselines/mcnaughton.ml: Array Hs_model Schedule Stdlib

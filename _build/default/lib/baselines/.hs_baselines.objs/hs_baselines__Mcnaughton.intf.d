@@ -1,0 +1,1 @@
+lib/baselines/mcnaughton.mli: Hs_model Schedule

@@ -1,0 +1,1 @@
+lib/baselines/partitioned.ml: Array Hs_laminar Hs_model Instance List Ptime Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/partitioned.mli: Assignment Hs_model Instance Ptime

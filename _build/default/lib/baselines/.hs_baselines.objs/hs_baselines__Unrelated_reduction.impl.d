@@ -1,0 +1,1 @@
+lib/baselines/unrelated_reduction.ml: Array Hs_core Hs_laminar Hs_model Instance Laminar Ptime

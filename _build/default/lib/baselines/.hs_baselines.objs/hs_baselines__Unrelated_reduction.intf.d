@@ -1,0 +1,1 @@
+lib/baselines/unrelated_reduction.mli: Hs_model Instance

@@ -1,0 +1,39 @@
+(** McNaughton's wrap-around rule for [P|pmtn|Cmax] (the special case
+    [A = {M}] of the model; McNaughton 1959).
+
+    The optimal preemptive makespan on identical machines is the classic
+    [max(max_j p_j, ⌈Σ_j p_j / m⌉)] (rounded up because our schedules
+    preempt at integer points), attained by wrapping the jobs around the
+    machines.  This serves as the {e global scheduling} baseline and as
+    the generic lower bound in experiment F2. *)
+
+open Hs_model
+
+let optimal_t ~m ~lengths =
+  if m <= 0 then invalid_arg "mcnaughton: no machines";
+  let total = Array.fold_left ( + ) 0 lengths in
+  let longest = Array.fold_left Stdlib.max 0 lengths in
+  Stdlib.max longest ((total + m - 1) / m)
+
+(** The wrap-around schedule itself, valid with horizon {!optimal_t}. *)
+let schedule ~m ~lengths =
+  let t = optimal_t ~m ~lengths in
+  let segments = ref [] in
+  let machine = ref 0 and pos = ref 0 in
+  Array.iteri
+    (fun j len ->
+      let remaining = ref len in
+      while !remaining > 0 do
+        let take = Stdlib.min !remaining (t - !pos) in
+        segments :=
+          { Schedule.job = j; machine = !machine; start = !pos; stop = !pos + take }
+          :: !segments;
+        remaining := !remaining - take;
+        pos := !pos + take;
+        if !pos = t then begin
+          pos := 0;
+          incr machine
+        end
+      done)
+    lengths;
+  { Schedule.horizon = t; segments = !segments }

@@ -1,0 +1,12 @@
+(** McNaughton's wrap-around rule for [P|pmtn|Cmax] (McNaughton 1959) —
+    the special case [A = {M}] of the model, used as the global-scheduling
+    baseline and generic lower bound. *)
+
+open Hs_model
+
+val optimal_t : m:int -> lengths:int array -> int
+(** The optimal preemptive makespan
+    [max (max_j p_j, ⌈Σ_j p_j / m⌉)]. *)
+
+val schedule : m:int -> lengths:int array -> Schedule.t
+(** The wrap-around schedule, valid with horizon {!optimal_t}. *)

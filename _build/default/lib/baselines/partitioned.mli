@@ -1,0 +1,18 @@
+(** Pure partitioned baselines: every job pinned to one machine — the
+    comparison points whose capacity loss the paper's model is designed
+    to recover (experiment F2). *)
+
+open Hs_model
+
+val greedy_unrelated : Ptime.t array array -> (int array * int) option
+(** Earliest-completion list scheduling on unrelated machines, jobs in
+    decreasing order of minimum time.  [times.(job).(machine)]; returns
+    [(job → machine, makespan)], or [None] if some job fits nowhere. *)
+
+val lpt_identical : m:int -> lengths:int array -> int array * int
+(** Longest-processing-time list scheduling on identical machines (the
+    classic 4/3-approximation). *)
+
+val to_assignment : Instance.t -> int array -> Assignment.t option
+(** Lift a machine placement to singleton masks; [None] if a machine
+    lacks a singleton set. *)

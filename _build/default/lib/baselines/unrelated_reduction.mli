@@ -1,0 +1,12 @@
+(** The reduction from hierarchical to unrelated machines used throughout
+    the paper's analysis (Section II, Example V.1, Theorem V.2): keep,
+    for each job and machine, the processing time of the {e minimal}
+    admissible set containing the machine. *)
+
+open Hs_model
+
+val reduce : Instance.t -> Instance.t
+(** The unrelated instance [I_u]; machines in no admissible set get ∞. *)
+
+val optimal_reduced : ?node_limit:int -> Instance.t -> int option
+(** Exact optimum of [I_u] on small inputs (experiment F1's gap curve). *)

@@ -1,0 +1,1 @@
+lib/core/approx.ml: Array Assignment General_instance Hierarchical Hs_laminar Hs_lp Hs_model Ilp Instance Lst_rounding Option Printf Ptime Schedule

@@ -1,0 +1,1 @@
+lib/core/approx.mli: Assignment General_instance Hs_lp Hs_model Instance Schedule

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Assignment Hs_laminar Hs_model Instance Laminar List Option Ptime Stdlib

@@ -1,0 +1,1 @@
+lib/core/hierarchical.ml: Array Assignment Hs_laminar Hs_model Instance Laminar List Option Printf Ptime Result Schedule Stdlib Tape

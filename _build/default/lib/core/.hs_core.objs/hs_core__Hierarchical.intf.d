@@ -1,0 +1,1 @@
+lib/core/hierarchical.mli: Assignment Hs_laminar Hs_model Instance Laminar Schedule Tape

@@ -1,0 +1,1 @@
+lib/core/ilp.ml: Array Assignment Hs_laminar Hs_lp Hs_model Instance Laminar List Printf Ptime Stdlib

@@ -1,0 +1,1 @@
+lib/core/ilp.mli: Assignment Hs_lp Hs_model Instance

@@ -1,0 +1,1 @@
+lib/core/iterative_rounding.ml: Array Hashtbl Hs_lp Hs_numeric List Option Printf

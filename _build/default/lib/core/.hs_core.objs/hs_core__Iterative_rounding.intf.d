@@ -1,0 +1,1 @@
+lib/core/iterative_rounding.mli: Hs_numeric

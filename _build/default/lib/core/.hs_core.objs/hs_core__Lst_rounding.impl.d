@@ -1,0 +1,1 @@
+lib/core/lst_rounding.ml: Array Assignment Hs_laminar Hs_lp Hs_model Instance Laminar List Logs Printf

@@ -1,0 +1,1 @@
+lib/core/lst_rounding.mli: Assignment Hs_lp Hs_model Instance

@@ -1,0 +1,1 @@
+lib/core/memory.ml: Array Assignment Hierarchical Hs_laminar Hs_lp Hs_model Hs_numeric Instance Iterative_rounding Laminar List Printf Ptime Schedule Stdlib

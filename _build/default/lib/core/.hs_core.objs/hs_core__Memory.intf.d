@@ -1,0 +1,1 @@
+lib/core/memory.mli: Assignment Hs_model Hs_numeric Instance Iterative_rounding Schedule

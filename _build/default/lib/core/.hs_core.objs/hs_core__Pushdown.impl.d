@@ -1,0 +1,1 @@
+lib/core/pushdown.ml: Array Hs_laminar Hs_lp Hs_model Instance Laminar List Ptime

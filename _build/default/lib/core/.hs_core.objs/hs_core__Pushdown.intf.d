@@ -1,0 +1,1 @@
+lib/core/pushdown.mli: Hs_lp Hs_model Instance

@@ -1,0 +1,1 @@
+lib/core/semi_partitioned.ml: Array Assignment Hierarchical Hs_laminar Hs_model Instance Laminar List Option Printf Ptime Result Schedule Stdlib Tape

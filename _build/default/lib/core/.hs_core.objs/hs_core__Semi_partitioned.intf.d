@@ -1,0 +1,1 @@
+lib/core/semi_partitioned.mli: Assignment Hs_model Instance Schedule Tape

@@ -1,0 +1,1 @@
+lib/core/tape.ml: Hs_model List Stdlib

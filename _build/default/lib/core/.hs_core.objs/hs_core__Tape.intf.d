@@ -1,0 +1,1 @@
+lib/core/tape.mli: Hs_model

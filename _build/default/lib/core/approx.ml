@@ -1,0 +1,117 @@
+(** Theorem V.2: the polynomial-time 2-approximation for hierarchical
+    scheduling, plus the Section II 8-approximation for general
+    (non-laminar) families.
+
+    Pipeline (laminar case):
+    + close the family under singletons (processing time of the minimal
+      original superset — the convention of Section V),
+    + binary-search the minimal integer horizon [T*] at which the (IP-3)
+      relaxation is feasible ([T* ≤ OPT]),
+    + by Lemma V.1 ({!Pushdown}) the {e unrelated-machines} relaxation
+      [I_u] is then feasible at [T*] as well, so re-solve that restricted
+      LP to a {e basic} (vertex) solution — the rounding theorem needs a
+      vertex, which the push-down transformation itself does not
+      preserve,
+    + round with Lenstra–Shmoys–Tardos ({!Lst_rounding}),
+    + realise the integral assignment with Algorithms 2–3.
+
+    The resulting makespan is at most [2·T* ≤ 2·OPT]. *)
+
+open Hs_model
+
+module Make (F : Hs_lp.Field.S) = struct
+  module I = Ilp.Make (F)
+  module R = Lst_rounding.Make (F)
+
+  (** The unrelated-machines restriction [I_u] of a singleton-closed
+      instance: keep only the singleton masks (Section V). *)
+  let unrelated_restriction closed =
+    let lam = Instance.laminar closed in
+    let m = Hs_laminar.Laminar.m lam in
+    let times =
+      Array.init (Instance.njobs closed) (fun j ->
+          Array.init m (fun i ->
+              match Hs_laminar.Laminar.singleton lam i with
+              | Some s -> Instance.ptime closed ~job:j ~set:s
+              | None -> Ptime.Inf))
+    in
+    Instance.unrelated times
+
+  type outcome = {
+    instance : Instance.t;  (** the singleton-closed instance solved *)
+    translate : int -> int option;
+        (** closed set id → original set id ([None] for added singletons) *)
+    assignment : Assignment.t;  (** over the closed instance *)
+    t_lp : int;  (** minimal LP-feasible horizon — a lower bound on OPT *)
+    makespan : int;  (** achieved integral makespan, ≤ 2·t_lp *)
+    schedule : Schedule.t;
+    rounding : R.stats;
+  }
+
+  let solve inst : (outcome, string) result =
+    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    let closed, translate = Instance.with_singletons inst in
+    match I.min_feasible_t closed with
+    | None -> err "approx: no feasible horizon (some job has no finite mask)"
+    | Some (t_lp, _frac) -> (
+        let iu = unrelated_restriction closed in
+        match I.lp_feasible iu ~tmax:t_lp with
+        | None ->
+            (* Contradicts Lemma V.1: the hierarchical LP was feasible. *)
+            err "approx: internal error, Lemma V.1 feasibility transfer failed at T=%d" t_lp
+        | Some frac_u -> (
+        match R.round iu frac_u with
+        | Error e -> Error e
+        | Ok (assignment_u, rounding) -> (
+            (* Lift machines back onto the closed family's singletons. *)
+            let lam_u = Instance.laminar iu in
+            let lam_c = Instance.laminar closed in
+            let assignment =
+              Array.map
+                (fun s ->
+                  let machine = (Hs_laminar.Laminar.members lam_u s).(0) in
+                  Option.get (Hs_laminar.Laminar.singleton lam_c machine))
+                assignment_u
+            in
+            let makespan = Assignment.min_makespan closed assignment in
+            match Hierarchical.schedule closed assignment ~tmax:makespan with
+            | Error e -> err "approx: scheduler failed: %s" e
+            | Ok schedule ->
+                Ok
+                  { instance = closed; translate; assignment; t_lp; makespan; schedule; rounding })))
+end
+
+module Exact = Make (Hs_lp.Field.Exact)
+module Fast = Make (Hs_lp.Field.Float)
+
+(** The Section II algorithm for arbitrary admissible families: reduce to
+    unrelated machines (taking, for each machine, the cheapest admissible
+    set containing it), 2-approximate the reduced instance, and lift the
+    partitioned solution back via witness sets.  The reduced LP horizon
+    lower-bounds the original preemptive optimum, and the paper's chain
+    of inequalities bounds the overall factor by 8. *)
+type general_outcome = {
+  machine_assignment : int array;  (** job → machine *)
+  set_assignment : int array;  (** job → index into the family, via witnesses *)
+  makespan : int;  (** of the lifted (partitioned) schedule *)
+  lower_bound : int;  (** LP preemptive lower bound of the reduced instance *)
+}
+
+let solve_general (g : General_instance.t) : (general_outcome, string) result =
+  let module A = Make (Hs_lp.Field.Exact) in
+  let iu = General_instance.to_unrelated g in
+  match A.solve iu with
+  | Error e -> Error e
+  | Ok o ->
+      let lam = Instance.laminar o.instance in
+      let n = General_instance.njobs g in
+      let machine_assignment =
+        Array.init n (fun j -> (Hs_laminar.Laminar.members lam o.assignment.(j)).(0))
+      in
+      let set_assignment =
+        Array.init n (fun j ->
+            match General_instance.witness_set g ~job:j ~machine:machine_assignment.(j) with
+            | Some k -> k
+            | None -> -1)
+      in
+      Ok { machine_assignment; set_assignment; makespan = o.makespan; lower_bound = o.t_lp }

@@ -1,0 +1,61 @@
+(** Theorem V.2: the polynomial-time 2-approximation for hierarchical
+    scheduling, plus the Section II 8-approximation for general
+    (non-laminar) families.
+
+    Pipeline: singleton closure → binary search of the minimal
+    LP-feasible horizon [T*] (a certified lower bound on OPT) → re-solve
+    the unrelated-machines restriction at [T*] to a basic solution
+    (feasible by Lemma V.1) → Lenstra–Shmoys–Tardos rounding →
+    Algorithms 2–3.  The achieved makespan is at most [2·T* ≤ 2·OPT]. *)
+
+open Hs_model
+
+module Make (F : Hs_lp.Field.S) : sig
+  module I : sig
+    type frac = F.t array array
+
+    val lp_feasible : Instance.t -> tmax:int -> frac option
+    val t_bounds : Instance.t -> (int * int) option
+    val min_feasible_t : Instance.t -> (int * frac) option
+  end
+
+  module R : sig
+    type stats = { fractional_jobs : int; matched : int }
+  end
+
+  val unrelated_restriction : Instance.t -> Instance.t
+  (** The instance [I_u] of Section V: only the singleton masks of a
+      singleton-closed instance. *)
+
+  type outcome = {
+    instance : Instance.t;  (** the singleton-closed instance solved *)
+    translate : int -> int option;
+        (** closed set id → original set id ([None] for added singletons) *)
+    assignment : Assignment.t;  (** over the closed instance *)
+    t_lp : int;  (** minimal LP-feasible horizon — lower bound on OPT *)
+    makespan : int;  (** achieved integral makespan, ≤ 2·t_lp *)
+    schedule : Schedule.t;
+    rounding : R.stats;
+  }
+
+  val solve : Instance.t -> (outcome, string) result
+end
+
+module Exact : module type of Make (Hs_lp.Field.Exact)
+(** Certified pipeline: every bound is exact. *)
+
+module Fast : module type of Make (Hs_lp.Field.Float)
+(** Floating-point LP path — faster, used only for benchmarks. *)
+
+(** {1 General (non-laminar) masks — §II} *)
+
+type general_outcome = {
+  machine_assignment : int array;  (** job → machine *)
+  set_assignment : int array;  (** job → family index, via witness sets *)
+  makespan : int;  (** of the lifted partitioned schedule *)
+  lower_bound : int;  (** LP preemptive lower bound of the reduced instance *)
+}
+
+val solve_general : General_instance.t -> (general_outcome, string) result
+(** The reduction-based algorithm whose makespan is within a factor 8 of
+    the optimum (via the preemptive/non-preemptive chain of §II). *)

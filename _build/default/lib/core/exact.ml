@@ -1,0 +1,170 @@
+(** Exact optimal makespans by branch and bound.
+
+    The paper proves hardness (Proposition II.1), so exact solving is
+    exponential; we use it only on small instances to {e measure} the
+    empirical approximation ratios of experiment T1.  Thanks to
+    Theorem IV.3, the makespan of an integral assignment is a closed
+    form ({!Hs_model.Assignment.min_makespan}), so the search space is
+    just the assignment lattice: jobs (largest first) × admissible sets
+    (cheapest first).  The bound accumulated along a branch is the max of
+    every aggregate-volume bound seen so far (volumes only grow down a
+    branch), the largest processing time committed, the largest remaining
+    minimum time, and a total-volume bound over the remaining jobs. *)
+
+open Hs_model
+open Hs_laminar
+
+type stats = { nodes : int; pruned : int; proven : bool }
+
+let optimal ?(node_limit = 20_000_000) ?initial inst : (Assignment.t * int * stats) option =
+  let lam = Instance.laminar inst in
+  let n = Instance.njobs inst in
+  let nsets = Laminar.size lam in
+  let p j s = Ptime.value (Instance.ptime inst ~job:j ~set:s) in
+  (* Candidate sets per job, cheapest first (ties: smaller set first, so
+     singletons are explored before their supersets). *)
+  let candidates =
+    Array.init n (fun j ->
+        List.init nsets (fun s -> s)
+        |> List.filter_map (fun s -> Option.map (fun v -> (s, v)) (p j s))
+        |> List.sort (fun (s1, a) (s2, b) ->
+               compare (a, Laminar.card lam s1) (b, Laminar.card lam s2)))
+  in
+  if n > 0 && Array.exists (fun c -> c = []) candidates then None
+  else begin
+    let min_p = Array.map (function (_, v) :: _ -> v | [] -> 0) candidates in
+    (* Job order: decreasing minimum processing time. *)
+    let order =
+      List.init n (fun j -> j) |> List.sort (fun a b -> compare min_p.(b) min_p.(a))
+    in
+    let order = Array.of_list order in
+    let suffix_min_vol = Array.make (n + 1) 0 in
+    for k = n - 1 downto 0 do
+      suffix_min_vol.(k) <- suffix_min_vol.(k + 1) + min_p.(order.(k))
+    done;
+    let suffix_max_minp = Array.make (n + 1) 0 in
+    for k = n - 1 downto 0 do
+      suffix_max_minp.(k) <- Stdlib.max suffix_max_minp.(k + 1) min_p.(order.(k))
+    done;
+    let machines_covered =
+      List.fold_left (fun acc r -> acc + Laminar.card lam r) 0 (Laminar.roots lam)
+    in
+    let subtree_vol = Array.make nsets 0 in
+    let assignment = Array.make n 0 in
+    let best = Array.make n 0 in
+    let best_span = ref max_int in
+    (* Warm start: caller-provided bound, else greedy earliest-completion
+       over masks (choose the mask minimising the resulting partial bound). *)
+    (match initial with
+    | Some (a, span) when Array.length a = n ->
+        Array.blit a 0 best 0 n;
+        best_span := span
+    | _ ->
+        let greedy = Array.make n (-1) in
+        let vol = Array.make nsets 0 in
+        Array.iter
+          (fun j ->
+            let bset = ref (-1) and bcost = ref max_int in
+            List.iter
+              (fun (s, v) ->
+                let cost =
+                  List.fold_left
+                    (fun acc a ->
+                      let c = Laminar.card lam a in
+                      Stdlib.max acc ((vol.(a) + v + c - 1) / c))
+                    v (Laminar.ancestors lam s)
+                in
+                if cost < !bcost then begin
+                  bcost := cost;
+                  bset := s
+                end)
+              candidates.(j);
+            greedy.(j) <- !bset;
+            List.iter
+              (fun a -> vol.(a) <- vol.(a) + Option.get (p j !bset))
+              (Laminar.ancestors lam !bset))
+          order;
+        if n = 0 || Assignment.well_formed inst greedy then begin
+          Array.blit greedy 0 best 0 n;
+          best_span := if n = 0 then 0 else Assignment.min_makespan inst greedy
+        end);
+    let nodes = ref 0 and pruned = ref 0 in
+    let exception Limit in
+    let rec dfs k lb_path =
+      incr nodes;
+      if !nodes > node_limit then raise Limit;
+      if k = n then begin
+        (* lb_path is exact here: it includes every aggregate bound. *)
+        if lb_path < !best_span then begin
+          best_span := lb_path;
+          Array.blit assignment 0 best 0 n
+        end
+      end
+      else begin
+        let j = order.(k) in
+        List.iter
+          (fun (s, v) ->
+            assignment.(j) <- s;
+            let ancestors = Laminar.ancestors lam s in
+            List.iter (fun a -> subtree_vol.(a) <- subtree_vol.(a) + v) ancestors;
+            let lb_sets =
+              List.fold_left
+                (fun acc a ->
+                  let c = Laminar.card lam a in
+                  Stdlib.max acc ((subtree_vol.(a) + c - 1) / c))
+                lb_path ancestors
+            in
+            let assigned_total =
+              List.fold_left (fun acc r -> acc + subtree_vol.(r)) 0 (Laminar.roots lam)
+            in
+            let lb_total =
+              (assigned_total + suffix_min_vol.(k + 1) + machines_covered - 1)
+              / machines_covered
+            in
+            let lb =
+              Stdlib.max lb_sets
+                (Stdlib.max lb_total (Stdlib.max v suffix_max_minp.(k + 1)))
+            in
+            if lb < !best_span then dfs (k + 1) lb else incr pruned;
+            List.iter (fun a -> subtree_vol.(a) <- subtree_vol.(a) - v) ancestors)
+          candidates.(j)
+      end
+    in
+    let proven = try dfs 0 0; true with Limit -> false in
+    if !best_span = max_int then None
+    else Some (Array.copy best, !best_span, { nodes = !nodes; pruned = !pruned; proven })
+  end
+
+let optimal_makespan ?node_limit ?initial inst =
+  Option.map (fun (_, span, _) -> span) (optimal ?node_limit ?initial inst)
+
+(** Exhaustive enumeration, for cross-checking the branch and bound on
+    tiny instances. *)
+let brute_force inst : (Assignment.t * int) option =
+  let lam = Instance.laminar inst in
+  let n = Instance.njobs inst in
+  let nsets = Laminar.size lam in
+  let assignment = Array.make n 0 in
+  let best = ref None in
+  let rec go j =
+    if j = n then begin
+      if Assignment.well_formed inst assignment then begin
+        let span = Assignment.min_makespan inst assignment in
+        match !best with
+        | Some (_, b) when b <= span -> ()
+        | _ -> best := Some (Array.copy assignment, span)
+      end
+    end
+    else
+      for s = 0 to nsets - 1 do
+        if Ptime.is_fin (Instance.ptime inst ~job:j ~set:s) then begin
+          assignment.(j) <- s;
+          go (j + 1)
+        end
+      done
+  in
+  if n = 0 then Some ([||], 0)
+  else begin
+    go 0;
+    !best
+  end

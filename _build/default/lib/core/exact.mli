@@ -1,0 +1,33 @@
+(** Exact optimal makespans by branch and bound.
+
+    The problem is NP-hard (Proposition II.1); this solver exists to
+    {e measure} empirical approximation ratios on small instances
+    (experiment T1).  Thanks to Theorem IV.3 the makespan of an integral
+    assignment is a closed form, so the search is over the assignment
+    lattice with aggregate-volume lower bounds accumulated along each
+    branch. *)
+
+open Hs_model
+
+type stats = {
+  nodes : int;  (** search nodes visited *)
+  pruned : int;  (** branches cut by the bound *)
+  proven : bool;  (** false iff the node limit was hit *)
+}
+
+val optimal :
+  ?node_limit:int ->
+  ?initial:Assignment.t * int ->
+  Instance.t ->
+  (Assignment.t * int * stats) option
+(** Best assignment found, its makespan, and search statistics; [None]
+    when some job has no finite mask.  [initial] seeds the incumbent
+    (e.g. with the 2-approximation's solution); otherwise a greedy
+    earliest-completion warm start is used.  When [stats.proven] the
+    value is the optimum. *)
+
+val optimal_makespan :
+  ?node_limit:int -> ?initial:Assignment.t * int -> Instance.t -> int option
+
+val brute_force : Instance.t -> (Assignment.t * int) option
+(** Exhaustive enumeration; for cross-checking on tiny instances. *)

@@ -1,0 +1,191 @@
+(** Algorithms 2 and 3: the scheduler for hierarchical assignments (§IV).
+
+    Phase 1 ({!allocate}, Algorithm 2) walks the laminar family bottom-up
+    and greedily splits the volume of each set [α] over its machines,
+    filling every machine to the horizon before touching the next one.
+    Phase 2 ({!schedule}, Algorithm 3) walks top-down and lays each set's
+    jobs on a wrap-around tape that starts right after the unique machine
+    (Lemma IV.2) already carrying load from an ancestor set.
+
+    Theorem IV.3: for any assignment satisfying (IP-2) with horizon [T],
+    the produced schedule is valid in [[0, T]]. *)
+
+open Hs_model
+open Hs_laminar
+
+type allocation = {
+  load : int array array;  (** [load.(set).(machine)] — Algorithm 2's LOAD *)
+  tot_load : int array array;  (** Algorithm 2's TOT-LOAD *)
+}
+
+(* The maximal proper subset of [set] containing [machine] is, in forest
+   terms, the unique child containing it. *)
+let child_containing lam set machine =
+  List.find_opt (fun c -> Laminar.mem lam c machine) (Laminar.children lam set)
+
+let allocate inst assignment ~tmax =
+  let lam = Instance.laminar inst in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if not (Assignment.well_formed inst assignment) then err "hierarchical: ill-formed assignment"
+  else if Assignment.max_ptime inst assignment > tmax then
+    err "hierarchical: some job exceeds the horizon (2c)"
+  else begin
+    let nsets = Laminar.size lam in
+    let m = Laminar.m lam in
+    let load = Array.make_matrix nsets m 0 in
+    let tot_load = Array.make_matrix nsets m 0 in
+    let p j s = Ptime.value_exn (Instance.ptime inst ~job:j ~set:s) in
+    let volume set =
+      let v = ref 0 in
+      Array.iteri (fun j s -> if s = set then v := !v + p j s) assignment;
+      !v
+    in
+    let exception Overflow of int in
+    try
+      List.iter
+        (fun set ->
+          let v = ref (volume set) in
+          Array.iter
+            (fun i ->
+              let prev =
+                match child_containing lam set i with
+                | Some beta -> tot_load.(beta).(i)
+                | None -> 0
+              in
+              let capacity = tmax - prev in
+              let delta = Stdlib.min !v capacity in
+              load.(set).(i) <- delta;
+              tot_load.(set).(i) <- prev + delta;
+              v := !v - delta)
+            (Laminar.members lam set);
+          if !v > 0 then raise (Overflow set))
+        (Laminar.bottom_up lam);
+      Ok { load; tot_load }
+    with Overflow set -> err "hierarchical: volume of set #%d exceeds capacity (2b)" set
+  end
+
+(** Lemma IV.2 as a checkable property: for every set β, at most one
+    machine carries positive load for both β and some strict superset. *)
+let lemma_iv2_holds lam alloc =
+  List.for_all
+    (fun beta ->
+      let shared =
+        Array.to_list (Laminar.members lam beta)
+        |> List.filter (fun i ->
+               alloc.load.(beta).(i) > 0
+               && List.exists
+                    (fun alpha -> alpha <> beta && alloc.load.(alpha).(i) > 0)
+                    (Laminar.ancestors lam beta))
+      in
+      List.length shared <= 1)
+    (Laminar.bottom_up lam)
+
+(** Lemma IV.1 as a checkable property: cumulative loads never exceed the
+    horizon. *)
+let lemma_iv1_holds lam alloc ~tmax =
+  List.for_all
+    (fun set ->
+      Array.for_all (fun i -> alloc.tot_load.(set).(i) <= tmax) (Laminar.members lam set)
+      |> fun ok ->
+      ok
+      &&
+      (* loads are consistent sums along the chain *)
+      Array.for_all
+        (fun i ->
+          let prev =
+            match child_containing lam set i with
+            | Some beta -> alloc.tot_load.(beta).(i)
+            | None -> 0
+          in
+          alloc.tot_load.(set).(i) = prev + alloc.load.(set).(i))
+        (Laminar.members lam set))
+    (Laminar.bottom_up lam)
+
+(* Rotate the ascending member list of a set to start from machine [l]. *)
+let members_from lam set l =
+  let ms = Array.to_list (Laminar.members lam set) in
+  let rec split acc = function
+    | [] -> (List.rev acc, [])
+    | x :: rest when x = l -> (List.rev acc, x :: rest)
+    | x :: rest -> split (x :: acc) rest
+  in
+  let before, after = split [] ms in
+  after @ before
+
+(** Algorithms 2 + 3, also returning the tape-order migration/preemption
+    counts aggregated over all sets. *)
+let schedule_stats inst assignment ~tmax =
+  match allocate inst assignment ~tmax with
+  | Error e -> Error e
+  | Ok alloc ->
+      let lam = Instance.laminar inst in
+      let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+      if not (lemma_iv2_holds lam alloc) then err "hierarchical: Lemma IV.2 violated"
+      else begin
+        let n = Instance.njobs inst in
+        let p j s = Ptime.value_exn (Instance.ptime inst ~job:j ~set:s) in
+        (* t_end.(set).(machine) = wall-clock end (mod T) of that set's
+           block on that machine, once scheduled. *)
+        let nsets = Laminar.size lam in
+        let m = Laminar.m lam in
+        let t_end = Array.make_matrix nsets m 0 in
+        let segments = ref [] in
+        let stats = ref Tape.no_stats in
+        let exception Fail of string in
+        try
+          List.iter
+            (fun beta ->
+              (* Line 4: the unique machine sharing load with an ancestor. *)
+              let start_info =
+                Array.to_list (Laminar.members lam beta)
+                |> List.find_map (fun i ->
+                       if alloc.load.(beta).(i) = 0 then None
+                       else
+                         let ancestors =
+                           List.filter (fun a -> a <> beta) (Laminar.ancestors lam beta)
+                         in
+                         (* minimal strict superset with positive load on i *)
+                         List.find_opt (fun a -> alloc.load.(a).(i) > 0) ancestors
+                         |> Option.map (fun a -> (i, a)))
+              in
+              let t0, l =
+                match start_info with
+                | Some (i, alpha) -> (t_end.(alpha).(i), i)
+                | None -> (
+                    match Array.to_list (Laminar.members lam beta) with
+                    | [] -> raise (Fail "empty set")
+                    | i :: _ -> (0, i))
+              in
+              (* Lines 11–14: chain the blocks, remembering each end. *)
+              let t = ref t0 in
+              let blocks =
+                List.filter_map
+                  (fun k ->
+                    let len = alloc.load.(beta).(k) in
+                    if tmax > 0 then begin
+                      let b = { Tape.machine = k; start = !t; len } in
+                      t := (!t + len) mod tmax;
+                      t_end.(beta).(k) <- !t;
+                      if len > 0 then Some b else None
+                    end
+                    else None)
+                  (members_from lam beta l)
+              in
+              let jobs =
+                List.init n (fun j -> j)
+                |> List.filter (fun j -> assignment.(j) = beta)
+                |> List.map (fun j -> (j, p j beta))
+              in
+              let laid = Tape.lay ~horizon:tmax ~blocks ~jobs in
+              stats := Tape.merge_stats !stats laid.Tape.stats;
+              segments := laid.Tape.segments @ !segments)
+            (Laminar.top_down lam);
+          Ok
+            ( Schedule.coalesce { Schedule.horizon = tmax; segments = !segments },
+              !stats )
+        with
+        | Fail msg -> err "hierarchical: %s" msg
+        | Invalid_argument msg -> err "hierarchical: %s" msg
+      end
+
+let schedule inst assignment ~tmax = Result.map fst (schedule_stats inst assignment ~tmax)

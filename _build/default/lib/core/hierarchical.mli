@@ -1,0 +1,37 @@
+(** Algorithms 2 and 3: the scheduler for hierarchical assignments (§IV).
+
+    Phase 1 ({!allocate}, Algorithm 2) walks the laminar family bottom-up
+    and greedily splits each set's volume over its machines, filling a
+    machine to the horizon before touching the next.  Phase 2
+    (Algorithm 3, inside {!schedule_stats}) walks top-down and lays each
+    set's jobs on a wrap-around tape starting right after the unique
+    machine (Lemma IV.2) already loaded by an ancestor set.
+
+    Theorem IV.3: for any assignment satisfying (IP-2) at horizon [tmax],
+    the produced schedule is valid in [[0, tmax]]. *)
+
+open Hs_model
+open Hs_laminar
+
+type allocation = {
+  load : int array array;  (** [load.(set).(machine)] — Algorithm 2's LOAD *)
+  tot_load : int array array;  (** Algorithm 2's TOT-LOAD *)
+}
+
+val allocate :
+  Instance.t -> Assignment.t -> tmax:int -> (allocation, string) result
+(** Algorithm 2 alone; fails on (2b)/(2c) violations. *)
+
+val lemma_iv1_holds : Laminar.t -> allocation -> tmax:int -> bool
+(** Checkable Lemma IV.1: cumulative loads never exceed the horizon and
+    are consistent chain sums. *)
+
+val lemma_iv2_holds : Laminar.t -> allocation -> bool
+(** Checkable Lemma IV.2: per set, at most one machine carries positive
+    load for both the set and a strict superset. *)
+
+val schedule_stats :
+  Instance.t -> Assignment.t -> tmax:int -> (Schedule.t * Tape.stats, string) result
+(** Algorithms 2 + 3 with tape-order migration/preemption counts. *)
+
+val schedule : Instance.t -> Assignment.t -> tmax:int -> (Schedule.t, string) result

@@ -1,0 +1,46 @@
+(** The (IP-1)/(IP-2)/(IP-3) formulations and their LP relaxations (§III–V).
+
+    (IP-3) is the decision form: for a fixed horizon [T], variables
+    [x_{αj}] exist only for pairs in [R = {(α,j) : p_{αj} ≤ T}], each job
+    picks one mask (3·assignment), and every set's subtree volume fits
+    its aggregate capacity (3a).  Functorised over the coefficient field:
+    {!Hs_lp.Field.Exact} certifies answers, {!Hs_lp.Field.Float} trades
+    certification for speed. *)
+
+open Hs_model
+
+module Make (F : Hs_lp.Field.S) : sig
+  type frac = F.t array array
+  (** [x.(set).(job)] — a fractional solution of the (IP-3) relaxation. *)
+
+  val restricted : Instance.t -> tmax:int -> bool array array
+  (** The pair set [R]: [r.(set).(job)] iff [p ≤ tmax]. *)
+
+  val relaxation :
+    Instance.t -> tmax:int -> (F.t Hs_lp.Lp_problem.t * int array array) option
+  (** The LP relaxation plus the [(set, job) → variable] numbering;
+      [None] when some job has an empty row of [R]. *)
+
+  val lp_feasible : Instance.t -> tmax:int -> frac option
+  (** A {e basic} fractional solution at horizon [tmax], or [None]. *)
+
+  val t_bounds : Instance.t -> (int * int) option
+  (** Certified search bounds for the minimal feasible horizon
+      [(max_j min_α p, Σ_j min_α p)]; [None] when some job has no finite
+      mask. *)
+
+  val min_feasible_t : Instance.t -> (int * frac) option
+  (** Binary search of Section V: the minimal integer horizon whose LP
+      relaxation is feasible (a lower bound on the integral optimum),
+      with a basic solution at that horizon. *)
+
+  val certified_infeasible : Instance.t -> tmax:int -> bool
+  (** [true] iff the relaxation at [tmax] is infeasible {e and} the
+      infeasibility is certified: either a job has no admissible mask, or
+      the simplex's Farkas witness passes independent verification.
+      Certifies the lower side of the binary search (meaningful with
+      {!Hs_lp.Field.Exact}). *)
+end
+
+val integral_feasible : Instance.t -> Assignment.t -> tmax:int -> bool
+(** (IP-2) feasibility of an integral assignment; field-independent. *)

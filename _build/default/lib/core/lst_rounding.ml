@@ -1,0 +1,102 @@
+(** Lenstra–Shmoys–Tardos rounding of a fractional unrelated-machines
+    assignment (the rounding step inside Theorem V.2).
+
+    The input is a basic feasible solution supported on singleton sets.
+    Jobs whose weight is already integral keep their machine.  The
+    remaining {e fractional} jobs span a bipartite graph (job, machine)
+    with one edge per positive fractional variable; because the solution
+    is a vertex, every connected component is a pseudoforest, which
+    guarantees a perfect matching of the fractional jobs into machines.
+    Each machine then receives at most one extra whole job of processing
+    time at most [T], yielding the factor-2 bound. *)
+
+open Hs_model
+open Hs_laminar
+module Log = (val Logs.src_log (Logs.Src.create "hs.lst") : Logs.LOG)
+
+module Make (F : Hs_lp.Field.S) = struct
+  type stats = {
+    fractional_jobs : int;
+    matched : int;  (** matched by augmenting paths; rest fall back greedily *)
+  }
+
+  (** [round inst x] rounds a singleton-supported fractional solution to
+      an integral assignment (job → singleton set id). *)
+  let round inst (x : F.t array array) : (Assignment.t * stats, string) result =
+    let lam = Instance.laminar inst in
+    let n = Instance.njobs inst in
+    let m = Laminar.m lam in
+    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    let machine_of_set = Array.make (Laminar.size lam) (-1) in
+    let bad = ref None in
+    Array.iteri
+      (fun s row ->
+        if Laminar.is_singleton lam s then machine_of_set.(s) <- (Laminar.members lam s).(0)
+        else Array.iteri (fun j v -> if F.sign v <> 0 then bad := Some (s, j)) row)
+      x;
+    match !bad with
+    | Some (s, j) -> err "lst: job %d has weight on non-singleton set #%d" j s
+    | None -> begin
+        let assignment = Array.make n (-1) in
+        (* Edges of the fractional bipartite graph, per job. *)
+        let edges = Array.make n [] in
+        for j = 0 to n - 1 do
+          for s = 0 to Laminar.size lam - 1 do
+            let v = x.(s).(j) in
+            if F.sign v > 0 then
+              if F.sign (F.sub v F.one) = 0 then assignment.(j) <- s
+              else edges.(j) <- (machine_of_set.(s), s, v) :: edges.(j)
+          done
+        done;
+        let fractional =
+          List.init n (fun j -> j) |> List.filter (fun j -> assignment.(j) = -1)
+        in
+        List.iter
+          (fun j -> if edges.(j) = [] then invalid_arg "lst: job with no weight at all")
+          fractional;
+        (* Kuhn's augmenting-path matching: machine -> job. *)
+        let matched_job = Array.make m (-1) in
+        let rec augment j visited =
+          List.exists
+            (fun (i, _, _) ->
+              if visited.(i) then false
+              else begin
+                visited.(i) <- true;
+                if matched_job.(i) = -1 || augment matched_job.(i) visited then begin
+                  matched_job.(i) <- j;
+                  true
+                end
+                else false
+              end)
+            edges.(j)
+        in
+        let matched = ref 0 in
+        let unmatched = ref [] in
+        List.iter
+          (fun j ->
+            if augment j (Array.make m false) then incr matched else unmatched := j :: !unmatched)
+          fractional;
+        Array.iteri
+          (fun i j ->
+            if j >= 0 then
+              match Laminar.singleton lam i with
+              | Some s -> assignment.(j) <- s
+              | None -> assert false)
+          matched_job;
+        (* A vertex solution always matches perfectly; the fallback only
+           triggers on non-basic inputs and is logged. *)
+        List.iter
+          (fun j ->
+            Log.warn (fun f ->
+                f "fractional job %d unmatched; falling back to heaviest machine" j);
+            let _, s, _ =
+              List.fold_left
+                (fun ((_, _, bv) as best) ((_, _, v) as e) ->
+                  if F.compare v bv > 0 then e else best)
+                (List.hd edges.(j)) (List.tl edges.(j))
+            in
+            assignment.(j) <- s)
+          !unmatched;
+        Ok (assignment, { fractional_jobs = List.length fractional; matched = !matched })
+      end
+end

@@ -1,0 +1,26 @@
+(** Lenstra–Shmoys–Tardos rounding of a fractional unrelated-machines
+    assignment — the rounding step inside Theorem V.2.
+
+    The input must be supported on singleton sets and should be a
+    {e basic} feasible solution (as produced by the simplex): then the
+    bipartite graph of fractional variables is a pseudoforest per
+    component and the fractional jobs admit a perfect matching into
+    machines, each machine receiving at most one extra job of processing
+    time ≤ T — the factor-2 argument. *)
+
+open Hs_model
+
+module Make (F : Hs_lp.Field.S) : sig
+  type stats = {
+    fractional_jobs : int;
+    matched : int;
+        (** matched by augmenting paths; any rest falls back greedily to
+            the heaviest machine and is logged (only possible on
+            non-basic inputs) *)
+  }
+
+  val round :
+    Instance.t -> F.t array array -> (Assignment.t * stats, string) result
+  (** Rounds [x.(set).(job)] to an integral assignment over singleton
+      masks.  Fails when weight sits on a non-singleton set. *)
+end

@@ -1,0 +1,54 @@
+(** Section VI: makespan minimisation under memory capacities.
+
+    {b Model 1} — each machine [i] has budget [B_i]; a job on mask [α]
+    charges [s_{ij}] against every [i ∈ α].  Support-2 iterative rounding
+    gives the bicriteria guarantee (3T, 3·B_i) of Theorem VI.1.
+
+    {b Model 2} — the family is a tree with uniform leaf level; a node at
+    height [h] (except the root) has capacity [µ^h], jobs have sizes
+    [s_j ≤ 1].  The Lemma VI.2 rounding with [ρ = 1 + H_k] yields
+    σ = 2 + H_k on both criteria (Theorem VI.3; σ = 3 + 1/m for k = 2). *)
+
+open Hs_model
+module Q = Hs_numeric.Q
+
+type report = {
+  assignment : Assignment.t;
+  t_reference : int;  (** minimal LP-feasible horizon of the revised ILP *)
+  makespan : int;  (** achieved makespan of the rounded assignment *)
+  makespan_factor : Q.t;  (** makespan / t_reference *)
+  capacity_factors : (string * Q.t) list;  (** usage / bound per row *)
+  max_capacity_factor : Q.t;
+  schedule : Schedule.t;
+  rounds : int;
+  fallback_drops : int;
+}
+
+type model1 = {
+  budgets : int array;  (** B_i per machine *)
+  space : int array array;  (** [space.(job).(machine)] *)
+}
+
+val solve_model1 : Instance.t -> model1 -> (report, string) result
+(** Binary-search the minimal horizon at which the revised LP (IP-3 +
+    constraints (7)) is feasible, round, schedule.  Errors when even the
+    widest horizon is memory-infeasible. *)
+
+type model2 = {
+  mu : Q.t;  (** capacity scaling µ > 1 *)
+  sizes : Q.t array;  (** s_j ≤ 1 per job *)
+}
+
+val solve_model2 : Instance.t -> model2 -> (report, string) result
+(** Requires a tree family with uniform leaf level and µ > 1. *)
+
+val sigma_bound : k:int -> Q.t
+(** The paper's bound σ = 2 + H_k for a k-level instance. *)
+
+val harmonic : int -> Q.t
+(** The k-th harmonic number H_k. *)
+
+val rho_of_matrix : Iterative_rounding.problem -> Q.t
+(** Lemma VI.2's ρ computed exactly from a coefficient matrix
+    ([max_q Σ_l a_lq / b_l]); the paper bounds it by 1 + H_k for
+    Model 2.  Diagnostic. *)

@@ -1,0 +1,110 @@
+(** Lemma V.1: pushing fractional weight down to the singletons.
+
+    Given a feasible fractional solution of the (IP-3) relaxation on a
+    singleton-closed laminar family, repeatedly rewrite the weight of
+    every non-singleton set over its (disjoint, covering) maximal proper
+    subsets, splitting proportionally to their slack:
+
+      x'_{βj} = x_{βj} + slack(β) / Σ_i slack(β_i) · x_{ηj}.
+
+    The lemma guarantees the rewritten solution is again feasible; after
+    a top-down sweep only singleton sets carry weight, so the solution
+    reads as a fractional unrelated-machines assignment — the bridge to
+    the Lenstra–Shmoys–Tardos rounding in Theorem V.2. *)
+
+open Hs_model
+open Hs_laminar
+
+module Make (F : Hs_lp.Field.S) = struct
+  (** [slack inst x ~tmax set] = |α|·T − Σ_j Σ_{β⊆α} p_{βj} x_{βj}. *)
+  let slack inst (x : F.t array array) ~tmax set =
+    let lam = Instance.laminar inst in
+    let used = ref F.zero in
+    List.iter
+      (fun beta ->
+        Array.iteri
+          (fun j v ->
+            if F.sign v <> 0 then
+              let p = Ptime.value_exn (Instance.ptime inst ~job:j ~set:beta) in
+              used := F.add !used (F.mul (F.of_int p) v))
+          x.(beta))
+      (Laminar.descendants lam set);
+    F.sub (F.of_int (Laminar.card lam set * tmax)) !used
+
+  (** One application of Lemma V.1 to set [eta] (in place). *)
+  let push_one inst (x : F.t array array) ~tmax eta =
+    let lam = Instance.laminar inst in
+    let children = Laminar.children lam eta in
+    let has_mass = Array.exists (fun v -> F.sign v > 0) x.(eta) in
+    if has_mass then begin
+      (* In a singleton-closed family the maximal proper subsets are
+         pairwise disjoint and cover eta. *)
+      let covered = List.fold_left (fun acc c -> acc + Laminar.card lam c) 0 children in
+      if covered <> Laminar.card lam eta then
+        invalid_arg "Pushdown: children do not cover the set (family not closed)";
+      let slacks = List.map (fun c -> (c, slack inst x ~tmax c)) children in
+      let denom = List.fold_left (fun acc (_, s) -> F.add acc s) F.zero slacks in
+      Array.iteri
+        (fun j v ->
+          if F.sign v > 0 then begin
+            if F.sign denom > 0 then
+              List.iter
+                (fun (c, s) ->
+                  x.(c).(j) <- F.add x.(c).(j) (F.div (F.mul s v) denom))
+                slacks
+            else begin
+              (* Zero total slack forces p_{ηj}·x_{ηj} = 0 (inequality (5));
+                 the weight is volume-free and may go to any child. *)
+              match children with
+              | c :: _ -> x.(c).(j) <- F.add x.(c).(j) v
+              | [] -> invalid_arg "Pushdown: non-singleton set without children"
+            end;
+            x.(eta).(j) <- F.zero
+          end)
+        x.(eta)
+    end
+
+  (** Full top-down sweep; the result has positive weight only on
+      singleton sets.  The input array is not modified. *)
+  let push_down inst ~tmax (x : F.t array array) =
+    let lam = Instance.laminar inst in
+    let x = Array.map Array.copy x in
+    List.iter
+      (fun set -> if not (Laminar.is_singleton lam set) then push_one inst x ~tmax set)
+      (Laminar.top_down lam);
+    x
+
+  (** Test hook: weight is confined to singletons. *)
+  let singletons_only inst (x : F.t array array) =
+    let lam = Instance.laminar inst in
+    let ok = ref true in
+    Array.iteri
+      (fun s row ->
+        if not (Laminar.is_singleton lam s) then
+          Array.iter (fun v -> if F.sign v <> 0 then ok := false) row)
+      x;
+    !ok
+
+  (** Test hook: the (IP-3) relaxation constraints hold for [x]. *)
+  let feasible inst ~tmax (x : F.t array array) =
+    let lam = Instance.laminar inst in
+    let n = Instance.njobs inst in
+    let ok = ref true in
+    (* (2a): unit mass per job; weight only on R pairs; non-negativity. *)
+    for j = 0 to n - 1 do
+      let mass = ref F.zero in
+      for s = 0 to Laminar.size lam - 1 do
+        let v = x.(s).(j) in
+        if F.sign v < 0 then ok := false;
+        if F.sign v > 0 && not (Ptime.fits (Instance.ptime inst ~job:j ~set:s) ~tmax) then
+          ok := false;
+        mass := F.add !mass v
+      done;
+      if F.sign (F.sub !mass F.one) <> 0 then ok := false
+    done;
+    (* (3a): subtree capacity. *)
+    List.iter
+      (fun set -> if F.sign (slack inst x ~tmax set) < 0 then ok := false)
+      (Laminar.bottom_up lam);
+    !ok
+end

@@ -1,0 +1,29 @@
+(** Lemma V.1: pushing fractional weight down to the singletons.
+
+    Given a feasible fractional solution of the (IP-3) relaxation on a
+    {e singleton-closed} family, every non-singleton set's weight is
+    redistributed over its (disjoint, covering) maximal proper subsets
+    proportionally to their slack; a top-down sweep leaves weight only on
+    singletons while preserving feasibility.  This is the feasibility
+    bridge from the hierarchical LP to the unrelated-machines LP used by
+    Theorem V.2.  (The transformed solution is {e not} generally a
+    vertex — the pipeline re-solves before rounding.) *)
+
+open Hs_model
+
+module Make (F : Hs_lp.Field.S) : sig
+  val slack : Instance.t -> F.t array array -> tmax:int -> int -> F.t
+  (** [slack inst x ~tmax set] = |α|·T − Σ_j Σ_{β⊆α} p_{βj} x_{βj}. *)
+
+  val push_one : Instance.t -> F.t array array -> tmax:int -> int -> unit
+  (** One application of the lemma to a non-singleton set, in place. *)
+
+  val push_down : Instance.t -> tmax:int -> F.t array array -> F.t array array
+  (** Full top-down sweep on a copy of the input. *)
+
+  val singletons_only : Instance.t -> F.t array array -> bool
+  (** Test hook: all weight sits on singleton sets. *)
+
+  val feasible : Instance.t -> tmax:int -> F.t array array -> bool
+  (** Test hook: the (IP-3) relaxation constraints hold. *)
+end

@@ -1,0 +1,98 @@
+(** Algorithm 1: the scheduler for semi-partitioned assignments (§III).
+
+    Given a feasible solution [(x, T)] of (IP-1) — here an integral
+    {!Hs_model.Assignment.t} over the two-level family [{M} ∪ singletons]
+    — it wraps the global volume around the machines, then packs each
+    machine's local jobs into its remaining free time.  Theorem III.1:
+    the result is a valid schedule in [[0, T]]. *)
+
+open Hs_model
+open Hs_laminar
+
+(* Per-machine choice order of line 4 ("an empty machine"): ascending. *)
+
+(** Returns the schedule together with the tape-order migration and
+    preemption counts that Proposition III.2 bounds by [m-1] and
+    [2m-2]. *)
+let schedule_stats inst assignment ~tmax =
+  let lam = Instance.laminar inst in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if not (Laminar.is_semi_partitioned lam) then
+    err "semi_partitioned: family is not {M} + singletons"
+  else if not (Assignment.well_formed inst assignment) then
+    err "semi_partitioned: ill-formed assignment"
+  else if Laminar.m lam = 1 then
+    (* Degenerate single-machine case: global = local; the general
+       hierarchical scheduler handles it directly (one machine cannot
+       migrate or wrap, so the stats are zero). *)
+    Result.map (fun s -> (s, Tape.no_stats)) (Hierarchical.schedule inst assignment ~tmax)
+  else begin
+    let m = Laminar.m lam in
+    let full = Option.get (Laminar.full_set lam) in
+    let singleton i = Option.get (Laminar.singleton lam i) in
+    let p j s = Ptime.value_exn (Instance.ptime inst ~job:j ~set:s) in
+    let n = Instance.njobs inst in
+    let global_jobs =
+      List.init n (fun j -> j) |> List.filter (fun j -> assignment.(j) = full)
+    in
+    let local_jobs i =
+      List.init n (fun j -> j) |> List.filter (fun j -> assignment.(j) = singleton i)
+    in
+    let local_load = Array.init m (fun i -> List.fold_left (fun a j -> a + p j (singleton i)) 0 (local_jobs i)) in
+    let oversized =
+      List.exists (fun j -> p j assignment.(j) > tmax) (List.init n (fun j -> j))
+    in
+    if oversized then err "semi_partitioned: some job exceeds the horizon (1d)"
+    else if Array.exists (fun l -> l > tmax) local_load then
+      err "semi_partitioned: some machine's local load exceeds T (1c)"
+    else begin
+      (* Lines 1–8: carve the global volume into per-machine blocks. *)
+      let v = ref (List.fold_left (fun a j -> a + p j full) 0 global_jobs) in
+      let t = ref 0 in
+      let blocks = ref [] in
+      for i = 0 to m - 1 do
+        if !v > 0 then begin
+          let delta = Stdlib.min !v (tmax - local_load.(i)) in
+          if delta > 0 then begin
+            blocks := { Tape.machine = i; start = !t; len = delta } :: !blocks;
+            t := (!t + delta) mod tmax;
+            v := !v - delta
+          end
+        end
+      done;
+      if !v > 0 then err "semi_partitioned: global volume exceeds capacity (1b)"
+      else begin
+        let blocks = List.rev !blocks in
+        let global_laid =
+          Tape.lay ~horizon:tmax ~blocks
+            ~jobs:(List.map (fun j -> (j, p j full)) global_jobs)
+        in
+        (* Line 9–10: local jobs fill each machine's free time. *)
+        let block_of i = List.find_opt (fun (b : Tape.block) -> b.machine = i) blocks in
+        let local_laid =
+          List.init m (fun i ->
+              let free =
+                match block_of i with
+                | None -> [ { Tape.machine = i; start = 0; len = tmax } ]
+                | Some b -> Tape.complement ~horizon:tmax ~machine:i ~start:b.start ~len:b.len
+              in
+              Tape.lay ~horizon:tmax ~blocks:free
+                ~jobs:(List.map (fun j -> (j, p j (singleton i))) (local_jobs i)))
+        in
+        let segments =
+          global_laid.Tape.segments
+          @ List.concat_map (fun (l : Tape.laid) -> l.Tape.segments) local_laid
+        in
+        let stats =
+          List.fold_left
+            (fun acc (l : Tape.laid) -> Tape.merge_stats acc l.Tape.stats)
+            global_laid.Tape.stats local_laid
+        in
+        Ok (Schedule.coalesce { Schedule.horizon = tmax; segments }, stats)
+      end
+    end
+  end
+
+(** Algorithm 1 proper; see {!schedule_stats} for the event counts. *)
+let schedule inst assignment ~tmax =
+  Result.map fst (schedule_stats inst assignment ~tmax)

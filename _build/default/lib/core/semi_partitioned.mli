@@ -1,0 +1,19 @@
+(** Algorithm 1: the scheduler for semi-partitioned assignments (§III).
+
+    Given an integral solution of (IP-1) — an assignment over the
+    two-level family [{M} ∪ singletons] feasible at horizon [tmax] — it
+    wraps the global volume around the machines and packs each machine's
+    local jobs into its remaining free time.  Theorem III.1: the result
+    is a valid schedule in [[0, tmax]].  Proposition III.2 bounds the
+    tape-order events: migrations ≤ m-1, migrations+preemptions ≤ 2m-2. *)
+
+open Hs_model
+
+val schedule_stats :
+  Instance.t -> Assignment.t -> tmax:int -> (Schedule.t * Tape.stats, string) result
+(** The schedule together with the Proposition III.2 event counts.
+    Fails when the family is not semi-partitioned, the assignment is
+    ill-formed, or the horizon violates (1b)–(1d). *)
+
+val schedule : Instance.t -> Assignment.t -> tmax:int -> (Schedule.t, string) result
+(** {!schedule_stats} without the counts. *)

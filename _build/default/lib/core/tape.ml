@@ -1,0 +1,104 @@
+(** Wrap-around "tape" used by Algorithms 1 and 3.
+
+    Both schedulers place a bag of jobs on a sequence of machine blocks
+    that are contiguous in wall-clock time modulo the horizon [T]: block
+    [k+1] starts exactly where block [k] ends (mod T).  Laying the jobs
+    consecutively along that tape therefore maps tape position [τ] to
+    wall-clock instant [(τ0 + τ) mod T]; a job of length at most [T]
+    occupies an injective wall-clock image, which is exactly McNaughton's
+    wrap-around argument and the reason no job ever runs in parallel with
+    itself.
+
+    The layer also counts the Proposition III.2 events in {e tape order},
+    which is the accounting under which the paper's bounds hold: crossing
+    a block boundary onto another machine is a {e migration}; the cut a
+    block's wrap makes at the horizon is a {e preemption} (the job resumes
+    on the same machine at time 0).  Wall-clock (chronological) counting
+    would label a wrapped job's resumption as a migration back to the
+    machine, which is why {!Hs_model.Metrics.of_schedule} can report a
+    different migration/preemption split (the total number of stops is
+    identical). *)
+
+type block = { machine : int; start : int; len : int }
+(** A block of [len ≤ T] units on [machine] beginning at wall-clock
+    [start ∈ [0,T)]; it wraps around the horizon when [start+len > T]. *)
+
+type stats = {
+  migrations : int;  (** tape-order block-boundary crossings *)
+  preemptions : int;  (** tape-order wrap cuts and same-machine resumptions *)
+}
+
+let no_stats = { migrations = 0; preemptions = 0 }
+
+let merge_stats a b =
+  { migrations = a.migrations + b.migrations; preemptions = a.preemptions + b.preemptions }
+
+let stops s = s.migrations + s.preemptions
+
+type laid = { segments : Hs_model.Schedule.segment list; stats : stats }
+
+(** [lay ~horizon ~blocks ~jobs] lays [jobs = (job, length) list] in
+    order along the blocks, cutting segments at block boundaries and at
+    the horizon wrap.  Total job length must not exceed total block
+    length. *)
+let lay ~horizon ~blocks ~jobs =
+  let segments = ref [] in
+  let migrations = ref 0 and preemptions = ref 0 in
+  let blocks = ref (List.filter (fun b -> b.len > 0) blocks) in
+  let used_in_block = ref 0 in
+  let place job len =
+    let remaining = ref len in
+    let last_machine = ref None in
+    while !remaining > 0 do
+      match !blocks with
+      | [] -> invalid_arg "Tape.lay: jobs exceed block capacity"
+      | b :: rest ->
+          let avail = b.len - !used_in_block in
+          if avail = 0 then begin
+            blocks := rest;
+            used_in_block := 0
+          end
+          else begin
+            let take = Stdlib.min avail !remaining in
+            let pos = (b.start + !used_in_block) mod horizon in
+            let pieces =
+              Hs_model.Schedule.wrap_segments ~horizon ~job ~machine:b.machine ~pos
+                ~len:take
+            in
+            (* A two-piece result is a wrap cut inside this block — except
+               when the chunk spans the whole horizon, where the two
+               pieces are wall-clock adjacent and execution is seamless. *)
+            if List.length pieces = 2 && take < horizon then incr preemptions;
+            (match !last_machine with
+            | Some m when m <> b.machine -> incr migrations
+            | Some _ -> incr preemptions (* same machine, new block *)
+            | None -> ());
+            last_machine := Some b.machine;
+            segments := pieces @ !segments;
+            used_in_block := !used_in_block + take;
+            remaining := !remaining - take
+          end
+    done
+  in
+  List.iter (fun (job, len) -> place job len) jobs;
+  {
+    segments = !segments;
+    stats = { migrations = !migrations; preemptions = !preemptions };
+  }
+
+(** Free wall-clock intervals of a machine whose only occupied part is a
+    single (possibly wrapping) block: the complement of
+    [[start, start+len) mod T] in [[0, T)], as non-wrapping blocks. *)
+let complement ~horizon ~machine ~start ~len =
+  if len = 0 then [ { machine; start = 0; len = horizon } ]
+  else if len >= horizon then []
+  else if start + len <= horizon then
+    List.filter
+      (fun b -> b.len > 0)
+      [
+        { machine; start = 0; len = start };
+        { machine; start = start + len; len = horizon - start - len };
+      ]
+  else
+    (* The block wraps: free time is the middle interval. *)
+    [ { machine; start = (start + len) mod horizon; len = horizon - len } ]

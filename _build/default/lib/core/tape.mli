@@ -1,0 +1,39 @@
+(** Wrap-around "tape" shared by Algorithms 1 and 3.
+
+    Both schedulers place a bag of jobs on a sequence of machine blocks
+    that are contiguous in wall-clock time modulo the horizon [T]; laying
+    the jobs consecutively along that tape maps tape position [τ] to
+    wall-clock instant [(τ₀ + τ) mod T], so a job of length at most [T]
+    never overlaps itself — McNaughton's wrap-around argument.
+
+    The layer also counts Proposition III.2's events in {e tape order}
+    (the accounting under which the paper's bounds hold): crossing a
+    block boundary onto another machine is a migration; a genuine cut at
+    the horizon inside a block is a preemption. *)
+
+type block = { machine : int; start : int; len : int }
+(** [len ≤ T] units on [machine] from wall-clock [start ∈ [0,T)];
+    wraps around the horizon when [start + len > T]. *)
+
+type stats = {
+  migrations : int;  (** tape-order block-boundary crossings *)
+  preemptions : int;  (** wrap cuts and same-machine resumptions *)
+}
+
+val no_stats : stats
+val merge_stats : stats -> stats -> stats
+val stops : stats -> int
+
+type laid = { segments : Hs_model.Schedule.segment list; stats : stats }
+
+val lay :
+  horizon:int -> blocks:block list -> jobs:(int * int) list -> laid
+(** [lay ~horizon ~blocks ~jobs] lays [(job, length)] pairs in order
+    along the blocks, cutting at block boundaries and at the horizon.
+    Raises [Invalid_argument] if the jobs exceed the block capacity. *)
+
+val complement :
+  horizon:int -> machine:int -> start:int -> len:int -> block list
+(** Free intervals of a machine whose only occupied part is one
+    (possibly wrapping) block: the complement of
+    [[start, start+len) mod T] in [[0, T)], as non-wrapping blocks. *)

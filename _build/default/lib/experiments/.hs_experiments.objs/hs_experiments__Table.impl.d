@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Hs_numeric List Printf Stdlib String

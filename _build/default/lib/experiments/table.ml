@@ -1,0 +1,42 @@
+(** Minimal fixed-width table/series printer for the experiment harness.
+
+    Output is plain text so that `dune exec bench/main.exe | tee` produces
+    the artefacts recorded in EXPERIMENTS.md verbatim. *)
+
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let cell_int = string_of_int
+let cell_float ?(digits = 3) v = Printf.sprintf "%.*f" digits v
+let cell_q v = Hs_numeric.Q.to_string v
+
+let cell_q_float ?(digits = 3) v = Printf.sprintf "%.*f" digits (Hs_numeric.Q.to_float v)
+
+let print t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some s -> Stdlib.max acc (String.length s)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c s ->
+           let w = List.nth widths c in
+           s ^ String.make (w - String.length s) ' ')
+         (row @ List.init (ncols - List.length row) (fun _ -> "")))
+  in
+  Printf.printf "\n== %s ==\n" t.title;
+  print_endline (line t.header);
+  print_endline (String.make (String.length (line t.header)) '-');
+  List.iter (fun r -> print_endline (line r)) rows;
+  print_newline ()

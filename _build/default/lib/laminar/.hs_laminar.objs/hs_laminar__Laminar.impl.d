@@ -1,0 +1,1 @@
+lib/laminar/laminar.ml: Array Buffer Format Hashtbl List Option Printf Stdlib String

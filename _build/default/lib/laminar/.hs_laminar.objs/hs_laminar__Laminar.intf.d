@@ -1,0 +1,1 @@
+lib/laminar/laminar.mli: Format

@@ -1,0 +1,1 @@
+lib/laminar/topology.ml: Laminar List

@@ -1,0 +1,297 @@
+(* Containment forest of a laminar family.
+
+   Construction sorts the sets by decreasing cardinality and attaches each
+   set to the smallest already-placed superset; laminarity makes that
+   parent unique.  All queries are then forest walks. *)
+
+type node = {
+  members : int array; (* sorted *)
+  mutable parent : int option;
+  mutable children : int list; (* in id order after construction *)
+  mutable level : int;
+  mutable height : int;
+}
+
+type t = {
+  m : int;
+  nodes : node array;
+  roots : int list;
+  singleton_of : int option array; (* machine -> id of {machine} *)
+  by_members : (int list, int) Hashtbl.t;
+  bottom_up_order : int list;
+}
+
+let m t = t.m
+let size t = Array.length t.nodes
+let members t id = t.nodes.(id).members
+let card t id = Array.length t.nodes.(id).members
+
+let mem t id machine =
+  let a = t.nodes.(id).members in
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = machine then true
+      else if a.(mid) < machine then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length a)
+
+let parent t id = t.nodes.(id).parent
+let children t id = t.nodes.(id).children
+let roots t = t.roots
+let level t id = t.nodes.(id).level
+let height t id = t.nodes.(id).height
+let is_singleton t id = Array.length t.nodes.(id).members = 1
+let singleton t machine = t.singleton_of.(machine)
+let find t machines = Hashtbl.find_opt t.by_members (List.sort_uniq compare machines)
+let sets t = Array.to_list (Array.map (fun n -> Array.to_list n.members) t.nodes)
+
+let nlevels t =
+  Array.fold_left (fun acc n -> Stdlib.max acc n.level) 0 t.nodes
+
+(* Sorted-array subset and disjointness tests. *)
+let subset_arr a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la then true
+    else if j >= lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+let disjoint_arr a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i >= la || j >= lb then true
+    else if a.(i) = b.(j) then false
+    else if a.(i) < b.(j) then go (i + 1) j
+    else go i (j + 1)
+  in
+  go 0 0
+
+let subset t a b =
+  let rec climb id = id = b || match t.nodes.(id).parent with None -> false | Some p -> climb p in
+  climb a
+
+let descendants t id =
+  let rec go acc id = List.fold_left go (id :: acc) t.nodes.(id).children in
+  List.rev (go [] id)
+
+let ancestors t id =
+  let rec go acc id =
+    match t.nodes.(id).parent with None -> List.rev (id :: acc) | Some p -> go (id :: acc) p
+  in
+  go [] id
+
+let bottom_up t = t.bottom_up_order
+let top_down t = List.rev t.bottom_up_order
+
+let minimal_containing t machine = t.singleton_of.(machine) |> function
+  | Some id -> Some id
+  | None ->
+      (* Smallest set whose members include the machine. *)
+      let best = ref None in
+      Array.iteri
+        (fun id n ->
+          if mem t id machine then
+            match !best with
+            | None -> best := Some id
+            | Some b -> if Array.length n.members < Array.length t.nodes.(b).members then best := Some id)
+        t.nodes;
+      !best
+
+let minimal_superset t machines =
+  match machines with
+  | [] -> None
+  | first :: rest -> (
+      match minimal_containing t first with
+      | None -> None
+      | Some id ->
+          let rec climb id =
+            if List.for_all (fun mch -> mem t id mch) rest then Some id
+            else match t.nodes.(id).parent with None -> None | Some p -> climb p
+          in
+          climb id)
+
+let lca_level t i i' =
+  Option.map (fun id -> t.nodes.(id).height) (minimal_superset t [ i; i' ])
+
+let is_singletons_only t =
+  size t = t.m && Array.for_all (fun n -> Array.length n.members = 1) t.nodes
+
+let full_set t =
+  let rec go id = if id >= size t then None else if card t id = t.m then Some id else go (id + 1) in
+  go 0
+
+let has_full_set t = full_set t <> None
+
+let is_semi_partitioned t =
+  (* For m = 1 the full set IS the singleton, so the family has one set. *)
+  size t = (if t.m = 1 then 1 else t.m + 1)
+  && has_full_set t
+  && Array.for_all (fun s -> s <> None) t.singleton_of
+
+let is_tree t = match t.roots with [ _ ] -> true | _ -> false
+
+let uniform_leaf_level t =
+  let leaf_levels =
+    Array.to_list t.nodes
+    |> List.mapi (fun id n -> (id, n))
+    |> List.filter (fun (_, n) -> n.children = [])
+    |> List.map (fun (_, n) -> n.level)
+  in
+  match leaf_levels with [] -> true | l :: rest -> List.for_all (( = ) l) rest
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>laminar family over %d machines:" t.m;
+  Array.iteri
+    (fun id n ->
+      Format.fprintf fmt "@,  #%d {%s} level=%d height=%d%s" id
+        (String.concat "," (List.map string_of_int (Array.to_list n.members)))
+        n.level n.height
+        (match n.parent with None -> " (root)" | Some p -> Printf.sprintf " parent=#%d" p))
+    t.nodes;
+  Format.fprintf fmt "@]"
+
+let of_sets ~m sets =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if m <= 0 then err "laminar: need at least one machine"
+  else begin
+    let canon = List.map (fun s -> List.sort_uniq compare s) sets in
+    let arrays = List.map Array.of_list canon in
+    let exception Bad of string in
+    try
+      List.iteri
+        (fun i s ->
+          match s with
+          | [] -> raise (Bad (Printf.sprintf "laminar: set %d is empty" i))
+          | _ ->
+              List.iter
+                (fun x ->
+                  if x < 0 || x >= m then
+                    raise (Bad (Printf.sprintf "laminar: machine %d out of range in set %d" x i)))
+                s)
+        canon;
+      let tbl = Hashtbl.create 16 in
+      List.iteri
+        (fun i s ->
+          if Hashtbl.mem tbl s then raise (Bad (Printf.sprintf "laminar: duplicate set %d" i));
+          Hashtbl.add tbl s i)
+        canon;
+      (* Pairwise laminarity. *)
+      let arr = Array.of_list arrays in
+      let k = Array.length arr in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          if not (subset_arr a b || subset_arr b a || disjoint_arr a b) then
+            raise
+              (Bad (Printf.sprintf "laminar: sets %d and %d properly overlap" i j))
+        done
+      done;
+      (* Attach each set (in decreasing size) to its minimal placed superset. *)
+      let order = List.init k (fun i -> i) in
+      let order =
+        List.sort (fun a b -> compare (Array.length arr.(b)) (Array.length arr.(a))) order
+      in
+      let nodes =
+        Array.map (fun mbrs -> { members = mbrs; parent = None; children = []; level = 0; height = 0 }) arr
+      in
+      let placed = ref [] in
+      List.iter
+        (fun id ->
+          let best = ref None in
+          List.iter
+            (fun pid ->
+              if subset_arr arr.(id) arr.(pid) then
+                match !best with
+                | None -> best := Some pid
+                | Some b ->
+                    if Array.length arr.(pid) < Array.length arr.(b) then best := Some pid)
+            !placed;
+          (match !best with
+          | Some p ->
+              nodes.(id).parent <- Some p;
+              nodes.(p).children <- id :: nodes.(p).children
+          | None -> ());
+          placed := id :: !placed)
+        order;
+      Array.iter (fun n -> n.children <- List.sort compare n.children) nodes;
+      let roots =
+        List.filter (fun id -> nodes.(id).parent = None) (List.init k (fun i -> i))
+      in
+      (* Levels top-down, heights bottom-up. *)
+      let rec set_levels lvl id =
+        nodes.(id).level <- lvl;
+        List.iter (set_levels (lvl + 1)) nodes.(id).children
+      in
+      List.iter (set_levels 1) roots;
+      let rec set_heights id =
+        let h =
+          List.fold_left (fun acc c -> Stdlib.max acc (set_heights c + 1)) 0 nodes.(id).children
+        in
+        nodes.(id).height <- h;
+        h
+      in
+      List.iter (fun r -> ignore (set_heights r)) roots;
+      let singleton_of = Array.make m None in
+      Array.iteri
+        (fun id n -> if Array.length n.members = 1 then singleton_of.(n.members.(0)) <- Some id)
+        nodes;
+      (* Bottom-up traversal order: post-order over the forest. *)
+      let bottom_up_order =
+        let acc = ref [] in
+        let rec post id =
+          List.iter post nodes.(id).children;
+          acc := id :: !acc
+        in
+        List.iter post roots;
+        List.rev !acc
+      in
+      Ok { m; nodes; roots; singleton_of; by_members = tbl; bottom_up_order }
+    with Bad msg -> Error msg
+  end
+
+let of_sets_exn ~m sets =
+  match of_sets ~m sets with Ok t -> t | Error e -> invalid_arg e
+
+let add_singletons t =
+  let existing = sets t in
+  let missing =
+    List.init t.m (fun i -> i)
+    |> List.filter (fun i -> t.singleton_of.(i) = None)
+    |> List.map (fun i -> [ i ])
+  in
+  let t' = of_sets_exn ~m:t.m (existing @ missing) in
+  let origin id' =
+    let mbrs = Array.to_list (members t' id') in
+    match find t mbrs with
+    | Some id -> Some id
+    | None -> (
+        (* A freshly added singleton: minimal original superset. *)
+        match mbrs with [ i ] -> minimal_containing t i | _ -> None)
+  in
+  (t', origin)
+
+let to_dot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph laminar {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun id n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [label=\"{%s}\\nlevel %d, height %d\"];\n" id
+           (String.concat "," (List.map string_of_int (Array.to_list n.members)))
+           n.level n.height))
+    t.nodes;
+  Array.iteri
+    (fun id n ->
+      match n.parent with
+      | Some p -> Buffer.add_string buf (Printf.sprintf "  s%d -> s%d;\n" p id)
+      | None -> ())
+    t.nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

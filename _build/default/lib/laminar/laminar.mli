@@ -1,0 +1,126 @@
+(** Laminar (hierarchical) families of machine sets.
+
+    A family [A ⊆ 2^M] is laminar when any two members are nested or
+    disjoint.  The containment order then forms a forest, which this
+    module materialises: each set knows its parent (minimal proper
+    superset), children, {e level} (the number of family members
+    containing it, itself included — the paper's definition, so roots
+    have level 1) and {e height} (distance to the deepest descendant,
+    leaves have height 0).
+
+    Machine indices range over [0 .. m-1]; set identifiers are dense
+    [0 .. size-1] handles into the family. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_sets ~m sets] validates and indexes a family over machines
+    [0..m-1].  Fails (with a message) when a set is empty, out of range,
+    duplicated, or when two sets properly overlap. *)
+val of_sets : m:int -> int list list -> (t, string) result
+
+(** Like {!of_sets} but raises [Invalid_argument]. *)
+val of_sets_exn : m:int -> int list list -> t
+
+(** [add_singletons t] returns the family extended with every missing
+    singleton [{i}], together with a function mapping new set ids to the
+    id of the {e minimal original superset} ([None] for singletons whose
+    machine appeared in no original set). Existing sets keep no relation
+    to their old ids; use {!find} to translate. *)
+val add_singletons : t -> t * (int -> int option)
+
+(** {1 Basic accessors} *)
+
+val m : t -> int
+(** Number of machines. *)
+
+val size : t -> int
+(** Number of sets in the family. *)
+
+val members : t -> int -> int array
+(** Sorted machine indices of a set. *)
+
+val card : t -> int -> int
+(** Cardinality of a set. *)
+
+val mem : t -> int -> int -> bool
+(** [mem t set machine]. *)
+
+val parent : t -> int -> int option
+val children : t -> int -> int list
+val roots : t -> int list
+
+val level : t -> int -> int
+(** Paper level: number of family members containing the set, inclusive. *)
+
+val height : t -> int -> int
+
+val nlevels : t -> int
+(** Level of the instance = maximum level over the family. *)
+
+val is_singleton : t -> int -> bool
+
+val singleton : t -> int -> int option
+(** [singleton t i] is the id of [{i}] if present. *)
+
+val sets : t -> int list list
+(** The family as machine lists (sorted), in id order. *)
+
+val find : t -> int list -> int option
+(** Exact-membership lookup of a set by its machine list. *)
+
+(** {1 Order and containment} *)
+
+val subset : t -> int -> int -> bool
+(** [subset t a b] iff set [a] ⊆ set [b] (forest reachability). *)
+
+val descendants : t -> int -> int list
+(** All sets β ⊆ α (including α itself); by laminarity these are exactly
+    the forest descendants. *)
+
+val ancestors : t -> int -> int list
+(** All sets β ⊇ α (including α itself), innermost first. *)
+
+val bottom_up : t -> int list
+(** Every set after all its subsets — the order of Algorithm 2. *)
+
+val top_down : t -> int list
+(** Every set before all its subsets — the order of Algorithm 3. *)
+
+val minimal_superset : t -> int list -> int option
+(** Minimal family member containing all the given machines. *)
+
+val minimal_containing : t -> int -> int option
+(** Minimal family member containing a given machine. *)
+
+val lca_level : t -> int -> int -> int option
+(** [lca_level t i i'] is the height of the minimal set containing both
+    machines, used by the migration-latency simulator; [None] when no set
+    contains both. For [i = i'] this is the height of the minimal set
+    containing [i]. *)
+
+(** {1 Shape predicates} *)
+
+val is_singletons_only : t -> bool
+(** Unrelated-machines shape: exactly the m singletons. *)
+
+val has_full_set : t -> bool
+
+val full_set : t -> int option
+(** Id of the set [M] if present. *)
+
+val is_semi_partitioned : t -> bool
+(** [{M}] plus all singletons and nothing else (the §III shape). *)
+
+val is_tree : t -> bool
+(** Single root. *)
+
+val uniform_leaf_level : t -> bool
+(** Every leaf of the forest has the same level (Model 2 assumption). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** GraphViz rendering of the containment forest (one node per set,
+    labelled with its machine list, level and height). *)

@@ -1,0 +1,69 @@
+(** Deterministic builders for the machine-set families used throughout
+    the paper: the four special cases of Section II plus the multi-level
+    SMP-CMP shape from the introduction.  Random families live in
+    [Hs_workloads.Generators]. *)
+
+let range lo hi = List.init (hi - lo) (fun k -> lo + k)
+
+(** Unrelated machines: the m singletons. *)
+let singletons m = Laminar.of_sets_exn ~m (List.map (fun i -> [ i ]) (range 0 m))
+
+(** Identical machines with free migration: the single set [M]. *)
+let global m = Laminar.of_sets_exn ~m [ range 0 m ]
+
+(* All builders deduplicate: for degenerate parameters (m = 1, q = 1, a
+   single cluster) the special sets coincide with [M] or the singletons,
+   and the paper assumes the family members are distinct. *)
+let dedup sets = List.sort_uniq compare (List.map (List.sort compare) sets)
+
+(** Semi-partitioned (§III): [M] plus all singletons. *)
+let semi_partitioned m =
+  Laminar.of_sets_exn ~m
+    (dedup (range 0 m :: List.map (fun i -> [ i ]) (range 0 m)))
+
+(** Clustered (§II): [M], the k clusters of q consecutive machines, and all
+    singletons. Requires [m = clusters * q] with [q = m / clusters]. *)
+let clustered ~m ~clusters =
+  if clusters <= 0 || m mod clusters <> 0 then
+    invalid_arg "Topology.clustered: clusters must divide m";
+  let q = m / clusters in
+  let cluster c = range (c * q) ((c + 1) * q) in
+  Laminar.of_sets_exn ~m
+    (dedup
+       ((range 0 m :: List.map cluster (range 0 clusters))
+       @ List.map (fun i -> [ i ]) (range 0 m)))
+
+(** Balanced multi-level tree described by per-level fanouts, e.g.
+    [balanced [2; 2; 2]] is an 8-machine SMP-CMP cluster: 2 nodes ×
+    2 chips × 2 cores.  The family contains the root [M], every internal
+    group and every singleton. *)
+let balanced fanouts =
+  if fanouts = [] || List.exists (fun f -> f <= 0) fanouts then
+    invalid_arg "Topology.balanced: fanouts must be positive";
+  let m = List.fold_left ( * ) 1 fanouts in
+  let rec groups lo width = function
+    | [] -> []
+    | f :: rest ->
+        let child_width = width / f in
+        let here =
+          List.map (fun c -> range (lo + (c * child_width)) (lo + ((c + 1) * child_width)))
+            (range 0 f)
+        in
+        here
+        @ List.concat_map
+            (fun c -> groups (lo + (c * child_width)) child_width rest)
+            (range 0 f)
+  in
+  let all = range 0 m :: groups 0 m fanouts in
+  (* The innermost fanout layer produces the singletons when the last
+     fanout granularity is 1 machine; otherwise add singletons. *)
+  let with_singletons =
+    let have_singletons = List.exists (fun s -> List.length s = 1) all in
+    if have_singletons then all else all @ List.map (fun i -> [ i ]) (range 0 m)
+  in
+  Laminar.of_sets_exn ~m (dedup with_singletons)
+
+(** The paper's motivating 3-communication-level architecture:
+    inter-node / inter-CMP / intra-CMP. *)
+let smp_cmp ~nodes ~chips_per_node ~cores_per_chip =
+  balanced [ nodes; chips_per_node; cores_per_chip ]

@@ -1,0 +1,57 @@
+(** Linear-program descriptions, polymorphic in the coefficient field.
+
+    A problem has [nvars] decision variables indexed [0 .. nvars-1], all
+    implicitly constrained to be non-negative (which matches every LP in
+    the paper: assignment variables live in [0, 1] with the upper bound
+    implied by the per-job equality constraints).  Constraints carry an
+    optional name used in diagnostics and in the iterative-rounding
+    engine's violation reports. *)
+
+type relation = Le | Ge | Eq
+
+type 'f constr = {
+  cname : string;  (** diagnostic label, e.g. ["cap(alpha=3)"] *)
+  terms : (int * 'f) list;  (** sparse row: (variable, coefficient) *)
+  rel : relation;
+  rhs : 'f;
+}
+
+type 'f t = {
+  nvars : int;
+  constrs : 'f constr list;  (** in declaration order *)
+  objective : (int * 'f) list;  (** sparse cost vector; minimised *)
+}
+
+let make ~nvars ?(objective = []) constrs =
+  if nvars < 0 then invalid_arg "Lp_problem.make: negative nvars";
+  let check_terms terms =
+    List.iter
+      (fun (v, _) ->
+        if v < 0 || v >= nvars then
+          invalid_arg
+            (Printf.sprintf "Lp_problem.make: variable %d out of range" v))
+      terms
+  in
+  List.iter (fun c -> check_terms c.terms) constrs;
+  check_terms objective;
+  { nvars; constrs; objective }
+
+let constr ?(name = "") terms rel rhs = { cname = name; terms; rel; rhs }
+
+let nconstrs p = List.length p.constrs
+
+let pp_relation fmt = function
+  | Le -> Format.pp_print_string fmt "<="
+  | Ge -> Format.pp_print_string fmt ">="
+  | Eq -> Format.pp_print_string fmt "="
+
+let pp pp_f fmt p =
+  Format.fprintf fmt "@[<v>min";
+  List.iter (fun (v, c) -> Format.fprintf fmt " + %a x%d" pp_f c v) p.objective;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "@,%s:" c.cname;
+      List.iter (fun (v, k) -> Format.fprintf fmt " + %a x%d" pp_f k v) c.terms;
+      Format.fprintf fmt " %a %a" pp_relation c.rel pp_f c.rhs)
+    p.constrs;
+  Format.fprintf fmt "@]"

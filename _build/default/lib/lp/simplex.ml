@@ -1,0 +1,454 @@
+(* Dense two-phase tableau simplex.
+
+   Conventions:
+   - columns [0 .. nvars-1]            original variables
+   - columns [nvars .. art_start-1]    slack / surplus variables
+   - columns [art_start .. ncols-1]    artificial variables (phase 1 only)
+   - each row array has length ncols+1, the last entry being the rhs
+   - the cost row has the same length; its last entry holds the negated
+     current objective value and is updated by the same pivot operations.
+
+   Pricing: Dantzig's rule (most negative reduced cost) by default, with
+   a permanent switch to Bland's rule after a run of degenerate pivots;
+   the leaving row always follows Bland's tie-breaking.  Since Bland's
+   rule terminates from any basis, the combination terminates even on
+   degenerate tableaus while keeping Dantzig's practical pivot counts. *)
+
+module Make (F : Field.S) = struct
+  type solution = { x : F.t array; objective : F.t; basic : bool array }
+  type result = Optimal of solution | Infeasible | Unbounded
+
+  type tableau = {
+    mutable rows : F.t array array;
+    mutable basis : int array;
+    ncols : int;
+    nvars : int;
+    art_start : int;
+    row_info : row_info array;
+        (* per original constraint, in declaration order: how it was
+           normalised and which auxiliary columns it received — used to
+           recover dual (Farkas) values from the phase-1 cost row *)
+  }
+
+  and row_info = {
+    flipped : bool;  (* the row was negated to make its rhs non-negative *)
+    surplus : int option;  (* column of a -1 slack (>= rows) *)
+    slack : int option;  (* column of a +1 slack (<= rows) *)
+    art : int option;  (* column of the artificial, if any *)
+  }
+
+  let pivot t cost ~row ~col =
+    let prow = t.rows.(row) in
+    let piv = prow.(col) in
+    for j = 0 to t.ncols do
+      prow.(j) <- F.div prow.(j) piv
+    done;
+    let eliminate r =
+      if r != prow then begin
+        let f = r.(col) in
+        if F.sign f <> 0 then
+          for j = 0 to t.ncols do
+            r.(j) <- F.sub r.(j) (F.mul f prow.(j))
+          done
+      end
+    in
+    Array.iter eliminate t.rows;
+    eliminate cost;
+    t.basis.(row) <- col
+
+  type pricing = Bland | Dantzig
+
+  (* Entering rules over the allowed column range: Bland picks the
+     smallest eligible index (anti-cycling), Dantzig the most negative
+     reduced cost (fewer pivots in practice). *)
+  let entering pricing cost ~max_col =
+    match pricing with
+    | Bland ->
+        let rec go j =
+          if j >= max_col then None
+          else if F.sign cost.(j) < 0 then Some j
+          else go (j + 1)
+        in
+        go 0
+    | Dantzig ->
+        let best = ref None in
+        for j = 0 to max_col - 1 do
+          if F.sign cost.(j) < 0 then
+            match !best with
+            | None -> best := Some j
+            | Some b -> if F.compare cost.(j) cost.(b) < 0 then best := Some j
+        done;
+        !best
+
+  (* Bland leaving rule: minimum ratio, ties by smallest basic column. *)
+  let leaving t ~col =
+    let best = ref None in
+    Array.iteri
+      (fun r row ->
+        if F.sign row.(col) > 0 then begin
+          let ratio = F.div row.(t.ncols) row.(col) in
+          match !best with
+          | None -> best := Some (r, ratio)
+          | Some (br, bratio) ->
+              let c = F.compare ratio bratio in
+              if c < 0 || (c = 0 && t.basis.(r) < t.basis.(br)) then
+                best := Some (r, ratio)
+        end)
+      t.rows;
+    Option.map fst !best
+
+  (* Dantzig pricing does not terminate on its own under degeneracy; we
+     count consecutive zero-progress (degenerate) pivots and fall back to
+     Bland's rule permanently once they exceed a threshold, which
+     guarantees termination from any basis. *)
+  let optimize ?(pricing = Dantzig) t cost ~max_col =
+    let degenerate_limit = (2 * t.ncols) + 16 in
+    let rec go pricing degenerate =
+      match entering pricing cost ~max_col with
+      | None -> `Optimal
+      | Some col -> (
+          match leaving t ~col with
+          | None -> `Unbounded
+          | Some row ->
+              let zero_progress = F.sign t.rows.(row).(t.ncols) = 0 in
+              pivot t cost ~row ~col;
+              if pricing = Bland then go Bland 0
+              else if zero_progress then
+                if degenerate + 1 > degenerate_limit then go Bland 0
+                else go pricing (degenerate + 1)
+              else go pricing 0)
+    in
+    go pricing 0
+
+  (* Densify a sparse term list, summing duplicate variable entries. *)
+  let densify nvars terms =
+    let a = Array.make nvars F.zero in
+    List.iter (fun (v, c) -> a.(v) <- F.add a.(v) c) terms;
+    a
+
+  let build (p : F.t Lp_problem.t) =
+    let open Lp_problem in
+    let nvars = p.nvars in
+    let raw =
+      List.map
+        (fun c ->
+          let coeffs = densify nvars c.terms in
+          (* Ensure a non-negative rhs, flipping the relation as needed. *)
+          if F.sign c.rhs < 0 then begin
+            Array.iteri (fun i x -> coeffs.(i) <- F.neg x) coeffs;
+            let rel = match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+            (coeffs, rel, F.neg c.rhs, true)
+          end
+          else (coeffs, c.rel, c.rhs, false))
+        p.constrs
+    in
+    let nrows = List.length raw in
+    let nslack =
+      List.fold_left
+        (fun acc (_, rel, _, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+        0 raw
+    in
+    let nart =
+      List.fold_left
+        (fun acc (_, rel, _, _) -> match rel with Ge | Eq -> acc + 1 | Le -> acc)
+        0 raw
+    in
+    let art_start = nvars + nslack in
+    let ncols = art_start + nart in
+    let rows = Array.init nrows (fun _ -> Array.make (ncols + 1) F.zero) in
+    let basis = Array.make nrows (-1) in
+    let row_info =
+      Array.make nrows { flipped = false; surplus = None; slack = None; art = None }
+    in
+    let next_slack = ref nvars and next_art = ref art_start in
+    List.iteri
+      (fun r (coeffs, rel, rhs, flipped) ->
+        let row = rows.(r) in
+        Array.blit coeffs 0 row 0 nvars;
+        row.(ncols) <- rhs;
+        (match rel with
+        | Lp_problem.Le ->
+            row.(!next_slack) <- F.one;
+            basis.(r) <- !next_slack;
+            row_info.(r) <- { flipped; surplus = None; slack = Some !next_slack; art = None };
+            incr next_slack
+        | Lp_problem.Ge ->
+            row.(!next_slack) <- F.neg F.one;
+            row_info.(r) <- { flipped; surplus = Some !next_slack; slack = None; art = None };
+            incr next_slack;
+            row.(!next_art) <- F.one;
+            basis.(r) <- !next_art;
+            row_info.(r) <- { row_info.(r) with art = Some !next_art };
+            incr next_art
+        | Lp_problem.Eq ->
+            row.(!next_art) <- F.one;
+            basis.(r) <- !next_art;
+            row_info.(r) <- { flipped; surplus = None; slack = None; art = Some !next_art };
+            incr next_art))
+      raw;
+    { rows; basis; ncols; nvars; art_start; row_info }
+
+  (* Phase 1: minimise the sum of artificial variables. *)
+  let phase1 ?pricing t =
+    let cost = Array.make (t.ncols + 1) F.zero in
+    for j = t.art_start to t.ncols - 1 do
+      cost.(j) <- F.one
+    done;
+    (* Canonicalise: basic artificial columns must have zero reduced cost. *)
+    Array.iteri
+      (fun r b ->
+        if b >= t.art_start then
+          let row = t.rows.(r) in
+          for j = 0 to t.ncols do
+            cost.(j) <- F.sub cost.(j) row.(j)
+          done)
+      t.basis;
+    match optimize ?pricing t cost ~max_col:t.ncols with
+    | `Unbounded ->
+        (* The phase-1 objective is bounded below by zero. *)
+        assert false
+    | `Optimal ->
+        (* Objective value is -cost.(ncols). *)
+        (F.sign (F.neg cost.(t.ncols)) = 0, cost)
+
+  (* Recover the phase-1 dual values (one per original constraint) from
+     the final reduced-cost row: for slack/surplus columns the original
+     cost is 0, so redcost = ∓y; for artificial columns it is 1, so
+     redcost = 1 - y.  Flipped rows get their dual negated back.  When
+     the phase-1 optimum is positive, this vector is a Farkas witness of
+     primal infeasibility (weak duality gives yᵀb > 0). *)
+  let farkas_of_phase1 t cost =
+    Array.map
+      (fun info ->
+        let y =
+          match (info.surplus, info.slack, info.art) with
+          | Some col, _, _ -> cost.(col)
+          | _, Some col, _ -> F.neg cost.(col)
+          | _, _, Some col -> F.sub F.one cost.(col)
+          | None, None, None -> assert false
+        in
+        if info.flipped then F.neg y else y)
+      t.row_info
+
+  (* Remove artificial variables from the basis; delete redundant rows. *)
+  let drive_out_artificials t cost =
+    let keep = Array.make (Array.length t.rows) true in
+    Array.iteri
+      (fun r b ->
+        if b >= t.art_start then begin
+          let row = t.rows.(r) in
+          let rec find j =
+            if j >= t.art_start then None
+            else if F.sign row.(j) <> 0 then Some j
+            else find (j + 1)
+          in
+          match find 0 with
+          | Some col -> pivot t cost ~row:r ~col
+          | None -> keep.(r) <- false (* redundant constraint *)
+        end)
+      t.basis;
+    if Array.exists not keep then begin
+      let rows = ref [] and basis = ref [] in
+      Array.iteri
+        (fun r row ->
+          if keep.(r) then begin
+            rows := row :: !rows;
+            basis := t.basis.(r) :: !basis
+          end)
+        t.rows;
+      t.rows <- Array.of_list (List.rev !rows);
+      t.basis <- Array.of_list (List.rev !basis)
+    end
+
+  let extract t ~objective =
+    let x = Array.make t.nvars F.zero in
+    let basic = Array.make t.nvars false in
+    Array.iteri
+      (fun r b ->
+        if b < t.nvars then begin
+          x.(b) <- t.rows.(r).(t.ncols);
+          basic.(b) <- true
+        end)
+      t.basis;
+    { x; objective; basic }
+
+  let solve ?pricing ?(maximize = false) (p : F.t Lp_problem.t) =
+    let p =
+      if maximize then
+        { p with Lp_problem.objective = List.map (fun (v, c) -> (v, F.neg c)) p.Lp_problem.objective }
+      else p
+    in
+    let t = build p in
+    if not (fst (phase1 ?pricing t)) then Infeasible
+    else begin
+      let cost = Array.make (t.ncols + 1) F.zero in
+      List.iter
+        (fun (v, c) -> cost.(v) <- F.add cost.(v) c)
+        p.Lp_problem.objective;
+      (* Canonicalise with respect to the phase-1 basis. *)
+      drive_out_artificials t cost;
+      Array.iteri
+        (fun r b ->
+          if F.sign cost.(b) <> 0 then begin
+            let row = t.rows.(r) in
+            let f = cost.(b) in
+            for j = 0 to t.ncols do
+              cost.(j) <- F.sub cost.(j) (F.mul f row.(j))
+            done
+          end)
+        t.basis;
+      match optimize ?pricing t cost ~max_col:t.art_start with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let obj = F.neg cost.(t.ncols) in
+          let obj = if maximize then F.neg obj else obj in
+          Optimal (extract t ~objective:obj)
+    end
+
+  let feasible ?pricing p =
+    match solve ?pricing { p with Lp_problem.objective = [] } with
+    | Optimal s -> Some s
+    | Infeasible -> None
+    | Unbounded -> assert false
+
+  (* Recover the phase-2 dual values from the final reduced-cost row: in
+     phase 2 every auxiliary column has zero original cost, so
+     redcost(aux of row i) = ∓ y_i, with flipped rows negated back. *)
+  let duals_of_phase2 t cost =
+    Array.map
+      (fun info ->
+        let y =
+          match (info.surplus, info.slack, info.art) with
+          | Some col, _, _ -> cost.(col)
+          | _, Some col, _ -> F.neg cost.(col)
+          | _, _, Some col -> F.neg cost.(col)
+          | None, None, None -> assert false
+        in
+        if info.flipped then F.neg y else y)
+      t.row_info
+
+  type certified = {
+    primal : solution;
+    duals : F.t array;  (** one multiplier per constraint, in order *)
+  }
+
+  type certified_result =
+    | Certified_optimal of certified
+    | Certified_infeasible of F.t array
+    | Certified_unbounded
+
+  (* Like [solve] (minimisation only) but also returning the dual values
+     that certify optimality. *)
+  let solve_certified (p : F.t Lp_problem.t) =
+    let t = build p in
+    let ok, cost1 = phase1 t in
+    if not ok then Certified_infeasible (farkas_of_phase1 t cost1)
+    else begin
+      let cost = Array.make (t.ncols + 1) F.zero in
+      List.iter (fun (v, c) -> cost.(v) <- F.add cost.(v) c) p.Lp_problem.objective;
+      drive_out_artificials t cost;
+      Array.iteri
+        (fun r b ->
+          if F.sign cost.(b) <> 0 then begin
+            let row = t.rows.(r) in
+            let f = cost.(b) in
+            for j = 0 to t.ncols do
+              cost.(j) <- F.sub cost.(j) (F.mul f row.(j))
+            done
+          end)
+        t.basis;
+      match optimize t cost ~max_col:t.art_start with
+      | `Unbounded -> Certified_unbounded
+      | `Optimal ->
+          let obj = F.neg cost.(t.ncols) in
+          Certified_optimal
+            { primal = extract t ~objective:obj; duals = duals_of_phase2 t cost }
+    end
+
+  (* Independent verification of an optimality certificate for the
+     minimisation problem: the primal point is feasible, the duals are
+     feasible for the dual LP (sign conditions per row sense and
+     Aᵀy ≤ c), and strong duality holds (cᵀx = bᵀy). *)
+  let check_optimal (p : F.t Lp_problem.t) (c : certified) =
+    let open Lp_problem in
+    let constrs = Array.of_list p.constrs in
+    let x = c.primal.x and y = c.duals in
+    Array.length y = Array.length constrs
+    && Array.length x = p.nvars
+    && Array.for_all (fun v -> F.sign v >= 0) x
+    (* primal feasibility *)
+    && Array.for_all2
+         (fun (ct : F.t constr) _ ->
+           let lhs =
+             List.fold_left (fun acc (v, a) -> F.add acc (F.mul a x.(v))) F.zero ct.terms
+           in
+           match ct.rel with
+           | Le -> F.compare lhs ct.rhs <= 0
+           | Ge -> F.compare lhs ct.rhs >= 0
+           | Eq -> F.sign (F.sub lhs ct.rhs) = 0)
+         constrs y
+    (* dual sign conditions *)
+    && Array.for_all2
+         (fun (ct : F.t constr) yi ->
+           match ct.rel with
+           | Le -> F.sign yi <= 0
+           | Ge -> F.sign yi >= 0
+           | Eq -> true)
+         constrs y
+    &&
+    (* dual feasibility Aᵀy ≤ c, and strong duality cᵀx = bᵀy *)
+    let col = Array.make p.nvars F.zero in
+    let yb = ref F.zero in
+    Array.iteri
+      (fun i (ct : F.t constr) ->
+        List.iter (fun (v, a) -> col.(v) <- F.add col.(v) (F.mul y.(i) a)) ct.terms;
+        yb := F.add !yb (F.mul y.(i) ct.rhs))
+      constrs;
+    let cvec = Array.make p.nvars F.zero in
+    List.iter (fun (v, cv) -> cvec.(v) <- F.add cvec.(v) cv) p.objective;
+    let dual_feasible =
+      Array.for_all2 (fun colv cv -> F.compare colv cv <= 0) col cvec
+    in
+    let cx =
+      Array.to_list (Array.mapi (fun v cv -> F.mul cv x.(v)) cvec)
+      |> List.fold_left F.add F.zero
+    in
+    dual_feasible && F.sign (F.sub cx !yb) = 0 && F.sign (F.sub cx c.primal.objective) = 0
+
+  type feasibility = Feasible of solution | Infeasible_certificate of F.t array
+
+  let feasible_certified ?pricing p =
+    let p = { p with Lp_problem.objective = [] } in
+    let t = build p in
+    let ok, cost = phase1 ?pricing t in
+    if not ok then Infeasible_certificate (farkas_of_phase1 t cost)
+    else begin
+      drive_out_artificials t cost;
+      Feasible (extract t ~objective:F.zero)
+    end
+
+  (* Independent verification of a Farkas certificate: y respects the
+     row-sense sign conditions, prices every variable column
+     non-positively, and prices the right-hand side positively — so no
+     non-negative x can satisfy the system. *)
+  let check_farkas (p : F.t Lp_problem.t) (y : F.t array) =
+    let open Lp_problem in
+    let constrs = Array.of_list p.constrs in
+    Array.length y = Array.length constrs
+    && Array.for_all2
+         (fun (c : F.t constr) yi ->
+           match c.rel with
+           | Le -> F.sign yi <= 0
+           | Ge -> F.sign yi >= 0
+           | Eq -> true)
+         constrs y
+    &&
+    let col = Array.make p.nvars F.zero in
+    let rhs = ref F.zero in
+    Array.iteri
+      (fun i (c : F.t constr) ->
+        List.iter (fun (v, a) -> col.(v) <- F.add col.(v) (F.mul y.(i) a)) c.terms;
+        rhs := F.add !rhs (F.mul y.(i) c.rhs))
+      constrs;
+    Array.for_all (fun cv -> F.sign cv <= 0) col && F.sign !rhs > 0
+end

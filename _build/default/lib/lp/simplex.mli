@@ -1,0 +1,77 @@
+(** Two-phase primal simplex with Bland's anti-cycling rule.
+
+    Functorised over {!Field.S}: with {!Field.Exact} every answer
+    (feasible / infeasible / optimal value) is certified by exact rational
+    arithmetic, which is what the binary search of Theorem V.2 and the
+    iterative-rounding engine of Section VI rely on.
+
+    Solutions returned are {e basic} feasible solutions (vertices of the
+    standard-form polyhedron): the Lenstra–Shmoys–Tardos rounding step
+    depends on this to bound the fractional support. *)
+
+module Make (F : Field.S) : sig
+  type solution = {
+    x : F.t array;  (** values of the original decision variables *)
+    objective : F.t;  (** objective value at [x] *)
+    basic : bool array;  (** [basic.(v)] iff variable [v] is basic *)
+  }
+
+  type result = Optimal of solution | Infeasible | Unbounded
+
+  type pricing =
+    | Bland  (** smallest eligible index — anti-cycling, more pivots *)
+    | Dantzig
+        (** most negative reduced cost — the default; falls back to
+            Bland permanently after a run of degenerate pivots, so
+            termination is still guaranteed *)
+
+  val solve : ?pricing:pricing -> ?maximize:bool -> F.t Lp_problem.t -> result
+  (** Minimises the objective by default. *)
+
+  val feasible : ?pricing:pricing -> F.t Lp_problem.t -> solution option
+  (** Phase-1 only: [Some] basic feasible solution, or [None].  The
+      problem's objective is ignored. *)
+
+  type feasibility =
+    | Feasible of solution
+    | Infeasible_certificate of F.t array
+        (** A Farkas witness [y], one entry per constraint in declaration
+            order: [y] respects the row senses ([y_i ≤ 0] for ≤ rows,
+            [y_i ≥ 0] for ≥ rows), prices every variable column
+            non-positively and the right-hand side positively — so no
+            [x ≥ 0] can satisfy the system.  With {!Field.Exact} this is
+            a machine-checkable proof of infeasibility. *)
+
+  val feasible_certified : ?pricing:pricing -> F.t Lp_problem.t -> feasibility
+  (** Like {!feasible} but returns the Farkas certificate on the
+      infeasible side (recovered from the phase-1 duals). *)
+
+  val check_farkas : F.t Lp_problem.t -> F.t array -> bool
+  (** Independent verification of a certificate against the original
+      problem statement. *)
+
+  (** {1 Optimality certificates}
+
+      With {!Field.Exact}, a [Certified_optimal] result is a
+      machine-checkable proof: the primal point is feasible, the dual
+      multipliers are dual-feasible, and strong duality [cᵀx = bᵀy]
+      pins the value. *)
+
+  type certified = {
+    primal : solution;
+    duals : F.t array;  (** one multiplier per constraint, in order *)
+  }
+
+  type certified_result =
+    | Certified_optimal of certified
+    | Certified_infeasible of F.t array  (** Farkas witness, as above *)
+    | Certified_unbounded
+
+  val solve_certified : F.t Lp_problem.t -> certified_result
+  (** Minimisation only. *)
+
+  val check_optimal : F.t Lp_problem.t -> certified -> bool
+  (** Verify a {!certified} optimum against the original problem:
+      primal feasibility, dual feasibility (row-sense signs and
+      [Aᵀy ≤ c]) and strong duality. *)
+end

@@ -1,0 +1,1 @@
+lib/model/assignment.ml: Array Format Hs_laminar Instance Laminar List Printf Ptime String

@@ -1,0 +1,1 @@
+lib/model/assignment.mli: Format Instance

@@ -1,0 +1,1 @@
+lib/model/gantt.ml: Array Buffer Char List Printf Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/model/general_instance.ml: Array Instance List Printf Ptime

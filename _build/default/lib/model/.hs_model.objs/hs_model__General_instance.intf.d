@@ -1,0 +1,1 @@
+lib/model/general_instance.mli: Instance Ptime

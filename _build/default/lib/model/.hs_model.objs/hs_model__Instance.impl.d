@@ -1,0 +1,1 @@
+lib/model/instance.ml: Array Format Hs_laminar Laminar Printf Ptime Topology

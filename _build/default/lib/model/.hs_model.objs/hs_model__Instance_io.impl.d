@@ -1,0 +1,1 @@
+lib/model/instance_io.ml: Array Buffer Hs_laminar In_channel Instance Laminar List Out_channel Printf Ptime String

@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array Format List Schedule Stdlib

@@ -1,0 +1,1 @@
+lib/model/ptime.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/model/ptime.mli: Format

@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array Format Hs_laminar Instance Laminar List Printf Ptime Result Stdlib

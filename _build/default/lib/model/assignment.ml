@@ -1,0 +1,71 @@
+(** Assignments of jobs to affinity masks, and the feasibility algebra of
+    (IP-2) for {e integral} assignments.
+
+    An assignment is the combinatorial object the paper's first
+    subproblem produces: a map job → set.  Theorem IV.3 says the
+    constraints (2a)–(2c) are sufficient as well as necessary, so the
+    minimum makespan of an integral assignment is computable in closed
+    form ({!min_makespan}); the scheduling algorithms then realise it. *)
+
+open Hs_laminar
+
+type t = int array
+(** [a.(j)] is the set id of job [j]'s affinity mask. *)
+
+(** All assigned masks exist and have finite processing time. *)
+let well_formed inst a =
+  Array.length a = Instance.njobs inst
+  && Array.for_all (fun s -> s >= 0 && s < Laminar.size (Instance.laminar inst)) a
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun j s -> if not (Ptime.is_fin (Instance.ptime inst ~job:j ~set:s)) then ok := false)
+    a;
+  !ok
+
+(** Direct volume of a set: [Σ_{j : a(j) = set} P_j(set)]. *)
+let volume inst a ~set =
+  let v = ref 0 in
+  Array.iteri
+    (fun j s -> if s = set then v := !v + Ptime.value_exn (Instance.ptime inst ~job:j ~set:s))
+    a;
+  !v
+
+(** Subtree volume of constraint (2b): [Σ_j Σ_{β ⊆ α} p_βj x_βj]. *)
+let subtree_volume inst a ~set =
+  let lam = Instance.laminar inst in
+  List.fold_left (fun acc b -> acc + volume inst a ~set:b) 0 (Laminar.descendants lam set)
+
+(** Maximum single processing time used by the assignment (constraint 2c). *)
+let max_ptime inst a =
+  let best = ref 0 in
+  Array.iteri
+    (fun j s ->
+      let v = Ptime.value_exn (Instance.ptime inst ~job:j ~set:s) in
+      if v > !best then best := v)
+    a;
+  !best
+
+(** Minimum feasible makespan of the assignment: by Theorem IV.3,
+    [max (max_j p_{a(j)j}, max_α ⌈S_α / |α|⌉)] where [S_α] is the subtree
+    volume.  Raises if the assignment is not {!well_formed}. *)
+let min_makespan inst a =
+  if not (well_formed inst a) then invalid_arg "Assignment.min_makespan: ill-formed";
+  let lam = Instance.laminar inst in
+  let best = ref (max_ptime inst a) in
+  List.iter
+    (fun set ->
+      let s = subtree_volume inst a ~set in
+      let k = Laminar.card lam set in
+      let need = (s + k - 1) / k in
+      if need > !best then best := need)
+    (Laminar.bottom_up lam);
+  !best
+
+(** The (IP-2) feasibility test for a given horizon. *)
+let feasible inst a ~tmax = well_formed inst a && min_makespan inst a <= tmax
+
+let pp fmt a =
+  Format.fprintf fmt "@[<h>[%s]@]"
+    (String.concat "; "
+       (Array.to_list (Array.mapi (fun j s -> Printf.sprintf "%d->#%d" j s) a)))

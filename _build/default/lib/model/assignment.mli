@@ -1,0 +1,32 @@
+(** Assignments of jobs to affinity masks, and the feasibility algebra of
+    (IP-2) for integral assignments.
+
+    Theorem IV.3 makes the constraints (2a)–(2c) sufficient as well as
+    necessary, so the minimum makespan of an integral assignment is the
+    closed form computed by {!min_makespan}; the schedulers then realise
+    exactly that horizon. *)
+
+type t = int array
+(** [a.(job)] is the set id of the job's affinity mask. *)
+
+val well_formed : Instance.t -> t -> bool
+(** Right length, masks in range, and every assigned mask finite. *)
+
+val volume : Instance.t -> t -> set:int -> int
+(** Direct volume: [Σ_{j : a(j) = set} P_j(set)]. *)
+
+val subtree_volume : Instance.t -> t -> set:int -> int
+(** Constraint (2b)'s left-hand side: [Σ_j Σ_{β ⊆ α} p_{βj} x_{βj}]. *)
+
+val max_ptime : Instance.t -> t -> int
+(** Largest single processing time used (constraint (2c)). *)
+
+val min_makespan : Instance.t -> t -> int
+(** [max (max_j p_{a(j)j}, max_α ⌈subtree α / |α|⌉)] — the minimum
+    horizon admitting a valid schedule for this assignment
+    (Theorem IV.3).  Raises [Invalid_argument] if not {!well_formed}. *)
+
+val feasible : Instance.t -> t -> tmax:int -> bool
+(** The (IP-2) feasibility test at a given horizon. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+(** ASCII Gantt charts for schedules.
+
+    One row per machine, one column per time unit (rescaled when the
+    horizon exceeds [max_width]); each cell shows the job occupying the
+    machine at that instant, [.] for idle.  Jobs are labelled 0-9 then
+    a-z then A-Z, cycling with a [*] marker beyond 62 jobs. *)
+
+let job_label j =
+  if j < 10 then Char.chr (Char.code '0' + j)
+  else if j < 36 then Char.chr (Char.code 'a' + j - 10)
+  else if j < 62 then Char.chr (Char.code 'A' + j - 36)
+  else '*'
+
+let render ?(max_width = 100) (sched : Schedule.t) =
+  let horizon = Stdlib.max 1 (Schedule.horizon sched) in
+  let machines =
+    List.fold_left
+      (fun acc (s : Schedule.segment) -> Stdlib.max acc (s.machine + 1))
+      1 (Schedule.segments sched)
+  in
+  (* scale: each column covers [scale] time units *)
+  let scale = (horizon + max_width - 1) / max_width in
+  let width = (horizon + scale - 1) / scale in
+  let grid = Array.make_matrix machines width '.' in
+  List.iter
+    (fun (s : Schedule.segment) ->
+      for c = s.start / scale to (s.stop - 1) / scale do
+        if c < width then
+          grid.(s.machine).(c) <-
+            (if grid.(s.machine).(c) = '.' || grid.(s.machine).(c) = job_label s.job then
+               job_label s.job
+             else '#' (* two jobs share a rescaled cell *))
+      done)
+    (Schedule.segments sched);
+  let buf = Buffer.create ((machines + 2) * (width + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0..%d%s\n" horizon
+       (if scale > 1 then Printf.sprintf " (1 char = %d units)" scale else ""));
+  Array.iteri
+    (fun i row ->
+      Buffer.add_string buf (Printf.sprintf "m%-3d |" i);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_string buf "|\n")
+    grid;
+  Buffer.contents buf
+
+let print ?max_width sched = print_string (render ?max_width sched)

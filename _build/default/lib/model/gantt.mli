@@ -1,0 +1,14 @@
+(** ASCII Gantt charts for schedules.
+
+    One row per machine, one column per time unit (rescaled when the
+    horizon exceeds [max_width]); each cell shows the job occupying the
+    machine, [.] for idle, [#] when rescaling makes two jobs share a
+    cell. *)
+
+val job_label : int -> char
+(** [0-9], then [a-z], then [A-Z], then [*]. *)
+
+val render : ?max_width:int -> Schedule.t -> string
+
+val print : ?max_width:int -> Schedule.t -> unit
+(** [render] to standard output. *)

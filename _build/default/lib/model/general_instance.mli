@@ -1,0 +1,26 @@
+(** Instances with arbitrary (possibly non-laminar) admissible families.
+
+    The hierarchical machinery of Sections III–V does not apply here;
+    what the paper gives for this case (Section II) is the reduction to
+    unrelated machines behind the 8-approximation, which {!to_unrelated}
+    implements. *)
+
+type t
+
+val make :
+  m:int -> sets:int list list -> p:Ptime.t array array -> (t, string) result
+(** [p.(job).(set_index)]; validates ranges and monotonicity across all
+    subset pairs of the (arbitrary) family. *)
+
+val make_exn : m:int -> sets:int list list -> p:Ptime.t array array -> t
+val njobs : t -> int
+val nmachines : t -> int
+
+val to_unrelated : t -> Instance.t
+(** The Section II reduction: [p'_{ij} = min { P_j(α) : i ∈ α ∈ A }].
+    Its optimal preemptive makespan lower-bounds the original optimum. *)
+
+val witness_set : t -> job:int -> machine:int -> int option
+(** Cheapest (then smallest) admissible set containing [machine] for
+    [job] — used to lift a partitioned solution of the reduced instance
+    back to the original family. *)

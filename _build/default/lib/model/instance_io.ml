@@ -1,0 +1,116 @@
+(** Plain-text instance files.
+
+    Format (comments start with [#], blank lines ignored):
+
+    {v
+    machines 4
+    sets 6
+    0 1 2 3
+    0 1
+    2 3
+    0
+    1
+    2
+    jobs 2
+    9 7 7 4 5 inf
+    6 6 inf 3 3 inf
+    v}
+
+    Each job line lists one processing time per set, in set order; [inf]
+    marks an inadmissible mask.  The family must be laminar and times
+    monotone, as validated by {!Instance.make}. *)
+
+open Hs_laminar
+
+let to_string inst =
+  let lam = Instance.laminar inst in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" (Laminar.m lam));
+  Buffer.add_string buf (Printf.sprintf "sets %d\n" (Laminar.size lam));
+  List.iter
+    (fun members ->
+      Buffer.add_string buf (String.concat " " (List.map string_of_int members));
+      Buffer.add_char buf '\n')
+    (Laminar.sets lam);
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" (Instance.njobs inst));
+  for j = 0 to Instance.njobs inst - 1 do
+    let row =
+      List.init (Laminar.size lam) (fun s ->
+          Ptime.to_string (Instance.ptime inst ~job:j ~set:s))
+    in
+    Buffer.add_string buf (String.concat " " row);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_string text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let expect_header name = function
+      | line :: rest -> (
+          match String.split_on_char ' ' line with
+          | [ key; v ] when key = name -> (
+              match int_of_string_opt v with
+              | Some k when k >= 0 -> (k, rest)
+              | _ -> fail "invalid %s count: %s" name v)
+          | _ -> fail "expected '%s <count>', got '%s'" name line)
+      | [] -> fail "missing '%s <count>' header" name
+    in
+    let parse_ints line =
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some v -> v
+             | None -> fail "invalid integer '%s'" s)
+    in
+    let take k lines what =
+      let rec go k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> fail "unexpected end of file reading %s" what
+        | l :: rest -> go (k - 1) (l :: acc) rest
+      in
+      go k [] lines
+    in
+    let m, lines = expect_header "machines" lines in
+    let nsets, lines = expect_header "sets" lines in
+    let set_lines, lines = take nsets lines "sets" in
+    let sets = List.map parse_ints set_lines in
+    let njobs, lines = expect_header "jobs" lines in
+    let job_lines, rest = take njobs lines "jobs" in
+    if rest <> [] then fail "trailing content after job lines";
+    let parse_time s =
+      if s = "inf" then Ptime.Inf
+      else
+        match int_of_string_opt s with
+        | Some v when v >= 0 -> Ptime.fin v
+        | _ -> fail "invalid processing time '%s'" s
+    in
+    let p =
+      List.map
+        (fun line ->
+          let cells = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+          if List.length cells <> nsets then
+            fail "job line has %d entries, expected %d" (List.length cells) nsets;
+          Array.of_list (List.map parse_time cells))
+        job_lines
+      |> Array.of_list
+    in
+    match Laminar.of_sets ~m sets with
+    | Error e -> Error e
+    | Ok lam -> Instance.make lam p
+  with Bad msg -> err "%s" msg
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let save path inst = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string inst))

@@ -1,0 +1,31 @@
+(** Plain-text instance files.
+
+    Format (comments start with [#], blank lines ignored):
+
+    {v
+    machines 4
+    sets 6
+    0 1 2 3
+    0 1
+    2 3
+    0
+    1
+    2
+    jobs 2
+    9 7 7 4 5 6
+    6 6 6 3 3 5
+    v}
+
+    Each job line lists one processing time per set, in set order; [inf]
+    marks an inadmissible mask.  The family must be laminar and times
+    monotone ({!Instance.make} validates). *)
+
+val to_string : Instance.t -> string
+(** Serialise; {!of_string} of the result reproduces the instance. *)
+
+val of_string : string -> (Instance.t, string) result
+
+val load : string -> (Instance.t, string) result
+(** Read a file; IO errors are reported as [Error]. *)
+
+val save : string -> Instance.t -> unit

@@ -1,0 +1,53 @@
+(** Preemption and migration accounting from a concrete schedule.
+
+    For each job, execution is sorted into maximal contiguous runs (same
+    machine, time-adjacent); every boundary between consecutive runs is a
+    {e stop}: a {e migration} when the next run is on a different
+    machine, otherwise a {e preemption}.
+
+    Note on Proposition III.2: the paper's [m-1] migration bound counts
+    along the wrap-around {e tape}, where a block crossing the horizon is
+    contiguous and its cut is a preemption.  Chronological counting (this
+    module) is a rotation of tape order for wrapped jobs, so individual
+    labels can shift between the migration and preemption buckets — the
+    {e total} number of stops is identical under both accountings, and
+    the tape-order split is reported by the schedulers themselves
+    ([Hs_core.Tape.laid]). *)
+
+type per_job = { runs : int; migrations : int; preemptions : int }
+
+type t = {
+  per_job : per_job array;
+  migrations : int;  (** schedule-wide total *)
+  preemptions : int;  (** schedule-wide total *)
+  stops : int;  (** migrations + preemptions *)
+}
+
+let of_schedule ?(njobs = 0) (sched : Schedule.t) =
+  let sched = Schedule.coalesce sched in
+  let n =
+    List.fold_left (fun acc (s : Schedule.segment) -> Stdlib.max acc (s.job + 1)) njobs
+      (Schedule.segments sched)
+  in
+  let per_job =
+    Array.init n (fun j ->
+        let runs =
+          List.filter (fun (s : Schedule.segment) -> s.job = j) (Schedule.segments sched)
+          |> List.sort (fun (a : Schedule.segment) b -> compare a.start b.start)
+        in
+        let rec walk migr preempt = function
+          | (a : Schedule.segment) :: (b :: _ as rest) ->
+              if a.machine <> b.machine then walk (migr + 1) preempt rest
+              else walk migr (preempt + 1) rest
+          | [ _ ] | [] -> (migr, preempt)
+        in
+        let migrations, preemptions = walk 0 0 runs in
+        { runs = List.length runs; migrations; preemptions })
+  in
+  let migrations = Array.fold_left (fun acc (pj : per_job) -> acc + pj.migrations) 0 per_job in
+  let preemptions = Array.fold_left (fun acc (pj : per_job) -> acc + pj.preemptions) 0 per_job in
+  { per_job; migrations; preemptions; stops = migrations + preemptions }
+
+let pp fmt t =
+  Format.fprintf fmt "migrations=%d preemptions=%d stops=%d" t.migrations t.preemptions
+    t.stops

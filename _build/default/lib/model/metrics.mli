@@ -1,0 +1,29 @@
+(** Preemption and migration accounting from a concrete schedule.
+
+    For each job, execution is sorted into maximal contiguous runs (same
+    machine, time-adjacent); every boundary between consecutive runs is a
+    {e stop}: a {e migration} when the next run is on a different
+    machine, otherwise a {e preemption}.
+
+    Proposition III.2's [m-1] migration bound counts along the
+    wrap-around {e tape}, where a block crossing the horizon is
+    contiguous and its cut is a preemption; chronological counting (this
+    module) is a rotation of tape order for wrapped jobs, so individual
+    labels can shift between the buckets while the {e total} stop count
+    is identical.  The tape-order split is reported by the schedulers
+    themselves ([Hs_core.Tape.stats]). *)
+
+type per_job = { runs : int; migrations : int; preemptions : int }
+
+type t = {
+  per_job : per_job array;
+  migrations : int;  (** schedule-wide total *)
+  preemptions : int;  (** schedule-wide total *)
+  stops : int;  (** migrations + preemptions *)
+}
+
+val of_schedule : ?njobs:int -> Schedule.t -> t
+(** [njobs] forces the length of [per_job] when trailing jobs have no
+    segments. *)
+
+val pp : Format.formatter -> t -> unit

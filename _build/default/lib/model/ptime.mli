@@ -1,0 +1,38 @@
+(** Processing times with an explicit top element.
+
+    The paper writes "∞ represents a sufficiently large constant" for
+    job/mask pairs that must never be used; this module models that with
+    a dedicated constructor so monotonicity checks and the Section V
+    pruning ([p_{αj} > T ⇒ x_{αj} = 0]) stay honest. *)
+
+type t = Fin of int | Inf
+
+val fin : int -> t
+(** [fin v] is a finite processing time.  Raises [Invalid_argument] on a
+    negative value. *)
+
+val inf : t
+(** The inadmissible marker (the paper's ∞). *)
+
+val is_fin : t -> bool
+
+val value : t -> int option
+(** [Some v] for finite times, [None] for ∞. *)
+
+val value_exn : t -> int
+(** Raises [Failure] on ∞. *)
+
+val compare : t -> t -> int
+(** Total order with [Inf] as the greatest element. *)
+
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val fits : t -> tmax:int -> bool
+(** The membership test [(α,j) ∈ R] of Section V: finite and at most
+    [tmax]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+(** Concrete preemptive schedules and their validity checker.
+
+    A schedule is a set of execution segments inside the horizon [0, T).
+    The paper's validity conditions (Section II) are checked literally:
+    every segment runs on a machine of the job's affinity mask, a machine
+    runs at most one job at a time, a job never runs on two machines
+    simultaneously, and every job receives exactly [P_j(mask)] units. *)
+
+open Hs_laminar
+
+type segment = {
+  job : int;
+  machine : int;
+  start : int;
+  stop : int;  (** half-open interval [start, stop) *)
+}
+
+type t = { horizon : int; segments : segment list }
+
+let horizon t = t.horizon
+let segments t = t.segments
+
+let makespan t = List.fold_left (fun acc s -> Stdlib.max acc s.stop) 0 t.segments
+
+let machine_load t machine =
+  List.fold_left
+    (fun acc s -> if s.machine = machine then acc + (s.stop - s.start) else acc)
+    0 t.segments
+
+let job_time t job =
+  List.fold_left
+    (fun acc s -> if s.job = job then acc + (s.stop - s.start) else acc)
+    0 t.segments
+
+(* Check that the sorted-by-start segment list has no overlap. *)
+let rec no_overlap = function
+  | a :: (b :: _ as rest) -> a.stop <= b.start && no_overlap rest
+  | [ _ ] | [] -> true
+
+let validate inst assignment t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lam = Instance.laminar inst in
+  let n = Instance.njobs inst in
+  let m = Laminar.m lam in
+  let exception Bad of string in
+  try
+    if Array.length assignment <> n then raise (Bad "assignment length mismatch");
+    List.iter
+      (fun s ->
+        if s.job < 0 || s.job >= n then raise (Bad (Printf.sprintf "segment with bad job %d" s.job));
+        if s.machine < 0 || s.machine >= m then
+          raise (Bad (Printf.sprintf "segment with bad machine %d" s.machine));
+        if s.start < 0 || s.stop > t.horizon || s.start >= s.stop then
+          raise
+            (Bad
+               (Printf.sprintf "segment of job %d on machine %d has bad interval [%d,%d)"
+                  s.job s.machine s.start s.stop));
+        if not (Laminar.mem lam assignment.(s.job) s.machine) then
+          raise
+            (Bad
+               (Printf.sprintf "job %d runs on machine %d outside its mask #%d" s.job
+                  s.machine assignment.(s.job))))
+      t.segments;
+    (* Per-machine exclusivity. *)
+    for i = 0 to m - 1 do
+      let segs =
+        List.filter (fun s -> s.machine = i) t.segments
+        |> List.sort (fun a b -> compare a.start b.start)
+      in
+      if not (no_overlap segs) then raise (Bad (Printf.sprintf "machine %d runs two jobs at once" i))
+    done;
+    (* Per-job: no self-parallelism, and exact processing volume. *)
+    for j = 0 to n - 1 do
+      let segs =
+        List.filter (fun s -> s.job = j) t.segments
+        |> List.sort (fun a b -> compare a.start b.start)
+      in
+      if not (no_overlap segs) then
+        raise (Bad (Printf.sprintf "job %d runs on two machines simultaneously" j));
+      let total = List.fold_left (fun acc s -> acc + (s.stop - s.start)) 0 segs in
+      let need = Ptime.value_exn (Instance.ptime inst ~job:j ~set:assignment.(j)) in
+      if total <> need then
+        raise (Bad (Printf.sprintf "job %d got %d units, needs %d" j total need))
+    done;
+    Ok ()
+  with Bad msg -> err "%s" msg
+
+let is_valid inst assignment t = Result.is_ok (validate inst assignment t)
+
+(** Segments of [job] covering the wrap-around wall-clock interval
+    [\[pos, pos+len) mod horizon] on [machine]; one or two segments. *)
+let wrap_segments ~horizon ~job ~machine ~pos ~len =
+  assert (len >= 0 && len <= horizon && pos >= 0 && pos < horizon);
+  if len = 0 then []
+  else if pos + len <= horizon then [ { job; machine; start = pos; stop = pos + len } ]
+  else
+    [
+      { job; machine; start = pos; stop = horizon };
+      { job; machine; start = 0; stop = pos + len - horizon };
+    ]
+
+(** Merge time-adjacent segments of the same job on the same machine;
+    canonicalises scheduler output and makes metrics meaningful. *)
+let coalesce t =
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.job, a.machine, a.start) (b.job, b.machine, b.start))
+      t.segments
+  in
+  let rec go acc = function
+    | a :: b :: rest when a.job = b.job && a.machine = b.machine && a.stop = b.start ->
+        go acc ({ a with stop = b.stop } :: rest)
+    | a :: rest -> go (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  { t with segments = go [] sorted }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule, horizon %d:" t.horizon;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "@,  job %d on machine %d during [%d,%d)" s.job s.machine s.start
+        s.stop)
+    (List.sort (fun a b -> compare (a.machine, a.start) (b.machine, b.start)) t.segments);
+  Format.fprintf fmt "@]"

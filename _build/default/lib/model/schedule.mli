@@ -1,0 +1,46 @@
+(** Concrete preemptive schedules and their validity checker.
+
+    A schedule is a multiset of execution segments in the horizon
+    [[0, T)].  {!validate} checks the paper's Section II conditions
+    literally: segments stay on machines of the job's affinity mask, a
+    machine runs one job at a time, a job never runs on two machines
+    simultaneously, and every job receives exactly [P_j(mask)] units. *)
+
+type segment = {
+  job : int;
+  machine : int;
+  start : int;
+  stop : int;  (** half-open interval [start, stop) *)
+}
+
+type t = { horizon : int; segments : segment list }
+
+val horizon : t -> int
+val segments : t -> segment list
+
+val makespan : t -> int
+(** Latest completion over all segments (0 for the empty schedule). *)
+
+val machine_load : t -> int -> int
+(** Total busy time of a machine. *)
+
+val job_time : t -> int -> int
+(** Total processing received by a job. *)
+
+val validate : Instance.t -> Assignment.t -> t -> (unit, string) result
+(** All Section II validity conditions; the error message pinpoints the
+    first violation. *)
+
+val is_valid : Instance.t -> Assignment.t -> t -> bool
+
+val wrap_segments :
+  horizon:int -> job:int -> machine:int -> pos:int -> len:int -> segment list
+(** Segments covering the wrap-around interval [[pos, pos+len) mod
+    horizon] on one machine; one or two segments ([] when [len = 0]).
+    Requires [0 ≤ pos < horizon] and [0 ≤ len ≤ horizon]. *)
+
+val coalesce : t -> t
+(** Merge time-adjacent segments of the same job on the same machine;
+    canonicalises scheduler output and makes metrics meaningful. *)
+
+val pp : Format.formatter -> t -> unit

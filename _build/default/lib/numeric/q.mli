@@ -1,0 +1,105 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is positive and
+    coprime with the numerator, and zero is represented as [0/1].  This is
+    the coefficient field used by the exact simplex solver, so LP
+    feasibility answers (and therefore the binary search of Theorem V.2)
+    are certified rather than subject to floating-point tolerances. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** {1 Constructors} *)
+
+(** [make num den] is the normalised rational [num/den].
+    Raises [Division_by_zero] when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints a b] is [a/b]. Raises [Division_by_zero] when [b = 0]. *)
+val of_ints : int -> int -> t
+
+(** Parses ["a"], ["a/b"] or a decimal such as ["1.25"] exactly. *)
+val of_string : string -> t
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+(** {1 Predicates and comparisons} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+
+(** [is_integer x] holds when the denominator is one. *)
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val geq : t -> t -> bool
+val gt : t -> t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero] when the divisor is zero. *)
+val div : t -> t -> t
+
+(** Multiplicative inverse. Raises [Division_by_zero] on zero. *)
+val inv : t -> t
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+(** {1 Rounding} *)
+
+(** Largest integer below or equal. *)
+val floor : t -> Bigint.t
+
+(** Smallest integer above or equal. *)
+val ceil : t -> Bigint.t
+
+(** [floor_int]/[ceil_int] additionally convert to a native [int];
+    they raise [Failure] when out of range. *)
+val floor_int : t -> int
+
+val ceil_int : t -> int
+
+(** {1 Conversions} *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Operators}
+
+    A local-open-friendly operator module: [Q.Infix.(a + b * c)]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/realtime/dpfair.ml: Array Assignment Hs_core Hs_laminar Hs_lp Hs_model Hs_numeric Instance List Option Ptime Schedule Stdlib Task

@@ -1,0 +1,1 @@
+lib/realtime/dpfair.mli: Assignment Hs_laminar Hs_model Instance Schedule Task

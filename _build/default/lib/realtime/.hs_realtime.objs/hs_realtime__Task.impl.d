@@ -1,0 +1,1 @@
+lib/realtime/task.ml: Array Hs_laminar Hs_model Hs_numeric List Option Ptime Stdlib

@@ -1,0 +1,1 @@
+lib/realtime/task.mli: Hs_laminar Hs_model Hs_numeric Ptime

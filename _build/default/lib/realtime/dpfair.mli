@@ -1,0 +1,38 @@
+(** Boundary-aligned (DP-Fair style) scheduling of periodic tasks with
+    hierarchical processor affinities.
+
+    With [D] the gcd of the periods, per-slice demands
+    [⌈wcet(α)·D / period⌉] form a hierarchical scheduling instance; a
+    schedule of makespan ≤ D, repeated every [D] units, supplies every
+    task at least its WCET in each period window, meeting all implicit
+    deadlines.  The ceiling makes the test conservative (sufficient);
+    the exact LP relaxation provides the matching necessary side. *)
+
+open Hs_model
+
+type verdict =
+  | Schedulable of {
+      slice : int;  (** template length D *)
+      instance : Instance.t;  (** the slice instance *)
+      assignment : Assignment.t;  (** chosen affinity mask per task *)
+      template : Schedule.t;  (** repeat every [slice] units *)
+    }
+  | Infeasible of string
+      (** certified: utilization, the fractional relaxation, or the
+          proven integral optimum exceeds the slice *)
+  | Unknown of string
+      (** the 2-approximation exceeded the slice but the relaxation fits *)
+
+val slice_instance : Hs_laminar.Laminar.t -> Task.t array -> Instance.t * int
+(** The per-slice demand instance and the slice length [D]. *)
+
+val analyze : ?node_limit:int -> Hs_laminar.Laminar.t -> Task.t array -> verdict
+(** Full analysis: utilization check → exact LP necessary test → branch
+    and bound (within [node_limit]) → 2-approximation fallback. *)
+
+val unroll : Schedule.t -> slice:int -> k:int -> Schedule.t
+(** Repeat the template over [k] slices. *)
+
+val supply_ok : Task.t array -> verdict -> bool
+(** For a [Schedulable] verdict: every task receives at least its WCET in
+    every period window of the hyperperiod (test hook). *)

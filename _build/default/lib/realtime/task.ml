@@ -1,0 +1,91 @@
+(** Implicit-deadline periodic tasks with affinity-mask-dependent WCETs.
+
+    The semi-partitioned scheduling line the paper builds on (Bastoni,
+    Brandenburg & Anderson) is about {e real-time} workloads; this module
+    provides the task model used by {!Dpfair} to turn the paper's
+    makespan machinery into a schedulability test + template scheduler.
+
+    A task releases a job of worst-case execution time [wcet(α)] every
+    [period] time units (deadline = period).  As in the paper, the WCET
+    depends monotonically on the affinity mask: migrating within a larger
+    machine set folds in larger overheads. *)
+
+open Hs_model
+module Q = Hs_numeric.Q
+
+type t = {
+  name : string;
+  period : int;  (** also the relative deadline *)
+  wcet : Ptime.t array;  (** per set of the laminar family, monotone *)
+}
+
+let make ?(name = "") ~period ~wcet () =
+  if period <= 0 then invalid_arg "Task.make: period must be positive";
+  (match
+     Array.fold_left
+       (fun acc w -> match (acc, Ptime.value w) with
+         | Some b, Some v -> Some (Stdlib.max b v)
+         | acc, None -> acc
+         | None, Some v -> Some v)
+       None wcet
+   with
+  | Some _ -> ()
+  | None -> invalid_arg "Task.make: no finite WCET on any mask");
+  { name; period; wcet }
+
+(** Utilization of the task on a given mask; [None] when inadmissible. *)
+let utilization t ~set =
+  match Ptime.value t.wcet.(set) with
+  | Some c -> Some (Q.of_ints c t.period)
+  | None -> None
+
+(** Best-case (minimum) utilization over all masks. *)
+let min_utilization t =
+  Array.fold_left
+    (fun acc w ->
+      match Ptime.value w with
+      | Some c -> (
+          let u = Q.of_ints c t.period in
+          match acc with Some b -> Some (Q.min b u) | None -> Some u)
+      | None -> acc)
+    None t.wcet
+  |> Option.get
+
+(** Convenience constructor mirroring the workload generators: a base
+    WCET on each singleton, inflated by [overhead] per level climbed
+    (monotone by construction). *)
+let of_base ~lam ?name ~period ~base ~overhead () =
+  let module L = Hs_laminar.Laminar in
+  if base <= 0 then invalid_arg "Task.of_base: base WCET must be positive";
+  let wcet = Array.make (L.size lam) Ptime.Inf in
+  let ov = Stdlib.max 1 (int_of_float (ceil (overhead *. float_of_int base))) in
+  let rec fill set =
+    let v =
+      match L.children lam set with
+      | [] -> base
+      | children -> List.fold_left (fun acc c -> Stdlib.max acc (fill c)) 0 children + ov
+    in
+    wcet.(set) <- Ptime.fin v;
+    v
+  in
+  List.iter (fun r -> ignore (fill r)) (L.roots lam);
+  make ?name ~period ~wcet ()
+
+(* ---- task sets ------------------------------------------------------- *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+(** Greatest common divisor of the periods: the DP-Fair slice length. *)
+let slice_length tasks =
+  if Array.length tasks = 0 then invalid_arg "Task.slice_length: empty task set";
+  Array.fold_left (fun acc t -> gcd acc t.period) tasks.(0).period tasks
+
+(** Least common multiple of the periods (the hyperperiod). *)
+let hyperperiod tasks =
+  if Array.length tasks = 0 then invalid_arg "Task.hyperperiod: empty task set";
+  Array.fold_left (fun acc t -> lcm acc t.period) tasks.(0).period tasks
+
+(** Sum of minimum utilizations — a lower bound on the capacity needed. *)
+let total_min_utilization tasks =
+  Array.fold_left (fun acc t -> Q.add acc (min_utilization t)) Q.zero tasks

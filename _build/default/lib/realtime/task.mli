@@ -1,0 +1,39 @@
+(** Implicit-deadline periodic tasks with affinity-mask-dependent WCETs —
+    the workload class of the semi-partitioned real-time literature the
+    paper builds on; consumed by {!Dpfair}. *)
+
+open Hs_model
+module Q = Hs_numeric.Q
+
+type t = {
+  name : string;
+  period : int;  (** also the relative deadline *)
+  wcet : Ptime.t array;  (** per set of the laminar family, monotone *)
+}
+
+val make : ?name:string -> period:int -> wcet:Ptime.t array -> unit -> t
+(** Validates a positive period and at least one finite WCET. *)
+
+val utilization : t -> set:int -> Q.t option
+(** [wcet(set)/period]; [None] on an inadmissible mask. *)
+
+val min_utilization : t -> Q.t
+
+val of_base :
+  lam:Hs_laminar.Laminar.t ->
+  ?name:string ->
+  period:int ->
+  base:int ->
+  overhead:float ->
+  unit ->
+  t
+(** Base WCET on singletons, inflated by [⌈overhead·base⌉] per level —
+    monotone by construction. *)
+
+val slice_length : t array -> int
+(** Gcd of the periods — the DP-Fair slice. *)
+
+val hyperperiod : t array -> int
+(** Lcm of the periods. *)
+
+val total_min_utilization : t array -> Q.t

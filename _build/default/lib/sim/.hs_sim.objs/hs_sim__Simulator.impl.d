@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Hashtbl Hs_laminar Hs_model List Option Schedule Stdlib

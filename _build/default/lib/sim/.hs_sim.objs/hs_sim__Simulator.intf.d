@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Hs_laminar Hs_model Schedule

@@ -1,0 +1,109 @@
+(** Execution simulator for SMP-CMP-style hierarchies.
+
+    The paper folds migration overheads into the processing-time
+    functions; this simulator plays a schedule back against an explicit
+    latency model to check that folding is conservative and to expose the
+    paper's motivating effect (intra-CMP < inter-CMP < inter-node costs,
+    experiment F5).
+
+    Model: every migration of a job from machine [a] to machine [b]
+    stalls the job for [latency a b] time units before its next segment
+    may start.  Machines stay work-conserving but never reorder segments.
+    Realised times are the longest-path relaxation of the precedence
+    graph whose nodes are segments and whose edges are (i) consecutive
+    segments on one machine and (ii) consecutive segments of one job,
+    weighted by the migration latency.  With all latencies zero the
+    realised schedule equals the input. *)
+
+open Hs_model
+
+type result = {
+  model_makespan : int;  (** makespan of the input schedule *)
+  realised_makespan : int;  (** after charging migration latencies *)
+  total_stall : int;  (** sum of charged latencies *)
+  migrations_by_level : (int * int) list;
+      (** (LCA height, count) for each migration, aggregated *)
+}
+
+(** [latency_of_levels lam table] builds a latency function for a laminar
+    topology: migrating between machines whose least common ancestor set
+    has height [h] costs [table h] (clamped to the last entry). *)
+let latency_of_levels lam (table : int array) a b =
+  if a = b then 0
+  else
+    match Hs_laminar.Laminar.lca_level lam a b with
+    | None -> (if Array.length table = 0 then 0 else table.(Array.length table - 1))
+    | Some h ->
+        if Array.length table = 0 then 0
+        else table.(Stdlib.min h (Array.length table - 1))
+
+let run ?(lam : Hs_laminar.Laminar.t option) (sched : Schedule.t) ~latency =
+  let sched = Schedule.coalesce sched in
+  let segs = Array.of_list (Schedule.segments sched) in
+  let ns = Array.length segs in
+  let by_start a b = compare (segs.(a).Schedule.start, a) (segs.(b).Schedule.start, b) in
+  let idx = Array.init ns (fun k -> k) in
+  Array.sort by_start idx;
+  (* Predecessors: previous segment on the machine, previous segment of
+     the job (with latency weight). *)
+  let prev_on_machine = Hashtbl.create 16 and prev_of_job = Hashtbl.create 16 in
+  let machine_pred = Array.make ns None and job_pred = Array.make ns None in
+  Array.iter
+    (fun k ->
+      let s = segs.(k) in
+      (match Hashtbl.find_opt prev_on_machine s.Schedule.machine with
+      | Some p -> machine_pred.(k) <- Some p
+      | None -> ());
+      Hashtbl.replace prev_on_machine s.Schedule.machine k;
+      (match Hashtbl.find_opt prev_of_job s.Schedule.job with
+      | Some p -> job_pred.(k) <- Some p
+      | None -> ());
+      Hashtbl.replace prev_of_job s.Schedule.job k)
+    idx;
+  (* Longest-path start times in topological (start-time) order. *)
+  let realised_stop = Array.make ns 0 in
+  let total_stall = ref 0 in
+  let migrations = Hashtbl.create 8 in
+  Array.iter
+    (fun k ->
+      let s = segs.(k) in
+      let ready_machine =
+        match machine_pred.(k) with None -> 0 | Some p -> realised_stop.(p)
+      in
+      let ready_job =
+        match job_pred.(k) with
+        | None -> 0
+        | Some p ->
+            let q = segs.(p) in
+            let lat =
+              if q.Schedule.machine = s.Schedule.machine then 0
+              else begin
+                let l = latency q.Schedule.machine s.Schedule.machine in
+                total_stall := !total_stall + l;
+                (match lam with
+                | Some lam -> (
+                    match
+                      Hs_laminar.Laminar.lca_level lam q.Schedule.machine s.Schedule.machine
+                    with
+                    | Some h ->
+                        Hashtbl.replace migrations h
+                          (1 + Option.value ~default:0 (Hashtbl.find_opt migrations h))
+                    | None -> ())
+                | None -> ());
+                l
+              end
+            in
+            realised_stop.(p) + lat
+      in
+      (* Segments may not start before their nominal start either (the
+         scheduler's plan is a release time). *)
+      let start = Stdlib.max s.Schedule.start (Stdlib.max ready_machine ready_job) in
+      realised_stop.(k) <- start + (s.Schedule.stop - s.Schedule.start))
+    idx;
+  {
+    model_makespan = Schedule.makespan sched;
+    realised_makespan = Array.fold_left Stdlib.max 0 realised_stop;
+    total_stall = !total_stall;
+    migrations_by_level =
+      Hashtbl.fold (fun h c acc -> (h, c) :: acc) migrations [] |> List.sort compare;
+  }

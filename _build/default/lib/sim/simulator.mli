@@ -1,0 +1,28 @@
+(** Execution simulator for SMP-CMP-style hierarchies (experiment F5).
+
+    The paper folds migration overheads into the processing-time
+    functions; this simulator replays a schedule against an explicit
+    latency model to check the folding is conservative.  Every migration
+    of a job from machine [a] to [b] stalls it for [latency a b] units;
+    realised times are the longest-path relaxation of the segment
+    precedence graph (machine order + job order).  With zero latencies
+    the realised schedule equals the input. *)
+
+open Hs_model
+
+type result = {
+  model_makespan : int;  (** makespan of the input schedule *)
+  realised_makespan : int;  (** after charging migration latencies *)
+  total_stall : int;  (** sum of charged latencies *)
+  migrations_by_level : (int * int) list;
+      (** (LCA height, count) aggregated; needs [~lam] *)
+}
+
+val latency_of_levels : Hs_laminar.Laminar.t -> int array -> int -> int -> int
+(** [latency_of_levels lam table a b]: migrating between machines whose
+    least common ancestor has height [h] costs [table.(h)] (clamped to
+    the last entry); 0 for [a = b]. *)
+
+val run :
+  ?lam:Hs_laminar.Laminar.t -> Schedule.t -> latency:(int -> int -> int) -> result
+(** Replay; [lam] enables the per-level migration counts. *)

@@ -1,0 +1,1 @@
+lib/workloads/families.ml: Array Hs_model Instance Ptime

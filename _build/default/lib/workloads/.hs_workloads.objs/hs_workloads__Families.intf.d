@@ -1,0 +1,1 @@
+lib/workloads/families.mli: Hs_model Instance

@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Array Hs_core Hs_laminar Hs_model Hs_numeric Instance Laminar List Option Ptime Rng Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/generators.mli: Hs_core Hs_laminar Hs_model Hs_numeric Instance Laminar Rng

@@ -1,0 +1,47 @@
+(** The paper's worked examples, as constructable instance families.
+
+    These pin the implementation to the text: Example II.1/III.1 (the
+    3-job, 2-machine instance separating semi-partitioned from unrelated
+    scheduling) and Example V.1 (the family whose integral gap between
+    the reduced unrelated instance and the hierarchical instance tends
+    to 2). *)
+
+open Hs_model
+
+(** Example II.1 / III.1: two machines, three jobs;
+    job 0 only fits machine 0 (p=1), job 1 only machine 1 (p=1), job 2
+    costs 2 anywhere.  Semi-partitioned optimum 2, unrelated optimum 3. *)
+let example_ii1 () =
+  Instance.semi_partitioned
+    ~global:[| Ptime.Inf; Ptime.Inf; Ptime.fin 2 |]
+    ~local:
+      [|
+        [| Ptime.fin 1; Ptime.Inf |];
+        [| Ptime.Inf; Ptime.fin 1 |];
+        [| Ptime.fin 2; Ptime.fin 2 |];
+      |]
+
+let example_ii1_semi_partitioned_opt = 2
+let example_ii1_unrelated_opt = 3
+
+(** Example V.1 with parameter [n ≥ 3]: [m = n-1] machines; job [j]
+    ([j < n-1]) runs only on machine [j] with time [n-2]; job [n-1] runs
+    anywhere (globally or locally) with time [n-1].  Hierarchical optimum
+    [n-1]; unrelated (no-migration) optimum [2n-3]. *)
+let example_v1 n =
+  if n < 3 then invalid_arg "Families.example_v1: need n >= 3";
+  let m = n - 1 in
+  let global =
+    Array.init n (fun j -> if j = n - 1 then Ptime.fin (n - 1) else Ptime.Inf)
+  in
+  let local =
+    Array.init n (fun j ->
+        Array.init m (fun i ->
+            if j = n - 1 then Ptime.fin (n - 1)
+            else if i = j then Ptime.fin (n - 2)
+            else Ptime.Inf))
+  in
+  Instance.semi_partitioned ~global ~local
+
+let example_v1_hierarchical_opt n = n - 1
+let example_v1_unrelated_opt n = (2 * n) - 3

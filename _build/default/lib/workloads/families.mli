@@ -1,0 +1,19 @@
+(** The paper's worked examples as constructable instance families. *)
+
+open Hs_model
+
+val example_ii1 : unit -> Instance.t
+(** Example II.1 / III.1: two machines, three jobs; job 0 only fits
+    machine 0 (p=1), job 1 only machine 1 (p=1), job 2 costs 2 anywhere.
+    Semi-partitioned optimum 2, unrelated optimum 3. *)
+
+val example_ii1_semi_partitioned_opt : int
+val example_ii1_unrelated_opt : int
+
+val example_v1 : int -> Instance.t
+(** Example V.1 with parameter [n ≥ 3]: [m = n-1] machines; job [j < n-1]
+    runs only on machine [j] (time n-2), job [n-1] runs anywhere (time
+    n-1).  The unrelated/hierarchical gap [(2n-3)/(n-1)] approaches 2. *)
+
+val example_v1_hierarchical_opt : int -> int
+val example_v1_unrelated_opt : int -> int

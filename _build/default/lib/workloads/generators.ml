@@ -1,0 +1,142 @@
+(** Synthetic workload generators for the experiment suite.
+
+    The paper has no empirical section, so these generators define the
+    evaluation workloads (DESIGN.md §4): random unrelated matrices,
+    hierarchical instances whose processing-time functions are built
+    bottom-up from per-machine speeds plus per-level migration overheads
+    (monotone by construction), random laminar topologies, and the
+    memory payloads of Section VI. *)
+
+open Hs_model
+open Hs_laminar
+module Q = Hs_numeric.Q
+
+(** Random unrelated-machines instance. [correlation] interpolates
+    between machine-independent uniform times (0.0) and strongly
+    machine-correlated times (1.0), the two standard regimes of the
+    R||Cmax literature. *)
+let unrelated rng ~n ~m ~pmin ~pmax ?(correlation = 0.0) () =
+  if n <= 0 || m <= 0 || pmin < 0 || pmax < pmin then invalid_arg "Generators.unrelated";
+  let speed = Array.init m (fun _ -> 0.5 +. Rng.float rng) in
+  let times =
+    Array.init n (fun _ ->
+        let base = Rng.int_range rng pmin pmax in
+        Array.init m (fun i ->
+            let uncorrelated = Rng.int_range rng pmin pmax in
+            let correlated =
+              Stdlib.max pmin
+                (Stdlib.min pmax (int_of_float (float_of_int base *. speed.(i))))
+            in
+            let v =
+              int_of_float
+                ((correlation *. float_of_int correlated)
+                +. ((1. -. correlation) *. float_of_int uncorrelated))
+            in
+            Ptime.fin (Stdlib.max 1 v)))
+  in
+  Instance.unrelated times
+
+(** Hierarchical instance over an arbitrary singleton-complete laminar
+    topology.  Per job: a base length in [base]; per machine a speed in
+    [[1, heterogeneity]]; singleton times are [⌈base·speed⌉]; a set's
+    time is the max over its children plus a migration overhead of
+    [⌈overhead·base⌉] per level climbed.  Monotone by construction. *)
+let hierarchical rng ~lam ~n ~base:(blo, bhi) ?(heterogeneity = 1.0) ?(overhead = 0.1) () =
+  if n <= 0 || blo <= 0 || bhi < blo then invalid_arg "Generators.hierarchical";
+  if heterogeneity < 1.0 || overhead < 0.0 then invalid_arg "Generators.hierarchical";
+  let m = Laminar.m lam in
+  let speed =
+    Array.init m (fun _ -> 1.0 +. (Rng.float rng *. (heterogeneity -. 1.0)))
+  in
+  let nsets = Laminar.size lam in
+  let p =
+    Array.init n (fun _ ->
+        let b = Rng.int_range rng blo bhi in
+        let row = Array.make nsets Ptime.Inf in
+        let ov = Stdlib.max 1 (int_of_float (ceil (overhead *. float_of_int b))) in
+        let rec fill set =
+          let v =
+            match Laminar.children lam set with
+            | [] ->
+                (* leaf: must be a singleton in a closed family *)
+                let i = (Laminar.members lam set).(0) in
+                int_of_float (ceil (float_of_int b *. speed.(i)))
+            | children -> List.fold_left (fun acc c -> Stdlib.max acc (fill c)) 0 children + ov
+          in
+          row.(set) <- Ptime.fin v;
+          v
+        in
+        List.iter (fun r -> ignore (fill r)) (Laminar.roots lam);
+        row)
+  in
+  Instance.make_exn lam p
+
+(** Random laminar topology: recursively partition [0..m) into 2..arity
+    contiguous groups until singletons; includes the root and all
+    intermediate groups. *)
+let random_laminar rng ~m ?(arity = 3) () =
+  if m <= 0 || arity < 2 then invalid_arg "Generators.random_laminar";
+  let sets = ref [] in
+  let rec go lo hi =
+    (* [lo, hi) *)
+    let width = hi - lo in
+    sets := List.init width (fun k -> lo + k) :: !sets;
+    if width > 1 then begin
+      let parts = Stdlib.min width (2 + Rng.int rng (arity - 1)) in
+      (* choose parts-1 distinct cut points *)
+      let cuts = Array.init (width - 1) (fun k -> lo + 1 + k) in
+      Rng.shuffle rng cuts;
+      let chosen = Array.sub cuts 0 (parts - 1) in
+      Array.sort compare chosen;
+      let bounds = Array.concat [ [| lo |]; chosen; [| hi |] ] in
+      for k = 0 to Array.length bounds - 2 do
+        go bounds.(k) bounds.(k + 1)
+      done
+    end
+  in
+  go 0 m;
+  Laminar.of_sets_exn ~m (List.sort_uniq compare !sets)
+
+(** Semi-partitioned instance controlled by a target load factor
+    [load = (Σ_j mean local time) / (m · pmax)]: local times are uniform
+    in [[pmin, pmax]], global times add a migration premium of
+    [premium] (≥ 0) percent.  Used by experiment F2. *)
+let semi_partitioned_load rng ~m ~load ~pmin ~pmax ?(premium = 0.2) () =
+  if m <= 0 || load <= 0.0 || pmin <= 0 || pmax < pmin then
+    invalid_arg "Generators.semi_partitioned_load";
+  let mean = float_of_int (pmin + pmax) /. 2.0 in
+  let n = Stdlib.max 1 (int_of_float (load *. float_of_int m *. float_of_int pmax /. mean)) in
+  let local =
+    Array.init n (fun _ ->
+        Array.init m (fun _ -> Ptime.fin (Rng.int_range rng pmin pmax)))
+  in
+  let global =
+    Array.init n (fun j ->
+        let worst =
+          Array.fold_left
+            (fun acc pt -> Stdlib.max acc (Option.get (Ptime.value pt)))
+            0 local.(j)
+        in
+        Ptime.fin (int_of_float (ceil (float_of_int worst *. (1.0 +. premium)))))
+  in
+  Instance.semi_partitioned ~global ~local
+
+(** Memory payload for Model 1: per-machine budgets and per-(job,machine)
+    space requirements with a feasibility [slack] factor (> 1 loosens the
+    budgets). *)
+let model1_payload rng inst ~smax ~slack =
+  if smax <= 0 || slack <= 0.0 then invalid_arg "Generators.model1_payload";
+  let n = Instance.njobs inst in
+  let m = Instance.nmachines inst in
+  let space = Array.init n (fun _ -> Array.init m (fun _ -> Rng.int_range rng 1 smax)) in
+  let total = Array.fold_left (fun acc row -> acc + Array.fold_left Stdlib.max 0 row) 0 space in
+  let budget =
+    Stdlib.max smax (int_of_float (ceil (slack *. float_of_int total /. float_of_int m)))
+  in
+  { Hs_core.Memory.budgets = Array.make m budget; space }
+
+(** Memory payload for Model 2: job sizes are rationals in (0, 1]. *)
+let model2_payload rng inst ~mu =
+  let n = Instance.njobs inst in
+  let sizes = Array.init n (fun _ -> Q.of_ints (1 + Rng.int rng 16) 16) in
+  { Hs_core.Memory.mu; sizes }

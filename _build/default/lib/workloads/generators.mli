@@ -1,0 +1,59 @@
+(** Synthetic workload generators for the experiment suite (DESIGN.md §4).
+
+    All constructions are monotone by design and validated by
+    {!Hs_model.Instance.make}; all randomness flows through {!Rng}, so
+    any instance is reproducible from its seed. *)
+
+open Hs_model
+open Hs_laminar
+module Q = Hs_numeric.Q
+
+val unrelated :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  pmin:int ->
+  pmax:int ->
+  ?correlation:float ->
+  unit ->
+  Instance.t
+(** Random unrelated-machines matrix; [correlation] interpolates between
+    machine-independent (0.0) and machine-correlated (1.0) times. *)
+
+val hierarchical :
+  Rng.t ->
+  lam:Laminar.t ->
+  n:int ->
+  base:int * int ->
+  ?heterogeneity:float ->
+  ?overhead:float ->
+  unit ->
+  Instance.t
+(** Hierarchical instance over a singleton-complete family: per-job base
+    length, per-machine speed in [[1, heterogeneity]], and a per-level
+    migration overhead of [⌈overhead · base⌉] — the paper's model of
+    processing times growing with the mask. *)
+
+val random_laminar : Rng.t -> m:int -> ?arity:int -> unit -> Laminar.t
+(** Random recursive contiguous partition of [0..m); includes the root,
+    all intermediate groups and the singletons. *)
+
+val semi_partitioned_load :
+  Rng.t ->
+  m:int ->
+  load:float ->
+  pmin:int ->
+  pmax:int ->
+  ?premium:float ->
+  unit ->
+  Instance.t
+(** Semi-partitioned instance at a target load factor; global times carry
+    a migration [premium] over the worst local time. *)
+
+val model1_payload :
+  Rng.t -> Instance.t -> smax:int -> slack:float -> Hs_core.Memory.model1
+(** Per-machine budgets and per-(job, machine) space requirements;
+    [slack > 1] loosens the budgets. *)
+
+val model2_payload : Rng.t -> Instance.t -> mu:Q.t -> Hs_core.Memory.model2
+(** Job sizes in (0, 1] and the capacity scale µ. *)

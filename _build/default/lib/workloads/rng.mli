@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (SplitMix64, Steele–Lea–Flood
+    2014), implemented from scratch so every experiment is exactly
+    reproducible from its printed seed, independent of the OCaml
+    runtime's [Random]. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [[0, bound)].  Raises [Invalid_argument] for
+    [bound ≤ 0]. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [[lo, hi]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** True with the given probability. *)
+
+val choose : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+val split : t -> t
+(** An independent derived stream. *)

@@ -1,0 +1,10 @@
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1 --gantt | tail -4
+  $ ../../bin/hsched.exe exact --m 3 --jobs 6 --seed 1 | head -1
+  $ ../../bin/hsched.exe generate --topology clustered --m 4 --jobs 3 --seed 5 -o inst.txt
+  $ cat inst.txt
+  $ ../../bin/hsched.exe solve --file inst.txt | head -2
+  $ ../../bin/hsched.exe topology --topology smp-cmp --m 8 | head -4
+  $ ../../bin/hsched.exe simulate --m 4 --jobs 6 --seed 2 --latencies 0,2,5 | head -3
+  $ ../../bin/hsched.exe realtime --m 4 --topology clustered --tasks 10:6,20:9,10:5
+  $ ../../bin/hsched.exe experiment bogus

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Char Hs_numeric List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Assignment Exact Families Generators Hs_core Hs_laminar Hs_model Hs_workloads Instance Ptime QCheck QCheck_alcotest Rng Test_util

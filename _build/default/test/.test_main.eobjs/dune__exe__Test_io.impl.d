@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Gen Hs_core Hs_laminar Hs_model Instance Instance_io List Ptime QCheck QCheck_alcotest Schedule Stdlib String Sys Tape Test_util

@@ -1,0 +1,1 @@
+test/test_laminar.ml: Alcotest Array Format Hashtbl Hs_laminar Hs_workloads Laminar List Option QCheck QCheck_alcotest Topology

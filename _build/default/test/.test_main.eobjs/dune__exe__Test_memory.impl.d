@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Generators Hs_core Hs_laminar Hs_model Hs_numeric Hs_workloads Instance Iterative_rounding Memory Ptime QCheck QCheck_alcotest Rng Schedule Test_util

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Assignment General_instance Hs_laminar Hs_model Hs_workloads Instance Laminar List Metrics Option Ptime Schedule Topology

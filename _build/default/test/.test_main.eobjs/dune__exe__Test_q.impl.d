@@ -1,0 +1,1 @@
+test/test_q.ml: Alcotest Float Hs_numeric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_realtime.ml: Alcotest Array Dpfair Gantt Hs_laminar Hs_model Hs_numeric Hs_realtime Hs_workloads List Option Ptime QCheck QCheck_alcotest Schedule String Task Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Families Generators Hs_core Hs_laminar Hs_model Hs_sim Hs_workloads Instance Option QCheck QCheck_alcotest Rng Schedule Simulator Test_util

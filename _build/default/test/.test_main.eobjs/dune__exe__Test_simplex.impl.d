@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Field Float Hs_lp Hs_numeric List Lp_problem Printf QCheck QCheck_alcotest Simplex String

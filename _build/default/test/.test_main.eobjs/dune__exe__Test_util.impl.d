@@ -1,0 +1,1 @@
+test/test_util.ml: Array Generators Hs_laminar Hs_model Hs_workloads Instance List Ptime QCheck Rng Stdlib

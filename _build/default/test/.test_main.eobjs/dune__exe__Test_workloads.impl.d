@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Families Generators Hs_laminar Hs_model Hs_numeric Hs_workloads Instance List Option Ptime QCheck QCheck_alcotest Rng Test_util

@@ -1,0 +1,85 @@
+Deterministic CLI walkthrough (all seeds fixed; outputs promoted from a
+verified run and guarded against regressions).
+
+Solve a generated semi-partitioned instance with the certified pipeline:
+
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1
+  LP lower bound T* = 14
+  achieved makespan = 18  (guarantee: <= 28)
+  fractional jobs rounded: 2 (matched 2)
+    job 0 -> {0} (p=4)
+    job 1 -> {1} (p=9)
+    job 2 -> {2} (p=14)
+    job 3 -> {0} (p=4)
+    job 4 -> {1} (p=9)
+    job 5 -> {0} (p=2)
+  schedule: VALID, horizon 18
+
+Gantt view of the same schedule:
+
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1 --gantt | tail -4
+  time 0..18
+  m0   |0000333355........|
+  m1   |111111111444444444|
+  m2   |22222222222222....|
+
+Branch-and-bound optimum of the same instance:
+
+  $ ../../bin/hsched.exe exact --m 3 --jobs 6 --seed 1 | head -1
+  optimal makespan = 14 (nodes=10 pruned=27)
+
+Instance file round trip:
+
+  $ ../../bin/hsched.exe generate --topology clustered --m 4 --jobs 3 --seed 5 -o inst.txt
+  wrote inst.txt
+  $ cat inst.txt
+  machines 4
+  sets 7
+  0
+  0 1
+  0 1 2 3
+  1
+  2
+  2 3
+  3
+  jobs 3
+  5 7 8 6 5 6 5
+  3 4 5 3 3 4 3
+  4 6 7 5 4 5 4
+  $ ../../bin/hsched.exe solve --file inst.txt | head -2
+  LP lower bound T* = 5
+  achieved makespan = 8  (guarantee: <= 10)
+
+Topologies:
+
+  $ ../../bin/hsched.exe topology --topology smp-cmp --m 8 | head -4
+  laminar family over 8 machines:
+    #0 {0} level=4 height=0 parent=#1
+    #1 {0,1} level=3 height=1 parent=#2
+    #2 {0,1,2,3} level=2 height=2 parent=#3
+
+Migration-latency simulation:
+
+  $ ../../bin/hsched.exe simulate --m 4 --jobs 6 --seed 2 --latencies 0,2,5 | head -3
+  model makespan    = 10
+  realised makespan = 10
+  total stall       = 0
+
+Real-time schedulability (DP-Fair with affinities):
+
+  $ ../../bin/hsched.exe realtime --m 4 --topology clustered --tasks 10:6,20:9,10:5
+  slice D = 10, hyperperiod = 20, total min utilization = 31/20 / 4 cores
+  SCHEDULABLE with template of length 10:
+    t0   -> {0}
+    t1   -> {2}
+    t2   -> {3}
+  time 0..10
+  m0   |000000....|
+  m1   |..........|
+  m2   |11111.....|
+  m3   |22222.....|
+
+Unknown experiment name is reported:
+
+  $ ../../bin/hsched.exe experiment bogus
+  unknown experiment bogus (T1-T6, F1-F5, A1-A3, all)

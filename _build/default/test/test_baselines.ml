@@ -1,0 +1,128 @@
+(* Tests for the baseline schedulers and the unrelated-machines
+   reduction. *)
+
+open Hs_model
+open Hs_baselines
+open Hs_workloads
+
+let test_mcnaughton_optimality () =
+  Alcotest.(check int) "volume-bound" 5 (Mcnaughton.optimal_t ~m:3 ~lengths:[| 5; 4; 3; 2; 1 |]);
+  Alcotest.(check int) "longest-job-bound" 9 (Mcnaughton.optimal_t ~m:3 ~lengths:[| 9; 1; 1 |]);
+  Alcotest.(check int) "single machine" 6 (Mcnaughton.optimal_t ~m:1 ~lengths:[| 1; 2; 3 |])
+
+let prop_mcnaughton_valid =
+  QCheck.Test.make ~name:"McNaughton schedules are valid and tight" ~count:200
+    QCheck.(pair (int_range 1 6) (list_of_size (Gen.int_range 0 10) (int_range 0 12)))
+    (fun (m, lengths) ->
+      let lengths = Array.of_list lengths in
+      let t = Mcnaughton.optimal_t ~m ~lengths in
+      let sched = Mcnaughton.schedule ~m ~lengths in
+      let inst = Instance.identical ~m ~lengths in
+      let a = Array.make (Array.length lengths) 0 in
+      Schedule.horizon sched = t
+      && (Array.length lengths = 0 || Schedule.is_valid inst a sched)
+      && Schedule.makespan sched <= t)
+
+let test_lpt () =
+  (* The classic LPT suboptimality: OPT = 6 (3+3 | 2+2+2) but LPT packs
+     3|3, 2|2, then ties onto machine 0 for 7. *)
+  let place, span = Partitioned.lpt_identical ~m:2 ~lengths:[| 3; 3; 2; 2; 2 |] in
+  Alcotest.(check int) "LPT span" 7 span;
+  Alcotest.(check int) "all placed" 5 (Array.length place);
+  Alcotest.(check bool) "machines in range" true (Array.for_all (fun i -> i = 0 || i = 1) place)
+
+let prop_lpt_within_4_3 =
+  QCheck.Test.make ~name:"LPT within 4/3 + eps of the preemptive bound" ~count:200
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 1 12) (int_range 1 20)))
+    (fun (m, lengths) ->
+      let lengths = Array.of_list lengths in
+      let _, span = Partitioned.lpt_identical ~m ~lengths in
+      let lb = Mcnaughton.optimal_t ~m ~lengths in
+      (* LPT <= 4/3 OPT; OPT(non-preemptive) can exceed the preemptive
+         bound by at most the largest job. *)
+      3 * span <= (4 * lb) + (4 * Array.fold_left max 0 lengths))
+
+let test_greedy_unrelated () =
+  let times =
+    [|
+      [| Ptime.fin 2; Ptime.Inf |];
+      [| Ptime.Inf; Ptime.fin 3 |];
+      [| Ptime.fin 4; Ptime.fin 4 |];
+    |]
+  in
+  match Partitioned.greedy_unrelated times with
+  | None -> Alcotest.fail "greedy failed"
+  | Some (place, span) ->
+      Alcotest.(check int) "job 0 pinned" 0 place.(0);
+      Alcotest.(check int) "job 1 pinned" 1 place.(1);
+      Alcotest.(check bool) "span sane" true (span >= 6 && span <= 7)
+
+let test_greedy_unschedulable () =
+  Alcotest.(check bool) "all-Inf job" true
+    (Partitioned.greedy_unrelated [| [| Ptime.Inf |] |] = None)
+
+let prop_greedy_valid_partition =
+  QCheck.Test.make ~name:"greedy: placement load equals reported span" ~count:150
+    Test_util.seed_arb (fun seed ->
+      let inst = Test_util.random_instance seed in
+      let u = Unrelated_reduction.reduce inst in
+      let lam = Instance.laminar u in
+      let m = Hs_laminar.Laminar.m lam in
+      let times =
+        Array.init (Instance.njobs u) (fun j ->
+            Array.init m (fun i ->
+                Instance.ptime u ~job:j
+                  ~set:(Option.get (Hs_laminar.Laminar.singleton lam i))))
+      in
+      match Partitioned.greedy_unrelated times with
+      | None -> false (* generator instances always have finite rows *)
+      | Some (place, span) ->
+          let load = Array.make m 0 in
+          Array.iteri
+            (fun j i -> load.(i) <- load.(i) + Ptime.value_exn times.(j).(i))
+            place;
+          Array.fold_left Stdlib.max 0 load = span)
+
+let test_reduction_examples () =
+  (* Example II.1: reduction loses the semi-partitioned advantage. *)
+  let inst = Families.example_ii1 () in
+  (match Unrelated_reduction.optimal_reduced inst with
+  | Some r -> Alcotest.(check int) "reduced opt 3" 3 r
+  | None -> Alcotest.fail "reduction infeasible");
+  (* Reduced processing times are the minimal containing set's times. *)
+  let u = Unrelated_reduction.reduce inst in
+  let lam = Instance.laminar u in
+  let p_of j i =
+    Instance.ptime u ~job:j ~set:(Option.get (Hs_laminar.Laminar.singleton lam i))
+  in
+  Alcotest.(check string) "job0 m0" "1" (Ptime.to_string (p_of 0 0));
+  Alcotest.(check string) "job2 m1" "2" (Ptime.to_string (p_of 2 1))
+
+let prop_reduction_lower_bounds =
+  QCheck.Test.make
+    ~name:"reduced preemptive LP lower-bounds the hierarchical optimum" ~count:40
+    Test_util.seed_arb (fun seed ->
+      let inst = Test_util.random_instance ~max_m:4 ~max_n:5 seed in
+      let module I = Hs_core.Ilp.Make (Hs_lp.Field.Exact) in
+      let closed_u, _ = Instance.with_singletons (Unrelated_reduction.reduce inst) in
+      match (I.min_feasible_t closed_u, Hs_core.Exact.optimal inst) with
+      | Some (t_lp, _), Some (_, opt, _) -> t_lp <= opt
+      | None, None -> true
+      | None, Some _ -> false
+      | Some _, None -> true)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "baselines",
+    [
+      u "McNaughton bound" test_mcnaughton_optimality;
+      u "LPT" test_lpt;
+      u "greedy unrelated" test_greedy_unrelated;
+      u "greedy unschedulable" test_greedy_unschedulable;
+      u "reduction on Example II.1" test_reduction_examples;
+      qt prop_mcnaughton_valid;
+      qt prop_lpt_within_4_3;
+      qt prop_greedy_valid_partition;
+      qt prop_reduction_lower_bounds;
+    ] )

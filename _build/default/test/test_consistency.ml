@@ -1,0 +1,82 @@
+(* Cross-engine consistency: the float pipeline against the certified
+   one, simulator ordering guarantees, and reference constants. *)
+
+open Hs_model
+open Hs_core
+open Hs_workloads
+
+let prop_float_t_lp_close_to_exact =
+  (* The float LP binary search may drift by rounding, but on small
+     well-conditioned instances it should land within one unit of the
+     certified horizon and never certify below it by more than 1. *)
+  QCheck.Test.make ~name:"float t_lp within 1 of certified t_lp" ~count:40
+    Test_util.seed_arb (fun seed ->
+      let inst = Test_util.random_instance ~max_m:4 ~max_n:6 seed in
+      match (Approx.Exact.solve inst, Approx.Fast.solve inst) with
+      | Ok e, Ok f -> abs (e.t_lp - f.t_lp) <= 1
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_simulator_preserves_volume =
+  (* Charged stalls never lose or duplicate work: per-job processing in
+     the realised timeline equals the model's. *)
+  QCheck.Test.make ~name:"simulator: stall is additive, never lost work" ~count:40
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.schedule inst a ~tmax:t with
+      | Error _ -> false
+      | Ok sched ->
+          let lam = Instance.laminar inst in
+          let latency = Hs_sim.Simulator.latency_of_levels lam [| 0; 2; 5; 9 |] in
+          let r = Hs_sim.Simulator.run ~lam sched ~latency in
+          r.realised_makespan >= Schedule.makespan sched
+          && r.realised_makespan <= Schedule.makespan sched + r.total_stall)
+
+let test_reference_constants () =
+  (* Paper constants pinned down once more, via the exported values. *)
+  Alcotest.(check int) "II.1 semi opt" 2 Families.example_ii1_semi_partitioned_opt;
+  Alcotest.(check int) "II.1 unrelated opt" 3 Families.example_ii1_unrelated_opt;
+  Alcotest.(check int) "V.1 hier opt at 10" 9 (Families.example_v1_hierarchical_opt 10);
+  Alcotest.(check int) "V.1 unrelated opt at 10" 17 (Families.example_v1_unrelated_opt 10)
+
+let prop_schedule_stats_consistent_between_schedulers =
+  (* On semi-partitioned inputs the two schedulers may place jobs
+     differently but both must respect the Prop. III.2 budget. *)
+  QCheck.Test.make ~name:"both schedulers respect the stop budget" ~count:100
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_semi_assigned seed in
+      let m = Instance.nmachines inst in
+      let t = Assignment.min_makespan inst a in
+      match
+        (Semi_partitioned.schedule_stats inst a ~tmax:t, Hierarchical.schedule_stats inst a ~tmax:t)
+      with
+      | Ok (_, s1), Ok (_, s2) ->
+          Tape.stops s1 <= Stdlib.max 0 ((2 * m) - 2)
+          && Tape.stops s2 <= Stdlib.max 0 ((2 * m) - 2)
+      | _ -> false)
+
+let prop_certified_infeasible_monotone =
+  (* Certification must agree with plain feasibility on both sides of
+     the boundary. *)
+  QCheck.Test.make ~name:"certified_infeasible consistent with lp_feasible" ~count:40
+    Test_util.seed_arb (fun seed ->
+      let module I = Ilp.Make (Hs_lp.Field.Exact) in
+      let inst, _ = Instance.with_singletons (Test_util.random_instance ~max_m:4 ~max_n:5 seed) in
+      match I.min_feasible_t inst with
+      | None -> false
+      | Some (t, _) ->
+          (not (I.certified_infeasible inst ~tmax:t))
+          && (t = 0 || I.certified_infeasible inst ~tmax:(t - 1)))
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "consistency",
+    [
+      u "paper reference constants" test_reference_constants;
+      qt prop_float_t_lp_close_to_exact;
+      qt prop_simulator_preserves_volume;
+      qt prop_schedule_stats_consistent_between_schedulers;
+      qt prop_certified_infeasible_monotone;
+    ] )

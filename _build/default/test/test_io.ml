@@ -1,0 +1,173 @@
+(* Tests for the plain-text instance format and the Tape layer. *)
+
+open Hs_model
+open Hs_core
+
+let sample_text =
+  "# demo\n\
+   machines 4\n\
+   sets 6\n\
+   0 1 2 3\n\
+   0 1\n\
+   2 3\n\
+   0\n\
+   1\n\
+   2\n\
+   jobs 2\n\
+   9 7 7 4 5 6\n\
+   6 6 6 3 3 5\n"
+
+let test_parse_sample () =
+  match Instance_io.of_string sample_text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok inst ->
+      Alcotest.(check int) "jobs" 2 (Instance.njobs inst);
+      Alcotest.(check int) "machines" 4 (Instance.nmachines inst);
+      Alcotest.(check int) "sets" 6 (Hs_laminar.Laminar.size (Instance.laminar inst));
+      (* set order in the file is preserved by id *)
+      Alcotest.(check string) "p(job1, set3)" "3"
+        (Ptime.to_string (Instance.ptime inst ~job:1 ~set:3))
+
+let test_roundtrip_sample () =
+  match Instance_io.of_string sample_text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok inst -> (
+      let text = Instance_io.to_string inst in
+      match Instance_io.of_string text with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok inst' -> Alcotest.(check string) "fixed point" text (Instance_io.to_string inst'))
+
+let test_parse_errors () =
+  let expect_error text =
+    match Instance_io.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad input: %s" (String.escaped text)
+  in
+  expect_error "";
+  expect_error "machines x\n";
+  expect_error "machines 2\nsets 1\n0 5\njobs 0\n";
+  (* wrong arity *)
+  expect_error "machines 2\nsets 2\n0\n1\njobs 1\n3\n";
+  (* bad time *)
+  expect_error "machines 2\nsets 2\n0\n1\njobs 1\n3 -4\n";
+  (* monotonicity violated: singleton above full set *)
+  expect_error "machines 2\nsets 3\n0 1\n0\n1\njobs 1\n3 9 1\n";
+  (* trailing garbage *)
+  expect_error "machines 1\nsets 1\n0\njobs 1\n3\nextra\n"
+
+let prop_generator_roundtrip =
+  QCheck.Test.make ~name:"generated instances round-trip" ~count:100 Test_util.seed_arb
+    (fun seed ->
+      let inst = Test_util.random_instance seed in
+      let text = Instance_io.to_string inst in
+      match Instance_io.of_string text with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok inst' -> Instance_io.to_string inst' = text)
+
+let test_file_io () =
+  let inst = Test_util.random_instance 99 in
+  let path = Filename.temp_file "hsched" ".inst" in
+  Instance_io.save path inst;
+  (match Instance_io.load path with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok inst' ->
+      Alcotest.(check string) "file round-trip" (Instance_io.to_string inst)
+        (Instance_io.to_string inst'));
+  Sys.remove path;
+  match Instance_io.load "/nonexistent/definitely/missing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file accepted"
+
+(* ---- Tape ----------------------------------------------------------- *)
+
+let seg_total segs =
+  List.fold_left (fun acc (s : Schedule.segment) -> acc + s.stop - s.start) 0 segs
+
+let test_tape_lay_basic () =
+  let blocks =
+    [ { Tape.machine = 0; start = 0; len = 5 }; { Tape.machine = 1; start = 5; len = 5 } ]
+  in
+  let laid = Tape.lay ~horizon:10 ~blocks ~jobs:[ (0, 4); (1, 6) ] in
+  Alcotest.(check int) "volume placed" 10 (seg_total laid.segments);
+  (* job 1 crosses the block boundary once *)
+  Alcotest.(check int) "migrations" 1 laid.stats.migrations;
+  Alcotest.(check int) "preemptions" 0 laid.stats.preemptions
+
+let test_tape_wrap_preemption () =
+  (* One block that wraps the horizon: laying a job across the wrap point
+     counts one preemption, no migration. *)
+  let blocks = [ { Tape.machine = 2; start = 7; len = 6 } ] in
+  let laid = Tape.lay ~horizon:10 ~blocks ~jobs:[ (0, 6) ] in
+  Alcotest.(check int) "volume" 6 (seg_total laid.segments);
+  Alcotest.(check int) "migrations" 0 laid.stats.migrations;
+  Alcotest.(check int) "preemptions" 1 laid.stats.preemptions;
+  (* pieces [7,10) and [0,3) *)
+  Alcotest.(check int) "two segments" 2 (List.length laid.segments)
+
+let test_tape_overflow_rejected () =
+  let blocks = [ { Tape.machine = 0; start = 0; len = 3 } ] in
+  Alcotest.check_raises "capacity" (Invalid_argument "Tape.lay: jobs exceed block capacity")
+    (fun () -> ignore (Tape.lay ~horizon:10 ~blocks ~jobs:[ (0, 4) ]))
+
+let test_tape_complement () =
+  let free = Tape.complement ~horizon:10 ~machine:3 ~start:2 ~len:5 in
+  Alcotest.(check int) "two intervals" 2 (List.length free);
+  Alcotest.(check int) "free volume" 5
+    (List.fold_left (fun acc (b : Tape.block) -> acc + b.len) 0 free);
+  (* wrapping block leaves a single middle interval *)
+  let free = Tape.complement ~horizon:10 ~machine:3 ~start:7 ~len:6 in
+  (match free with
+  | [ b ] ->
+      Alcotest.(check int) "starts after wrap" 3 b.Tape.start;
+      Alcotest.(check int) "middle length" 4 b.Tape.len
+  | _ -> Alcotest.fail "expected one interval");
+  (* full block leaves nothing; empty block leaves everything *)
+  Alcotest.(check int) "full" 0 (List.length (Tape.complement ~horizon:10 ~machine:0 ~start:0 ~len:10));
+  Alcotest.(check int) "empty" 1 (List.length (Tape.complement ~horizon:10 ~machine:0 ~start:0 ~len:0))
+
+let prop_tape_conserves_volume =
+  QCheck.Test.make ~name:"tape conserves volume and fits blocks" ~count:200
+    QCheck.(pair (int_range 1 20) (list_of_size (Gen.int_range 1 6) (int_range 0 8)))
+    (fun (horizon, lens) ->
+      (* blocks chained contiguously from 0, each <= horizon *)
+      let lens = List.map (fun l -> Stdlib.min l horizon) lens in
+      let t = ref 0 in
+      let blocks =
+        List.mapi
+          (fun i len ->
+            let b = { Tape.machine = i; start = !t; len } in
+            t := (!t + len) mod horizon;
+            b)
+          lens
+      in
+      let capacity = List.fold_left (fun a l -> a + l) 0 lens in
+      (* jobs exactly filling the capacity, each at most horizon *)
+      let rec mk_jobs j remaining =
+        if remaining = 0 then []
+        else
+          let take = Stdlib.min remaining (1 + (j mod Stdlib.max 1 horizon)) in
+          (j, take) :: mk_jobs (j + 1) (remaining - take)
+      in
+      let jobs = mk_jobs 0 capacity in
+      let laid = Tape.lay ~horizon ~blocks ~jobs in
+      seg_total laid.segments = capacity
+      && List.for_all
+           (fun (s : Schedule.segment) -> s.start >= 0 && s.stop <= horizon && s.start < s.stop)
+           laid.segments)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "io+tape",
+    [
+      u "parse sample" test_parse_sample;
+      u "round-trip sample" test_roundtrip_sample;
+      u "parse errors" test_parse_errors;
+      u "file io" test_file_io;
+      u "tape: lay basic" test_tape_lay_basic;
+      u "tape: wrap preemption" test_tape_wrap_preemption;
+      u "tape: overflow rejected" test_tape_overflow_rejected;
+      u "tape: complement" test_tape_complement;
+      qt prop_generator_roundtrip;
+      qt prop_tape_conserves_volume;
+    ] )

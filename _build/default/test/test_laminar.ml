@@ -1,0 +1,216 @@
+(* Tests for the laminar-family engine and the topology builders. *)
+
+open Hs_laminar
+
+let lam_exn = Laminar.of_sets_exn
+
+let test_rejects_overlap () =
+  match Laminar.of_sets ~m:4 [ [ 0; 1; 2 ]; [ 2; 3 ] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "proper overlap accepted"
+
+let test_rejects_empty_and_range () =
+  (match Laminar.of_sets ~m:2 [ [] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty set accepted");
+  (match Laminar.of_sets ~m:2 [ [ 0; 5 ] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range accepted");
+  match Laminar.of_sets ~m:2 [ [ 0 ]; [ 0 ] ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+
+let test_structure_semi_partitioned () =
+  let t = Topology.semi_partitioned 3 in
+  Alcotest.(check int) "size" 4 (Laminar.size t);
+  Alcotest.(check bool) "is semi-partitioned" true (Laminar.is_semi_partitioned t);
+  let full = Option.get (Laminar.full_set t) in
+  Alcotest.(check int) "full level" 1 (Laminar.level t full);
+  Alcotest.(check int) "full height" 1 (Laminar.height t full);
+  Alcotest.(check int) "nlevels" 2 (Laminar.nlevels t);
+  List.iter
+    (fun i ->
+      let s = Option.get (Laminar.singleton t i) in
+      Alcotest.(check (option int)) "parent is full" (Some full) (Laminar.parent t s);
+      Alcotest.(check int) "singleton level" 2 (Laminar.level t s);
+      Alcotest.(check int) "singleton height" 0 (Laminar.height t s))
+    [ 0; 1; 2 ]
+
+let test_structure_clustered () =
+  let t = Topology.clustered ~m:6 ~clusters:2 in
+  Alcotest.(check int) "size" (1 + 2 + 6) (Laminar.size t);
+  Alcotest.(check int) "nlevels" 3 (Laminar.nlevels t);
+  let c = Option.get (Laminar.find t [ 0; 1; 2 ]) in
+  Alcotest.(check int) "cluster card" 3 (Laminar.card t c);
+  let full = Option.get (Laminar.full_set t) in
+  Alcotest.(check (option int)) "cluster parent" (Some full) (Laminar.parent t c);
+  Alcotest.(check bool) "not semi-partitioned" false (Laminar.is_semi_partitioned t);
+  Alcotest.check_raises "bad clustering"
+    (Invalid_argument "Topology.clustered: clusters must divide m") (fun () ->
+      ignore (Topology.clustered ~m:7 ~clusters:2))
+
+let test_structure_smp_cmp () =
+  let t = Topology.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
+  Alcotest.(check int) "m" 8 (Laminar.m t);
+  (* root + 2 nodes + 4 chips + 8 singletons *)
+  Alcotest.(check int) "size" 15 (Laminar.size t);
+  Alcotest.(check int) "nlevels" 4 (Laminar.nlevels t);
+  Alcotest.(check bool) "tree" true (Laminar.is_tree t);
+  Alcotest.(check bool) "uniform leaves" true (Laminar.uniform_leaf_level t);
+  (* LCA heights encode the three communication levels of the paper. *)
+  Alcotest.(check (option int)) "intra-chip" (Some 1) (Laminar.lca_level t 0 1);
+  Alcotest.(check (option int)) "inter-chip" (Some 2) (Laminar.lca_level t 0 2);
+  Alcotest.(check (option int)) "inter-node" (Some 3) (Laminar.lca_level t 0 7);
+  Alcotest.(check (option int)) "same core" (Some 0) (Laminar.lca_level t 3 3)
+
+let test_subset_descendants () =
+  let t = Topology.clustered ~m:4 ~clusters:2 in
+  let full = Option.get (Laminar.full_set t) in
+  let c0 = Option.get (Laminar.find t [ 0; 1 ]) in
+  let s0 = Option.get (Laminar.singleton t 0) in
+  Alcotest.(check bool) "s0 ⊆ c0" true (Laminar.subset t s0 c0);
+  Alcotest.(check bool) "c0 ⊆ full" true (Laminar.subset t c0 full);
+  Alcotest.(check bool) "full ⊄ c0" false (Laminar.subset t full c0);
+  Alcotest.(check int) "descendants of c0" 3 (List.length (Laminar.descendants t c0));
+  Alcotest.(check int) "ancestors of s0" 3 (List.length (Laminar.ancestors t s0));
+  Alcotest.(check (list int)) "ancestors innermost-first" [ s0; c0; full ]
+    (Laminar.ancestors t s0)
+
+let test_minimal_superset () =
+  let t = Topology.clustered ~m:4 ~clusters:2 in
+  let c0 = Option.get (Laminar.find t [ 0; 1 ]) in
+  let full = Option.get (Laminar.full_set t) in
+  Alcotest.(check (option int)) "within cluster" (Some c0)
+    (Laminar.minimal_superset t [ 0; 1 ]);
+  Alcotest.(check (option int)) "across clusters" (Some full)
+    (Laminar.minimal_superset t [ 0; 2 ]);
+  Alcotest.(check (option int)) "single machine" (Laminar.singleton t 1)
+    (Laminar.minimal_superset t [ 1 ])
+
+let test_traversal_orders () =
+  let t = Topology.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
+  let position order =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k id -> Hashtbl.replace tbl id k) order;
+    Hashtbl.find tbl
+  in
+  let bu = position (Laminar.bottom_up t) and td = position (Laminar.top_down t) in
+  List.iter
+    (fun id ->
+      match Laminar.parent t id with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool) "bottom-up: child first" true (bu id < bu p);
+          Alcotest.(check bool) "top-down: parent first" true (td p < td id))
+    (Laminar.bottom_up t)
+
+let test_add_singletons () =
+  let t = lam_exn ~m:4 [ [ 0; 1; 2; 3 ]; [ 0; 1 ]; [ 0 ] ] in
+  let t', origin = Laminar.add_singletons t in
+  Alcotest.(check int) "all singletons added" 6 (Laminar.size t');
+  List.iter
+    (fun i -> Alcotest.(check bool) "has singleton" true (Laminar.singleton t' i <> None))
+    [ 0; 1; 2; 3 ];
+  (* New singleton {1}'s minimal original superset is {0,1}. *)
+  let s1 = Option.get (Laminar.singleton t' 1) in
+  let orig01 = Laminar.find t [ 0; 1 ] in
+  Alcotest.(check (option int)) "origin of {1}" orig01 (origin s1);
+  (* New singleton {3}'s minimal original superset is M. *)
+  let s3 = Option.get (Laminar.singleton t' 3) in
+  Alcotest.(check (option int)) "origin of {3}" (Laminar.find t [ 0; 1; 2; 3 ]) (origin s3)
+
+let test_singletons_only () =
+  let t = Topology.singletons 3 in
+  Alcotest.(check bool) "is singletons" true (Laminar.is_singletons_only t);
+  Alcotest.(check bool) "no full set" false (Laminar.has_full_set t);
+  Alcotest.(check int) "three roots" 3 (List.length (Laminar.roots t))
+
+let test_balanced_dedup () =
+  (* fanout [1] would duplicate the root; builder must deduplicate. *)
+  let t = Topology.balanced [ 2 ] in
+  Alcotest.(check int) "m" 2 (Laminar.m t);
+  Alcotest.(check int) "size" 3 (Laminar.size t)
+
+(* Properties over random laminar families. *)
+
+let random_family =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun seed m ->
+          let rng = Hs_workloads.Rng.create seed in
+          Hs_workloads.Generators.random_laminar rng ~m ())
+        (int_range 0 100000) (int_range 1 16))
+  in
+  QCheck.make ~print:(fun t -> Format.asprintf "%a" Laminar.pp t) gen
+
+let prop_random_laminar_valid =
+  QCheck.Test.make ~name:"random family validates" ~count:200 random_family (fun t ->
+      match Laminar.of_sets ~m:(Laminar.m t) (Laminar.sets t) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let prop_levels_consistent =
+  QCheck.Test.make ~name:"level = 1 + parent level; heights consistent" ~count:200
+    random_family (fun t ->
+      List.for_all
+        (fun id ->
+          (match Laminar.parent t id with
+          | None -> Laminar.level t id = 1
+          | Some p -> Laminar.level t id = Laminar.level t p + 1)
+          &&
+          match Laminar.children t id with
+          | [] -> Laminar.height t id = 0
+          | cs ->
+              Laminar.height t id
+              = 1 + List.fold_left (fun acc c -> max acc (Laminar.height t c)) 0 cs)
+        (Laminar.bottom_up t))
+
+let prop_children_partition_parent =
+  QCheck.Test.make ~name:"children partition their parent (closed family)" ~count:200
+    random_family (fun t ->
+      List.for_all
+        (fun id ->
+          match Laminar.children t id with
+          | [] -> Laminar.card t id = 1
+          | cs ->
+              List.fold_left (fun acc c -> acc + Laminar.card t c) 0 cs
+              = Laminar.card t id)
+        (Laminar.bottom_up t))
+
+let prop_level_count_matches_definition =
+  QCheck.Test.make ~name:"paper level = #supersets" ~count:100 random_family (fun t ->
+      List.for_all
+        (fun id ->
+          let mbrs = Array.to_list (Laminar.members t id) in
+          let count =
+            List.length
+              (List.filter
+                 (fun other ->
+                   List.for_all (fun x -> Laminar.mem t other x) mbrs)
+                 (Laminar.bottom_up t))
+          in
+          count = Laminar.level t id)
+        (Laminar.bottom_up t))
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "laminar",
+    [
+      u "rejects overlap" test_rejects_overlap;
+      u "rejects empty/range/dup" test_rejects_empty_and_range;
+      u "semi-partitioned shape" test_structure_semi_partitioned;
+      u "clustered shape" test_structure_clustered;
+      u "smp-cmp shape" test_structure_smp_cmp;
+      u "subset/descendants" test_subset_descendants;
+      u "minimal superset" test_minimal_superset;
+      u "traversal orders" test_traversal_orders;
+      u "add singletons" test_add_singletons;
+      u "singletons only" test_singletons_only;
+      u "balanced dedup" test_balanced_dedup;
+      qt prop_random_laminar_valid;
+      qt prop_levels_consistent;
+      qt prop_children_partition_parent;
+      qt prop_level_count_matches_definition;
+    ] )

@@ -1,0 +1,140 @@
+(* Tests for the periodic-task layer (DP-Fair with affinities) and the
+   Gantt renderer. *)
+
+open Hs_model
+open Hs_realtime
+module L = Hs_laminar.Laminar
+
+let lam4 () = Hs_laminar.Topology.clustered ~m:4 ~clusters:2
+
+let task lam name period base = Task.of_base ~lam ~name ~period ~base ~overhead:0.25 ()
+
+let test_task_model () =
+  let lam = lam4 () in
+  let t = task lam "t" 20 8 in
+  Alcotest.(check int) "period" 20 t.Task.period;
+  (* singleton WCET = base; root WCET strictly larger *)
+  let s0 = Option.get (L.singleton lam 0) in
+  let root = List.hd (L.roots lam) in
+  Alcotest.(check string) "singleton wcet" "8" (Ptime.to_string t.Task.wcet.(s0));
+  Alcotest.(check bool) "root wcet inflated" true
+    (Ptime.compare t.Task.wcet.(s0) t.Task.wcet.(root) < 0);
+  Alcotest.(check string) "min utilization" "2/5"
+    (Hs_numeric.Q.to_string (Task.min_utilization t));
+  Alcotest.check_raises "bad period" (Invalid_argument "Task.make: period must be positive")
+    (fun () -> ignore (Task.make ~period:0 ~wcet:[| Ptime.fin 1 |] ()))
+
+let test_slice_and_hyperperiod () =
+  let lam = lam4 () in
+  let tasks = [| task lam "a" 10 2; task lam "b" 15 2; task lam "c" 20 2 |] in
+  Alcotest.(check int) "slice = gcd" 5 (Task.slice_length tasks);
+  Alcotest.(check int) "hyperperiod = lcm" 60 (Task.hyperperiod tasks)
+
+let test_schedulable_set () =
+  let lam = lam4 () in
+  let tasks =
+    [| task lam "a" 10 6; task lam "b" 20 9; task lam "c" 10 5; task lam "d" 40 8 |]
+  in
+  match Dpfair.analyze lam tasks with
+  | Dpfair.Schedulable s ->
+      Alcotest.(check bool) "template valid" true
+        (Schedule.is_valid s.instance s.assignment s.template);
+      Alcotest.(check bool) "horizon = slice" true (Schedule.horizon s.template = s.slice);
+      Alcotest.(check bool) "periodic supply" true
+        (Dpfair.supply_ok tasks (Dpfair.Schedulable s))
+  | Dpfair.Infeasible why | Dpfair.Unknown why -> Alcotest.failf "unexpected: %s" why
+
+let test_overload_rejected () =
+  let lam = lam4 () in
+  let tasks = Array.init 6 (fun i -> task lam (string_of_int i) 10 9) in
+  match Dpfair.analyze lam tasks with
+  | Dpfair.Infeasible _ -> ()
+  | Dpfair.Schedulable _ -> Alcotest.fail "overloaded set accepted"
+  | Dpfair.Unknown why -> Alcotest.failf "expected infeasible, got unknown: %s" why
+
+let test_empty_task_set () =
+  match Dpfair.analyze (lam4 ()) [||] with
+  | Dpfair.Schedulable s -> Alcotest.(check int) "trivial slice" 1 s.slice
+  | _ -> Alcotest.fail "empty set must be schedulable"
+
+let test_unroll () =
+  let lam = lam4 () in
+  let tasks = [| task lam "a" 10 4 |] in
+  match Dpfair.analyze lam tasks with
+  | Dpfair.Schedulable s ->
+      let u = Dpfair.unroll s.template ~slice:s.slice ~k:3 in
+      Alcotest.(check int) "unrolled horizon" (3 * s.slice) (Schedule.horizon u);
+      Alcotest.(check int) "unrolled volume" (3 * Schedule.job_time s.template 0)
+        (Schedule.job_time u 0)
+  | _ -> Alcotest.fail "single task must be schedulable"
+
+let prop_random_tasksets =
+  (* Verdicts must be internally consistent: Schedulable verdicts carry a
+     valid template with per-window supply; Infeasible only when the LP
+     (or utilization) bound says so. *)
+  QCheck.Test.make ~name:"random task sets: verdict consistency" ~count:60
+    Test_util.seed_arb (fun seed ->
+      let rng = Hs_workloads.Rng.create seed in
+      let m = 2 + Hs_workloads.Rng.int rng 4 in
+      let lam = Hs_laminar.Topology.semi_partitioned m in
+      let periods = [| 10; 20; 40 |] in
+      let ntasks = 1 + Hs_workloads.Rng.int rng (2 * m) in
+      let tasks =
+        Array.init ntasks (fun i ->
+            Task.of_base ~lam ~name:(string_of_int i)
+              ~period:(Hs_workloads.Rng.choose rng periods)
+              ~base:(1 + Hs_workloads.Rng.int rng 8)
+              ~overhead:(Hs_workloads.Rng.float rng *. 0.4) ())
+      in
+      match Dpfair.analyze lam tasks with
+      | Dpfair.Schedulable s ->
+          Schedule.is_valid s.instance s.assignment s.template
+          && Dpfair.supply_ok tasks (Dpfair.Schedulable s)
+      | Dpfair.Infeasible _ -> true
+      | Dpfair.Unknown _ -> true)
+
+(* ---- Gantt ----------------------------------------------------------- *)
+
+let test_gantt_render () =
+  let seg job machine start stop = { Schedule.job; machine; start; stop } in
+  let sched =
+    { Schedule.horizon = 10; segments = [ seg 0 0 0 4; seg 1 0 4 10; seg 2 1 2 5 ] }
+  in
+  let g = Gantt.render sched in
+  let lines = String.split_on_char '\n' g in
+  Alcotest.(check int) "header + 2 machines + trailing" 4 (List.length lines);
+  Alcotest.(check string) "machine 0 row" "m0   |0000111111|" (List.nth lines 1);
+  Alcotest.(check string) "machine 1 row" "m1   |..222.....|" (List.nth lines 2)
+
+let test_gantt_rescale () =
+  let seg job machine start stop = { Schedule.job; machine; start; stop } in
+  let sched = { Schedule.horizon = 1000; segments = [ seg 0 0 0 1000 ] } in
+  let g = Gantt.render ~max_width:50 sched in
+  Alcotest.(check bool) "mentions scale" true
+    (String.length g > 0 && String.sub g 0 9 = "time 0..1");
+  let lines = String.split_on_char '\n' g in
+  let row = List.nth lines 1 in
+  Alcotest.(check bool) "rescaled row bounded" true (String.length row <= 58)
+
+let test_gantt_labels () =
+  Alcotest.(check char) "digit" '7' (Gantt.job_label 7);
+  Alcotest.(check char) "lower" 'a' (Gantt.job_label 10);
+  Alcotest.(check char) "upper" 'A' (Gantt.job_label 36);
+  Alcotest.(check char) "overflow" '*' (Gantt.job_label 99)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "realtime+gantt",
+    [
+      u "task model" test_task_model;
+      u "slice & hyperperiod" test_slice_and_hyperperiod;
+      u "schedulable set" test_schedulable_set;
+      u "overload rejected" test_overload_rejected;
+      u "empty task set" test_empty_task_set;
+      u "unroll" test_unroll;
+      u "gantt render" test_gantt_render;
+      u "gantt rescale" test_gantt_rescale;
+      u "gantt labels" test_gantt_labels;
+      qt prop_random_tasksets;
+    ] )

@@ -1,0 +1,208 @@
+(* Tests for Algorithm 1 (semi-partitioned) and Algorithms 2–3
+   (hierarchical): Theorems III.1 and IV.3, Lemmas IV.1/IV.2 and
+   Proposition III.2, both on the paper's worked examples and on random
+   feasible assignments. *)
+
+open Hs_model
+open Hs_laminar
+open Hs_core
+open Hs_workloads
+
+let example_iii1_assignment () =
+  let inst = Families.example_ii1 () in
+  let lam = Instance.laminar inst in
+  let full = Option.get (Laminar.full_set lam) in
+  let s i = Option.get (Laminar.singleton lam i) in
+  (inst, [| s 0; s 1; full |])
+
+let test_example_iii1 () =
+  (* The optimal integral solution of Example III.1: T = 2, jobs 0/1
+     local, job 2 global, migrating once. *)
+  let inst, a = example_iii1_assignment () in
+  match Semi_partitioned.schedule inst a ~tmax:2 with
+  | Error e -> Alcotest.failf "Algorithm 1 failed: %s" e
+  | Ok sched ->
+      Alcotest.(check bool) "valid" true (Schedule.is_valid inst a sched);
+      Alcotest.(check int) "horizon 2" 2 (Schedule.horizon sched);
+      let m = Metrics.of_schedule ~njobs:3 sched in
+      Alcotest.(check int) "job 2 migrates once" 1 m.migrations
+
+let test_example_iii1_too_tight () =
+  let inst, a = example_iii1_assignment () in
+  match Semi_partitioned.schedule inst a ~tmax:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "T=1 must be rejected"
+
+let test_alg1_rejects_wrong_family () =
+  let inst = Instance.identical ~m:2 ~lengths:[| 3 |] in
+  match Semi_partitioned.schedule inst [| 0 |] ~tmax:3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-semi-partitioned family accepted"
+
+let test_alg1_pure_global_is_mcnaughton () =
+  (* All jobs global: Algorithm 1 degenerates to the wrap-around rule. *)
+  let m = 3 in
+  let lengths = [| 5; 4; 3; 2; 1 |] in
+  let inst =
+    Instance.semi_partitioned
+      ~global:(Array.map Ptime.fin lengths)
+      ~local:(Array.map (fun l -> Array.make m (Ptime.fin l)) lengths)
+  in
+  let lam = Instance.laminar inst in
+  let full = Option.get (Laminar.full_set lam) in
+  let a = Array.make 5 full in
+  let t = Assignment.min_makespan inst a in
+  Alcotest.(check int) "T = ceil(15/3)" 5 t;
+  match Semi_partitioned.schedule inst a ~tmax:t with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok sched ->
+      Alcotest.(check bool) "valid" true (Schedule.is_valid inst a sched);
+      (* every machine completely full *)
+      List.iter
+        (fun i -> Alcotest.(check int) "full machine" t (Schedule.machine_load sched i))
+        [ 0; 1; 2 ]
+
+let test_alg1_empty_and_degenerate () =
+  (* No global jobs at all. *)
+  let inst =
+    Instance.semi_partitioned
+      ~global:[| Ptime.fin 9; Ptime.fin 9 |]
+      ~local:[| [| Ptime.fin 2; Ptime.fin 3 |]; [| Ptime.fin 3; Ptime.fin 2 |] |]
+  in
+  let lam = Instance.laminar inst in
+  let s i = Option.get (Laminar.singleton lam i) in
+  let a = [| s 0; s 1 |] in
+  (match Semi_partitioned.schedule inst a ~tmax:2 with
+  | Ok sched -> Alcotest.(check bool) "valid" true (Schedule.is_valid inst a sched)
+  | Error e -> Alcotest.failf "failed: %s" e);
+  (* Zero-length jobs are legal and produce no segments. *)
+  let inst0 =
+    Instance.semi_partitioned ~global:[| Ptime.fin 0 |] ~local:[| [| Ptime.fin 0 |] |]
+  in
+  let full = Option.get (Laminar.full_set (Instance.laminar inst0)) in
+  match Semi_partitioned.schedule inst0 [| full |] ~tmax:0 with
+  | Ok sched -> Alcotest.(check int) "no segments" 0 (List.length (Schedule.segments sched))
+  | Error e -> Alcotest.failf "zero-volume failed: %s" e
+
+let prop_alg1_valid_and_bounded =
+  QCheck.Test.make ~name:"Alg 1: valid schedule + Prop III.2 bounds" ~count:300
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_semi_assigned seed in
+      let m = Instance.nmachines inst in
+      let t = Assignment.min_makespan inst a in
+      match Semi_partitioned.schedule_stats inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithm 1 failed: %s" e
+      | Ok (sched, stats) ->
+          Schedule.is_valid inst a sched
+          && stats.Tape.migrations <= Stdlib.max 0 (m - 1)
+          && Tape.stops stats <= Stdlib.max 0 ((2 * m) - 2)
+          (* tape accounting is conservative: chronological coalescing can
+             only remove stops (e.g. a job spanning a full wrapped block) *)
+          && (Metrics.of_schedule ~njobs:(Instance.njobs inst) sched).stops
+             <= Tape.stops stats)
+
+let prop_alg1_slack_horizon =
+  QCheck.Test.make ~name:"Alg 1: still valid with slack horizon" ~count:100
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_semi_assigned seed in
+      let t = Assignment.min_makespan inst a + 3 in
+      match Semi_partitioned.schedule inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithm 1 failed: %s" e
+      | Ok sched -> Schedule.is_valid inst a sched)
+
+let prop_alg23_valid =
+  QCheck.Test.make ~name:"Alg 2+3: Theorem IV.3 validity" ~count:300
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.schedule inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithms 2-3 failed: %s" e
+      | Ok sched -> Schedule.is_valid inst a sched)
+
+let prop_alg2_invariants =
+  QCheck.Test.make ~name:"Alg 2: Lemmas IV.1 and IV.2" ~count:300 Test_util.seed_arb
+    (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let lam = Instance.laminar inst in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.allocate inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithm 2 failed: %s" e
+      | Ok alloc ->
+          Hierarchical.lemma_iv1_holds lam alloc ~tmax:t
+          && Hierarchical.lemma_iv2_holds lam alloc)
+
+let prop_alg2_volume_conservation =
+  QCheck.Test.make ~name:"Alg 2: loads cover exactly the assigned volume" ~count:200
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let lam = Instance.laminar inst in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.allocate inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithm 2 failed: %s" e
+      | Ok alloc ->
+          List.for_all
+            (fun set ->
+              let vol = Assignment.volume inst a ~set in
+              let loads =
+                Array.fold_left
+                  (fun acc i -> acc + alloc.load.(set).(i))
+                  0 (Laminar.members lam set)
+              in
+              vol = loads)
+            (Laminar.bottom_up lam))
+
+let prop_alg23_agrees_with_alg1 =
+  QCheck.Test.make ~name:"Alg 2+3 subsumes Alg 1 on semi-partitioned input" ~count:200
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_semi_assigned seed in
+      let t = Assignment.min_makespan inst a in
+      match (Semi_partitioned.schedule inst a ~tmax:t, Hierarchical.schedule inst a ~tmax:t) with
+      | Ok s1, Ok s2 ->
+          Schedule.is_valid inst a s1 && Schedule.is_valid inst a s2
+          && Schedule.makespan s1 <= t
+          && Schedule.makespan s2 <= t
+      | Error e, _ | _, Error e -> QCheck.Test.fail_reportf "scheduler failed: %s" e)
+
+let prop_alg23_rejects_below_makespan =
+  QCheck.Test.make ~name:"Alg 2+3 rejects an infeasible horizon" ~count:100
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let t = Assignment.min_makespan inst a in
+      QCheck.assume (t > 0);
+      match Hierarchical.schedule inst a ~tmax:(t - 1) with
+      | Error _ -> true
+      | Ok sched ->
+          (* A smaller horizon may still admit a valid schedule only if
+             the binding constraint was a ceiling artefact; validity then
+             still has to hold. *)
+          Schedule.is_valid inst a sched)
+
+let test_alg23_identical_machines () =
+  (* Pure P|pmtn|Cmax through the hierarchical scheduler. *)
+  let inst = Instance.identical ~m:3 ~lengths:[| 5; 4; 3; 2; 1 |] in
+  let a = Array.make 5 0 in
+  let t = Assignment.min_makespan inst a in
+  Alcotest.(check int) "T = 5" 5 t;
+  match Hierarchical.schedule inst a ~tmax:t with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok sched -> Alcotest.(check bool) "valid" true (Schedule.is_valid inst a sched)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "schedulers",
+    [
+      u "Example III.1" test_example_iii1;
+      u "Example III.1, T too small" test_example_iii1_too_tight;
+      u "Alg 1 family check" test_alg1_rejects_wrong_family;
+      u "Alg 1 = McNaughton when all global" test_alg1_pure_global_is_mcnaughton;
+      u "Alg 1 degenerate inputs" test_alg1_empty_and_degenerate;
+      u "Alg 2+3 on identical machines" test_alg23_identical_machines;
+      qt prop_alg1_valid_and_bounded;
+      qt prop_alg1_slack_horizon;
+      qt prop_alg23_valid;
+      qt prop_alg2_invariants;
+      qt prop_alg2_volume_conservation;
+      qt prop_alg23_agrees_with_alg1;
+      qt prop_alg23_rejects_below_makespan;
+    ] )

@@ -1,0 +1,80 @@
+(* Tests for the migration-latency execution simulator. *)
+
+open Hs_model
+open Hs_sim
+open Hs_workloads
+
+let smp () = Hs_laminar.Topology.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2
+
+let sample_schedule seed =
+  let rng = Rng.create seed in
+  let lam = smp () in
+  let inst = Generators.hierarchical rng ~lam ~n:10 ~base:(2, 6) ~overhead:0.2 () in
+  match Hs_core.Approx.Exact.solve inst with
+  | Ok o -> (o.instance, o.assignment, o.schedule)
+  | Error e -> Alcotest.failf "pipeline failed: %s" e
+
+let test_zero_latency_identity () =
+  let _, _, sched = sample_schedule 1 in
+  let r = Simulator.run sched ~latency:(fun _ _ -> 0) in
+  Alcotest.(check int) "same makespan" r.model_makespan r.realised_makespan;
+  Alcotest.(check int) "no stall" 0 r.total_stall
+
+let test_latency_monotone () =
+  let inst = Families.example_ii1 () in
+  let lam = Instance.laminar inst in
+  let full = Option.get (Hs_laminar.Laminar.full_set lam) in
+  let s i = Option.get (Hs_laminar.Laminar.singleton lam i) in
+  let a = [| s 0; s 1; full |] in
+  match Hs_core.Semi_partitioned.schedule inst a ~tmax:2 with
+  | Error e -> Alcotest.failf "scheduler failed: %s" e
+  | Ok sched ->
+      let at l = (Simulator.run sched ~latency:(fun x y -> if x = y then 0 else l)).realised_makespan in
+      Alcotest.(check int) "latency 0" 2 (at 0);
+      (* job 2 migrates once; each unit of latency delays it *)
+      Alcotest.(check int) "latency 1" 3 (at 1);
+      Alcotest.(check int) "latency 4" 6 (at 4);
+      Alcotest.(check bool) "monotone" true (at 1 <= at 2 && at 2 <= at 5)
+
+let test_per_level_accounting () =
+  let lam = smp () in
+  (* Job 0 visits cores 0 -> 1 (intra-chip) -> 2 (inter-chip) -> 4
+     (inter-node); counts must land on heights 1, 2, 3. *)
+  let seg machine start stop = { Schedule.job = 0; machine; start; stop } in
+  let sched =
+    { Schedule.horizon = 8; segments = [ seg 0 0 1; seg 1 1 2; seg 2 2 3; seg 4 3 4 ] }
+  in
+  let latency = Simulator.latency_of_levels lam [| 0; 1; 2; 4 |] in
+  let r = Simulator.run ~lam sched ~latency in
+  Alcotest.(check (list (pair int int))) "per-level counts" [ (1, 1); (2, 1); (3, 1) ]
+    r.migrations_by_level;
+  Alcotest.(check int) "stall = 1+2+4" 7 r.total_stall
+
+let test_latency_table_clamps () =
+  let lam = smp () in
+  let latency = Simulator.latency_of_levels lam [| 0; 5 |] in
+  Alcotest.(check int) "same machine free" 0 (latency 3 3);
+  Alcotest.(check int) "intra-chip" 5 (latency 0 1);
+  Alcotest.(check int) "clamped beyond table" 5 (latency 0 7)
+
+let prop_realised_bounded_by_total_stall =
+  QCheck.Test.make ~name:"realised <= model + total stall" ~count:30 Test_util.seed_arb
+    (fun seed ->
+      let _, _, sched = sample_schedule seed in
+      let lam = smp () in
+      let latency = Simulator.latency_of_levels lam [| 0; 1; 3; 9 |] in
+      let r = Simulator.run ~lam sched ~latency in
+      r.realised_makespan >= r.model_makespan
+      && r.realised_makespan <= r.model_makespan + r.total_stall)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "simulator",
+    [
+      u "zero latency identity" test_zero_latency_identity;
+      u "latency monotone" test_latency_monotone;
+      u "per-level accounting" test_per_level_accounting;
+      u "latency table clamps" test_latency_table_clamps;
+      qt prop_realised_bounded_by_total_stall;
+    ] )

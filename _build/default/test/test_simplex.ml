@@ -1,0 +1,390 @@
+(* Tests for the two-phase simplex over both field instances. *)
+
+open Hs_lp
+module Q = Hs_numeric.Q
+module SQ = Simplex.Make (Field.Exact)
+module SF = Simplex.Make (Field.Float)
+
+let q = Q.of_int
+let qq = Q.of_ints
+let c ?name terms rel rhs = Lp_problem.constr ?name terms rel rhs
+
+let expect_optimal = function
+  | SQ.Optimal s -> s
+  | SQ.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | SQ.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let test_textbook_max () =
+  (* max 3x+5y st x<=4, 2y<=12, 3x+2y<=18: opt 36 at (2,6). *)
+  let p =
+    Lp_problem.make ~nvars:2
+      ~objective:[ (0, q 3); (1, q 5) ]
+      [
+        c [ (0, q 1) ] Le (q 4);
+        c [ (1, q 2) ] Le (q 12);
+        c [ (0, q 3); (1, q 2) ] Le (q 18);
+      ]
+  in
+  let s = expect_optimal (SQ.solve ~maximize:true p) in
+  check_q "objective" (q 36) s.objective;
+  check_q "x" (q 2) s.x.(0);
+  check_q "y" (q 6) s.x.(1)
+
+let test_min_with_ge () =
+  (* min 2x+3y st x+y>=4, x>=1: opt at (4,0) value 8. *)
+  let p =
+    Lp_problem.make ~nvars:2
+      ~objective:[ (0, q 2); (1, q 3) ]
+      [ c [ (0, q 1); (1, q 1) ] Ge (q 4); c [ (0, q 1) ] Ge (q 1) ]
+  in
+  let s = expect_optimal (SQ.solve p) in
+  check_q "objective" (q 8) s.objective
+
+let test_infeasible () =
+  let p =
+    Lp_problem.make ~nvars:2
+      [ c [ (0, q 1); (1, q 1) ] Le (q 1); c [ (0, q 1); (1, q 1) ] Ge (q 3) ]
+  in
+  (match SQ.solve p with
+  | SQ.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible");
+  Alcotest.(check bool) "feasible = None" true (SQ.feasible p = None)
+
+let test_unbounded () =
+  let p =
+    Lp_problem.make ~nvars:1 ~objective:[ (0, q 1) ] [ c [ (0, q 1) ] Ge (q 1) ]
+  in
+  match SQ.solve ~maximize:true p with
+  | SQ.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_fractional_vertex () =
+  let p =
+    Lp_problem.make ~nvars:2 ~objective:[ (0, q 1) ]
+      [ c [ (0, q 1); (1, q 1) ] Eq (q 1); c [ (0, q 2); (1, q 1) ] Le (qq 3 2) ]
+  in
+  let s = expect_optimal (SQ.solve ~maximize:true p) in
+  check_q "x = 1/2" (qq 1 2) s.x.(0);
+  check_q "y = 1/2" (qq 1 2) s.x.(1)
+
+let test_negative_rhs_normalisation () =
+  (* -x <= -2 is x >= 2. *)
+  let p =
+    Lp_problem.make ~nvars:1 ~objective:[ (0, q 1) ]
+      [ c [ (0, q (-1)) ] Le (q (-2)); c [ (0, q 1) ] Le (q 5) ]
+  in
+  let s = expect_optimal (SQ.solve p) in
+  check_q "x = 2" (q 2) s.x.(0)
+
+let test_redundant_equalities () =
+  let p =
+    Lp_problem.make ~nvars:2
+      [
+        c [ (0, q 1); (1, q 1) ] Eq (q 2);
+        c [ (0, q 2); (1, q 2) ] Eq (q 4);
+        c [ (0, q 1) ] Le (q 2);
+      ]
+  in
+  match SQ.feasible p with
+  | Some s -> check_q "sum = 2" (q 2) (Q.add s.x.(0) s.x.(1))
+  | None -> Alcotest.fail "expected feasible"
+
+let test_duplicate_terms () =
+  (* x + x <= 4 must read as 2x <= 4. *)
+  let p =
+    Lp_problem.make ~nvars:1 ~objective:[ (0, q 1) ]
+      [ c [ (0, q 1); (0, q 1) ] Le (q 4) ]
+  in
+  let s = expect_optimal (SQ.solve ~maximize:true p) in
+  check_q "x = 2" (q 2) s.x.(0)
+
+let test_degenerate_cycling_guard () =
+  (* A classically degenerate LP (Beale-like); Bland's rule must terminate. *)
+  let p =
+    Lp_problem.make ~nvars:4
+      ~objective:
+        [ (0, qq (-3) 4); (1, q 150); (2, qq (-1) 50); (3, q 6) ]
+      [
+        c [ (0, qq 1 4); (1, q (-60)); (2, qq (-1) 25); (3, q 9) ] Le (q 0);
+        c [ (0, qq 1 2); (1, q (-90)); (2, qq (-1) 50); (3, q 3) ] Le (q 0);
+        c [ (2, q 1) ] Le (q 1);
+      ]
+  in
+  let s = expect_optimal (SQ.solve p) in
+  check_q "objective" (qq (-1) 20) s.objective
+
+let test_zero_variable_problem () =
+  let p = Lp_problem.make ~nvars:1 [ c [] Le (q 3) ] in
+  match SQ.feasible p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "trivial problem must be feasible"
+
+let test_var_out_of_range () =
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Lp_problem.make: variable 3 out of range") (fun () ->
+      ignore (Lp_problem.make ~nvars:2 [ c [ (3, q 1) ] Le (q 1) ]))
+
+let test_float_instance_agrees () =
+  let pf =
+    Lp_problem.make ~nvars:2
+      ~objective:[ (0, 3.); (1, 5.) ]
+      [
+        c [ (0, 1.) ] Le 4.;
+        c [ (1, 2.) ] Le 12.;
+        c [ (0, 3.); (1, 2.) ] Le 18.;
+      ]
+  in
+  match SF.solve ~maximize:true pf with
+  | SF.Optimal s -> Alcotest.(check (float 1e-6)) "objective" 36. s.objective
+  | _ -> Alcotest.fail "float instance failed"
+
+(* Property: solutions of randomly generated feasible systems actually
+   satisfy the constraints, and systems infeasible by construction are
+   reported as such. *)
+
+let random_lp =
+  let gen =
+    QCheck.Gen.(
+      let* nvars = int_range 1 6 in
+      let* nrows = int_range 1 6 in
+      let* x0 = list_size (return nvars) (int_range 0 10) in
+      let* rows =
+        list_size (return nrows) (list_size (return nvars) (int_range (-4) 6))
+      in
+      let* slacks = list_size (return nrows) (int_range 0 5) in
+      return (nvars, x0, rows, slacks))
+  in
+  QCheck.make
+    ~print:(fun (nv, x0, rows, _) ->
+      Printf.sprintf "nvars=%d x0=[%s] rows=%d" nv
+        (String.concat ";" (List.map string_of_int x0))
+        (List.length rows))
+    gen
+
+let prop_feasible_by_construction =
+  QCheck.Test.make ~name:"constructed-feasible systems solved" ~count:200 random_lp
+    (fun (nvars, x0, rows, slacks) ->
+      (* b := A x0 + slack ensures feasibility of { A x <= b, x >= 0 }. *)
+      let constrs =
+        List.map2
+          (fun row slack ->
+            let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+            c (List.mapi (fun i a -> (i, q a)) row) Le (q b))
+          rows slacks
+      in
+      match SQ.feasible (Lp_problem.make ~nvars constrs) with
+      | None -> false
+      | Some s ->
+          (* Verify the solution satisfies every constraint. *)
+          List.for_all2
+            (fun row slack ->
+              let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+              let lhs =
+                List.fold_left
+                  (fun acc (i, a) -> Q.add acc (Q.mul (q a) s.x.(i)))
+                  Q.zero
+                  (List.mapi (fun i a -> (i, a)) row)
+              in
+              Q.leq lhs (q b) && Array.for_all (fun v -> Q.sign v >= 0) s.x)
+            rows slacks)
+
+let prop_infeasible_by_construction =
+  QCheck.Test.make ~name:"constructed-infeasible systems rejected" ~count:200
+    (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 20))
+    (fun (nvars, gap) ->
+      (* sum x <= k and sum x >= k + gap is infeasible. *)
+      let terms = List.init nvars (fun i -> (i, q 1)) in
+      let p =
+        Lp_problem.make ~nvars [ c terms Le (q 7); c terms Ge (q (7 + gap)) ]
+      in
+      SQ.feasible p = None)
+
+let test_farkas_certificate () =
+  let p =
+    Lp_problem.make ~nvars:2
+      [ c [ (0, q 1); (1, q 1) ] Le (q 1); c [ (0, q 1); (1, q 1) ] Ge (q 3) ]
+  in
+  match SQ.feasible_certified p with
+  | SQ.Feasible _ -> Alcotest.fail "expected infeasible"
+  | SQ.Infeasible_certificate y ->
+      Alcotest.(check bool) "certificate validates" true (SQ.check_farkas p y);
+      (* tampering must break it *)
+      let bad = Array.map (fun v -> Q.neg v) y in
+      Alcotest.(check bool) "tampered certificate rejected" false (SQ.check_farkas p bad)
+
+let test_farkas_on_feasible () =
+  let p = Lp_problem.make ~nvars:1 [ c [ (0, q 1) ] Le (q 5) ] in
+  match SQ.feasible_certified p with
+  | SQ.Feasible s -> Alcotest.(check bool) "x within bound" true (Q.leq s.x.(0) (q 5))
+  | SQ.Infeasible_certificate _ -> Alcotest.fail "expected feasible"
+
+let prop_infeasible_always_certified =
+  QCheck.Test.make ~name:"infeasible systems carry a valid Farkas witness" ~count:200
+    (QCheck.pair (QCheck.int_range 1 5) (QCheck.int_range 1 20))
+    (fun (nvars, gap) ->
+      let terms = List.init nvars (fun i -> (i, q 1)) in
+      let p =
+        Lp_problem.make ~nvars [ c terms Le (q 7); c terms Ge (q (7 + gap)) ]
+      in
+      match SQ.feasible_certified p with
+      | SQ.Feasible _ -> false
+      | SQ.Infeasible_certificate y -> SQ.check_farkas p y)
+
+let prop_certified_agrees_with_feasible =
+  QCheck.Test.make ~name:"feasible_certified agrees with feasible" ~count:150
+    random_lp (fun (nvars, x0, rows, slacks) ->
+      let constrs =
+        List.map2
+          (fun row slack ->
+            let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+            c (List.mapi (fun i a -> (i, q a)) row) Le (q b))
+          rows slacks
+      in
+      (* Mix in a >= row that may or may not be satisfiable. *)
+      let extra = c (List.init nvars (fun i -> (i, q 1))) Ge (q (List.fold_left ( + ) 0 x0)) in
+      let p = Lp_problem.make ~nvars (extra :: constrs) in
+      match (SQ.feasible p, SQ.feasible_certified p) with
+      | Some _, SQ.Feasible _ -> true
+      | None, SQ.Infeasible_certificate y -> SQ.check_farkas p y
+      | _ -> false)
+
+let prop_optimal_beats_feasible_points =
+  QCheck.Test.make ~name:"optimum dominates random feasible points" ~count:100
+    random_lp (fun (nvars, x0, rows, slacks) ->
+      let constrs =
+        List.map2
+          (fun row slack ->
+            let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+            c (List.mapi (fun i a -> (i, q a)) row) Le (q b))
+          rows slacks
+      in
+      (* Bound the feasible region so minimisation cannot be unbounded;
+         minimise sum of variables. *)
+      let box = List.init nvars (fun i -> c [ (i, q 1) ] Le (q 1000)) in
+      let objective = List.init nvars (fun i -> (i, q 1)) in
+      match SQ.solve (Lp_problem.make ~nvars ~objective (constrs @ box)) with
+      | SQ.Optimal s ->
+          let value_at pt =
+            List.fold_left (fun acc x -> Q.add acc (q x)) Q.zero pt
+          in
+          Q.leq s.objective (value_at x0)
+      | SQ.Unbounded -> false
+      | SQ.Infeasible -> List.exists (fun x -> x > 1000) x0)
+
+let test_optimality_certificate () =
+  (* min 2x+3y st x+y>=4, x>=1: optimum 8 at (4,0); duals must certify. *)
+  let p =
+    Lp_problem.make ~nvars:2
+      ~objective:[ (0, q 2); (1, q 3) ]
+      [ c [ (0, q 1); (1, q 1) ] Ge (q 4); c [ (0, q 1) ] Ge (q 1) ]
+  in
+  match SQ.solve_certified p with
+  | SQ.Certified_optimal cert ->
+      check_q "objective" (q 8) cert.primal.objective;
+      Alcotest.(check bool) "certificate verifies" true (SQ.check_optimal p cert);
+      (* corrupting the duals must break verification *)
+      let bad = { cert with SQ.duals = Array.map (fun v -> Q.add v Q.one) cert.SQ.duals } in
+      Alcotest.(check bool) "tampered duals rejected" false (SQ.check_optimal p bad)
+  | _ -> Alcotest.fail "expected certified optimum"
+
+let prop_certified_optimum =
+  QCheck.Test.make ~name:"optimality certificates verify" ~count:150 random_lp
+    (fun (nvars, x0, rows, slacks) ->
+      let constrs =
+        List.map2
+          (fun row slack ->
+            let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+            c (List.mapi (fun i a -> (i, q a)) row) Le (q b))
+          rows slacks
+      in
+      (* minimise a non-negative cost over the (nonempty) region *)
+      let p =
+        Lp_problem.make ~nvars
+          ~objective:(List.init nvars (fun i -> (i, q (1 + (i mod 3)))))
+          constrs
+      in
+      match SQ.solve_certified p with
+      | SQ.Certified_optimal cert -> SQ.check_optimal p cert
+      | SQ.Certified_infeasible _ -> false (* feasible by construction *)
+      | SQ.Certified_unbounded -> false (* cost bounded below by 0 *))
+
+let prop_pricing_rules_agree =
+  (* Bland and Dantzig must reach the same optimal value (possibly via
+     different vertices). *)
+  QCheck.Test.make ~name:"Bland and Dantzig agree on the optimum" ~count:150 random_lp
+    (fun (nvars, x0, rows, slacks) ->
+      let constrs =
+        List.map2
+          (fun row slack ->
+            let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+            c (List.mapi (fun i a -> (i, q a)) row) Le (q b))
+          rows slacks
+      in
+      let box = List.init nvars (fun i -> c [ (i, q 1) ] Le (q 100)) in
+      let p =
+        Lp_problem.make ~nvars
+          ~objective:(List.init nvars (fun i -> (i, q 1)))
+          (constrs @ box)
+      in
+      match (SQ.solve ~pricing:SQ.Bland ~maximize:true p, SQ.solve ~pricing:SQ.Dantzig ~maximize:true p) with
+      | SQ.Optimal a, SQ.Optimal b -> Q.equal a.objective b.objective
+      | SQ.Infeasible, SQ.Infeasible -> true
+      | _ -> false)
+
+let prop_float_matches_exact_objective =
+  (* The float instantiation must land near the certified optimum on
+     well-conditioned random instances. *)
+  QCheck.Test.make ~name:"float objective tracks exact objective" ~count:100 random_lp
+    (fun (nvars, x0, rows, slacks) ->
+      let build conv mk_c =
+        let constrs =
+          List.map2
+            (fun row slack ->
+              let b = List.fold_left2 (fun acc a x -> acc + (a * x)) slack row x0 in
+              mk_c (List.mapi (fun i a -> (i, conv a)) row) (conv b))
+            rows slacks
+        in
+        let box = List.init nvars (fun i -> mk_c [ (i, conv 1) ] (conv 50)) in
+        Lp_problem.make ~nvars
+          ~objective:(List.init nvars (fun i -> (i, conv 1)))
+          (constrs @ box)
+      in
+      let pq = build q (fun terms rhs -> c terms Le rhs) in
+      let pf = build float_of_int (fun terms rhs -> c terms Le rhs) in
+      match (SQ.solve ~maximize:true pq, SF.solve ~maximize:true pf) with
+      | SQ.Optimal sq, SF.Optimal sf -> Float.abs (Q.to_float sq.objective -. sf.objective) < 1e-6
+      | SQ.Infeasible, SF.Infeasible -> true
+      | _ -> false)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "simplex",
+    [
+      u "textbook max" test_textbook_max;
+      u "min with >=" test_min_with_ge;
+      u "infeasible" test_infeasible;
+      u "unbounded" test_unbounded;
+      u "fractional vertex" test_fractional_vertex;
+      u "negative rhs" test_negative_rhs_normalisation;
+      u "redundant equalities" test_redundant_equalities;
+      u "duplicate terms" test_duplicate_terms;
+      u "degenerate (anti-cycling)" test_degenerate_cycling_guard;
+      u "zero-variable row" test_zero_variable_problem;
+      u "variable range check" test_var_out_of_range;
+      u "float instance" test_float_instance_agrees;
+      u "Farkas certificate" test_farkas_certificate;
+      u "Farkas on feasible" test_farkas_on_feasible;
+      qt prop_infeasible_always_certified;
+      qt prop_certified_agrees_with_feasible;
+      u "optimality certificate" test_optimality_certificate;
+      qt prop_certified_optimum;
+      qt prop_pricing_rules_agree;
+      qt prop_float_matches_exact_objective;
+      qt prop_feasible_by_construction;
+      qt prop_infeasible_by_construction;
+      qt prop_optimal_beats_feasible_points;
+    ] )

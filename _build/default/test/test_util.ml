@@ -1,0 +1,64 @@
+(* Shared deterministic generators for the algorithm test suites.
+
+   Properties take a seed (shrinkable, printable) and derive the instance
+   from it with the library's own SplitMix64 stream, so every failure is
+   reproducible from the printed seed alone. *)
+
+open Hs_model
+open Hs_workloads
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+(* A random hierarchical instance over one of the paper's family shapes. *)
+let random_instance ?(max_m = 6) ?(max_n = 8) seed =
+  let rng = Rng.create seed in
+  let m = 1 + Rng.int rng max_m in
+  let n = 1 + Rng.int rng max_n in
+  let lam =
+    match Rng.int rng 4 with
+    | 0 -> Hs_laminar.Topology.semi_partitioned m
+    | 1 -> Hs_laminar.Topology.singletons m
+    | 2 ->
+        let clusters =
+          let rec div d = if m mod d = 0 then d else div (d - 1) in
+          div (Stdlib.max 1 (Stdlib.min 3 m))
+        in
+        Hs_laminar.Topology.clustered ~m ~clusters
+    | _ -> Generators.random_laminar rng ~m ()
+  in
+  Generators.hierarchical rng ~lam ~n ~base:(1, 8)
+    ~heterogeneity:(1.0 +. Rng.float rng)
+    ~overhead:(Rng.float rng *. 0.5) ()
+
+(* Random (instance, assignment): arbitrary but well-formed; its
+   min_makespan certifies (IP-2) feasibility at that horizon. *)
+let random_assigned ?max_m ?max_n seed =
+  let inst = random_instance ?max_m ?max_n seed in
+  let rng = Rng.create (seed lxor 0x5bd1e95) in
+  let lam = Instance.laminar inst in
+  let nsets = Hs_laminar.Laminar.size lam in
+  let a =
+    Array.init (Instance.njobs inst) (fun j ->
+        let finite =
+          List.filter
+            (fun s -> Ptime.is_fin (Instance.ptime inst ~job:j ~set:s))
+            (List.init nsets (fun s -> s))
+        in
+        List.nth finite (Rng.int rng (List.length finite)))
+  in
+  (inst, a)
+
+(* Random semi-partitioned (instance, assignment). *)
+let random_semi_assigned ?(max_m = 6) ?(max_n = 10) seed =
+  let rng = Rng.create seed in
+  let m = 1 + Rng.int rng max_m in
+  let lam = Hs_laminar.Topology.semi_partitioned m in
+  let n = 1 + Rng.int rng max_n in
+  let inst =
+    Generators.hierarchical rng ~lam ~n ~base:(1, 8)
+      ~heterogeneity:(1.0 +. Rng.float rng)
+      ~overhead:(Rng.float rng *. 0.5) ()
+  in
+  let nsets = Hs_laminar.Laminar.size lam in
+  let a = Array.init n (fun _ -> Rng.int rng nsets) in
+  (inst, a)

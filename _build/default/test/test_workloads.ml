@@ -1,0 +1,144 @@
+(* Tests for the PRNG and the workload generators. *)
+
+open Hs_model
+open Hs_workloads
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let seq r = List.init 100 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Rng.create 43 in
+  Alcotest.(check bool) "different seed, different stream" true (seq (Rng.create 42) <> seq c)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v;
+    let w = Rng.int_range r 5 9 in
+    if w < 5 || w > 9 then Alcotest.failf "range violated: %d" w;
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_distribution_sanity () =
+  let r = Rng.create 11 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 40_000 do
+    let v = Rng.int r 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> if c < 9_000 || c > 11_000 then Alcotest.failf "skewed bucket: %d" c)
+    counts
+
+let test_rng_errors () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Rng.int_range: empty range")
+    (fun () -> ignore (Rng.int_range r 5 4))
+
+let test_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 20 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+let prop_generators_validate =
+  (* Every generator must produce instances accepted by the monotonicity
+     validator (they are built through Instance.make_exn, so the property
+     is that generation never raises). *)
+  QCheck.Test.make ~name:"generators never produce invalid instances" ~count:150
+    Test_util.seed_arb (fun seed ->
+      let rng = Rng.create seed in
+      let m = 1 + Rng.int rng 8 in
+      let u = Generators.unrelated rng ~n:5 ~m ~pmin:1 ~pmax:9 ~correlation:(Rng.float rng) () in
+      let lam = Generators.random_laminar rng ~m () in
+      let h =
+        Generators.hierarchical rng ~lam ~n:5 ~base:(1, 9)
+          ~heterogeneity:(1.0 +. Rng.float rng) ~overhead:(Rng.float rng) ()
+      in
+      let sp = Generators.semi_partitioned_load rng ~m ~load:0.7 ~pmin:1 ~pmax:9 () in
+      Instance.njobs u = 5 && Instance.njobs h = 5 && Instance.njobs sp > 0)
+
+let prop_hierarchical_strictly_monotone_with_overhead =
+  QCheck.Test.make ~name:"overhead makes parents strictly costlier" ~count:80
+    Test_util.seed_arb (fun seed ->
+      let rng = Rng.create seed in
+      let lam = Hs_laminar.Topology.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
+      let inst = Generators.hierarchical rng ~lam ~n:4 ~base:(2, 8) ~overhead:0.3 () in
+      let ok = ref true in
+      for j = 0 to 3 do
+        List.iter
+          (fun s ->
+            match Hs_laminar.Laminar.parent lam s with
+            | None -> ()
+            | Some p ->
+                let ps = Instance.ptime inst ~job:j ~set:s in
+                let pp = Instance.ptime inst ~job:j ~set:p in
+                if not (Ptime.compare ps pp < 0) then ok := false)
+          (Hs_laminar.Laminar.bottom_up lam)
+      done;
+      !ok)
+
+let test_families_shapes () =
+  let e = Families.example_ii1 () in
+  Alcotest.(check int) "II.1 jobs" 3 (Instance.njobs e);
+  Alcotest.(check int) "II.1 machines" 2 (Instance.nmachines e);
+  let v = Families.example_v1 6 in
+  Alcotest.(check int) "V.1 jobs" 6 (Instance.njobs v);
+  Alcotest.(check int) "V.1 machines" 5 (Instance.nmachines v);
+  Alcotest.check_raises "V.1 needs n >= 3"
+    (Invalid_argument "Families.example_v1: need n >= 3") (fun () ->
+      ignore (Families.example_v1 2))
+
+let test_semi_partitioned_load_shape () =
+  let rng = Rng.create 5 in
+  let inst = Generators.semi_partitioned_load rng ~m:4 ~load:1.0 ~pmin:2 ~pmax:6 () in
+  Alcotest.(check bool) "semi-partitioned family" true
+    (Hs_laminar.Laminar.is_semi_partitioned (Instance.laminar inst));
+  (* global >= local (migration premium keeps monotonicity) *)
+  let lam = Instance.laminar inst in
+  let full = Option.get (Hs_laminar.Laminar.full_set lam) in
+  for j = 0 to Instance.njobs inst - 1 do
+    for i = 0 to 3 do
+      let s = Option.get (Hs_laminar.Laminar.singleton lam i) in
+      if
+        not
+          (Ptime.leq (Instance.ptime inst ~job:j ~set:s) (Instance.ptime inst ~job:j ~set:full))
+      then Alcotest.fail "premium violated monotonicity"
+    done
+  done
+
+let test_payload_shapes () =
+  let rng = Rng.create 9 in
+  let inst = Generators.semi_partitioned_load rng ~m:3 ~load:0.5 ~pmin:1 ~pmax:4 () in
+  let p1 = Generators.model1_payload rng inst ~smax:5 ~slack:1.5 in
+  Alcotest.(check int) "budget per machine" 3 (Array.length p1.budgets);
+  Alcotest.(check bool) "spaces in range" true
+    (Array.for_all (Array.for_all (fun s -> s >= 1 && s <= 5)) p1.space);
+  let p2 = Generators.model2_payload rng inst ~mu:(Hs_numeric.Q.of_int 2) in
+  Alcotest.(check bool) "sizes in (0,1]" true
+    (Array.for_all
+       (fun s -> Hs_numeric.Q.sign s > 0 && Hs_numeric.Q.leq s Hs_numeric.Q.one)
+       p2.sizes)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  let qt t = QCheck_alcotest.to_alcotest t in
+  ( "workloads",
+    [
+      u "rng determinism" test_rng_determinism;
+      u "rng bounds" test_rng_bounds;
+      u "rng distribution" test_rng_distribution_sanity;
+      u "rng errors" test_rng_errors;
+      u "shuffle permutes" test_shuffle_permutes;
+      u "paper families" test_families_shapes;
+      u "semi-partitioned load shape" test_semi_partitioned_load_shape;
+      u "memory payload shapes" test_payload_shapes;
+      qt prop_generators_validate;
+      qt prop_hierarchical_strictly_monotone_with_overhead;
+    ] )
