@@ -56,9 +56,18 @@ let load_or_generate file topology m n seed overhead het =
         (Hs_workloads.Generators.hierarchical rng ~lam ~n ~base:(1, 9)
            ~heterogeneity:het ~overhead ())
 
-let exit_err msg =
+(* Exit-code contract (documented in README.md): 0 success, 1 internal
+   failure, 2 unusable input, 3 infeasible instance, 4 budget
+   exhausted. *)
+let exit_with code msg =
   prerr_endline ("hsched: " ^ msg);
-  exit 1
+  exit code
+
+let exit_err msg = exit_with 1 msg
+let exit_usage msg = exit_with 2 msg
+
+let exit_typed e =
+  exit_with (Hs_core.Hs_error.exit_code e) (Hs_core.Hs_error.to_string e)
 
 (* ---------- solve ----------------------------------------------------- *)
 
@@ -80,6 +89,37 @@ let print_outcome ~show_schedule (o : Hs_core.Approx.Exact.outcome) =
   | Error e -> Printf.printf "schedule: INVALID (%s)\n" e);
   if show_schedule then Format.printf "%a@." Schedule.pp o.schedule
 
+let print_robust ~show_schedule (r : Hs_core.Approx.robust_outcome) =
+  Printf.printf "path: %s\n" (Hs_core.Approx.provenance_to_string r.r_provenance);
+  List.iter
+    (fun e -> Printf.printf "degraded: %s\n" (Hs_core.Hs_error.to_string e))
+    r.r_fallbacks;
+  Printf.printf "lower bound = %d\n" r.r_lower_bound;
+  Printf.printf "achieved makespan = %d  (guarantee: <= %d)\n" r.r_makespan
+    (2 * r.r_lower_bound);
+  Printf.printf "schedule: VALID (re-certified), horizon %d\n"
+    (Schedule.horizon r.r_schedule);
+  if show_schedule then Format.printf "%a@." Schedule.pp r.r_schedule
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"K"
+        ~doc:
+          "Deterministic resource budget: K simplex pivots and K branch-and-bound nodes. \
+           With a budget, the exact solver is tried first and the pipeline degrades to \
+           the certified LP-rounding 2-approximation when the budget runs out.")
+
+let on_exhausted_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fail", `Fail); ("fallback", `Fallback) ]) `Fallback
+    & info [ "on-budget-exhausted" ] ~docv:"MODE"
+        ~doc:
+          "What to do when a budget runs out: 'fallback' (default) degrades to the next \
+           solver path, 'fail' exits with code 4.")
+
 let solve_cmd =
   let show_schedule =
     Arg.(value & flag & info [ "print-schedule" ] ~doc:"Print every execution segment.")
@@ -90,25 +130,39 @@ let solve_cmd =
   let use_float =
     Arg.(value & flag & info [ "float-lp" ] ~doc:"Use the floating-point LP (faster, uncertified).")
   in
-  let run file topology m n seed overhead het show_schedule show_gantt use_float =
+  let run file topology m n seed overhead het show_schedule show_gantt use_float budget
+      on_exhausted =
     match load_or_generate file topology m n seed overhead het with
-    | Error e -> exit_err e
+    | Error e -> exit_usage e
     | Ok inst -> (
-        if use_float then
-          match Hs_core.Approx.Fast.solve inst with
-          | Error e -> exit_err e
-          | Ok o ->
-              Printf.printf "(float LP path)\n";
-              Printf.printf "LP lower bound T* = %d\nachieved makespan = %d\n" o.t_lp o.makespan
-        else
-          match Hs_core.Approx.Exact.solve inst with
-          | Error e -> exit_err e
-          | Ok o ->
-              print_outcome ~show_schedule o;
-              if show_gantt then Gantt.print o.schedule)
+        match budget with
+        | Some k -> (
+            (* Resilient path: budgets, graceful degradation, typed
+               errors with distinct exit codes. *)
+            match
+              Hs_core.Approx.solve_robust ~budget:(Hs_core.Budget.of_units k)
+                ~on_exhausted inst
+            with
+            | Error e -> exit_typed e
+            | Ok r ->
+                print_robust ~show_schedule r;
+                if show_gantt then Gantt.print r.r_schedule)
+        | None -> (
+            if use_float then
+              match Hs_core.Approx.Fast.solve inst with
+              | Error e -> exit_err e
+              | Ok o ->
+                  Printf.printf "(float LP path)\n";
+                  Printf.printf "LP lower bound T* = %d\nachieved makespan = %d\n" o.t_lp o.makespan
+            else
+              match Hs_core.Approx.Exact.solve_checked inst with
+              | Error e -> exit_typed e
+              | Ok o ->
+                  print_outcome ~show_schedule o;
+                  if show_gantt then Gantt.print o.schedule))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 2-approximation pipeline (Theorem V.2).")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float)
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg)
 
 (* ---------- exact ------------------------------------------------------ *)
 
@@ -116,12 +170,22 @@ let exact_cmd =
   let limit =
     Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~docv:"K" ~doc:"Branch-and-bound node budget.")
   in
-  let run file topology m n seed overhead het limit =
+  let run file topology m n seed overhead het limit on_exhausted =
     match load_or_generate file topology m n seed overhead het with
-    | Error e -> exit_err e
+    | Error e -> exit_usage e
     | Ok inst -> (
         match Hs_core.Exact.optimal ~node_limit:limit inst with
-        | None -> exit_err "instance is infeasible (a job has no finite mask)"
+        | None ->
+            exit_typed
+              (Hs_core.Hs_error.Infeasible
+                 { reason = "some job has no admissible mask"; certified = false })
+        | Some (_, _, stats) when (not stats.proven) && on_exhausted = `Fail ->
+            exit_typed
+              (Hs_core.Hs_error.Budget_exhausted
+                 {
+                   stage = Hs_core.Hs_error.Bb;
+                   detail = Printf.sprintf "node budget (%d) ran out" limit;
+                 })
         | Some (a, span, stats) ->
             Printf.printf "optimal makespan = %d%s (nodes=%d pruned=%d)\n" span
               (if stats.proven then "" else " (NOT proven: node limit hit)")
@@ -129,7 +193,7 @@ let exact_cmd =
             Array.iteri (fun j s -> Printf.printf "  job %d -> set #%d\n" j s) a)
   in
   Cmd.v (Cmd.info "exact" ~doc:"Compute the optimal makespan by branch and bound.")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit)
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit $ on_exhausted_arg)
 
 (* ---------- generate --------------------------------------------------- *)
 
@@ -141,12 +205,12 @@ let generate_cmd =
     match load_or_generate None topology m n seed overhead het with
     | Error e -> exit_err e
     | Ok inst -> (
-        let text = Instance_io.to_string inst in
         match out with
-        | None -> print_string text
-        | Some path ->
-            Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
-            Printf.printf "wrote %s\n" path)
+        | None -> print_string (Instance_io.to_string inst)
+        | Some path -> (
+            match Instance_io.save path inst with
+            | Ok () -> Printf.printf "wrote %s\n" path
+            | Error e -> exit_usage ("cannot write instance: " ^ e)))
   in
   Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic instance file.")
     Term.(const run $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ out)

@@ -19,6 +19,10 @@
 
 open Hs_model
 
+(* The branch-and-bound unit of this library, aliased before the local
+   [Exact] field instance below shadows the name. *)
+module Exact_bb = Exact
+
 module Make (F : Hs_lp.Field.S) = struct
   module I = Ilp.Make (F)
   module R = Lst_rounding.Make (F)
@@ -48,37 +52,53 @@ module Make (F : Hs_lp.Field.S) = struct
     rounding : R.stats;
   }
 
-  let solve inst : (outcome, string) result =
-    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (** The budget-aware pipeline.  Raises {!Hs_error.Error} on any typed
+      failure (infeasibility, budget exhaustion, LP stall, broken
+      invariant); [trip] is the fault-injection hook, fired on entry to
+      each stage. *)
+  let solve_x ?pricing ?pivots ?(on_stall = `Bland) ?iters
+      ?(trip = fun (_ : Hs_error.stage) -> ()) inst : outcome =
     let closed, translate = Instance.with_singletons inst in
-    match I.min_feasible_t closed with
-    | None -> err "approx: no feasible horizon (some job has no finite mask)"
+    match I.min_feasible_t_x ?pricing ?pivots ~on_stall ?iters ~trip closed with
+    | None ->
+        Hs_error.raise_
+          (Infeasible
+             { reason = "no feasible horizon (some job has no finite mask)"; certified = false })
     | Some (t_lp, _frac) -> (
         let iu = unrelated_restriction closed in
-        match I.lp_feasible iu ~tmax:t_lp with
+        match I.lp_feasible_x ?pricing ?pivots ~on_stall ~trip iu ~tmax:t_lp with
         | None ->
             (* Contradicts Lemma V.1: the hierarchical LP was feasible. *)
-            err "approx: internal error, Lemma V.1 feasibility transfer failed at T=%d" t_lp
+            Hs_error.raise_
+              (Internal
+                 (Printf.sprintf "Lemma V.1 feasibility transfer failed at T=%d" t_lp))
         | Some frac_u -> (
-        match R.round iu frac_u with
-        | Error e -> Error e
-        | Ok (assignment_u, rounding) -> (
-            (* Lift machines back onto the closed family's singletons. *)
-            let lam_u = Instance.laminar iu in
-            let lam_c = Instance.laminar closed in
-            let assignment =
-              Array.map
-                (fun s ->
-                  let machine = (Hs_laminar.Laminar.members lam_u s).(0) in
-                  Option.get (Hs_laminar.Laminar.singleton lam_c machine))
-                assignment_u
-            in
-            let makespan = Assignment.min_makespan closed assignment in
-            match Hierarchical.schedule closed assignment ~tmax:makespan with
-            | Error e -> err "approx: scheduler failed: %s" e
-            | Ok schedule ->
-                Ok
-                  { instance = closed; translate; assignment; t_lp; makespan; schedule; rounding })))
+            trip Hs_error.Rounding;
+            match R.round iu frac_u with
+            | Error e -> Hs_error.raise_ (Internal ("rounding failed: " ^ e))
+            | Ok (assignment_u, rounding) -> (
+                (* Lift machines back onto the closed family's singletons. *)
+                let lam_u = Instance.laminar iu in
+                let lam_c = Instance.laminar closed in
+                let assignment =
+                  Array.map
+                    (fun s ->
+                      let machine = (Hs_laminar.Laminar.members lam_u s).(0) in
+                      Option.get (Hs_laminar.Laminar.singleton lam_c machine))
+                    assignment_u
+                in
+                let makespan = Assignment.min_makespan closed assignment in
+                trip Hs_error.Sched;
+                match Hierarchical.schedule closed assignment ~tmax:makespan with
+                | Error e -> Hs_error.raise_ (Internal ("scheduler failed: " ^ e))
+                | Ok schedule ->
+                    { instance = closed; translate; assignment; t_lp; makespan; schedule; rounding })))
+
+  let solve_checked inst : (outcome, Hs_error.t) result =
+    Hs_error.guard (fun () -> solve_x inst)
+
+  let solve inst : (outcome, string) result =
+    Result.map_error Hs_error.to_string (solve_checked inst)
 end
 
 module Exact = Make (Hs_lp.Field.Exact)
@@ -115,3 +135,117 @@ let solve_general (g : General_instance.t) : (general_outcome, string) result =
             | None -> -1)
       in
       Ok { machine_assignment; set_assignment; makespan = o.makespan; lower_bound = o.t_lp }
+
+(** {1 Resilient entry point}
+
+    [solve_robust] wraps the exact branch and bound and the Theorem V.2
+    pipeline behind deterministic resource budgets with graceful
+    degradation: exact (when a node budget is given) → LP + LST rounding
+    under Dantzig pricing → the same under Bland's rule after a pricing
+    stall.  Every schedule that leaves this function has been re-checked
+    by {!Hs_model.Schedule.validate} and carries the provenance of the
+    path that produced it. *)
+
+type provenance =
+  | Exact_optimal  (** proven optimum from branch and bound *)
+  | Lp_approx of { pricing : [ `Dantzig | `Bland ]; restarted : bool }
+      (** the 2-approximation; [restarted] after a fallback *)
+
+let provenance_to_string = function
+  | Exact_optimal -> "exact (branch and bound, proven optimal)"
+  | Lp_approx { pricing; restarted } ->
+      Printf.sprintf "lp-rounding 2-approximation (%s pricing%s)"
+        (match pricing with `Dantzig -> "dantzig" | `Bland -> "bland")
+        (if restarted then ", after fallback" else "")
+
+type robust_outcome = {
+  r_instance : Instance.t;
+      (** the instance the assignment refers to: the original one on the
+          exact path, its singleton closure on the LP path *)
+  r_assignment : Assignment.t;
+  r_makespan : int;
+  r_lower_bound : int;  (** proven optimum, or the LP horizon [T*] *)
+  r_schedule : Schedule.t;
+  r_provenance : provenance;
+  r_fallbacks : Hs_error.t list;
+      (** degradations taken before the successful path, oldest first *)
+}
+
+let solve_robust ?(budget = Budget.unlimited) ?(on_exhausted = `Fallback) ?inject inst :
+    (robust_outcome, Hs_error.t) result =
+  let meter = Budget.meter budget in
+  (* Fault injection: the first time the pipeline enters [inject]'s
+     stage, behave exactly as if the budget ran out there. *)
+  let injected = ref inject in
+  let trip stage =
+    match !injected with
+    | Some s when s = stage ->
+        injected := None;
+        Hs_error.raise_ (Budget_exhausted { stage; detail = "injected fault" })
+    | _ -> ()
+  in
+  let fallbacks = ref [] in
+  let certify ~provenance ~lower_bound ~instance ~assignment ~makespan ~schedule =
+    match Schedule.validate instance assignment schedule with
+    | Error e -> Hs_error.raise_ (Internal ("re-certification failed: " ^ e))
+    | Ok () ->
+        {
+          r_instance = instance;
+          r_assignment = assignment;
+          r_makespan = makespan;
+          r_lower_bound = lower_bound;
+          r_schedule = schedule;
+          r_provenance = provenance;
+          r_fallbacks = List.rev !fallbacks;
+        }
+  in
+  let exact_attempt () =
+    trip Hs_error.Bb;
+    match Exact_bb.optimal_checked ~budget inst with
+    | Error e -> Hs_error.raise_ e
+    | Ok (assignment, span, _stats) -> (
+        trip Hs_error.Sched;
+        match Hierarchical.schedule inst assignment ~tmax:span with
+        | Error e -> Hs_error.raise_ (Internal ("scheduler failed on exact assignment: " ^ e))
+        | Ok schedule ->
+            certify ~provenance:Exact_optimal ~lower_bound:span ~instance:inst ~assignment
+              ~makespan:span ~schedule)
+  in
+  let lp_attempt pricing ~restarted () =
+    let spricing =
+      match pricing with
+      | `Dantzig -> Exact.I.Solver.Dantzig
+      | `Bland -> Exact.I.Solver.Bland
+    in
+    (* Under Dantzig, surface a degeneracy stall as a typed error so the
+       chain restarts with Bland's rule; Bland needs no guard. *)
+    let on_stall = match pricing with `Dantzig -> `Fail | `Bland -> `Bland in
+    let o =
+      Exact.solve_x ~pricing:spricing ?pivots:meter.Budget.pivots ~on_stall
+        ?iters:meter.Budget.iters ~trip inst
+    in
+    certify
+      ~provenance:(Lp_approx { pricing; restarted })
+      ~lower_bound:o.Exact.t_lp ~instance:o.Exact.instance ~assignment:o.Exact.assignment
+      ~makespan:o.Exact.makespan ~schedule:o.Exact.schedule
+  in
+  let recoverable = function
+    | Hs_error.Lp_stall _ -> true
+    | Hs_error.Budget_exhausted _ -> on_exhausted = `Fallback
+    | _ -> false
+  in
+  let rec run = function
+    | [] -> Error (Hs_error.Internal "no solver attempts configured")
+    | [ attempt ] -> ( try Ok (attempt ()) with Hs_error.Error e -> Error e)
+    | attempt :: rest -> (
+        try Ok (attempt ())
+        with Hs_error.Error e ->
+          if recoverable e then begin
+            fallbacks := e :: !fallbacks;
+            run rest
+          end
+          else Error e)
+  in
+  run
+    ((match meter.Budget.nodes with Some _ -> [ exact_attempt ] | None -> [])
+    @ [ lp_attempt `Dantzig ~restarted:false; lp_attempt `Bland ~restarted:true ])

@@ -39,6 +39,10 @@ module Make (F : Hs_lp.Field.S) : sig
   }
 
   val solve : Instance.t -> (outcome, string) result
+
+  val solve_checked : Instance.t -> (outcome, Hs_error.t) result
+  (** Same pipeline with the typed error preserved, so callers can
+      distinguish infeasibility from internal failures. *)
 end
 
 module Exact : module type of Make (Hs_lp.Field.Exact)
@@ -59,3 +63,47 @@ type general_outcome = {
 val solve_general : General_instance.t -> (general_outcome, string) result
 (** The reduction-based algorithm whose makespan is within a factor 8 of
     the optimum (via the preemptive/non-preemptive chain of §II). *)
+
+(** {1 Resilient entry point}
+
+    {!solve_robust} runs the solvers behind deterministic resource
+    budgets with graceful degradation: exact branch and bound (when a
+    node budget is configured) → LP + LST rounding under Dantzig pricing
+    → the same under Bland's rule after a pricing stall.  Every returned
+    schedule has been re-certified by {!Hs_model.Schedule.validate} and
+    is tagged with the provenance of the path that produced it. *)
+
+type provenance =
+  | Exact_optimal  (** proven optimum from branch and bound *)
+  | Lp_approx of { pricing : [ `Dantzig | `Bland ]; restarted : bool }
+      (** the 2-approximation ([makespan ≤ 2·T*]); [restarted] after a
+          fallback *)
+
+val provenance_to_string : provenance -> string
+
+type robust_outcome = {
+  r_instance : Instance.t;
+      (** the instance the assignment refers to: the original one on the
+          exact path, its singleton closure on the LP path *)
+  r_assignment : Assignment.t;
+  r_makespan : int;
+  r_lower_bound : int;  (** proven optimum, or the LP horizon [T*] *)
+  r_schedule : Schedule.t;
+  r_provenance : provenance;
+  r_fallbacks : Hs_error.t list;
+      (** degradations taken before the successful path, oldest first *)
+}
+
+val solve_robust :
+  ?budget:Budget.t ->
+  ?on_exhausted:[ `Fail | `Fallback ] ->
+  ?inject:Hs_error.stage ->
+  Instance.t ->
+  (robust_outcome, Hs_error.t) result
+(** Solve under a resource budget.  With [`Fallback] (the default) a
+    budget exhaustion degrades to the next path in the chain; with
+    [`Fail] it surfaces as [Error (Budget_exhausted _)].  A Dantzig
+    pricing stall always restarts under Bland's rule.  [inject] is the
+    fault-injection hook of the test harness: the first time the
+    pipeline enters that stage it behaves exactly as if its budget ran
+    out there. *)

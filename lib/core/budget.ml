@@ -1,0 +1,45 @@
+(** Deterministic resource budgets for the solver pipeline.
+
+    A budget caps the three unbounded loops of the pipeline — simplex
+    pivots, branch-and-bound nodes, and binary-search iterations — so a
+    pathological instance degrades or fails in bounded time instead of
+    wedging the process.  Budgets are plain counters, so every run is
+    reproducible: the same instance with the same budget exhausts at the
+    same point. *)
+
+type t = {
+  lp_pivots : int option;  (** total simplex pivots across all LP solves *)
+  bb_nodes : int option;  (** branch-and-bound nodes expanded *)
+  search_iters : int option;  (** binary-search probes over the horizon *)
+}
+
+let unlimited = { lp_pivots = None; bb_nodes = None; search_iters = None }
+
+let v ?lp_pivots ?bb_nodes ?search_iters () = { lp_pivots; bb_nodes; search_iters }
+
+(* The CLI's single --budget knob: K units buy K pivots and K nodes;
+   the binary search is already logarithmic so it stays uncapped. *)
+let of_units k =
+  let k = Stdlib.max 0 k in
+  { lp_pivots = Some k; bb_nodes = Some k; search_iters = None }
+
+let is_unlimited b = b.lp_pivots = None && b.bb_nodes = None && b.search_iters = None
+
+type meter = {
+  pivots : Hs_lp.Simplex.budget option;
+      (** shared mutable pivot allowance, threaded into every LP solve *)
+  iters : int ref option;  (** remaining binary-search probes *)
+  nodes : int option;  (** node limit handed to branch and bound *)
+}
+
+let meter b =
+  {
+    pivots = Option.map Hs_lp.Simplex.budget b.lp_pivots;
+    iters = Option.map ref b.search_iters;
+    nodes = b.bb_nodes;
+  }
+
+let pp fmt b =
+  let f name = function None -> name ^ "=∞" | Some k -> Printf.sprintf "%s=%d" name k in
+  Format.fprintf fmt "{%s %s %s}" (f "pivots" b.lp_pivots) (f "nodes" b.bb_nodes)
+    (f "iters" b.search_iters)

@@ -1,0 +1,31 @@
+(** Deterministic resource budgets for the solver pipeline.
+
+    Caps the three unbounded loops — simplex pivots, branch-and-bound
+    nodes, binary-search iterations.  [None] means unlimited.  Budgets
+    are plain counters, so exhaustion is reproducible. *)
+
+type t = {
+  lp_pivots : int option;  (** total simplex pivots across all LP solves *)
+  bb_nodes : int option;  (** branch-and-bound nodes expanded *)
+  search_iters : int option;  (** binary-search probes over the horizon *)
+}
+
+val unlimited : t
+val v : ?lp_pivots:int -> ?bb_nodes:int -> ?search_iters:int -> unit -> t
+
+val of_units : int -> t
+(** The CLI's single [--budget K] knob: [K] pivots and [K] nodes; the
+    (logarithmic) binary search stays uncapped. *)
+
+val is_unlimited : t -> bool
+
+(** A live meter instantiates a budget's counters for one solve: the
+    pivot allowance is shared (mutably) by every LP call of the run. *)
+type meter = {
+  pivots : Hs_lp.Simplex.budget option;
+  iters : int ref option;
+  nodes : int option;
+}
+
+val meter : t -> meter
+val pp : Format.formatter -> t -> unit

@@ -138,6 +138,31 @@ let optimal ?(node_limit = 20_000_000) ?initial inst : (Assignment.t * int * sta
 let optimal_makespan ?node_limit ?initial inst =
   Option.map (fun (_, span, _) -> span) (optimal ?node_limit ?initial inst)
 
+(** Typed, budget-aware front end: the node allowance comes from
+    [budget.bb_nodes] (falling back to the historical default), and an
+    unproven result is reported as {!Hs_error.Budget_exhausted} instead
+    of being silently returned — callers that can degrade (for example
+    {!Approx.solve_robust}) catch exactly that case. *)
+let optimal_checked ?(budget = Budget.unlimited) ?initial inst :
+    (Assignment.t * int * stats, Hs_error.t) result =
+  let node_limit = Option.value budget.Budget.bb_nodes ~default:20_000_000 in
+  match optimal ~node_limit ?initial inst with
+  | None ->
+      Error
+        (Hs_error.Infeasible
+           { reason = "some job has no admissible mask"; certified = false })
+  | Some (a, span, st) ->
+      if st.proven then Ok (a, span, st)
+      else
+        Error
+          (Hs_error.Budget_exhausted
+             {
+               stage = Hs_error.Bb;
+               detail =
+                 Printf.sprintf "node budget (%d) ran out; incumbent makespan %d unproven"
+                   node_limit span;
+             })
+
 (** Exhaustive enumeration, for cross-checking the branch and bound on
     tiny instances. *)
 let brute_force inst : (Assignment.t * int) option =

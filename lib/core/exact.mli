@@ -29,5 +29,15 @@ val optimal :
 val optimal_makespan :
   ?node_limit:int -> ?initial:Assignment.t * int -> Instance.t -> int option
 
+val optimal_checked :
+  ?budget:Budget.t ->
+  ?initial:Assignment.t * int ->
+  Instance.t ->
+  (Assignment.t * int * stats, Hs_error.t) result
+(** Typed front end: the node allowance comes from [budget.bb_nodes];
+    hitting it yields [Error (Budget_exhausted {stage = Bb; _})] instead
+    of a silently unproven incumbent, and an instance with a maskless job
+    yields [Error (Infeasible _)]. *)
+
 val brute_force : Instance.t -> (Assignment.t * int) option
 (** Exhaustive enumeration; for cross-checking on tiny instances. *)

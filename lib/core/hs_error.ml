@@ -1,0 +1,64 @@
+(** Typed errors for the solver pipeline.
+
+    Every failure the pipeline can report is one of these variants, so
+    callers (the CLI, the fault-injection harness, a future service
+    front end) can branch on the {e kind} of failure instead of matching
+    error strings, and each kind maps to a stable process exit code. *)
+
+type stage =
+  | Parse  (** reading an instance from text *)
+  | Validate  (** laminarity / monotonicity validation *)
+  | Search  (** the binary search over LP-feasible horizons *)
+  | Lp  (** a simplex solve *)
+  | Rounding  (** LST or iterative rounding *)
+  | Bb  (** branch-and-bound node expansion *)
+  | Sched  (** realising the assignment as a schedule *)
+
+type t =
+  | Parse_error of string  (** malformed instance text *)
+  | Invalid_instance of string  (** well-formed text, invalid model *)
+  | Lp_stall of { pricing : string }
+      (** Dantzig pricing hit the degenerate-pivot threshold under
+          [~on_stall:`Fail]; restarting under Bland's rule terminates *)
+  | Budget_exhausted of { stage : stage; detail : string }
+      (** a deterministic resource budget ran out at [stage] *)
+  | Infeasible of { reason : string; certified : bool }
+      (** the instance admits no schedule; [certified] when backed by a
+          verified Farkas witness *)
+  | Internal of string  (** an invariant the paper guarantees was broken *)
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+
+let stage_name = function
+  | Parse -> "parse"
+  | Validate -> "validate"
+  | Search -> "horizon-search"
+  | Lp -> "lp"
+  | Rounding -> "rounding"
+  | Bb -> "branch-and-bound"
+  | Sched -> "schedule"
+
+let to_string = function
+  | Parse_error msg -> Printf.sprintf "parse error: %s" msg
+  | Invalid_instance msg -> Printf.sprintf "invalid instance: %s" msg
+  | Lp_stall { pricing } -> Printf.sprintf "lp stall: %s pricing made no progress" pricing
+  | Budget_exhausted { stage; detail } ->
+      Printf.sprintf "budget exhausted [%s]: %s" (stage_name stage) detail
+  | Infeasible { reason; certified } ->
+      Printf.sprintf "infeasible%s: %s" (if certified then " (certified)" else "") reason
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* Exit-code contract of the CLI: 2 unusable input, 3 infeasible,
+   4 budget exhausted, 1 anything else. *)
+let exit_code = function
+  | Parse_error _ | Invalid_instance _ -> 2
+  | Infeasible _ -> 3
+  | Budget_exhausted _ -> 4
+  | Lp_stall _ | Internal _ -> 1
+
+(** Run [f], turning a raised {!Error} into [Error]. *)
+let guard f = try Ok (f ()) with Error e -> Error e

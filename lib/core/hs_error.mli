@@ -1,0 +1,45 @@
+(** Typed errors for the solver pipeline.
+
+    The pipeline reports failures as values of {!t} instead of ad-hoc
+    [failwith] strings: callers branch on the kind of failure (retry on
+    a stall, degrade on budget exhaustion, reject on a parse error) and
+    each kind carries a stable CLI exit code ({!exit_code}). *)
+
+type stage =
+  | Parse  (** reading an instance from text *)
+  | Validate  (** laminarity / monotonicity validation *)
+  | Search  (** the binary search over LP-feasible horizons *)
+  | Lp  (** a simplex solve *)
+  | Rounding  (** LST or iterative rounding *)
+  | Bb  (** branch-and-bound node expansion *)
+  | Sched  (** realising the assignment as a schedule *)
+
+type t =
+  | Parse_error of string  (** malformed instance text *)
+  | Invalid_instance of string  (** well-formed text, invalid model *)
+  | Lp_stall of { pricing : string }
+      (** Dantzig pricing hit the degenerate-pivot threshold under
+          [~on_stall:`Fail]; restarting under Bland's rule terminates *)
+  | Budget_exhausted of { stage : stage; detail : string }
+      (** a deterministic resource budget ran out at [stage] *)
+  | Infeasible of { reason : string; certified : bool }
+      (** the instance admits no schedule; [certified] when backed by a
+          verified Farkas witness *)
+  | Internal of string  (** an invariant the paper guarantees was broken *)
+
+exception Error of t
+(** Internal control flow of the pipeline; public entry points catch it
+    and return [result] values ({!guard}). *)
+
+val raise_ : t -> 'a
+
+val stage_name : stage -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** CLI contract: [2] unusable input (parse / validation), [3]
+    infeasible, [4] budget exhausted, [1] everything else. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a pipeline fragment, capturing a raised {!Error}. *)

@@ -83,13 +83,28 @@ module Make (F : Hs_lp.Field.S) = struct
           var_of )
     end
 
-  (** LP feasibility of (IP-3) at horizon [tmax]; [Some] basic fractional
-      solution or [None]. *)
-  let lp_feasible inst ~tmax : frac option =
+  (** Budget-aware LP feasibility of (IP-3) at horizon [tmax].  Raises
+      {!Hs_error.Error} on pivot-budget exhaustion or (under
+      [~on_stall:`Fail]) on a Dantzig pricing stall; [trip] is the
+      fault-injection hook, called on entry with {!Hs_error.Lp}. *)
+  let lp_feasible_x ?pricing ?pivots ?(on_stall = `Bland) ?(trip = fun (_ : Hs_error.stage) -> ())
+      inst ~tmax : frac option =
+    trip Hs_error.Lp;
     match relaxation inst ~tmax with
     | None -> None
     | Some (lp, var_of) -> (
-        match Solver.feasible lp with
+        let sol =
+          try Solver.feasible ?pricing ?budget:pivots ~on_stall lp with
+          | Hs_lp.Simplex.Pivot_limit ->
+              Hs_error.raise_
+                (Budget_exhausted
+                   {
+                     stage = Lp;
+                     detail = Printf.sprintf "simplex pivot budget ran out at T=%d" tmax;
+                   })
+          | Hs_lp.Simplex.Stall -> Hs_error.raise_ (Lp_stall { pricing = "dantzig" })
+        in
+        match sol with
         | None -> None
         | Some sol ->
             let lam = Instance.laminar inst in
@@ -97,6 +112,10 @@ module Make (F : Hs_lp.Field.S) = struct
               (Array.init (Laminar.size lam) (fun s ->
                    Array.init (Instance.njobs inst) (fun j ->
                        if var_of.(s).(j) >= 0 then sol.x.(var_of.(s).(j)) else F.zero))))
+
+  (** LP feasibility of (IP-3) at horizon [tmax]; [Some] basic fractional
+      solution or [None].  Unlimited budget — never raises. *)
+  let lp_feasible inst ~tmax : frac option = lp_feasible_x inst ~tmax
 
   (** Search bounds for the minimal feasible horizon: the max of the
       per-job minimum processing times is a certain lower bound (below it
@@ -127,23 +146,43 @@ module Make (F : Hs_lp.Field.S) = struct
         | Solver.Feasible _ -> false
         | Solver.Infeasible_certificate y -> Solver.check_farkas lp y)
 
-  (** Minimal integer horizon with a feasible LP relaxation, together
-      with a basic fractional solution at that horizon.  This is the
-      binary search of Section V: the result lower-bounds the integral
-      optimum. *)
-  let min_feasible_t inst : (int * frac) option =
+  (** Budget-aware binary search for the minimal LP-feasible horizon.
+      Each probe charges one search iteration (raising on exhaustion) and
+      fires the [trip] hook with {!Hs_error.Search}; the pivot budget and
+      stall policy are threaded into every probe's LP solve. *)
+  let min_feasible_t_x ?pricing ?pivots ?on_stall ?iters
+      ?(trip = fun (_ : Hs_error.stage) -> ()) inst : (int * frac) option =
+    let charge_iter () =
+      match iters with
+      | None -> ()
+      | Some r ->
+          if !r <= 0 then
+            Hs_error.raise_
+              (Budget_exhausted
+                 { stage = Search; detail = "binary-search iteration budget ran out" })
+          else decr r
+    in
     match t_bounds inst with
     | None -> None
     | Some (lo, hi) ->
         let rec search lo hi best =
           if lo > hi then best
-          else
+          else begin
+            charge_iter ();
+            trip Hs_error.Search;
             let mid = (lo + hi) / 2 in
-            match lp_feasible inst ~tmax:mid with
+            match lp_feasible_x ?pricing ?pivots ?on_stall ~trip inst ~tmax:mid with
             | Some x -> search lo (mid - 1) (Some (mid, x))
             | None -> search (mid + 1) hi best
+          end
         in
         search lo hi None
+
+  (** Minimal integer horizon with a feasible LP relaxation, together
+      with a basic fractional solution at that horizon.  This is the
+      binary search of Section V: the result lower-bounds the integral
+      optimum.  Unlimited budget — never raises. *)
+  let min_feasible_t inst : (int * frac) option = min_feasible_t_x inst
 end
 
 (** Integral feasibility of (IP-2) — constraints (2a)–(2c) — for a given

@@ -10,6 +10,8 @@
 open Hs_model
 
 module Make (F : Hs_lp.Field.S) : sig
+  module Solver : module type of Hs_lp.Simplex.Make (F)
+
   type frac = F.t array array
   (** [x.(set).(job)] — a fractional solution of the (IP-3) relaxation. *)
 
@@ -24,6 +26,19 @@ module Make (F : Hs_lp.Field.S) : sig
   val lp_feasible : Instance.t -> tmax:int -> frac option
   (** A {e basic} fractional solution at horizon [tmax], or [None]. *)
 
+  val lp_feasible_x :
+    ?pricing:Solver.pricing ->
+    ?pivots:Hs_lp.Simplex.budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    ?trip:(Hs_error.stage -> unit) ->
+    Instance.t ->
+    tmax:int ->
+    frac option
+  (** Budget-aware {!lp_feasible}: raises {!Hs_error.Error} with
+      [Budget_exhausted] when the shared pivot allowance runs out, or
+      [Lp_stall] under [~on_stall:`Fail].  [trip] is the fault-injection
+      hook, fired on entry with {!Hs_error.Lp}. *)
+
   val t_bounds : Instance.t -> (int * int) option
   (** Certified search bounds for the minimal feasible horizon
       [(max_j min_α p, Σ_j min_α p)]; [None] when some job has no finite
@@ -33,6 +48,19 @@ module Make (F : Hs_lp.Field.S) : sig
   (** Binary search of Section V: the minimal integer horizon whose LP
       relaxation is feasible (a lower bound on the integral optimum),
       with a basic solution at that horizon. *)
+
+  val min_feasible_t_x :
+    ?pricing:Solver.pricing ->
+    ?pivots:Hs_lp.Simplex.budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    ?iters:int ref ->
+    ?trip:(Hs_error.stage -> unit) ->
+    Instance.t ->
+    (int * frac) option
+  (** Budget-aware {!min_feasible_t}: every probe charges one iteration
+      from [iters] and fires [trip] with {!Hs_error.Search} before
+      delegating to {!lp_feasible_x} with the shared pivot budget.
+      Raises {!Hs_error.Error} on exhaustion or stall. *)
 
   val certified_infeasible : Instance.t -> tmax:int -> bool
   (** [true] iff the relaxation at [tmax] is infeasible {e and} the

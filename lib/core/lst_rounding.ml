@@ -51,9 +51,9 @@ module Make (F : Hs_lp.Field.S) = struct
         let fractional =
           List.init n (fun j -> j) |> List.filter (fun j -> assignment.(j) = -1)
         in
-        List.iter
-          (fun j -> if edges.(j) = [] then invalid_arg "lst: job with no weight at all")
-          fractional;
+        match List.find_opt (fun j -> edges.(j) = []) fractional with
+        | Some j -> err "lst: job %d has no weight at all" j
+        | None ->
         (* Kuhn's augmenting-path matching: machine -> job. *)
         let matched_job = Array.make m (-1) in
         let rec augment j visited =

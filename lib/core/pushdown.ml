@@ -41,7 +41,8 @@ module Make (F : Hs_lp.Field.S) = struct
          pairwise disjoint and cover eta. *)
       let covered = List.fold_left (fun acc c -> acc + Laminar.card lam c) 0 children in
       if covered <> Laminar.card lam eta then
-        invalid_arg "Pushdown: children do not cover the set (family not closed)";
+        Hs_error.raise_
+          (Internal "Pushdown: children do not cover the set (family not closed)");
       let slacks = List.map (fun c -> (c, slack inst x ~tmax c)) children in
       let denom = List.fold_left (fun acc (_, s) -> F.add acc s) F.zero slacks in
       Array.iteri
@@ -57,7 +58,8 @@ module Make (F : Hs_lp.Field.S) = struct
                  the weight is volume-free and may go to any child. *)
               match children with
               | c :: _ -> x.(c).(j) <- F.add x.(c).(j) v
-              | [] -> invalid_arg "Pushdown: non-singleton set without children"
+              | [] ->
+                  Hs_error.raise_ (Internal "Pushdown: non-singleton set without children")
             end;
             x.(eta).(j) <- F.zero
           end)

@@ -14,6 +14,13 @@
    rule terminates from any basis, the combination terminates even on
    degenerate tableaus while keeping Dantzig's practical pivot counts. *)
 
+type budget = { mutable pivots_left : int }
+
+let budget n = { pivots_left = n }
+
+exception Pivot_limit
+exception Stall
+
 module Make (F : Field.S) = struct
   type solution = { x : F.t array; objective : F.t; basic : bool array }
   type result = Optimal of solution | Infeasible | Unbounded
@@ -100,8 +107,20 @@ module Make (F : Field.S) = struct
   (* Dantzig pricing does not terminate on its own under degeneracy; we
      count consecutive zero-progress (degenerate) pivots and fall back to
      Bland's rule permanently once they exceed a threshold, which
-     guarantees termination from any basis. *)
-  let optimize ?(pricing = Dantzig) t cost ~max_col =
+     guarantees termination from any basis.  [on_stall] picks what
+     happens at the threshold: [`Bland] switches rules silently (the
+     historical behaviour), [`Fail] raises {!Stall} so the caller can
+     restart the whole solve under Bland's rule explicitly.  [budget], if
+     given, is decremented once per pivot across every call sharing it;
+     {!Pivot_limit} is raised when it runs dry. *)
+  let optimize ?(pricing = Dantzig) ?budget ?(on_stall = `Bland) t cost ~max_col =
+    let charge () =
+      match budget with
+      | None -> ()
+      | Some b ->
+          if b.pivots_left <= 0 then raise Pivot_limit
+          else b.pivots_left <- b.pivots_left - 1
+    in
     let degenerate_limit = (2 * t.ncols) + 16 in
     let rec go pricing degenerate =
       match entering pricing cost ~max_col with
@@ -111,10 +130,12 @@ module Make (F : Field.S) = struct
           | None -> `Unbounded
           | Some row ->
               let zero_progress = F.sign t.rows.(row).(t.ncols) = 0 in
+              charge ();
               pivot t cost ~row ~col;
               if pricing = Bland then go Bland 0
               else if zero_progress then
-                if degenerate + 1 > degenerate_limit then go Bland 0
+                if degenerate + 1 > degenerate_limit then
+                  match on_stall with `Bland -> go Bland 0 | `Fail -> raise Stall
                 else go pricing (degenerate + 1)
               else go pricing 0)
     in
@@ -189,7 +210,7 @@ module Make (F : Field.S) = struct
     { rows; basis; ncols; nvars; art_start; row_info }
 
   (* Phase 1: minimise the sum of artificial variables. *)
-  let phase1 ?pricing t =
+  let phase1 ?pricing ?budget ?on_stall t =
     let cost = Array.make (t.ncols + 1) F.zero in
     for j = t.art_start to t.ncols - 1 do
       cost.(j) <- F.one
@@ -203,7 +224,7 @@ module Make (F : Field.S) = struct
             cost.(j) <- F.sub cost.(j) row.(j)
           done)
       t.basis;
-    match optimize ?pricing t cost ~max_col:t.ncols with
+    match optimize ?pricing ?budget ?on_stall t cost ~max_col:t.ncols with
     | `Unbounded ->
         (* The phase-1 objective is bounded below by zero. *)
         assert false
@@ -272,14 +293,14 @@ module Make (F : Field.S) = struct
       t.basis;
     { x; objective; basic }
 
-  let solve ?pricing ?(maximize = false) (p : F.t Lp_problem.t) =
+  let solve ?pricing ?budget ?on_stall ?(maximize = false) (p : F.t Lp_problem.t) =
     let p =
       if maximize then
         { p with Lp_problem.objective = List.map (fun (v, c) -> (v, F.neg c)) p.Lp_problem.objective }
       else p
     in
     let t = build p in
-    if not (fst (phase1 ?pricing t)) then Infeasible
+    if not (fst (phase1 ?pricing ?budget ?on_stall t)) then Infeasible
     else begin
       let cost = Array.make (t.ncols + 1) F.zero in
       List.iter
@@ -297,7 +318,7 @@ module Make (F : Field.S) = struct
             done
           end)
         t.basis;
-      match optimize ?pricing t cost ~max_col:t.art_start with
+      match optimize ?pricing ?budget ?on_stall t cost ~max_col:t.art_start with
       | `Unbounded -> Unbounded
       | `Optimal ->
           let obj = F.neg cost.(t.ncols) in
@@ -305,8 +326,8 @@ module Make (F : Field.S) = struct
           Optimal (extract t ~objective:obj)
     end
 
-  let feasible ?pricing p =
-    match solve ?pricing { p with Lp_problem.objective = [] } with
+  let feasible ?pricing ?budget ?on_stall p =
+    match solve ?pricing ?budget ?on_stall { p with Lp_problem.objective = [] } with
     | Optimal s -> Some s
     | Infeasible -> None
     | Unbounded -> assert false
@@ -417,10 +438,10 @@ module Make (F : Field.S) = struct
 
   type feasibility = Feasible of solution | Infeasible_certificate of F.t array
 
-  let feasible_certified ?pricing p =
+  let feasible_certified ?pricing ?budget ?on_stall p =
     let p = { p with Lp_problem.objective = [] } in
     let t = build p in
-    let ok, cost = phase1 ?pricing t in
+    let ok, cost = phase1 ?pricing ?budget ?on_stall t in
     if not ok then Infeasible_certificate (farkas_of_phase1 t cost)
     else begin
       drive_out_artificials t cost;

@@ -9,6 +9,22 @@
     standard-form polyhedron): the Lenstra–Shmoys–Tardos rounding step
     depends on this to bound the fractional support. *)
 
+type budget = { mutable pivots_left : int }
+(** A deterministic pivot allowance, shared by every solver call that
+    receives it: each pivot decrements the counter, and a solve attempted
+    with an empty budget raises {!Pivot_limit}.  Field-independent, so
+    one budget can meter a whole pipeline of LP solves. *)
+
+val budget : int -> budget
+
+exception Pivot_limit
+(** Raised mid-solve when the supplied {!budget} runs out. *)
+
+exception Stall
+(** Raised instead of the silent Bland fallback when a solve is run with
+    [~on_stall:`Fail] and Dantzig pricing exceeds the degenerate-pivot
+    threshold. *)
+
 module Make (F : Field.S) : sig
   type solution = {
     x : F.t array;  (** values of the original decision variables *)
@@ -25,10 +41,23 @@ module Make (F : Field.S) : sig
             Bland permanently after a run of degenerate pivots, so
             termination is still guaranteed *)
 
-  val solve : ?pricing:pricing -> ?maximize:bool -> F.t Lp_problem.t -> result
-  (** Minimises the objective by default. *)
+  val solve :
+    ?pricing:pricing ->
+    ?budget:budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    ?maximize:bool ->
+    F.t Lp_problem.t ->
+    result
+  (** Minimises the objective by default.  [budget] meters pivots
+      (raising {!Pivot_limit} when exhausted); [on_stall] selects the
+      degeneracy response (default [`Bland], the silent rule switch). *)
 
-  val feasible : ?pricing:pricing -> F.t Lp_problem.t -> solution option
+  val feasible :
+    ?pricing:pricing ->
+    ?budget:budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    F.t Lp_problem.t ->
+    solution option
   (** Phase-1 only: [Some] basic feasible solution, or [None].  The
       problem's objective is ignored. *)
 
@@ -42,7 +71,12 @@ module Make (F : Field.S) : sig
             [x ≥ 0] can satisfy the system.  With {!Field.Exact} this is
             a machine-checkable proof of infeasibility. *)
 
-  val feasible_certified : ?pricing:pricing -> F.t Lp_problem.t -> feasibility
+  val feasible_certified :
+    ?pricing:pricing ->
+    ?budget:budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    F.t Lp_problem.t ->
+    feasibility
   (** Like {!feasible} but returns the Farkas certificate on the
       infeasible side (recovered from the phase-1 duals). *)
 

@@ -106,11 +106,25 @@ let of_string text =
     match Laminar.of_sets ~m sets with
     | Error e -> Error e
     | Ok lam -> Instance.make lam p
-  with Bad msg -> err "%s" msg
+  with
+  | Bad msg -> err "%s" msg
+  (* Hard guarantee for untrusted input: of_string never raises.  The
+     structured [Bad] failures above cover everything we anticipate; any
+     other exception out of the validators is still a parse error, not a
+     crash. *)
+  | Stack_overflow -> err "input too deeply nested"
+  | Division_by_zero | Invalid_argument _ | Failure _ | Not_found | Sys_error _ ->
+      err "malformed instance text"
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> of_string text
   | exception Sys_error e -> Error e
 
-let save path inst = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string inst))
+let save path inst =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string inst))
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e

@@ -24,8 +24,12 @@ val to_string : Instance.t -> string
 (** Serialise; {!of_string} of the result reproduces the instance. *)
 
 val of_string : string -> (Instance.t, string) result
+(** Parse untrusted text.  Total: malformed input of any shape is
+    reported as [Error], never as an exception. *)
 
 val load : string -> (Instance.t, string) result
 (** Read a file; IO errors are reported as [Error]. *)
 
-val save : string -> Instance.t -> unit
+val save : string -> Instance.t -> (unit, string) result
+(** Write a file; IO errors (unwritable path, full disk) are reported as
+    [Error], never raised. *)

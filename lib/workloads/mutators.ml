@@ -1,0 +1,264 @@
+(** Fault-injection mutators for the robustness harness.
+
+    Two families of faults, both deterministic given the {!Rng} stream:
+
+    - {e textual} corruption of instance files, to drive
+      {!Hs_model.Instance_io.of_string} with malformed input (the parser
+      must report [Error], never raise), and
+    - {e structural} mutations of valid instances that violate the model
+      invariants — laminarity of the family, monotonicity of the
+      processing times — which the validators ({!Hs_laminar.Laminar.of_sets},
+      {!Hs_model.Instance.make}) must catch. *)
+
+open Hs_model
+open Hs_laminar
+
+(* ---- textual corruption --------------------------------------------- *)
+
+let garbage_tokens =
+  [| "-1"; "x"; ""; "inf"; "99999999999999999999"; "NaN"; "#"; "machines"; "1e9"; "0x10" |]
+
+let garbage_lines =
+  [| "machines -3"; "sets x"; "0 0 0 0 0 0 0 0"; "jobs"; "   "; "1 2 3 oops"; "\x00\x01\x02" |]
+
+(* One random textual mutation.  The result is usually malformed; when a
+   mutation happens to preserve validity (e.g. duplicating a comment)
+   that is fine — the harness only asserts the parser never raises. *)
+let corrupt_once rng text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let nl = Array.length lines in
+  let rebuild () = String.concat "\n" (Array.to_list lines) in
+  match Rng.int rng 9 with
+  | 0 ->
+      (* truncate at a random byte *)
+      if String.length text <= 1 then "" else String.sub text 0 (Rng.int rng (String.length text))
+  | 1 ->
+      (* drop a random line *)
+      if nl <= 1 then ""
+      else begin
+        let i = Rng.int rng nl in
+        String.concat "\n"
+          (List.filteri (fun k _ -> k <> i) (Array.to_list lines))
+      end
+  | 2 ->
+      (* duplicate a random line *)
+      let i = Rng.int rng (Stdlib.max 1 nl) in
+      String.concat "\n"
+        (List.concat_map
+           (fun k -> if k = i then [ lines.(k); lines.(k) ] else [ lines.(k) ])
+           (List.init nl (fun k -> k)))
+  | 3 ->
+      (* swap two random lines *)
+      if nl >= 2 then begin
+        let i = Rng.int rng nl and j = Rng.int rng nl in
+        let t = lines.(i) in
+        lines.(i) <- lines.(j);
+        lines.(j) <- t
+      end;
+      rebuild ()
+  | 4 ->
+      (* replace a random token on a random line *)
+      if nl = 0 then text
+      else begin
+        let i = Rng.int rng nl in
+        let toks = Array.of_list (String.split_on_char ' ' lines.(i)) in
+        if Array.length toks > 0 then
+          toks.(Rng.int rng (Array.length toks)) <- Rng.choose rng garbage_tokens;
+        lines.(i) <- String.concat " " (Array.to_list toks);
+        rebuild ()
+      end
+  | 5 ->
+      (* flip a random byte *)
+      if String.length text = 0 then text
+      else begin
+        let b = Bytes.of_string text in
+        Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (32 + Rng.int rng 95));
+        Bytes.to_string b
+      end
+  | 6 ->
+      (* perturb a header count *)
+      Array.iteri
+        (fun i l ->
+          match String.split_on_char ' ' l with
+          | [ key; v ] when List.mem key [ "machines"; "sets"; "jobs" ] -> (
+              match int_of_string_opt v with
+              | Some k when Rng.bool rng 0.5 ->
+                  lines.(i) <- Printf.sprintf "%s %d" key (k + Rng.int_range rng (-3) 3)
+              | _ -> ())
+          | _ -> ())
+        lines;
+      rebuild ()
+  | 7 ->
+      (* insert a garbage line at a random position *)
+      let i = Rng.int rng (nl + 1) in
+      let g = Rng.choose rng garbage_lines in
+      String.concat "\n"
+        (List.concat_map
+           (fun k ->
+             if k = i then [ g ] else if k < nl then [ lines.(k) ] else [])
+           (List.init (nl + 1) (fun k -> k)))
+  | _ -> String.sub text (Rng.int rng (Stdlib.max 1 (String.length text / 2))) 0 ^ text ^ "\njobs 1"
+
+(* Stack 1–3 mutations for deeper corruption. *)
+let corrupt_text rng text =
+  let rec go k text = if k = 0 then text else go (k - 1) (corrupt_once rng text) in
+  go (1 + Rng.int rng 3) text
+
+(* A handwritten corpus of malformed inputs covering every parser branch:
+   each of these must yield [Error]. *)
+let malformed_corpus =
+  [
+    "";
+    "   \n  \n";
+    "machines\n";
+    "machines x\n";
+    "machines -1\n";
+    "machines 2\n";
+    "machines 2\nsets\n";
+    "machines 2\nsets 1\n";
+    "machines 2\nsets 1\n0 1\n";
+    "machines 2\nsets 1\n0 1\njobs x\n";
+    "machines 2\nsets 1\n0 1\njobs 1\n";
+    "machines 2\nsets 1\n0 1\njobs 1\n3 4\n";
+    "machines 2\nsets 1\n0 1\njobs 1\n-3\n";
+    "machines 2\nsets 1\n0 1\njobs 1\nx\n";
+    "machines 2\nsets 1\n0 1\njobs 1\n3\nextra\n";
+    "machines 2\nsets 1\n0 9\njobs 1\n3\n";
+    "machines 2\nsets 2\n0 1\n0 1\njobs 1\n3 3\n";
+    "machines 2\nsets 2\n0 1\n0 2\njobs 1\n3 2\n";
+    "machines 2\nsets 2\n0 1\n0\njobs 1\n3 9\n";
+    "machines 2\nsets 1\n0 1\njobs 1\n99999999999999999999999999\n";
+    "machines 1\nsets 1\n0\njobs 1\ninf inf\n";
+    "machines 0\nsets 0\njobs 1\n\n";
+  ]
+
+(* ---- structural mutations ------------------------------------------- *)
+
+(** Violate monotonicity: raise the time of a proper subset strictly
+    above its parent's, so [α ⊆ β] no longer implies [P(α) ≤ P(β)].
+    Returns the laminar family plus the corrupted matrix, or [None] when
+    the instance has no finite (child, parent) pair to pervert. *)
+let break_monotonicity rng inst =
+  let lam = Instance.laminar inst in
+  let n = Instance.njobs inst in
+  let candidates = ref [] in
+  for s = 0 to Laminar.size lam - 1 do
+    match Laminar.parent lam s with
+    | None -> ()
+    | Some b ->
+        for j = 0 to n - 1 do
+          if Ptime.is_fin (Instance.ptime inst ~job:j ~set:b) then
+            candidates := (j, s, b) :: !candidates
+        done
+  done;
+  match !candidates with
+  | [] -> None
+  | cs ->
+      let j, s, b = List.nth cs (Rng.int rng (List.length cs)) in
+      let parent_time = Ptime.value_exn (Instance.ptime inst ~job:j ~set:b) in
+      let p =
+        Array.init n (fun j' ->
+            Array.init (Laminar.size lam) (fun s' ->
+                if j' = j && s' = s then Ptime.fin (parent_time + 1 + Rng.int rng 5)
+                else Instance.ptime inst ~job:j' ~set:s'))
+      in
+      Some (lam, p)
+
+(** Violate laminarity: add a set that partially overlaps an existing
+    non-singleton set (shares one member, adds an outside machine).
+    Returns [(m, sets)] for {!Hs_laminar.Laminar.of_sets}, or [None]
+    when the family has no non-root, non-singleton set to cut across. *)
+let break_laminarity rng lam =
+  let m = Laminar.m lam in
+  let sets = Laminar.sets lam in
+  let candidates =
+    List.filter
+      (fun members -> List.length members >= 2 && List.length members < m)
+      sets
+  in
+  match candidates with
+  | [] -> None
+  | cs ->
+      let s = List.nth cs (Rng.int rng (List.length cs)) in
+      let inside = List.nth s (Rng.int rng (List.length s)) in
+      let outside_pool =
+        List.filter (fun i -> not (List.mem i s)) (List.init m (fun i -> i))
+      in
+      let outside = List.nth outside_pool (Rng.int rng (List.length outside_pool)) in
+      let overlap = [ inside; outside ] in
+      let k = Rng.int rng (List.length sets + 1) in
+      let mutated =
+        List.concat
+          (List.mapi (fun i st -> if i = k then [ overlap; st ] else [ st ]) sets)
+        @ (if k = List.length sets then [ overlap ] else [])
+      in
+      Some (m, mutated)
+
+(* ---- fuzz drivers ---------------------------------------------------- *)
+
+type fuzz_report = {
+  total : int;
+  rejected : int;  (** inputs the parser/validator reported as [Error] *)
+  accepted : int;  (** mutations that happened to stay valid *)
+  escaped : (string * string) list;
+      (** (input, exception) pairs — uncaught exceptions; must be [] *)
+}
+
+let empty_report = { total = 0; rejected = 0; accepted = 0; escaped = [] }
+
+let record report input outcome =
+  match outcome with
+  | `Rejected -> { report with total = report.total + 1; rejected = report.rejected + 1 }
+  | `Accepted -> { report with total = report.total + 1; accepted = report.accepted + 1 }
+  | `Raised exn ->
+      {
+        report with
+        total = report.total + 1;
+        escaped = (input, exn) :: report.escaped;
+      }
+
+(** Feed [iters] corrupted variants of the [base] texts through
+    {!Hs_model.Instance_io.of_string}; the parser must never raise. *)
+let fuzz_of_string rng ~iters ~base =
+  let base = Array.of_list base in
+  let rec go k report =
+    if k = 0 then report
+    else
+      let input = corrupt_text rng (Rng.choose rng base) in
+      let outcome =
+        try match Instance_io.of_string input with Ok _ -> `Accepted | Error _ -> `Rejected
+        with exn -> `Raised (Printexc.to_string exn)
+      in
+      go (k - 1) (record report input outcome)
+  in
+  go iters empty_report
+
+(** Apply [iters] structural mutations to the given valid instances; the
+    validators must reject every one ([accepted] counts misses). *)
+let fuzz_validators rng ~iters instances =
+  let instances = Array.of_list instances in
+  let rec go k report =
+    if k = 0 then report
+    else
+      let inst = Rng.choose rng instances in
+      let outcome, label =
+        if Rng.bool rng 0.5 then
+          match break_monotonicity rng inst with
+          | None -> (`Rejected, "no-candidate")
+          | Some (lam, p) -> (
+              ( (try
+                   match Instance.make lam p with Ok _ -> `Accepted | Error _ -> `Rejected
+                 with exn -> `Raised (Printexc.to_string exn)),
+                "monotonicity" ))
+        else
+          match break_laminarity rng (Instance.laminar inst) with
+          | None -> (`Rejected, "no-candidate")
+          | Some (m, sets) -> (
+              ( (try
+                   match Laminar.of_sets ~m sets with Ok _ -> `Accepted | Error _ -> `Rejected
+                 with exn -> `Raised (Printexc.to_string exn)),
+                "laminarity" ))
+      in
+      go (k - 1) (record report label outcome)
+  in
+  go iters empty_report

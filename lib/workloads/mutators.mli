@@ -1,0 +1,46 @@
+(** Fault-injection mutators for the robustness harness.
+
+    Deterministic (given the {!Rng} stream) generators of bad input:
+    textual corruption for the parser, structural invariant violations
+    for the model validators, plus fuzz drivers that tally outcomes. *)
+
+open Hs_model
+open Hs_laminar
+
+val corrupt_text : Rng.t -> string -> string
+(** Apply 1–3 random textual mutations (truncation, line drop/dup/swap,
+    token garbage, byte flips, header-count tampering, garbage-line
+    insertion) to an instance text. *)
+
+val malformed_corpus : string list
+(** Handwritten inputs covering every parser failure branch; each must
+    be rejected with [Error] by {!Hs_model.Instance_io.of_string}. *)
+
+val break_monotonicity : Rng.t -> Instance.t -> (Laminar.t * Ptime.t array array) option
+(** Raise the processing time of a proper subset strictly above its
+    parent's, violating monotonicity.  The result must be rejected by
+    {!Hs_model.Instance.make}.  [None] when the instance has no finite
+    (child, parent) pair to corrupt. *)
+
+val break_laminarity : Rng.t -> Laminar.t -> (int * int list list) option
+(** Add a set that cuts across an existing non-singleton set (shares one
+    member, adds an outside machine).  The result must be rejected by
+    {!Hs_laminar.Laminar.of_sets}.  [None] when the family has no
+    non-root, non-singleton set. *)
+
+type fuzz_report = {
+  total : int;
+  rejected : int;  (** inputs reported as [Error] *)
+  accepted : int;  (** mutations that happened to stay valid *)
+  escaped : (string * string) list;
+      (** (input, exception) pairs — uncaught exceptions; must be [] *)
+}
+
+val fuzz_of_string : Rng.t -> iters:int -> base:string list -> fuzz_report
+(** Feed [iters] corrupted variants of the [base] texts through
+    {!Hs_model.Instance_io.of_string}; the parser must never raise. *)
+
+val fuzz_validators : Rng.t -> iters:int -> Instance.t list -> fuzz_report
+(** Apply [iters] structural mutations (alternating monotonicity and
+    laminarity breakers) to the given valid instances; the validators
+    must reject every one ([accepted] counts misses). *)

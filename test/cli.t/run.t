@@ -83,3 +83,64 @@ Unknown experiment name is reported:
 
   $ ../../bin/hsched.exe experiment bogus
   unknown experiment bogus (T1-T6, F1-F5, A1-A3, all)
+
+Resource budgets and graceful degradation.  A node budget too small to
+prove optimality makes the exact attempt exhaust; the solver degrades to
+the LP + LST 2-approximation and reports the re-certified result:
+
+  $ ../../bin/hsched.exe solve --m 8 --jobs 16 --topology clustered --seed 2 --budget 20000
+  path: lp-rounding 2-approximation (dantzig pricing)
+  degraded: budget exhausted [branch-and-bound]: node budget (20000) ran out; incumbent makespan 14 unproven
+  lower bound = 13
+  achieved makespan = 22  (guarantee: <= 26)
+  schedule: VALID (re-certified), horizon 22
+
+With --on-budget-exhausted=fail the same exhaustion is fatal (exit 4):
+
+  $ ../../bin/hsched.exe exact --m 8 --jobs 16 --topology clustered --seed 2 --node-limit 20000 --on-budget-exhausted=fail
+  hsched: budget exhausted [branch-and-bound]: node budget (20000) ran out
+  [4]
+
+A pivot budget too small for any LP attempt exhausts the whole fallback
+chain (exit 4):
+
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1 --budget 5
+  hsched: budget exhausted [lp]: simplex pivot budget ran out at T=25
+  [4]
+
+An instance where some job admits no finite mask is infeasible (exit 3):
+
+  $ cat > infeasible.txt <<'INST'
+  > machines 2
+  > sets 3
+  > 0 1
+  > 0
+  > 1
+  > jobs 2
+  > 4 2 3
+  > inf inf inf
+  > INST
+  $ ../../bin/hsched.exe solve --file infeasible.txt --budget 1000
+  hsched: infeasible: some job has no admissible mask
+  [3]
+
+Malformed input is a usage error (exit 2), as is a missing file or an
+unwritable output path:
+
+  $ cat > nonlaminar.txt <<'INST'
+  > machines 2
+  > sets 2
+  > 0 1
+  > 0 2
+  > jobs 1
+  > 3 2
+  > INST
+  $ ../../bin/hsched.exe solve --file nonlaminar.txt
+  hsched: laminar: machine 2 out of range in set 1
+  [2]
+  $ ../../bin/hsched.exe solve --file does-not-exist.txt
+  hsched: does-not-exist.txt: No such file or directory
+  [2]
+  $ ../../bin/hsched.exe generate --m 2 --jobs 2 --seed 1 -o /nonexistent/dir/x.txt
+  hsched: cannot write instance: /nonexistent/dir/x.txt: No such file or directory
+  [2]

@@ -1,0 +1,70 @@
+(* Standalone fuzz driver for the `@fuzz` alias: a larger-iteration run
+   of the mutator harness than the deterministic slice in the default
+   test suite.  Usage: fuzz_main [ITERS] (default 5000).
+
+   Exit status 0 when the parser never raised and the validators caught
+   every structural mutation; 1 otherwise, with the offending inputs
+   printed. *)
+
+open Hs_model
+open Hs_workloads
+
+let () =
+  let iters =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with
+      | Some k when k > 0 -> k
+      | _ ->
+          prerr_endline "usage: fuzz_main [ITERS]";
+          exit 2
+    else 5000
+  in
+  let rng = Rng.create 0xf022ed in
+  (* Base corpus: one serialised instance per topology family and size. *)
+  let bases =
+    List.init 16 (fun i ->
+        let seed = 1000 + (i * 37) in
+        let m = 1 + (i mod 8) in
+        let n = 1 + (i mod 12) in
+        let gen = Rng.create seed in
+        let lam =
+          match i mod 4 with
+          | 0 -> Hs_laminar.Topology.semi_partitioned m
+          | 1 -> Hs_laminar.Topology.singletons m
+          | 2 ->
+              let clusters =
+                let rec div d = if m mod d = 0 then d else div (d - 1) in
+                div (Stdlib.max 1 (Stdlib.min 3 m))
+              in
+              Hs_laminar.Topology.clustered ~m ~clusters
+          | _ -> Generators.random_laminar gen ~m ()
+        in
+        Generators.hierarchical gen ~lam ~n ~base:(1, 9) ~heterogeneity:1.6 ~overhead:0.4 ())
+  in
+  let base_texts = List.map Instance_io.to_string bases in
+  let parser_report = Mutators.fuzz_of_string rng ~iters ~base:base_texts in
+  let validator_report = Mutators.fuzz_validators rng ~iters:(iters / 2) bases in
+  Printf.printf "parser fuzz:    %d inputs, %d rejected, %d parsed, %d escaped exceptions\n"
+    parser_report.Mutators.total parser_report.Mutators.rejected parser_report.Mutators.accepted
+    (List.length parser_report.Mutators.escaped);
+  Printf.printf "validator fuzz: %d mutations, %d caught, %d missed, %d escaped exceptions\n"
+    validator_report.Mutators.total validator_report.Mutators.rejected
+    validator_report.Mutators.accepted
+    (List.length validator_report.Mutators.escaped);
+  let fail = ref false in
+  List.iter
+    (fun (input, exn) ->
+      fail := true;
+      Printf.printf "PARSER RAISED %s on: %s\n" exn (String.escaped input))
+    parser_report.Mutators.escaped;
+  List.iter
+    (fun (label, exn) ->
+      fail := true;
+      Printf.printf "VALIDATOR RAISED %s on %s mutation\n" exn label)
+    validator_report.Mutators.escaped;
+  if validator_report.Mutators.accepted > 0 then begin
+    fail := true;
+    Printf.printf "VALIDATOR MISSED %d structural violations\n" validator_report.Mutators.accepted
+  end;
+  if !fail then exit 1;
+  print_endline "fuzz: OK"

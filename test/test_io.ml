@@ -67,16 +67,21 @@ let prop_generator_roundtrip =
 let test_file_io () =
   let inst = Test_util.random_instance 99 in
   let path = Filename.temp_file "hsched" ".inst" in
-  Instance_io.save path inst;
+  (match Instance_io.save path inst with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" e);
   (match Instance_io.load path with
   | Error e -> Alcotest.failf "load failed: %s" e
   | Ok inst' ->
       Alcotest.(check string) "file round-trip" (Instance_io.to_string inst)
         (Instance_io.to_string inst'));
   Sys.remove path;
-  match Instance_io.load "/nonexistent/definitely/missing" with
+  (match Instance_io.load "/nonexistent/definitely/missing" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Ok _ -> Alcotest.fail "missing file accepted");
+  match Instance_io.save "/nonexistent/definitely/missing/x.inst" inst with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unwritable path accepted"
 
 (* ---- Tape ----------------------------------------------------------- *)
 

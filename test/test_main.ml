@@ -19,4 +19,5 @@ let () =
       Test_realtime.suite;
       Test_edge_cases.suite;
       Test_consistency.suite;
+      Test_faults.suite;
     ]

@@ -15,7 +15,7 @@ let random_instance ?(max_m = 6) ?(max_n = 8) seed =
   let m = 1 + Rng.int rng max_m in
   let n = 1 + Rng.int rng max_n in
   let lam =
-    match Rng.int rng 4 with
+    match Rng.int rng 5 with
     | 0 -> Hs_laminar.Topology.semi_partitioned m
     | 1 -> Hs_laminar.Topology.singletons m
     | 2 ->
@@ -24,6 +24,9 @@ let random_instance ?(max_m = 6) ?(max_n = 8) seed =
           div (Stdlib.max 1 (Stdlib.min 3 m))
         in
         Hs_laminar.Topology.clustered ~m ~clusters
+    | 3 ->
+        Hs_laminar.Topology.smp_cmp ~nodes:2 ~chips_per_node:2
+          ~cores_per_chip:(Stdlib.max 1 (m / 4))
     | _ -> Generators.random_laminar rng ~m ()
   in
   Generators.hierarchical rng ~lam ~n ~base:(1, 8)
