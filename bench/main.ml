@@ -82,6 +82,45 @@ let tests =
       mcnaughton;
     ]
 
+(* Per-solve counter profile of the representative cases: reset the
+   registry, run the case once, keep the non-zero counters.  The solves
+   are deterministic, so these are exact per-run rates. *)
+let counter_profiles () =
+  let case name f =
+    Hs_obs.Metrics.reset ();
+    f ();
+    let snap = Hs_obs.Metrics.snapshot () in
+    let nonzero =
+      List.filter (fun (_, v) -> v <> 0) snap.Hs_obs.Metrics.counters
+    in
+    (name, Hs_obs.Json.Obj (List.map (fun (k, v) -> (k, Hs_obs.Json.Int v)) nonzero))
+  in
+  [
+    case "pipeline/exact n=8 m=4" (fun () ->
+        ignore (Hs_core.Approx.Exact.solve (pipeline_instance ~n:8 ~m:4)));
+    case "pipeline/float n=16 m=4" (fun () ->
+        ignore (Hs_core.Approx.Fast.solve (pipeline_instance ~n:16 ~m:4)));
+    case "branch&bound n=9 m=4" (fun () ->
+        ignore (Hs_core.Exact.optimal (pipeline_instance ~n:9 ~m:4)));
+  ]
+
+let write_report rows =
+  let doc =
+    Hs_obs.Json.Obj
+      [
+        ("schema", Hs_obs.Json.String "hsched.bench/1");
+        ( "ns_per_run",
+          Hs_obs.Json.Obj (List.map (fun (name, est) -> (name, Hs_obs.Json.Float est)) rows)
+        );
+        ("counters_per_solve", Hs_obs.Json.Obj (counter_profiles ()));
+      ]
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Hs_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pipeline.json"
+
 let run_timings () =
   print_endline "\n== Bechamel timings (monotonic clock) ==";
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
@@ -97,6 +136,7 @@ let run_timings () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | _ -> ())
     results;
+  let rows = List.sort compare !rows in
   List.iter
     (fun (name, est) ->
       let value, unit_ =
@@ -106,7 +146,8 @@ let run_timings () =
         else (est, "ns")
       in
       Printf.printf "%-32s %10.2f %s/run\n" name value unit_)
-    (List.sort compare !rows)
+    rows;
+  write_report rows
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in

@@ -56,6 +56,58 @@ let load_or_generate file topology m n seed overhead het =
         (Hs_workloads.Generators.hierarchical rng ~lam ~n ~base:(1, 9)
            ~heterogeneity:het ~overhead ())
 
+(* ---------- observability --------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the solve to FILE (loadable in \
+           chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the solver metrics (counters, gauges, histograms) to stderr.")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the solver metrics registry as JSON to FILE.")
+
+(* The writers run from [at_exit] so that a run cut short by budget
+   exhaustion (exit 4) still flushes a well-formed, merely truncated,
+   trace and its metrics. *)
+let setup_obs trace stats stats_json =
+  if trace <> None then begin
+    Hs_obs.Tracer.set_clock (fun () -> Int64.of_float (Unix.gettimeofday () *. 1e9));
+    Hs_obs.Tracer.enable ()
+  end;
+  if trace <> None || stats || stats_json <> None then
+    at_exit (fun () ->
+        (match trace with
+        | Some path -> (
+            match Hs_obs.Tracer.write_chrome path with
+            | Ok () -> ()
+            | Error e -> prerr_endline ("hsched: cannot write trace: " ^ e))
+        | None -> ());
+        let snap = Hs_obs.Metrics.snapshot () in
+        (match stats_json with
+        | Some path -> (
+            let doc = Hs_obs.Json.to_string (Hs_obs.Metrics.to_json snap) in
+            try
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc doc)
+            with Sys_error e -> prerr_endline ("hsched: cannot write stats: " ^ e))
+        | None -> ());
+        if stats then Format.eprintf "%a@?" Hs_obs.Metrics.pp_summary snap)
+
 (* Exit-code contract (documented in README.md): 0 success, 1 internal
    failure, 2 unusable input, 3 infeasible instance, 4 budget
    exhausted. *)
@@ -89,11 +141,18 @@ let print_outcome ~show_schedule (o : Hs_core.Approx.Exact.outcome) =
   | Error e -> Printf.printf "schedule: INVALID (%s)\n" e);
   if show_schedule then Format.printf "%a@." Schedule.pp o.schedule
 
-let print_robust ~show_schedule (r : Hs_core.Approx.robust_outcome) =
+let print_robust ~show_schedule ~(budget : Hs_core.Budget.t)
+    (r : Hs_core.Approx.robust_outcome) =
   Printf.printf "path: %s\n" (Hs_core.Approx.provenance_to_string r.r_provenance);
   List.iter
     (fun e -> Printf.printf "degraded: %s\n" (Hs_core.Hs_error.to_string e))
     r.r_fallbacks;
+  (match (budget.Hs_core.Budget.lp_pivots, r.r_consumed.Hs_core.Budget.lp_pivots) with
+  | Some limit, Some used -> Printf.printf "budget: used %d of %d pivots\n" used limit
+  | _ -> ());
+  (match (budget.Hs_core.Budget.search_iters, r.r_consumed.Hs_core.Budget.search_iters) with
+  | Some limit, Some used -> Printf.printf "budget: used %d of %d probes\n" used limit
+  | _ -> ());
   Printf.printf "lower bound = %d\n" r.r_lower_bound;
   Printf.printf "achieved makespan = %d  (guarantee: <= %d)\n" r.r_makespan
     (2 * r.r_lower_bound);
@@ -131,7 +190,8 @@ let solve_cmd =
     Arg.(value & flag & info [ "float-lp" ] ~doc:"Use the floating-point LP (faster, uncertified).")
   in
   let run file topology m n seed overhead het show_schedule show_gantt use_float budget
-      on_exhausted =
+      on_exhausted trace stats stats_json =
+    setup_obs trace stats stats_json;
     match load_or_generate file topology m n seed overhead het with
     | Error e -> exit_usage e
     | Ok inst -> (
@@ -139,13 +199,11 @@ let solve_cmd =
         | Some k -> (
             (* Resilient path: budgets, graceful degradation, typed
                errors with distinct exit codes. *)
-            match
-              Hs_core.Approx.solve_robust ~budget:(Hs_core.Budget.of_units k)
-                ~on_exhausted inst
-            with
+            let budget = Hs_core.Budget.of_units k in
+            match Hs_core.Approx.solve_robust ~budget ~on_exhausted inst with
             | Error e -> exit_typed e
             | Ok r ->
-                print_robust ~show_schedule r;
+                print_robust ~show_schedule ~budget r;
                 if show_gantt then Gantt.print r.r_schedule)
         | None -> (
             if use_float then
@@ -162,7 +220,7 @@ let solve_cmd =
                   if show_gantt then Gantt.print o.schedule))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 2-approximation pipeline (Theorem V.2).")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg)
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- exact ------------------------------------------------------ *)
 
@@ -170,7 +228,8 @@ let exact_cmd =
   let limit =
     Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~docv:"K" ~doc:"Branch-and-bound node budget.")
   in
-  let run file topology m n seed overhead het limit on_exhausted =
+  let run file topology m n seed overhead het limit on_exhausted trace stats stats_json =
+    setup_obs trace stats stats_json;
     match load_or_generate file topology m n seed overhead het with
     | Error e -> exit_usage e
     | Ok inst -> (
@@ -184,7 +243,9 @@ let exact_cmd =
               (Hs_core.Hs_error.Budget_exhausted
                  {
                    stage = Hs_core.Hs_error.Bb;
-                   detail = Printf.sprintf "node budget (%d) ran out" limit;
+                   detail =
+                     Printf.sprintf "node budget ran out (used %d of %d nodes)"
+                       (Stdlib.min stats.nodes limit) limit;
                  })
         | Some (a, span, stats) ->
             Printf.printf "optimal makespan = %d%s (nodes=%d pruned=%d)\n" span
@@ -193,7 +254,7 @@ let exact_cmd =
             Array.iteri (fun j s -> Printf.printf "  job %d -> set #%d\n" j s) a)
   in
   Cmd.v (Cmd.info "exact" ~doc:"Compute the optimal makespan by branch and bound.")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit $ on_exhausted_arg)
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- generate --------------------------------------------------- *)
 
@@ -222,11 +283,14 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"T1..T6, F1..F5, or 'all'.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps.") in
-  let run exp_name quick = Hs_experiments.Experiments.by_name exp_name ~quick () in
+  let run exp_name quick trace stats stats_json =
+    setup_obs trace stats stats_json;
+    Hs_experiments.Experiments.by_name exp_name ~quick ()
+  in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the evaluation tables/figures from DESIGN.md.")
-    Term.(const run $ exp_name $ quick)
+    Term.(const run $ exp_name $ quick $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- realtime ------------------------------------------------------ *)
 

@@ -58,6 +58,10 @@ module Make (F : Hs_lp.Field.S) = struct
       each stage. *)
   let solve_x ?pricing ?pivots ?(on_stall = `Bland) ?iters
       ?(trip = fun (_ : Hs_error.stage) -> ()) inst : outcome =
+    Hs_obs.Tracer.with_span ~cat:"pipeline"
+      ~args:[ ("jobs", Hs_obs.Tracer.Int (Instance.njobs inst)) ]
+      "pipeline.solve"
+    @@ fun () ->
     let closed, translate = Instance.with_singletons inst in
     match I.min_feasible_t_x ?pricing ?pivots ~on_stall ?iters ~trip closed with
     | None ->
@@ -92,6 +96,11 @@ module Make (F : Hs_lp.Field.S) = struct
                 match Hierarchical.schedule closed assignment ~tmax:makespan with
                 | Error e -> Hs_error.raise_ (Internal ("scheduler failed: " ^ e))
                 | Ok schedule ->
+                    Hs_obs.Tracer.add_args
+                      [
+                        ("t_lp", Hs_obs.Tracer.Int t_lp);
+                        ("makespan", Hs_obs.Tracer.Int makespan);
+                      ];
                     { instance = closed; translate; assignment; t_lp; makespan; schedule; rounding })))
 
   let solve_checked inst : (outcome, Hs_error.t) result =
@@ -169,6 +178,10 @@ type robust_outcome = {
   r_provenance : provenance;
   r_fallbacks : Hs_error.t list;
       (** degradations taken before the successful path, oldest first *)
+  r_consumed : Budget.t;
+      (** resources actually spent by the metered stages: [Some] only for
+          the dimensions the caller budgeted (branch-and-bound nodes are
+          reported by {!Exact.stats}, not metered here) *)
 }
 
 let solve_robust ?(budget = Budget.unlimited) ?(on_exhausted = `Fallback) ?inject inst :
@@ -197,6 +210,7 @@ let solve_robust ?(budget = Budget.unlimited) ?(on_exhausted = `Fallback) ?injec
           r_schedule = schedule;
           r_provenance = provenance;
           r_fallbacks = List.rev !fallbacks;
+          r_consumed = Budget.consumed meter;
         }
   in
   let exact_attempt () =
@@ -246,6 +260,10 @@ let solve_robust ?(budget = Budget.unlimited) ?(on_exhausted = `Fallback) ?injec
           end
           else Error e)
   in
-  run
-    ((match meter.Budget.nodes with Some _ -> [ exact_attempt ] | None -> [])
-    @ [ lp_attempt `Dantzig ~restarted:false; lp_attempt `Bland ~restarted:true ])
+  let result =
+    run
+      ((match meter.Budget.nodes with Some _ -> [ exact_attempt ] | None -> [])
+      @ [ lp_attempt `Dantzig ~restarted:false; lp_attempt `Bland ~restarted:true ])
+  in
+  Budget.record_metrics budget meter;
+  result

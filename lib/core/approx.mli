@@ -92,6 +92,10 @@ type robust_outcome = {
   r_provenance : provenance;
   r_fallbacks : Hs_error.t list;
       (** degradations taken before the successful path, oldest first *)
+  r_consumed : Budget.t;
+      (** resources actually spent by the metered stages: [Some] only for
+          the dimensions the caller budgeted (branch-and-bound nodes are
+          reported by {!Exact.stats}, not metered here) *)
 }
 
 val solve_robust :

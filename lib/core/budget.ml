@@ -25,19 +25,43 @@ let of_units k =
 
 let is_unlimited b = b.lp_pivots = None && b.bb_nodes = None && b.search_iters = None
 
+type counted = { mutable left : int; total : int }
+
 type meter = {
   pivots : Hs_lp.Simplex.budget option;
       (** shared mutable pivot allowance, threaded into every LP solve *)
-  iters : int ref option;  (** remaining binary-search probes *)
+  iters : counted option;  (** remaining binary-search probes *)
   nodes : int option;  (** node limit handed to branch and bound *)
 }
 
 let meter b =
   {
     pivots = Option.map Hs_lp.Simplex.budget b.lp_pivots;
-    iters = Option.map ref b.search_iters;
+    iters = Option.map (fun k -> { left = k; total = k }) b.search_iters;
     nodes = b.bb_nodes;
   }
+
+(* Spent-so-far view of a live meter.  Node consumption lives in the
+   branch-and-bound stats (the meter only hands the limit over), so it
+   is reported as [None] here. *)
+let consumed m =
+  {
+    lp_pivots = Option.map Hs_lp.Simplex.consumed m.pivots;
+    bb_nodes = None;
+    search_iters = Option.map (fun c -> c.total - c.left) m.iters;
+  }
+
+let record_metrics b m =
+  let publish resource ~limit ~used =
+    match (limit, used) with
+    | Some limit, Some used ->
+        Hs_obs.Metrics.set (Hs_obs.Metrics.gauge ("budget." ^ resource ^ ".limit")) limit;
+        Hs_obs.Metrics.set (Hs_obs.Metrics.gauge ("budget." ^ resource ^ ".consumed")) used
+    | _ -> ()
+  in
+  let c = consumed m in
+  publish "pivots" ~limit:b.lp_pivots ~used:c.lp_pivots;
+  publish "iters" ~limit:b.search_iters ~used:c.search_iters
 
 let pp fmt b =
   let f name = function None -> name ^ "=∞" | Some k -> Printf.sprintf "%s=%d" name k in

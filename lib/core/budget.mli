@@ -19,13 +19,29 @@ val of_units : int -> t
 
 val is_unlimited : t -> bool
 
+type counted = { mutable left : int; total : int }
+(** A decrementing allowance that remembers its initial size, so
+    consumption ("used X of Y") is always reportable. *)
+
 (** A live meter instantiates a budget's counters for one solve: the
     pivot allowance is shared (mutably) by every LP call of the run. *)
 type meter = {
   pivots : Hs_lp.Simplex.budget option;
-  iters : int ref option;
+  iters : counted option;
   nodes : int option;
 }
 
 val meter : t -> meter
+
+val consumed : meter -> t
+(** How much of each {e metered} allowance has been spent so far:
+    [Some spent] for the dimensions the budget capped, [None] for
+    unlimited ones.  Branch-and-bound node consumption is reported by
+    the solver itself ({!Exact.stats}), not the meter. *)
+
+val record_metrics : t -> meter -> unit
+(** Publish the meter to the {!Hs_obs.Metrics} registry as
+    [budget.<resource>.limit] / [budget.<resource>.consumed] gauges
+    (metered dimensions only). *)
+
 val pp : Format.formatter -> t -> unit

@@ -16,7 +16,24 @@ open Hs_laminar
 
 type stats = { nodes : int; pruned : int; proven : bool }
 
+(* Telemetry: cumulative branch-and-bound counters. *)
+module Obs = struct
+  module M = Hs_obs.Metrics
+
+  let nodes = M.counter "bb.nodes"
+  let pruned = M.counter "bb.pruned"
+  let incumbents = M.counter "bb.incumbents"
+end
+
 let optimal ?(node_limit = 20_000_000) ?initial inst : (Assignment.t * int * stats) option =
+  Hs_obs.Tracer.with_span ~cat:"bb"
+    ~args:
+      [
+        ("jobs", Hs_obs.Tracer.Int (Instance.njobs inst));
+        ("node_limit", Hs_obs.Tracer.Int node_limit);
+      ]
+    "bb.optimal"
+  @@ fun () ->
   let lam = Instance.laminar inst in
   let n = Instance.njobs inst in
   let nsets = Laminar.size lam in
@@ -97,6 +114,7 @@ let optimal ?(node_limit = 20_000_000) ?initial inst : (Assignment.t * int * sta
         (* lb_path is exact here: it includes every aggregate bound. *)
         if lb_path < !best_span then begin
           best_span := lb_path;
+          Hs_obs.Metrics.incr Obs.incumbents;
           Array.blit assignment 0 best 0 n
         end
       end
@@ -131,6 +149,14 @@ let optimal ?(node_limit = 20_000_000) ?initial inst : (Assignment.t * int * sta
       end
     in
     let proven = try dfs 0 0; true with Limit -> false in
+    Hs_obs.Metrics.add Obs.nodes !nodes;
+    Hs_obs.Metrics.add Obs.pruned !pruned;
+    Hs_obs.Tracer.add_args
+      [
+        ("nodes", Hs_obs.Tracer.Int !nodes);
+        ("pruned", Hs_obs.Tracer.Int !pruned);
+        ("proven", Hs_obs.Tracer.Bool proven);
+      ];
     if !best_span = max_int then None
     else Some (Array.copy best, !best_span, { nodes = !nodes; pruned = !pruned; proven })
   end
@@ -159,8 +185,9 @@ let optimal_checked ?(budget = Budget.unlimited) ?initial inst :
              {
                stage = Hs_error.Bb;
                detail =
-                 Printf.sprintf "node budget (%d) ran out; incumbent makespan %d unproven"
-                   node_limit span;
+                 Printf.sprintf
+                   "node budget ran out (used %d of %d nodes); incumbent makespan %d unproven"
+                   (Stdlib.min st.nodes node_limit) node_limit span;
              })
 
 (** Exhaustive enumeration, for cross-checking the branch and bound on

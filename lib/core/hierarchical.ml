@@ -13,6 +13,19 @@
 open Hs_model
 open Hs_laminar
 
+(* Telemetry: scheduler output volume and Prop. III.2 event counts,
+   shared with the semi-partitioned scheduler (same counter names). *)
+module Obs = struct
+  let segments = Hs_obs.Metrics.counter "sched.segments"
+  let migrations = Hs_obs.Metrics.counter "sched.migrations"
+  let preemptions = Hs_obs.Metrics.counter "sched.preemptions"
+
+  let record (sched : Schedule.t) (stats : Tape.stats) =
+    Hs_obs.Metrics.add segments (List.length (Schedule.segments sched));
+    Hs_obs.Metrics.add migrations stats.Tape.migrations;
+    Hs_obs.Metrics.add preemptions stats.Tape.preemptions
+end
+
 type allocation = {
   load : int array array;  (** [load.(set).(machine)] — Algorithm 2's LOAD *)
   tot_load : int array array;  (** Algorithm 2's TOT-LOAD *)
@@ -115,6 +128,8 @@ let members_from lam set l =
 (** Algorithms 2 + 3, also returning the tape-order migration/preemption
     counts aggregated over all sets. *)
 let schedule_stats inst assignment ~tmax =
+  Hs_obs.Tracer.with_span ~cat:"sched" ~args:[ ("T", Hs_obs.Tracer.Int tmax) ] "sched.alg23"
+  @@ fun () ->
   match allocate inst assignment ~tmax with
   | Error e -> Error e
   | Ok alloc ->
@@ -180,9 +195,14 @@ let schedule_stats inst assignment ~tmax =
               stats := Tape.merge_stats !stats laid.Tape.stats;
               segments := laid.Tape.segments @ !segments)
             (Laminar.top_down lam);
-          Ok
-            ( Schedule.coalesce { Schedule.horizon = tmax; segments = !segments },
-              !stats )
+          let sched = Schedule.coalesce { Schedule.horizon = tmax; segments = !segments } in
+          Obs.record sched !stats;
+          Hs_obs.Tracer.add_args
+            [
+              ("migrations", Hs_obs.Tracer.Int !stats.Tape.migrations);
+              ("preemptions", Hs_obs.Tracer.Int !stats.Tape.preemptions);
+            ];
+          Ok (sched, !stats)
         with
         | Fail msg -> err "hierarchical: %s" msg
         | Invalid_argument msg -> err "hierarchical: %s" msg

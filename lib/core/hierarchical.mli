@@ -13,6 +13,13 @@
 open Hs_model
 open Hs_laminar
 
+(** Telemetry shared by both schedulers: [record] adds a produced
+    schedule's segment count and its tape-order migration/preemption
+    totals to the [sched.*] counters. *)
+module Obs : sig
+  val record : Schedule.t -> Tape.stats -> unit
+end
+
 type allocation = {
   load : int array array;  (** [load.(set).(machine)] — Algorithm 2's LOAD *)
   tot_load : int array array;  (** Algorithm 2's TOT-LOAD *)

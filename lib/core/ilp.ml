@@ -13,6 +13,15 @@ open Hs_model
 open Hs_laminar
 module LP = Hs_lp.Lp_problem
 
+(* Telemetry cells, shared by the exact and float instantiations. *)
+module Obs = struct
+  module M = Hs_obs.Metrics
+
+  let probes = M.counter "search.probes"
+  let feasible_probes = M.counter "search.feasible_probes"
+  let lp_solves = M.counter "search.lp_relaxations"
+end
+
 module Make (F : Hs_lp.Field.S) = struct
   module Solver = Hs_lp.Simplex.Make (F)
 
@@ -90,6 +99,9 @@ module Make (F : Hs_lp.Field.S) = struct
   let lp_feasible_x ?pricing ?pivots ?(on_stall = `Bland) ?(trip = fun (_ : Hs_error.stage) -> ())
       inst ~tmax : frac option =
     trip Hs_error.Lp;
+    Hs_obs.Metrics.incr Obs.lp_solves;
+    Hs_obs.Tracer.with_span ~cat:"lp" ~args:[ ("T", Hs_obs.Tracer.Int tmax) ] "lp.feasible"
+    @@ fun () ->
     match relaxation inst ~tmax with
     | None -> None
     | Some (lp, var_of) -> (
@@ -100,7 +112,13 @@ module Make (F : Hs_lp.Field.S) = struct
                 (Budget_exhausted
                    {
                      stage = Lp;
-                     detail = Printf.sprintf "simplex pivot budget ran out at T=%d" tmax;
+                     detail =
+                       Printf.sprintf "simplex pivot budget ran out at T=%d%s" tmax
+                         (match pivots with
+                         | Some b ->
+                             Printf.sprintf " (used %d of %d pivots)"
+                               (Hs_lp.Simplex.consumed b) b.Hs_lp.Simplex.total
+                         | None -> "");
                    })
           | Hs_lp.Simplex.Stall -> Hs_error.raise_ (Lp_stall { pricing = "dantzig" })
         in
@@ -155,12 +173,17 @@ module Make (F : Hs_lp.Field.S) = struct
     let charge_iter () =
       match iters with
       | None -> ()
-      | Some r ->
-          if !r <= 0 then
+      | Some (c : Budget.counted) ->
+          if c.left <= 0 then
             Hs_error.raise_
               (Budget_exhausted
-                 { stage = Search; detail = "binary-search iteration budget ran out" })
-          else decr r
+                 {
+                   stage = Search;
+                   detail =
+                     Printf.sprintf "binary-search iteration budget ran out (used %d of %d probes)"
+                       (c.total - c.left) c.total;
+                 })
+          else c.left <- c.left - 1
     in
     match t_bounds inst with
     | None -> None
@@ -171,8 +194,21 @@ module Make (F : Hs_lp.Field.S) = struct
             charge_iter ();
             trip Hs_error.Search;
             let mid = (lo + hi) / 2 in
-            match lp_feasible_x ?pricing ?pivots ?on_stall ~trip inst ~tmax:mid with
-            | Some x -> search lo (mid - 1) (Some (mid, x))
+            Hs_obs.Metrics.incr Obs.probes;
+            let probe =
+              Hs_obs.Tracer.with_span ~cat:"search"
+                ~args:[ ("T", Hs_obs.Tracer.Int mid) ]
+                "search.probe"
+                (fun () ->
+                  let r = lp_feasible_x ?pricing ?pivots ?on_stall ~trip inst ~tmax:mid in
+                  Hs_obs.Tracer.add_args
+                    [ ("feasible", Hs_obs.Tracer.Bool (Option.is_some r)) ];
+                  r)
+            in
+            match probe with
+            | Some x ->
+                Hs_obs.Metrics.incr Obs.feasible_probes;
+                search lo (mid - 1) (Some (mid, x))
             | None -> search (mid + 1) hi best
           end
         in

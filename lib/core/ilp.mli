@@ -53,7 +53,7 @@ module Make (F : Hs_lp.Field.S) : sig
     ?pricing:Solver.pricing ->
     ?pivots:Hs_lp.Simplex.budget ->
     ?on_stall:[ `Bland | `Fail ] ->
-    ?iters:int ref ->
+    ?iters:Budget.counted ->
     ?trip:(Hs_error.stage -> unit) ->
     Instance.t ->
     (int * frac) option

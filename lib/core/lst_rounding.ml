@@ -14,6 +14,13 @@ open Hs_model
 open Hs_laminar
 module Log = (val Logs.src_log (Logs.Src.create "hs.lst") : Logs.LOG)
 
+(* Telemetry: rounding outcome counts (shared across field instances). *)
+module Obs = struct
+  let fractional = Hs_obs.Metrics.counter "lst.fractional_jobs"
+  let matched = Hs_obs.Metrics.counter "lst.matched"
+  let fallbacks = Hs_obs.Metrics.counter "lst.greedy_fallbacks"
+end
+
 module Make (F : Hs_lp.Field.S) = struct
   type stats = {
     fractional_jobs : int;
@@ -23,6 +30,7 @@ module Make (F : Hs_lp.Field.S) = struct
   (** [round inst x] rounds a singleton-supported fractional solution to
       an integral assignment (job → singleton set id). *)
   let round inst (x : F.t array array) : (Assignment.t * stats, string) result =
+    Hs_obs.Tracer.with_span ~cat:"rounding" "round.lst" @@ fun () ->
     let lam = Instance.laminar inst in
     let n = Instance.njobs inst in
     let m = Laminar.m lam in
@@ -87,6 +95,7 @@ module Make (F : Hs_lp.Field.S) = struct
            triggers on non-basic inputs and is logged. *)
         List.iter
           (fun j ->
+            Hs_obs.Metrics.incr Obs.fallbacks;
             Log.warn (fun f ->
                 f "fractional job %d unmatched; falling back to heaviest machine" j);
             let _, s, _ =
@@ -97,6 +106,14 @@ module Make (F : Hs_lp.Field.S) = struct
             in
             assignment.(j) <- s)
           !unmatched;
-        Ok (assignment, { fractional_jobs = List.length fractional; matched = !matched })
+        let nfrac = List.length fractional in
+        Hs_obs.Metrics.add Obs.fractional nfrac;
+        Hs_obs.Metrics.add Obs.matched !matched;
+        Hs_obs.Tracer.add_args
+          [
+            ("fractional_jobs", Hs_obs.Tracer.Int nfrac);
+            ("matched", Hs_obs.Tracer.Int !matched);
+          ];
+        Ok (assignment, { fractional_jobs = nfrac; matched = !matched })
       end
 end

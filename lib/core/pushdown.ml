@@ -15,6 +15,12 @@
 open Hs_model
 open Hs_laminar
 
+(* Telemetry: Lemma V.1 rewrite counts (shared across field instances). *)
+module Obs = struct
+  let pushes = Hs_obs.Metrics.counter "pushdown.pushes"
+  let sweeps = Hs_obs.Metrics.counter "pushdown.sweeps"
+end
+
 module Make (F : Hs_lp.Field.S) = struct
   (** [slack inst x ~tmax set] = |α|·T − Σ_j Σ_{β⊆α} p_{βj} x_{βj}. *)
   let slack inst (x : F.t array array) ~tmax set =
@@ -37,6 +43,7 @@ module Make (F : Hs_lp.Field.S) = struct
     let children = Laminar.children lam eta in
     let has_mass = Array.exists (fun v -> F.sign v > 0) x.(eta) in
     if has_mass then begin
+      Hs_obs.Metrics.incr Obs.pushes;
       (* In a singleton-closed family the maximal proper subsets are
          pairwise disjoint and cover eta. *)
       let covered = List.fold_left (fun acc c -> acc + Laminar.card lam c) 0 children in
@@ -69,6 +76,10 @@ module Make (F : Hs_lp.Field.S) = struct
   (** Full top-down sweep; the result has positive weight only on
       singleton sets.  The input array is not modified. *)
   let push_down inst ~tmax (x : F.t array array) =
+    Hs_obs.Metrics.incr Obs.sweeps;
+    Hs_obs.Tracer.with_span ~cat:"pushdown" ~args:[ ("T", Hs_obs.Tracer.Int tmax) ]
+      "pushdown.sweep"
+    @@ fun () ->
     let lam = Instance.laminar inst in
     let x = Array.map Array.copy x in
     List.iter

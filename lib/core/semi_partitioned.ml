@@ -15,6 +15,8 @@ open Hs_laminar
     preemption counts that Proposition III.2 bounds by [m-1] and
     [2m-2]. *)
 let schedule_stats inst assignment ~tmax =
+  Hs_obs.Tracer.with_span ~cat:"sched" ~args:[ ("T", Hs_obs.Tracer.Int tmax) ] "sched.alg1"
+  @@ fun () ->
   let lam = Instance.laminar inst in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   if not (Laminar.is_semi_partitioned lam) then
@@ -88,7 +90,16 @@ let schedule_stats inst assignment ~tmax =
             (fun acc (l : Tape.laid) -> Tape.merge_stats acc l.Tape.stats)
             global_laid.Tape.stats local_laid
         in
-        Ok (Schedule.coalesce { Schedule.horizon = tmax; segments }, stats)
+        let sched = Schedule.coalesce { Schedule.horizon = tmax; segments } in
+        (* The m = 1 branch above records through [Hierarchical.schedule];
+           only the genuine Algorithm 1 path reports here. *)
+        Hierarchical.Obs.record sched stats;
+        Hs_obs.Tracer.add_args
+          [
+            ("migrations", Hs_obs.Tracer.Int stats.Tape.migrations);
+            ("preemptions", Hs_obs.Tracer.Int stats.Tape.preemptions);
+          ];
+        Ok (sched, stats)
       end
     end
   end

@@ -14,12 +14,25 @@
    rule terminates from any basis, the combination terminates even on
    degenerate tableaus while keeping Dantzig's practical pivot counts. *)
 
-type budget = { mutable pivots_left : int }
+type budget = { mutable pivots_left : int; total : int }
 
-let budget n = { pivots_left = n }
+let budget n = { pivots_left = n; total = n }
+let consumed b = b.total - b.pivots_left
 
 exception Pivot_limit
 exception Stall
+
+(* Telemetry (Hs_obs): metric cells are registered once here, outside
+   the functor, so the exact and float instantiations share them. *)
+module Obs = struct
+  module M = Hs_obs.Metrics
+  module Tr = Hs_obs.Tracer
+
+  let pivots = M.counter "simplex.pivots"
+  let degenerate = M.counter "simplex.degenerate_pivots"
+  let solves = M.counter "simplex.solves"
+  let pivots_per_solve = M.histogram ~buckets:[ 10; 30; 100; 300; 1_000; 10_000 ] "simplex.pivots_per_solve"
+end
 
 module Make (F : Field.S) = struct
   type solution = { x : F.t array; objective : F.t; basic : bool array }
@@ -115,11 +128,14 @@ module Make (F : Field.S) = struct
      {!Pivot_limit} is raised when it runs dry. *)
   let optimize ?(pricing = Dantzig) ?budget ?(on_stall = `Bland) t cost ~max_col =
     let charge () =
-      match budget with
+      (match budget with
       | None -> ()
       | Some b ->
           if b.pivots_left <= 0 then raise Pivot_limit
-          else b.pivots_left <- b.pivots_left - 1
+          else b.pivots_left <- b.pivots_left - 1);
+      (* The metrics counter and the budget meter decrement at the same
+         site, so `simplex.pivots` always equals the consumed allowance. *)
+      Hs_obs.Metrics.incr Obs.pivots
     in
     let degenerate_limit = (2 * t.ncols) + 16 in
     let rec go pricing degenerate =
@@ -131,6 +147,7 @@ module Make (F : Field.S) = struct
           | Some row ->
               let zero_progress = F.sign t.rows.(row).(t.ncols) = 0 in
               charge ();
+              if zero_progress then Hs_obs.Metrics.incr Obs.degenerate;
               pivot t cost ~row ~col;
               if pricing = Bland then go Bland 0
               else if zero_progress then
@@ -293,7 +310,28 @@ module Make (F : Field.S) = struct
       t.basis;
     { x; objective; basic }
 
+  (* Per-solve telemetry: one span per public solver entry and the
+     pivots-per-solve histogram (delta of the shared pivot counter).
+     Exception-safe so an exhausted budget still records the partial
+     solve. *)
+  let instrumented ~what (p : F.t Lp_problem.t) f =
+    Hs_obs.Metrics.incr Obs.solves;
+    let before = Hs_obs.Metrics.value Obs.pivots in
+    let observe () =
+      Hs_obs.Metrics.observe Obs.pivots_per_solve (Hs_obs.Metrics.value Obs.pivots - before)
+    in
+    Hs_obs.Tracer.with_span ~cat:"simplex"
+      ~args:
+        [
+          ("what", Hs_obs.Tracer.Str what);
+          ("nvars", Hs_obs.Tracer.Int p.Lp_problem.nvars);
+          ("rows", Hs_obs.Tracer.Int (List.length p.Lp_problem.constrs));
+        ]
+      "simplex.solve"
+      (fun () -> Fun.protect ~finally:observe f)
+
   let solve ?pricing ?budget ?on_stall ?(maximize = false) (p : F.t Lp_problem.t) =
+    instrumented ~what:"solve" p @@ fun () ->
     let p =
       if maximize then
         { p with Lp_problem.objective = List.map (fun (v, c) -> (v, F.neg c)) p.Lp_problem.objective }
@@ -361,6 +399,7 @@ module Make (F : Field.S) = struct
   (* Like [solve] (minimisation only) but also returning the dual values
      that certify optimality. *)
   let solve_certified (p : F.t Lp_problem.t) =
+    instrumented ~what:"solve_certified" p @@ fun () ->
     let t = build p in
     let ok, cost1 = phase1 t in
     if not ok then Certified_infeasible (farkas_of_phase1 t cost1)
@@ -439,6 +478,7 @@ module Make (F : Field.S) = struct
   type feasibility = Feasible of solution | Infeasible_certificate of F.t array
 
   let feasible_certified ?pricing ?budget ?on_stall p =
+    instrumented ~what:"feasible_certified" p @@ fun () ->
     let p = { p with Lp_problem.objective = [] } in
     let t = build p in
     let ok, cost = phase1 ?pricing ?budget ?on_stall t in

@@ -9,13 +9,19 @@
     standard-form polyhedron): the Lenstra–Shmoys–Tardos rounding step
     depends on this to bound the fractional support. *)
 
-type budget = { mutable pivots_left : int }
+type budget = {
+  mutable pivots_left : int;
+  total : int;  (** the initial allowance, for consumed-vs-allotted reporting *)
+}
 (** A deterministic pivot allowance, shared by every solver call that
     receives it: each pivot decrements the counter, and a solve attempted
     with an empty budget raises {!Pivot_limit}.  Field-independent, so
     one budget can meter a whole pipeline of LP solves. *)
 
 val budget : int -> budget
+
+val consumed : budget -> int
+(** Pivots spent so far: [total - pivots_left]. *)
 
 exception Pivot_limit
 (** Raised mid-solve when the supplied {!budget} runs out. *)

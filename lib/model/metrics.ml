@@ -23,30 +23,26 @@ type t = {
   stops : int;  (** migrations + preemptions *)
 }
 
-let of_schedule ?(njobs = 0) (sched : Schedule.t) =
-  let sched = Schedule.coalesce sched in
-  let n =
-    List.fold_left (fun acc (s : Schedule.segment) -> Stdlib.max acc (s.job + 1)) njobs
-      (Schedule.segments sched)
-  in
+(* The accounting itself lives in {!Schedule.stats}; this module keeps
+   the historical record shape. *)
+let of_schedule ?njobs (sched : Schedule.t) =
+  let s = Schedule.stats ?njobs sched in
   let per_job =
-    Array.init n (fun j ->
-        let runs =
-          List.filter (fun (s : Schedule.segment) -> s.job = j) (Schedule.segments sched)
-          |> List.sort (fun (a : Schedule.segment) b -> compare a.start b.start)
-        in
-        let rec walk migr preempt = function
-          | (a : Schedule.segment) :: (b :: _ as rest) ->
-              if a.machine <> b.machine then walk (migr + 1) preempt rest
-              else walk migr (preempt + 1) rest
-          | [ _ ] | [] -> (migr, preempt)
-        in
-        let migrations, preemptions = walk 0 0 runs in
-        { runs = List.length runs; migrations; preemptions })
+    Array.map
+      (fun (j : Schedule.job_stats) ->
+        {
+          runs = j.Schedule.runs;
+          migrations = j.Schedule.migrations;
+          preemptions = j.Schedule.preemptions;
+        })
+      s.Schedule.jobs
   in
-  let migrations = Array.fold_left (fun acc (pj : per_job) -> acc + pj.migrations) 0 per_job in
-  let preemptions = Array.fold_left (fun acc (pj : per_job) -> acc + pj.preemptions) 0 per_job in
-  { per_job; migrations; preemptions; stops = migrations + preemptions }
+  {
+    per_job;
+    migrations = s.Schedule.total_migrations;
+    preemptions = s.Schedule.total_preemptions;
+    stops = s.Schedule.stops;
+  }
 
 let pp fmt t =
   Format.fprintf fmt "migrations=%d preemptions=%d stops=%d" t.migrations t.preemptions

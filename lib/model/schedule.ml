@@ -115,6 +115,52 @@ let coalesce t =
   in
   { t with segments = go [] sorted }
 
+type job_stats = { runs : int; migrations : int; preemptions : int }
+
+type stats = {
+  n_segments : int;
+  jobs : job_stats array;
+  total_migrations : int;
+  total_preemptions : int;
+  stops : int;
+}
+
+(* Chronological accounting: coalesce first so that only genuine run
+   boundaries count; each boundary is a migration when the machine
+   changes, a preemption otherwise.  See Hs_model.Metrics for how this
+   relates to the paper's tape-order counts (Proposition III.2). *)
+let stats ?(njobs = 0) t =
+  let t = coalesce t in
+  let n = List.fold_left (fun acc s -> Stdlib.max acc (s.job + 1)) njobs t.segments in
+  let jobs =
+    Array.init n (fun j ->
+        let runs =
+          List.filter (fun s -> s.job = j) t.segments
+          |> List.sort (fun a b -> compare a.start b.start)
+        in
+        let rec walk migr preempt = function
+          | a :: (b :: _ as rest) ->
+              if a.machine <> b.machine then walk (migr + 1) preempt rest
+              else walk migr (preempt + 1) rest
+          | [ _ ] | [] -> (migr, preempt)
+        in
+        let migrations, preemptions = walk 0 0 runs in
+        { runs = List.length runs; migrations; preemptions })
+  in
+  let total_migrations =
+    Array.fold_left (fun acc (j : job_stats) -> acc + j.migrations) 0 jobs
+  in
+  let total_preemptions =
+    Array.fold_left (fun acc (j : job_stats) -> acc + j.preemptions) 0 jobs
+  in
+  {
+    n_segments = List.length t.segments;
+    jobs;
+    total_migrations;
+    total_preemptions;
+    stops = total_migrations + total_preemptions;
+  }
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>schedule, horizon %d:" t.horizon;
   List.iter

@@ -43,4 +43,22 @@ val coalesce : t -> t
 (** Merge time-adjacent segments of the same job on the same machine;
     canonicalises scheduler output and makes metrics meaningful. *)
 
+type job_stats = { runs : int; migrations : int; preemptions : int }
+
+type stats = {
+  n_segments : int;  (** segments after {!coalesce} *)
+  jobs : job_stats array;
+  total_migrations : int;
+  total_preemptions : int;
+  stops : int;  (** migrations + preemptions — accounting-independent *)
+}
+
+val stats : ?njobs:int -> t -> stats
+(** Chronological migration/preemption accounting (boundaries between a
+    job's maximal contiguous runs).  Individual labels can differ from
+    the tape-order counts of Proposition III.2 for jobs wrapping the
+    horizon, but [stops] is identical under both accountings; see
+    {!Metrics}.  [njobs] forces the length of [jobs] when trailing jobs
+    have no segments. *)
+
 val pp : Format.formatter -> t -> unit

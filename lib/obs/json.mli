@@ -1,0 +1,34 @@
+(** A minimal JSON value type with an emitter and a parser.
+
+    Deliberately tiny — just enough for the telemetry exporters
+    ({!Tracer}, {!Metrics}) to write machine-readable files and for the
+    test suite to round-trip them without an external JSON dependency.
+    Strings are emitted with the standard escapes; numbers are either
+    OCaml [int]s or floats (printed with ["%.17g"], so parsing back is
+    exact). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the subset this module emits
+    (which is a subset of standard JSON: no scientific-notation corner
+    cases are missed — [1e9], escapes, and nesting all parse).  The
+    error message carries a byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] — first binding of [key], [None] otherwise. *)
+
+val keys : t -> string list
+(** Top-level keys of an [Obj], in declaration order; [[]] otherwise. *)

@@ -1,0 +1,150 @@
+(** Process-global metrics registry; see the interface for conventions. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type histogram = {
+  h_buckets : int list;  (* upper bounds, ascending *)
+  h_counts : int array;  (* length = #buckets + 1, last = overflow *)
+  mutable h_sum : int;
+  mutable h_obs : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = c.c <- c.c + 1
+let add c by = c.c <- c.c + by
+let value c = c.c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+      let g = { g = 0 } in
+      Hashtbl.add gauges name g;
+      g
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let default_buckets = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let buckets = List.sort_uniq compare buckets in
+      let h =
+        {
+          h_buckets = buckets;
+          h_counts = Array.make (List.length buckets + 1) 0;
+          h_sum = 0;
+          h_obs = 0;
+        }
+      in
+      Hashtbl.add histograms name h;
+      h
+
+let observe h v =
+  let rec slot i = function
+    | bound :: rest -> if v <= bound then i else slot (i + 1) rest
+    | [] -> i
+  in
+  let i = slot 0 h.h_buckets in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_obs <- h.h_obs + 1
+
+(* ---- snapshots -------------------------------------------------------- *)
+
+type hist_snapshot = {
+  buckets : int list;
+  counts : int array;
+  sum : int;
+  observations : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters (fun c -> c.c);
+    gauges = sorted_bindings gauges (fun g -> g.g);
+    histograms =
+      sorted_bindings histograms (fun h ->
+          {
+            buckets = h.h_buckets;
+            counts = Array.copy h.h_counts;
+            sum = h.h_sum;
+            observations = h.h_obs;
+          });
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  Hashtbl.iter (fun _ g -> g.g <- 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_sum <- 0;
+      h.h_obs <- 0)
+    histograms
+
+let find_counter snap name = List.assoc_opt name snap.counters
+let find_gauge snap name = List.assoc_opt name snap.gauges
+
+(* ---- export ----------------------------------------------------------- *)
+
+let to_json snap =
+  let ints kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) kvs) in
+  let hist (name, h) =
+    ( name,
+      Json.Obj
+        [
+          ("buckets", Json.List (List.map (fun b -> Json.Int b) h.buckets));
+          ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+          ("sum", Json.Int h.sum);
+          ("observations", Json.Int h.observations);
+        ] )
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "hsched.metrics/1");
+      ("counters", ints snap.counters);
+      ("gauges", ints snap.gauges);
+      ("histograms", Json.Obj (List.map hist snap.histograms));
+    ]
+
+let pp_summary fmt snap =
+  Format.fprintf fmt "@[<v>";
+  let section title kvs pp_v =
+    if kvs <> [] then begin
+      Format.fprintf fmt "%s:@," title;
+      List.iter (fun (k, v) -> Format.fprintf fmt "  %-32s %a@," k pp_v v) kvs
+    end
+  in
+  section "counters" snap.counters (fun fmt v -> Format.fprintf fmt "%d" v);
+  section "gauges" snap.gauges (fun fmt v -> Format.fprintf fmt "%d" v);
+  section "histograms" snap.histograms (fun fmt h ->
+      Format.fprintf fmt "n=%d sum=%d buckets=[%s] counts=[%s]" h.observations h.sum
+        (String.concat ";" (List.map string_of_int h.buckets))
+        (String.concat ";" (Array.to_list (Array.map string_of_int h.counts))));
+  Format.fprintf fmt "@]"

@@ -1,0 +1,73 @@
+(** Process-global metrics registry: named counters, gauges, and
+    fixed-bucket histograms.
+
+    Instruments register a metric once at module initialisation
+    ([let pivots = Metrics.counter "simplex.pivots"]) and then mutate a
+    plain cell — an increment is an integer store, cheap enough for the
+    simplex pivot loop.  Registration is idempotent: the same name
+    yields the same cell, so functor instantiations (exact and float
+    fields share one solver module) do not double-register.
+
+    Snapshots are {e deterministic}: entries are sorted by name and
+    counters count algorithmic events (pivots, nodes, probes), never
+    wall-clock — two identical seeded solves produce byte-identical
+    snapshots, which the test suite asserts on.
+
+    Naming convention (DESIGN.md §9): [<layer>.<quantity>] in
+    [snake_case], e.g. ["simplex.pivots"], ["bb.nodes"],
+    ["sched.migrations"]; budget meters use
+    ["budget.<resource>.limit" / ".consumed"]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Registered (or retrieved) by name; starts at 0. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+(** A settable integer; starts at 0. *)
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : ?buckets:int list -> string -> histogram
+(** Fixed upper-bound buckets (default powers of ten up to 10^6), plus
+    an implicit overflow bucket.  Re-registering an existing name keeps
+    the original buckets. *)
+
+val observe : histogram -> int -> unit
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  buckets : int list;  (** upper bounds, ascending *)
+  counts : int array;  (** length = #buckets + 1; last = overflow *)
+  sum : int;
+  observations : int;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations persist). *)
+
+val find_counter : snapshot -> string -> int option
+val find_gauge : snapshot -> string -> int option
+
+val to_json : snapshot -> Json.t
+(** Stable shape: [{"schema": "hsched.metrics/1", "counters": {..},
+    "gauges": {..}, "histograms": {..}}]. *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** Human-readable table (one metric per line), for [--stats]. *)

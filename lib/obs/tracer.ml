@@ -1,0 +1,188 @@
+(** Structured phase tracing: nestable spans into a process-global sink.
+
+    Disabled (the default) the recorder is a conditional branch and a
+    direct call — safe to leave in hot paths.  Enabled, each span costs
+    two clock reads and one record allocation at close. *)
+
+type attr = Str of string | Int of int | Bool of bool | Float of float
+
+type span = {
+  name : string;
+  cat : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  seq : int;
+  args : (string * attr) list;
+}
+
+(* An open span, mutable so [add_args] can extend it in place. *)
+type open_span = {
+  o_name : string;
+  o_cat : string;
+  o_start : int64;
+  o_depth : int;
+  o_seq : int;
+  mutable o_args : (string * attr) list;
+}
+
+(* Bound the sink so a runaway (or budget-exhausted) solve cannot hold
+   unbounded memory; past the cap, spans are counted but not retained. *)
+let max_spans = 1 lsl 20
+
+type state = {
+  mutable on : bool;
+  mutable clock : unit -> int64;
+  mutable stack : open_span list;
+  mutable completed : span list;  (* reverse completion order *)
+  mutable ncompleted : int;
+  mutable ndropped : int;
+  mutable next_seq : int;
+}
+
+let default_clock () = Int64.of_float (Sys.time () *. 1e9)
+
+let st =
+  {
+    on = false;
+    clock = default_clock;
+    stack = [];
+    completed = [];
+    ncompleted = 0;
+    ndropped = 0;
+    next_seq = 0;
+  }
+
+let enabled () = st.on
+let enable () = st.on <- true
+let disable () = st.on <- false
+let set_clock c = st.clock <- c
+
+let clear () =
+  st.completed <- [];
+  st.ncompleted <- 0;
+  st.ndropped <- 0;
+  st.next_seq <- 0
+
+let with_disabled f =
+  let was = st.on in
+  st.on <- false;
+  Fun.protect ~finally:(fun () -> st.on <- was) f
+
+let record sp =
+  if st.ncompleted >= max_spans then st.ndropped <- st.ndropped + 1
+  else begin
+    st.completed <- sp :: st.completed;
+    st.ncompleted <- st.ncompleted + 1
+  end
+
+let close o =
+  let stop = st.clock () in
+  (match st.stack with _ :: rest -> st.stack <- rest | [] -> ());
+  record
+    {
+      name = o.o_name;
+      cat = o.o_cat;
+      start_ns = o.o_start;
+      dur_ns = Int64.max 0L (Int64.sub stop o.o_start);
+      depth = o.o_depth;
+      seq = o.o_seq;
+      args = List.rev o.o_args;
+    }
+
+let with_span ?(cat = "") ?(args = []) name f =
+  if not st.on then f ()
+  else begin
+    let o =
+      {
+        o_name = name;
+        o_cat = cat;
+        o_start = st.clock ();
+        o_depth = List.length st.stack;
+        o_seq = st.next_seq;
+        o_args = List.rev args;
+      }
+    in
+    st.next_seq <- st.next_seq + 1;
+    st.stack <- o :: st.stack;
+    Fun.protect ~finally:(fun () -> close o) f
+  end
+
+let add_args args =
+  if st.on then
+    match st.stack with
+    | o :: _ -> o.o_args <- List.rev_append args o.o_args
+    | [] -> ()
+
+let spans () = List.rev st.completed
+let dropped () = st.ndropped
+
+(* ---- exporters -------------------------------------------------------- *)
+
+let json_of_attr = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Bool b -> Json.Bool b
+  | Float f -> Json.Float f
+
+let json_args args = Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) args)
+
+(* Chrome trace_event complete event; timestamps in microseconds. *)
+let chrome_event sp =
+  Json.Obj
+    [
+      ("name", Json.String sp.name);
+      ("cat", Json.String (if sp.cat = "" then "hsched" else sp.cat));
+      ("ph", Json.String "X");
+      ("ts", Json.Float (Int64.to_float sp.start_ns /. 1e3));
+      ("dur", Json.Float (Int64.to_float sp.dur_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", json_args (("depth", Int sp.depth) :: ("seq", Int sp.seq) :: sp.args));
+    ]
+
+let to_chrome () =
+  let events =
+    spans () |> List.sort (fun a b -> compare a.seq b.seq) |> List.map chrome_event
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.String "hsched");
+            ("droppedSpans", Json.Int st.ndropped);
+          ] );
+    ]
+
+let jsonl_line sp =
+  Json.to_string
+    (Json.Obj
+       [
+         ("name", Json.String sp.name);
+         ("cat", Json.String sp.cat);
+         ("start_ns", Json.Int (Int64.to_int sp.start_ns));
+         ("dur_ns", Json.Int (Int64.to_int sp.dur_ns));
+         ("depth", Json.Int sp.depth);
+         ("seq", Json.Int sp.seq);
+         ("args", json_args sp.args);
+       ])
+
+let to_jsonl () =
+  String.concat "\n" (List.map jsonl_line (spans ()))
+  ^ if st.completed = [] then "" else "\n"
+
+let write_file path contents =
+  match open_out path with
+  | exception Sys_error e -> Error e
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc contents;
+          Ok ())
+
+let write_chrome path = write_file path (Json.to_string (to_chrome ()))
+let write_jsonl path = write_file path (to_jsonl ())

@@ -1,0 +1,78 @@
+(** Structured phase tracing for the solver pipeline.
+
+    Nestable spans with monotonic timestamps and typed attributes,
+    recorded into a process-global sink.  The sink is {e disabled} by
+    default and {!with_span} is then a direct call of its thunk — no
+    event is recorded, nothing is retained — so instrumentation can stay
+    in hot paths permanently.
+
+    Naming convention (see DESIGN.md §9): span names are
+    [<layer>.<operation>] ("search.probe", "simplex.solve", "bb.optimal")
+    and the category is the layer.
+
+    The recorder is exception-safe: a span whose thunk raises is closed
+    and recorded before the exception propagates, so a run cut short by
+    budget exhaustion still exports a well-formed (merely truncated)
+    trace. *)
+
+type attr = Str of string | Int of int | Bool of bool | Float of float
+
+type span = {
+  name : string;
+  cat : string;  (** category = pipeline layer *)
+  start_ns : int64;  (** monotonic, from {!set_clock}'s clock *)
+  dur_ns : int64;
+  depth : int;  (** nesting depth at the time the span was open (0 = root) *)
+  seq : int;  (** global open order — strictly increasing *)
+  args : (string * attr) list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+
+val disable : unit -> unit
+(** Stop recording.  Already-collected spans are kept until {!clear}. *)
+
+val set_clock : (unit -> int64) -> unit
+(** Install the nanosecond clock.  The default derives from [Sys.time]
+    (process CPU time — monotonic, coarse); the CLI installs a wall
+    clock.  Must be monotonic non-decreasing. *)
+
+val with_span : ?cat:string -> ?args:(string * attr) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span.  When the tracer is
+    disabled this is exactly [f ()]. *)
+
+val add_args : (string * attr) list -> unit
+(** Attach attributes to the innermost open span (for values only known
+    mid-span, e.g. a probe's feasibility verdict).  No-op when disabled
+    or outside any span. *)
+
+val spans : unit -> span list
+(** Completed spans in completion order.  Enclosing spans complete after
+    their children, so a parent appears {e after} its children here;
+    [seq] recovers the open order. *)
+
+val dropped : unit -> int
+(** Spans discarded after the retention cap (2^20) was reached. *)
+
+val clear : unit -> unit
+(** Drop collected spans (open spans survive; their records are kept
+    when they close). *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run a thunk with the tracer forced off, restoring the previous
+    enabled/disabled state afterwards — the fuzz harness uses this to
+    leave the process-global tracing flags alone. *)
+
+(** {1 Exporters} *)
+
+val to_chrome : unit -> Json.t
+(** Chrome [trace_event] format: an object with a ["traceEvents"] list
+    of complete ("ph":"X") events, loadable in [chrome://tracing] and
+    Perfetto.  Timestamps are microseconds. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per completed span per line. *)
+
+val write_chrome : string -> (unit, string) result
+val write_jsonl : string -> (unit, string) result

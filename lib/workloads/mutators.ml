@@ -220,6 +220,9 @@ let record report input outcome =
 (** Feed [iters] corrupted variants of the [base] texts through
     {!Hs_model.Instance_io.of_string}; the parser must never raise. *)
 let fuzz_of_string rng ~iters ~base =
+  (* Fuzzing must not disturb the process-global tracer (or flood its
+     sink when a caller left tracing on): force it off for the sweep. *)
+  Hs_obs.Tracer.with_disabled @@ fun () ->
   let base = Array.of_list base in
   let rec go k report =
     if k = 0 then report
@@ -236,6 +239,7 @@ let fuzz_of_string rng ~iters ~base =
 (** Apply [iters] structural mutations to the given valid instances; the
     validators must reject every one ([accepted] counts misses). *)
 let fuzz_validators rng ~iters instances =
+  Hs_obs.Tracer.with_disabled @@ fun () ->
   let instances = Array.of_list instances in
   let rec go k report =
     if k = 0 then report

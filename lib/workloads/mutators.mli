@@ -38,9 +38,12 @@ type fuzz_report = {
 
 val fuzz_of_string : Rng.t -> iters:int -> base:string list -> fuzz_report
 (** Feed [iters] corrupted variants of the [base] texts through
-    {!Hs_model.Instance_io.of_string}; the parser must never raise. *)
+    {!Hs_model.Instance_io.of_string}; the parser must never raise.
+    Runs under {!Hs_obs.Tracer.with_disabled}: the sweep neither
+    observes nor perturbs the process-global tracing state. *)
 
 val fuzz_validators : Rng.t -> iters:int -> Instance.t list -> fuzz_report
 (** Apply [iters] structural mutations (alternating monotonicity and
     laminarity breakers) to the given valid instances; the validators
-    must reject every one ([accepted] counts misses). *)
+    must reject every one ([accepted] counts misses).  Tracing is
+    forced off for the sweep, as in {!fuzz_of_string}. *)

@@ -90,7 +90,8 @@ the LP + LST 2-approximation and reports the re-certified result:
 
   $ ../../bin/hsched.exe solve --m 8 --jobs 16 --topology clustered --seed 2 --budget 20000
   path: lp-rounding 2-approximation (dantzig pricing)
-  degraded: budget exhausted [branch-and-bound]: node budget (20000) ran out; incumbent makespan 14 unproven
+  degraded: budget exhausted [branch-and-bound]: node budget ran out (used 20000 of 20000 nodes); incumbent makespan 14 unproven
+  budget: used 281 of 20000 pivots
   lower bound = 13
   achieved makespan = 22  (guarantee: <= 26)
   schedule: VALID (re-certified), horizon 22
@@ -98,14 +99,14 @@ the LP + LST 2-approximation and reports the re-certified result:
 With --on-budget-exhausted=fail the same exhaustion is fatal (exit 4):
 
   $ ../../bin/hsched.exe exact --m 8 --jobs 16 --topology clustered --seed 2 --node-limit 20000 --on-budget-exhausted=fail
-  hsched: budget exhausted [branch-and-bound]: node budget (20000) ran out
+  hsched: budget exhausted [branch-and-bound]: node budget ran out (used 20000 of 20000 nodes)
   [4]
 
 A pivot budget too small for any LP attempt exhausts the whole fallback
 chain (exit 4):
 
   $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1 --budget 5
-  hsched: budget exhausted [lp]: simplex pivot budget ran out at T=25
+  hsched: budget exhausted [lp]: simplex pivot budget ran out at T=25 (used 5 of 5 pivots)
   [4]
 
 An instance where some job admits no finite mask is infeasible (exit 3):

@@ -1,0 +1,27 @@
+(* Cram-test helper: parse a JSON file with Hs_obs.Json and check that
+   the given top-level keys are present.  Exit 0 and a one-line report
+   on success; exit 1 with the reason otherwise. *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: keys -> (
+      let contents =
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Hs_obs.Json.parse contents with
+      | Error e ->
+          Printf.eprintf "%s: invalid JSON: %s\n" file e;
+          exit 1
+      | Ok doc ->
+          let missing = List.filter (fun k -> Hs_obs.Json.member k doc = None) keys in
+          if missing <> [] then begin
+            Printf.eprintf "%s: missing keys: %s\n" file (String.concat ", " missing);
+            exit 1
+          end;
+          Printf.printf "%s: valid JSON; keys ok\n" file)
+  | _ ->
+      prerr_endline "usage: json_check FILE [KEY ...]";
+      exit 2

@@ -1,0 +1,31 @@
+Telemetry flags end to end (DESIGN.md section 9).
+
+--stats-json writes the metrics registry with its stable schema:
+
+  $ ../../bin/hsched.exe solve --m 4 --jobs 8 --seed 3 --stats-json stats.json > /dev/null
+  $ ../json_check.exe stats.json schema counters gauges histograms
+  stats.json: valid JSON; keys ok
+
+--trace writes a Chrome trace_event timeline of the same solve:
+
+  $ ../../bin/hsched.exe solve --m 4 --jobs 8 --seed 3 --trace trace.json > /dev/null
+  $ ../json_check.exe trace.json traceEvents displayTimeUnit otherData
+  trace.json: valid JSON; keys ok
+
+A budget-exhausted run exits 4 but still flushes a well-formed (merely
+truncated) trace through the at_exit hook:
+
+  $ ../../bin/hsched.exe solve --m 3 --jobs 6 --seed 1 --budget 5 --trace bust.json
+  hsched: budget exhausted [lp]: simplex pivot budget ran out at T=25 (used 5 of 5 pivots)
+  [4]
+  $ ../json_check.exe bust.json traceEvents otherData
+  bust.json: valid JSON; keys ok
+
+--stats prints the counter table to stderr; the solve output itself
+stays on stdout:
+
+  $ ../../bin/hsched.exe solve --m 4 --jobs 8 --seed 3 --stats 2>&1 >/dev/null | head -4
+  counters:
+    bb.incumbents                    0
+    bb.nodes                         0
+    bb.pruned                        0

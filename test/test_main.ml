@@ -20,4 +20,5 @@ let () =
       Test_edge_cases.suite;
       Test_consistency.suite;
       Test_faults.suite;
+      Test_obs.suite;
     ]

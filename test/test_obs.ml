@@ -1,0 +1,156 @@
+(* Tests for the Hs_obs telemetry layer: span nesting, the disabled
+   tracer's no-op guarantee, deterministic metrics snapshots across
+   identical seeded solves, the Chrome-JSON round trip, and the
+   simplex.pivots == budget-consumed invariant. *)
+
+open Hs_obs
+module T = Hs_laminar.Topology
+
+(* Every test runs against the process-global tracer, so save/restore
+   its state (and a deterministic tick clock) around the body. *)
+let with_tracer f =
+  Tracer.clear ();
+  let tick = ref 0L in
+  Tracer.set_clock (fun () ->
+      tick := Int64.add !tick 1L;
+      !tick);
+  Tracer.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tracer.disable ();
+      Tracer.clear ())
+    f
+
+let span_by_name name =
+  match List.find_opt (fun (s : Tracer.span) -> s.name = name) (Tracer.spans ()) with
+  | Some s -> s
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let test_span_nesting () =
+  with_tracer (fun () ->
+      Tracer.with_span ~cat:"a" "outer" (fun () ->
+          Tracer.with_span ~cat:"b" "inner" (fun () -> ());
+          Tracer.with_span ~cat:"b" "inner2" (fun () ->
+              Tracer.add_args [ ("k", Tracer.Int 7) ]));
+      let outer = span_by_name "outer" in
+      let inner = span_by_name "inner" in
+      let inner2 = span_by_name "inner2" in
+      Alcotest.(check int) "outer at depth 0" 0 outer.depth;
+      Alcotest.(check int) "inner at depth 1" 1 inner.depth;
+      Alcotest.(check int) "inner2 at depth 1" 1 inner2.depth;
+      Alcotest.(check bool) "open order" true (outer.seq < inner.seq && inner.seq < inner2.seq);
+      (* children complete before their parent *)
+      let order = List.map (fun (s : Tracer.span) -> s.name) (Tracer.spans ()) in
+      Alcotest.(check (list string)) "completion order" [ "inner"; "inner2"; "outer" ] order;
+      (* interval containment under the tick clock *)
+      let ends (s : Tracer.span) = Int64.add s.start_ns s.dur_ns in
+      Alcotest.(check bool) "outer contains inner" true
+        (outer.start_ns <= inner.start_ns && ends inner <= ends outer);
+      Alcotest.(check bool) "mid-span args attached" true
+        (List.mem_assoc "k" inner2.args))
+
+let test_span_closed_on_raise () =
+  with_tracer (fun () ->
+      (try
+         Tracer.with_span "doomed" (fun () ->
+             Tracer.with_span "child" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      let names = List.map (fun (s : Tracer.span) -> s.name) (Tracer.spans ()) in
+      Alcotest.(check (list string)) "both spans recorded" [ "child"; "doomed" ] names)
+
+let test_disabled_records_nothing () =
+  Tracer.clear ();
+  Alcotest.(check bool) "disabled by default here" false (Tracer.enabled ());
+  let r = Tracer.with_span "ghost" (fun () -> 42) in
+  Alcotest.(check int) "thunk result passes through" 42 r;
+  Tracer.add_args [ ("k", Tracer.Int 1) ];
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Tracer.spans ()));
+  (* with_disabled restores the previous state *)
+  Tracer.enable ();
+  Tracer.with_disabled (fun () ->
+      Alcotest.(check bool) "forced off" false (Tracer.enabled ()));
+  Alcotest.(check bool) "restored" true (Tracer.enabled ());
+  Tracer.disable ();
+  Tracer.clear ()
+
+let solve_once () =
+  let rng = Hs_workloads.Rng.create 1234 in
+  let inst =
+    Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 4) ~n:8
+      ~base:(1, 9) ~heterogeneity:1.5 ~overhead:0.2 ()
+  in
+  match Hs_core.Approx.Exact.solve inst with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "pipeline failed: %s" e
+
+let test_deterministic_snapshots () =
+  Metrics.reset ();
+  ignore (solve_once ());
+  let s1 = Metrics.snapshot () in
+  Metrics.reset ();
+  ignore (solve_once ());
+  let s2 = Metrics.snapshot () in
+  (match Metrics.find_counter s1 "simplex.pivots" with
+  | Some v -> Alcotest.(check bool) "pivots counted" true (v > 0)
+  | None -> Alcotest.fail "simplex.pivots not registered");
+  (match Metrics.find_counter s1 "search.probes" with
+  | Some v -> Alcotest.(check bool) "probes counted" true (v > 0)
+  | None -> Alcotest.fail "search.probes not registered");
+  Alcotest.(check bool) "identical seeded solves, identical snapshots" true (s1 = s2)
+
+let test_chrome_round_trip () =
+  with_tracer (fun () ->
+      ignore (solve_once ());
+      let nspans = List.length (Tracer.spans ()) in
+      Alcotest.(check bool) "pipeline produced spans" true (nspans > 0);
+      let doc = Json.to_string (Tracer.to_chrome ()) in
+      match Json.parse doc with
+      | Error e -> Alcotest.failf "exported trace does not parse: %s" e
+      | Ok j -> (
+          match Json.member "traceEvents" j with
+          | Some (Json.List evs) ->
+              Alcotest.(check int) "one event per span" nspans (List.length evs);
+              List.iter
+                (fun ev ->
+                  List.iter
+                    (fun k ->
+                      if Json.member k ev = None then
+                        Alcotest.failf "event missing %s field" k)
+                    [ "name"; "cat"; "ph"; "ts"; "dur"; "args" ])
+                evs
+          | _ -> Alcotest.fail "no traceEvents list"))
+
+let test_pivots_match_budget_meter () =
+  Metrics.reset ();
+  let rng = Hs_workloads.Rng.create 77 in
+  let inst =
+    Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 4) ~n:8
+      ~base:(1, 9) ~heterogeneity:1.5 ~overhead:0.2 ()
+  in
+  let budget = Hs_core.Budget.v ~lp_pivots:1_000_000 () in
+  match Hs_core.Approx.solve_robust ~budget inst with
+  | Error e -> Alcotest.failf "solve_robust failed: %s" (Hs_core.Hs_error.to_string e)
+  | Ok r -> (
+      let snap = Metrics.snapshot () in
+      match
+        (Metrics.find_counter snap "simplex.pivots", r.r_consumed.Hs_core.Budget.lp_pivots)
+      with
+      | Some counted, Some consumed ->
+          Alcotest.(check bool) "pivots spent" true (counted > 0);
+          Alcotest.(check int) "counter equals budget meter" consumed counted;
+          (match Metrics.find_gauge snap "budget.pivots.consumed" with
+          | Some g -> Alcotest.(check int) "gauge equals meter" consumed g
+          | None -> Alcotest.fail "budget.pivots.consumed gauge not published")
+      | _ -> Alcotest.fail "pivot counter or meter missing")
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  ( "obs",
+    [
+      u "span nesting well-formed" test_span_nesting;
+      u "spans survive exceptions" test_span_closed_on_raise;
+      u "disabled tracer records nothing" test_disabled_records_nothing;
+      u "deterministic metrics snapshots" test_deterministic_snapshots;
+      u "Chrome JSON round trip" test_chrome_round_trip;
+      u "simplex.pivots == budget consumed" test_pivots_match_budget_meter;
+    ] )
