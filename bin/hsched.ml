@@ -5,6 +5,7 @@
      exact       branch-and-bound optimum (small instances)
      generate    emit an instance file from the workload generators
      experiment  run one of the DESIGN.md evaluation experiments (T1..F5)
+     sweep       batch-solve instance files on a worker-domain pool
      simulate    replay the solved schedule under migration latencies *)
 
 open Cmdliner
@@ -278,19 +279,95 @@ let generate_cmd =
 
 (* ---------- experiment -------------------------------------------------- *)
 
+(* Worker-domain count for the sweep subcommands.  [solve]/[exact] keep
+   "--jobs" as the job (task) count of a generated instance; here it
+   means parallelism, matching `dune -j` and `make -j`. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweep (default 1 = sequential, 0 = all cores). Results \
+           are byte-identical at any value; see DESIGN.md section 10.")
+
+let resolve_jobs_or_exit jobs =
+  match Hs_exec.resolve_jobs jobs with
+  | j -> j
+  | exception Invalid_argument m -> exit_usage m
+
 let experiment_cmd =
   let exp_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"T1..T6, F1..F5, or 'all'.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps.") in
-  let run exp_name quick trace stats stats_json =
+  let run exp_name quick jobs trace stats stats_json =
     setup_obs trace stats stats_json;
-    Hs_experiments.Experiments.by_name exp_name ~quick ()
+    let jobs = resolve_jobs_or_exit jobs in
+    Hs_experiments.Experiments.by_name exp_name ~quick ~jobs ()
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the evaluation tables/figures from DESIGN.md.")
-    Term.(const run $ exp_name $ quick $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ exp_name $ quick $ jobs_arg $ trace_arg $ stats_arg $ stats_json_arg)
+
+(* ---------- sweep ------------------------------------------------------- *)
+
+let sweep_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Instance files (Instance_io format) to solve in batch.")
+  in
+  let run files jobs budget on_exhausted trace stats stats_json =
+    setup_obs trace stats stats_json;
+    let jobs = resolve_jobs_or_exit jobs in
+    (* Each file is one deterministic work item; [parmap] returns the
+       outcomes in argument order, so the report (and the exit code:
+       that of the first failing file) is independent of [jobs]. *)
+    let solve_one path =
+      match Instance_io.load path with
+      | Error e -> Error (Hs_core.Hs_error.Parse_error e)
+      | Ok inst -> (
+          match budget with
+          | Some k -> (
+              let budget = Hs_core.Budget.of_units k in
+              match Hs_core.Approx.solve_robust ~budget ~on_exhausted inst with
+              | Error e -> Error e
+              | Ok r ->
+                  Ok
+                    (Printf.sprintf "lower bound = %d\nachieved makespan = %d  (path: %s)"
+                       r.r_lower_bound r.r_makespan
+                       (Hs_core.Approx.provenance_to_string r.r_provenance)))
+          | None -> (
+              match Hs_core.Approx.Exact.solve_checked inst with
+              | Error e -> Error e
+              | Ok o ->
+                  Ok
+                    (Printf.sprintf
+                       "LP lower bound T* = %d\nachieved makespan = %d  (guarantee: <= %d)"
+                       o.t_lp o.makespan (2 * o.t_lp))))
+    in
+    let outcomes = Hs_exec.parmap ~jobs solve_one files in
+    let first_err = ref None in
+    List.iter2
+      (fun path outcome ->
+        Printf.printf "== %s ==\n" path;
+        match outcome with
+        | Ok report -> print_endline report
+        | Error e ->
+            Printf.printf "ERROR: %s\n" (Hs_core.Hs_error.to_string e);
+            if !first_err = None then first_err := Some e)
+      files outcomes;
+    match !first_err with
+    | None -> ()
+    | Some e -> exit (Hs_core.Hs_error.exit_code e)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Batch-solve instance files on a worker-domain pool. Output order and exit code \
+          match a sequential run at any --jobs.")
+    Term.(const run $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- realtime ------------------------------------------------------ *)
 
@@ -392,6 +469,7 @@ let () =
             exact_cmd;
             generate_cmd;
             experiment_cmd;
+            sweep_cmd;
             simulate_cmd;
             topology_cmd;
             realtime_cmd;

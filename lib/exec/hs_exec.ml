@@ -1,0 +1,116 @@
+(** Deterministic domain-pool [parmap]; see the interface for the
+    contract.
+
+    Implementation notes.  The queue is an [Atomic.t] cursor over the
+    item array: a worker claims [chunk] consecutive indices per
+    [fetch_and_add] and writes each result into its own slot of a shared
+    results array.  No slot is written twice and the main domain only
+    reads after [Domain.join], whose happens-before edge publishes the
+    plain (non-atomic) writes.  Determinism therefore never depends on
+    scheduling: scheduling only decides {e who} computes a slot, never
+    {e what} ends up in it. *)
+
+type worker_error = {
+  index : int;
+  worker : int;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | 0 -> recommended_jobs ()
+  | k when k > 0 -> k
+  | k -> invalid_arg (Printf.sprintf "Hs_exec.resolve_jobs: negative job count %d" k)
+
+(* A worker calling back into the pool must not spawn domains of its
+   own: [parmap] from inside a worker degrades to the sequential path. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let seq_try_map f items =
+  List.mapi
+    (fun i x ->
+      match f x with
+      | v -> Ok v
+      | exception exn ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          Error { index = i; worker = 0; exn; backtrace })
+    items
+
+(* Run the pool: [min jobs n] domains drain the chunked queue, then each
+   returns its telemetry (metrics snapshot + trace spans) for the main
+   domain to merge in worker order. *)
+let run_pool ~chunk ~jobs f (input : 'a array) :
+    ('b, worker_error) result option array =
+  let n = Array.length input in
+  let nworkers = Stdlib.min jobs n in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let tracing = Hs_obs.Tracer.enabled () in
+  let cfg = Hs_obs.Tracer.config () in
+  let body wid () =
+    Domain.DLS.set in_worker true;
+    if tracing then Hs_obs.Tracer.set_config cfg;
+    let rec drain () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = Stdlib.min n (start + chunk) in
+        for i = start to stop - 1 do
+          out.(i) <-
+            Some
+              (match f input.(i) with
+              | v -> Ok v
+              | exception exn ->
+                  let backtrace = Printexc.get_raw_backtrace () in
+                  Error { index = i; worker = wid; exn; backtrace })
+        done;
+        drain ()
+      end
+    in
+    drain ();
+    (Hs_obs.Metrics.snapshot (), if tracing then Hs_obs.Tracer.spans () else [])
+  in
+  let domains = List.init nworkers (fun w -> Domain.spawn (body (w + 1))) in
+  (* Join in spawn order and merge every worker's telemetry before any
+     error handling, so even a failing sweep keeps its counters. *)
+  let telemetry = List.map Domain.join domains in
+  List.iteri
+    (fun w (snap, spans) ->
+      Hs_obs.Metrics.merge snap;
+      if spans <> [] then Hs_obs.Tracer.absorb ~domain:(w + 1) spans)
+    telemetry;
+  out
+
+let try_parmap ?(chunk = 1) ~jobs f items =
+  let jobs = resolve_jobs jobs in
+  let chunk = Stdlib.max 1 chunk in
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then seq_try_map f items
+  else
+    run_pool ~chunk ~jobs f (Array.of_list items)
+    |> Array.to_list
+    |> List.map (function
+         | Some r -> r
+         | None ->
+             (* Unreachable: the cursor covers every index and join
+                waited for all workers. *)
+             assert false)
+
+let parmap ?(chunk = 1) ~jobs f items =
+  let jobs = resolve_jobs jobs in
+  let chunk = Stdlib.max 1 chunk in
+  let n = List.length items in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get in_worker then List.map f items
+  else begin
+    let out = run_pool ~chunk ~jobs f (Array.of_list items) in
+    (* Surface the same exception a sequential run would have hit
+       first: the lowest submission index wins, regardless of which
+       worker or wall-clock order produced it. *)
+    Array.iter
+      (function
+        | Some (Error e) -> Printexc.raise_with_backtrace e.exn e.backtrace
+        | _ -> ())
+      out;
+    Array.to_list (Array.map (function Some (Ok v) -> v | _ -> assert false) out)
+  end

@@ -1,0 +1,57 @@
+(** Multicore sweep engine: a fixed-size [Domain] pool with a
+    {e deterministic} parallel map.
+
+    The experiment tables, the fuzz sweeps and the CLI batch solver are
+    embarrassingly parallel — independent seeded work items — yet the
+    output must not depend on scheduling.  {!parmap} guarantees that:
+
+    - work items are tagged by submission index and pulled from a shared
+      chunked queue (an atomic cursor), so domains load-balance freely;
+    - results are reassembled {e in submission order}, so the returned
+      list is identical at any job count;
+    - an exception raised by [f] is captured with its backtrace and the
+      raising item's index; after the sweep the {e lowest-index} failure
+      is re-raised (exactly the exception sequential [List.map] would
+      have surfaced first).  {!try_parmap} instead returns every
+      per-item outcome, with worker provenance on the failures;
+    - each worker domain accumulates {!Hs_obs} metrics and trace spans
+      into its own domain-local buffers; when the pool drains, counters
+      and histograms are summed into the caller's registry
+      ({!Hs_obs.Metrics.merge}) and spans are absorbed tagged with the
+      worker's [domain.id] ({!Hs_obs.Tracer.absorb}).  Because every
+      solve threads an explicit budget and seeded RNG, a parallel
+      sweep's merged snapshot is byte-identical to the sequential one.
+
+    Jobs semantics everywhere in the CLI/bench stack: [1] (default)
+    stays on the calling domain, [0] means
+    [Domain.recommended_domain_count ()], [k > 1] spawns [min k n]
+    workers.  Nested calls (a worker invoking {!parmap}) degrade to the
+    sequential path rather than oversubscribing. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : int -> int
+(** [0 → recommended_jobs ()], [k ≥ 1 → k]; raises [Invalid_argument]
+    on negative values. *)
+
+type worker_error = {
+  index : int;  (** submission index of the failing item *)
+  worker : int;  (** 1-based worker slot that ran it; [0] = caller *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+val parmap : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parmap ~jobs f items] = [List.map f items], computed on
+    [min jobs (length items)] domains.  [chunk] (default 1) is the
+    number of consecutive items a worker claims per queue round-trip —
+    raise it for very cheap items.  If any [f] raised, the lowest-index
+    exception is re-raised with its original backtrace once all workers
+    have drained (telemetry of completed items is still merged). *)
+
+val try_parmap :
+  ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> ('b, worker_error) result list
+(** Like {!parmap} but total: every item's outcome is returned in
+    submission order, failures carrying worker provenance.  The
+    sequential path ([jobs ≤ 1]) also evaluates every item. *)

@@ -8,7 +8,17 @@
 
     [quick] runs smaller sweeps (used by the CI-ish default); the full
     sizes stay laptop-scale because the exact-arithmetic LP and the
-    branch-and-bound are exponential-ish in nature. *)
+    branch-and-bound are exponential-ish in nature.
+
+    [jobs] shards the per-trial solves across an {!Hs_exec} domain pool
+    (DESIGN.md §10).  Each experiment builds its work-item list
+    identically at any job count — one item per seeded trial, every item
+    carrying its own [Rng] — maps it through {!Hs_exec.parmap} (results
+    return in submission order) and folds the ordered results exactly as
+    the old sequential loops did, so the printed tables are
+    byte-identical at any [jobs].  The wall-clock experiments F3/A3 and
+    the single-instance F5 stay sequential: sharing cores would distort
+    the very times they measure. *)
 
 open Hs_model
 open Hs_core
@@ -18,6 +28,18 @@ module L = Hs_laminar.Laminar
 module T = Hs_laminar.Topology
 
 let base_seed = 20170529 (* IPDPS'17 *)
+
+(* One item per seeded trial through the domain pool. *)
+let sweep ~jobs f items = Hs_exec.parmap ~jobs f items
+
+(* Replay the original `ref []`-accumulator order: trials were
+   {e prepended} in ascending-k order, so folds ran over descending k. *)
+let rev_successes results = List.rev (List.filter_map Fun.id results)
+
+(* Slice the ordered result list back into per-cell groups of [width]. *)
+let slices results ~width =
+  let arr = Array.of_list results in
+  fun cell_idx -> List.init width (fun k -> arr.((cell_idx * width) + k))
 
 (* Families used across experiments. *)
 let family_instances ~rng ~n ~m = function
@@ -39,81 +61,110 @@ let family_name = function
   | `Three_level -> "3-level"
   | `Random -> "random-laminar"
 
+let all_families = [ `Semi; `Clustered; `Three_level; `Random ]
+
 (** {b T1} — Theorem V.2: the measured approximation ratio of the LP
     rounding pipeline against the branch-and-bound optimum. *)
-let t1 ?(quick = false) () =
+let t1 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T1: approximation ratio of the 2-approximation (Theorem V.2)"
       ~header:[ "family"; "n"; "m"; "inst"; "mean ALG/OPT"; "max ALG/OPT"; "max ALG/LP"; "bound" ]
   in
   let trials = if quick then 3 else 8 in
   let sizes = if quick then [ (5, 3) ] else [ (5, 3); (8, 4); (10, 4) ] in
+  let cells =
+    List.concat
+      (List.mapi
+         (fun fam_idx family -> List.map (fun (n, m) -> (fam_idx, family, n, m)) sizes)
+         all_families)
+  in
+  let items = List.concat_map (fun cell -> List.init trials (fun k -> (cell, k))) cells in
+  let results =
+    sweep ~jobs
+      (fun ((fam_idx, family, n, m), k) ->
+        let rng = Rng.create (base_seed + (77777 * fam_idx) + (1000 * k) + n + (17 * m)) in
+        let inst = family_instances ~rng ~n ~m family in
+        match Approx.Exact.solve inst with
+        | Error _ -> None
+        | Ok o -> (
+            match
+              Exact.optimal ~initial:(Array.map (fun _ -> 0) o.assignment, o.makespan) inst
+            with
+            | Some (_, opt, stats) when stats.proven && opt > 0 ->
+                Some
+                  ( float_of_int o.makespan /. float_of_int opt,
+                    float_of_int o.makespan /. float_of_int o.t_lp )
+            | _ -> None))
+      items
+  in
+  let slice = slices results ~width:trials in
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  let mx l = List.fold_left Float.max 0. l in
   List.iteri
-    (fun fam_idx family ->
-      List.iter
-        (fun (n, m) ->
-          let ratios = ref [] and lp_ratios = ref [] in
-          for k = 0 to trials - 1 do
-            let rng = Rng.create (base_seed + (77777 * fam_idx) + (1000 * k) + n + (17 * m)) in
-            let inst = family_instances ~rng ~n ~m family in
-            match Approx.Exact.solve inst with
-            | Error _ -> ()
-            | Ok o -> (
-                match Exact.optimal ~initial:(Array.map (fun _ -> 0) o.assignment, o.makespan) inst with
-                | Some (_, opt, stats) when stats.proven && opt > 0 ->
-                    ratios := (float_of_int o.makespan /. float_of_int opt) :: !ratios;
-                    lp_ratios := (float_of_int o.makespan /. float_of_int o.t_lp) :: !lp_ratios
-                | _ -> ())
-          done;
-          let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
-          let mx l = List.fold_left Float.max 0. l in
-          if !ratios <> [] then
-            Table.add_row tbl
-              [
-                family_name family;
-                Table.cell_int n;
-                Table.cell_int m;
-                Table.cell_int (List.length !ratios);
-                Table.cell_float (mean !ratios);
-                Table.cell_float (mx !ratios);
-                Table.cell_float (mx !lp_ratios);
-                "2.000";
-              ])
-        sizes)
-    [ `Semi; `Clustered; `Three_level; `Random ];
+    (fun ci (_, family, n, m) ->
+      let succ = rev_successes (slice ci) in
+      let ratios = List.map fst succ and lp_ratios = List.map snd succ in
+      if ratios <> [] then
+        Table.add_row tbl
+          [
+            family_name family;
+            Table.cell_int n;
+            Table.cell_int m;
+            Table.cell_int (List.length ratios);
+            Table.cell_float (mean ratios);
+            Table.cell_float (mx ratios);
+            Table.cell_float (mx lp_ratios);
+            "2.000";
+          ])
+    cells;
   Table.print tbl
 
 (** {b T2} — Theorems III.1 / IV.3: the schedulers turn every feasible
     assignment into a valid schedule of the predicted makespan. *)
-let t2 ?(quick = false) () =
+let t2 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T2: scheduler validity on random feasible assignments"
       ~header:[ "family"; "instances"; "valid"; "makespan=T"; "max load/T" ]
   in
   let trials = if quick then 50 else 300 in
-  List.iter
-    (fun family ->
-      let valid = ref 0 and tight = ref 0 and worst_util = ref 0.0 in
-      for k = 0 to trials - 1 do
+  let items =
+    List.concat_map (fun family -> List.init trials (fun k -> (family, k))) all_families
+  in
+  let results =
+    sweep ~jobs
+      (fun (family, k) ->
         let rng = Rng.create (base_seed + k) in
         let m = 2 + Rng.int rng 5 in
         let n = 2 + Rng.int rng 8 in
         let inst = family_instances ~rng ~n ~m family in
         let lam = Instance.laminar inst in
-        let a =
-          Array.init n (fun _ -> Rng.int rng (L.size lam))
-        in
+        let a = Array.init n (fun _ -> Rng.int rng (L.size lam)) in
         let t = Assignment.min_makespan inst a in
         match Hierarchical.schedule inst a ~tmax:t with
-        | Error _ -> ()
+        | Error _ -> None
         | Ok sched ->
-            if Schedule.is_valid inst a sched then incr valid;
-            if Schedule.makespan sched <= t then incr tight;
+            let util = ref 0.0 in
             for i = 0 to m - 1 do
-              let u = float_of_int (Schedule.machine_load sched i) /. float_of_int (Stdlib.max 1 t) in
-              if u > !worst_util then worst_util := u
-            done
-      done;
+              let u =
+                float_of_int (Schedule.machine_load sched i) /. float_of_int (Stdlib.max 1 t)
+              in
+              if u > !util then util := u
+            done;
+            Some (Schedule.is_valid inst a sched, Schedule.makespan sched <= t, !util))
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci family ->
+      let valid = ref 0 and tight = ref 0 and worst_util = ref 0.0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (v, tgt, u) ->
+              if v then incr valid;
+              if tgt then incr tight;
+              if u > !worst_util then worst_util := u)
+        (slice ci);
       Table.add_row tbl
         [
           family_name family;
@@ -122,22 +173,23 @@ let t2 ?(quick = false) () =
           Table.cell_int !tight;
           Table.cell_float !worst_util;
         ])
-    [ `Semi; `Clustered; `Three_level; `Random ];
+    all_families;
   Table.print tbl
 
 (** {b T3} — Proposition III.2: tape-order migrations ≤ m-1 and total
     stops ≤ 2m-2 for Algorithm 1. *)
-let t3 ?(quick = false) () =
+let t3 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T3: Proposition III.2 migration/preemption bounds (Algorithm 1)"
       ~header:
         [ "m"; "instances"; "max migr"; "bound m-1"; "max stops"; "bound 2m-2" ]
   in
   let trials = if quick then 60 else 400 in
-  List.iter
-    (fun m ->
-      let max_migr = ref 0 and max_stops = ref 0 and cnt = ref 0 in
-      for k = 0 to trials - 1 do
+  let ms = if quick then [ 2; 4; 8 ] else [ 2; 3; 4; 6; 8; 12 ] in
+  let items = List.concat_map (fun m -> List.init trials (fun k -> (m, k))) ms in
+  let results =
+    sweep ~jobs
+      (fun (m, k) ->
         let rng = Rng.create (base_seed + (31 * k) + m) in
         let n = 2 + Rng.int rng 12 in
         let inst =
@@ -148,12 +200,22 @@ let t3 ?(quick = false) () =
         let a = Array.init n (fun _ -> Rng.int rng (L.size lam)) in
         let t = Assignment.min_makespan inst a in
         match Semi_partitioned.schedule_stats inst a ~tmax:t with
-        | Error _ -> ()
-        | Ok (_, stats) ->
-            incr cnt;
-            if stats.Tape.migrations > !max_migr then max_migr := stats.Tape.migrations;
-            if Tape.stops stats > !max_stops then max_stops := Tape.stops stats
-      done;
+        | Error _ -> None
+        | Ok (_, stats) -> Some (stats.Tape.migrations, Tape.stops stats))
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci m ->
+      let max_migr = ref 0 and max_stops = ref 0 and cnt = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (migr, stops) ->
+              incr cnt;
+              if migr > !max_migr then max_migr := migr;
+              if stops > !max_stops then max_stops := stops)
+        (slice ci);
       Table.add_row tbl
         [
           Table.cell_int m;
@@ -163,37 +225,37 @@ let t3 ?(quick = false) () =
           Table.cell_int !max_stops;
           Table.cell_int ((2 * m) - 2);
         ])
-    (if quick then [ 2; 4; 8 ] else [ 2; 3; 4; 6; 8; 12 ]);
+    ms;
   Table.print tbl
 
 (** {b F1} — Example V.1: the integral gap between the reduced unrelated
     instance and the hierarchical instance approaches 2. *)
-let f1 ?(quick = false) () =
+let f1 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create
       ~title:"F1: Example V.1 integral gap, unrelated / hierarchical (-> 2)"
       ~header:[ "n"; "m"; "hier OPT"; "unrel OPT"; "gap"; "(2n-3)/(n-1)" ]
   in
   let ns = if quick then [ 3; 6; 12 ] else [ 3; 4; 6; 8; 12; 16; 24; 40 ] in
-  List.iter
-    (fun n ->
-      let inst = Families.example_v1 n in
-      (* Closed forms, verified by branch and bound on the small sizes. *)
-      let hier = Families.example_v1_hierarchical_opt n in
-      let unrel = Families.example_v1_unrelated_opt n in
-      let hier =
-        if n <= 9 then
-          match Exact.optimal inst with Some (_, o, _) -> o | None -> hier
-        else hier
-      in
-      let unrel =
-        if n <= 9 then
-          match Hs_baselines.Unrelated_reduction.optimal_reduced inst with
-          | Some o -> o
-          | None -> unrel
-        else unrel
-      in
-      Table.add_row tbl
+  let rows =
+    sweep ~jobs
+      (fun n ->
+        let inst = Families.example_v1 n in
+        (* Closed forms, verified by branch and bound on the small sizes. *)
+        let hier = Families.example_v1_hierarchical_opt n in
+        let unrel = Families.example_v1_unrelated_opt n in
+        let hier =
+          if n <= 9 then
+            match Exact.optimal inst with Some (_, o, _) -> o | None -> hier
+          else hier
+        in
+        let unrel =
+          if n <= 9 then
+            match Hs_baselines.Unrelated_reduction.optimal_reduced inst with
+            | Some o -> o
+            | None -> unrel
+          else unrel
+        in
         [
           Table.cell_int n;
           Table.cell_int (n - 1);
@@ -202,7 +264,9 @@ let f1 ?(quick = false) () =
           Table.cell_float (float_of_int unrel /. float_of_int hier);
           Table.cell_float (float_of_int ((2 * n) - 3) /. float_of_int (n - 1));
         ])
-    ns;
+      ns
+  in
+  List.iter (Table.add_row tbl) rows;
   Table.print tbl
 
 (** {b F2} — The capacity loss of pure partitioning: optimal makespans of
@@ -213,7 +277,7 @@ let f1 ?(quick = false) () =
     that may run anywhere, globally at a 20% migration premium.  Pure
     partitioning must stack flexible jobs onto machines whole;
     semi-partitioned scheduling threads them through the idle steps. *)
-let f2 ?(quick = false) () =
+let f2 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create
       ~title:"F2: partitioned vs semi-partitioned vs global, by flexible load"
@@ -223,11 +287,10 @@ let f2 ?(quick = false) () =
   let m = 4 in
   let trials = if quick then 3 else 6 in
   let loads = if quick then [ 0.5; 1.25 ] else [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5 ] in
-  List.iter
-    (fun load ->
-      let acc_part = ref 0. and acc_semi = ref 0. and acc_alg = ref 0. and acc_glob = ref 0. in
-      let cnt = ref 0 in
-      for k = 0 to trials - 1 do
+  let items = List.concat_map (fun load -> List.init trials (fun k -> (load, k))) loads in
+  let results =
+    sweep ~jobs
+      (fun (load, k) ->
         let rng = Rng.create (base_seed + (97 * k) + int_of_float (load *. 100.)) in
         let nflex = Stdlib.max 1 (int_of_float (load *. float_of_int m)) in
         let n = m + nflex in
@@ -273,13 +336,29 @@ let f2 ?(quick = false) () =
               Assignment.min_makespan semi a
             in
             let lb = float_of_int o.t_lp in
-            acc_part := !acc_part +. (float_of_int part_opt /. lb);
-            acc_semi := !acc_semi +. (float_of_int semi_opt /. lb);
-            acc_alg := !acc_alg +. (float_of_int o.makespan /. lb);
-            acc_glob := !acc_glob +. (float_of_int glob /. lb);
-            incr cnt
-        | _ -> ()
-      done;
+            Some
+              ( float_of_int part_opt /. lb,
+                float_of_int semi_opt /. lb,
+                float_of_int o.makespan /. lb,
+                float_of_int glob /. lb )
+        | _ -> None)
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci load ->
+      let acc_part = ref 0. and acc_semi = ref 0. and acc_alg = ref 0. and acc_glob = ref 0. in
+      let cnt = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (part, semi, alg, glob) ->
+              acc_part := !acc_part +. part;
+              acc_semi := !acc_semi +. semi;
+              acc_alg := !acc_alg +. alg;
+              acc_glob := !acc_glob +. glob;
+              incr cnt)
+        (slice ci);
       if !cnt > 0 then begin
         let f x = Table.cell_float (x /. float_of_int !cnt) in
         Table.add_row tbl
@@ -296,7 +375,8 @@ let f2 ?(quick = false) () =
   Table.print tbl
 
 (** {b F3} — scalability: wall time of the full pipeline, exact-rational
-    vs floating-point LP. *)
+    vs floating-point LP.  Stays sequential at any [jobs]: it measures
+    wall time, which a shared pool would distort. *)
 let f3 ?(quick = false) () =
   let tbl =
     Table.create ~title:"F3: pipeline wall time, exact-Q vs float LP (seconds)"
@@ -331,30 +411,42 @@ let f3 ?(quick = false) () =
 
 (** {b T4} — Theorem VI.1 (memory Model 1): bicriteria factors against
     the (3T, 3B) bound. *)
-let t4 ?(quick = false) () =
+let t4 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T4: memory Model 1 bicriteria factors (Theorem VI.1: <= 3, 3)"
       ~header:
         [ "n"; "m"; "inst"; "max makespan/T"; "max mem/B"; "bound"; "fallback drops" ]
   in
   let trials = if quick then 4 else 10 in
-  List.iter
-    (fun (nlo, m) ->
-      let mx_mk = ref Q.zero and mx_mem = ref Q.zero and cnt = ref 0 and fb = ref 0 in
-      for k = 0 to trials - 1 do
+  let sizes = if quick then [ (1, 3) ] else [ (1, 2); (1, 3); (2, 4) ] in
+  let items = List.concat_map (fun sz -> List.init trials (fun k -> (sz, k))) sizes in
+  let results =
+    sweep ~jobs
+      (fun ((nlo, m), k) ->
         let rng = Rng.create (base_seed + (11 * k) + m) in
         let inst = Generators.semi_partitioned_load rng ~m ~load:0.5 ~pmin:1 ~pmax:7 () in
         if Instance.njobs inst >= nlo then begin
           let payload = Generators.model1_payload rng inst ~smax:5 ~slack:1.4 in
           match Memory.solve_model1 inst payload with
-          | Error _ -> ()
-          | Ok r ->
-              incr cnt;
-              fb := !fb + r.fallback_drops;
-              if Q.gt r.makespan_factor !mx_mk then mx_mk := r.makespan_factor;
-              if Q.gt r.max_capacity_factor !mx_mem then mx_mem := r.max_capacity_factor
+          | Error _ -> None
+          | Ok r -> Some (r.fallback_drops, r.makespan_factor, r.max_capacity_factor)
         end
-      done;
+        else None)
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci (nlo, m) ->
+      let mx_mk = ref Q.zero and mx_mem = ref Q.zero and cnt = ref 0 and fb = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (drops, mkf, memf) ->
+              incr cnt;
+              fb := !fb + drops;
+              if Q.gt mkf !mx_mk then mx_mk := mkf;
+              if Q.gt memf !mx_mem then mx_mem := memf)
+        (slice ci);
       if !cnt > 0 then
         Table.add_row tbl
           [
@@ -366,11 +458,11 @@ let t4 ?(quick = false) () =
             "3.000";
             Table.cell_int !fb;
           ])
-    (if quick then [ (1, 3) ] else [ (1, 2); (1, 3); (2, 4) ]);
+    sizes;
   Table.print tbl
 
 (** {b T5} — Theorem VI.3 (memory Model 2): σ = 2 + H_k by level count. *)
-let t5 ?(quick = false) () =
+let t5 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T5: memory Model 2 sigma factors (Theorem VI.3: sigma = 2 + H_k)"
       ~header:[ "k"; "m"; "inst"; "max makespan/T"; "max mem/cap"; "sigma bound" ]
@@ -379,23 +471,35 @@ let t5 ?(quick = false) () =
     if quick then [ [ 4 ] ] else [ [ 4 ]; [ 2; 2 ]; [ 2; 2; 2 ]; [ 2; 2; 2; 2 ] ]
   in
   let trials = if quick then 3 else 6 in
-  List.iter
-    (fun fanouts ->
-      let lam = T.balanced fanouts in
-      let k = L.nlevels lam in
-      let mx_mk = ref Q.zero and mx_mem = ref Q.zero and cnt = ref 0 in
-      for t = 0 to trials - 1 do
+  let items = List.concat_map (fun sh -> List.init trials (fun t -> (sh, t))) shapes in
+  let results =
+    sweep ~jobs
+      (fun (fanouts, t) ->
+        let lam = T.balanced fanouts in
+        let k = L.nlevels lam in
         let rng = Rng.create (base_seed + (7 * t) + k) in
         let n = 3 + Rng.int rng 4 in
         let inst = Generators.hierarchical rng ~lam ~n ~base:(1, 5) ~overhead:0.2 () in
         let payload = Generators.model2_payload rng inst ~mu:(Q.of_int 2) in
         match Memory.solve_model2 inst payload with
-        | Error _ -> ()
-        | Ok r ->
-            incr cnt;
-            if Q.gt r.makespan_factor !mx_mk then mx_mk := r.makespan_factor;
-            if Q.gt r.max_capacity_factor !mx_mem then mx_mem := r.max_capacity_factor
-      done;
+        | Error _ -> None
+        | Ok r -> Some (r.makespan_factor, r.max_capacity_factor))
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci fanouts ->
+      let lam = T.balanced fanouts in
+      let k = L.nlevels lam in
+      let mx_mk = ref Q.zero and mx_mem = ref Q.zero and cnt = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (mkf, memf) ->
+              incr cnt;
+              if Q.gt mkf !mx_mk then mx_mk := mkf;
+              if Q.gt memf !mx_mem then mx_mem := memf)
+        (slice ci);
       if !cnt > 0 then
         Table.add_row tbl
           [
@@ -411,16 +515,17 @@ let t5 ?(quick = false) () =
 
 (** {b T6} — the Section II reduction for general (non-laminar) masks:
     makespan within 8× of the reduced LP lower bound. *)
-let t6 ?(quick = false) () =
+let t6 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"T6: general (non-laminar) masks, 8-approximation of Section II"
       ~header:[ "n"; "m"; "inst"; "mean ALG/LB"; "max ALG/LB"; "bound" ]
   in
   let trials = if quick then 5 else 15 in
-  List.iter
-    (fun (n, m) ->
-      let ratios = ref [] in
-      for k = 0 to trials - 1 do
+  let sizes = if quick then [ (4, 3) ] else [ (4, 3); (6, 4); (8, 5) ] in
+  let items = List.concat_map (fun sz -> List.init trials (fun k -> (sz, k))) sizes in
+  let results =
+    sweep ~jobs
+      (fun ((n, m), k) ->
         let rng = Rng.create (base_seed + (13 * k) + n) in
         (* random overlapping (non-laminar) family: all contiguous windows
            of width 2 plus the singletons *)
@@ -444,77 +549,87 @@ let t6 ?(quick = false) () =
                     Ptime.fin (Stdlib.min base (Stdlib.max 1 (cap - 1)))))
         in
         match General_instance.make ~m ~sets ~p with
-        | Error _ -> ()
+        | Error _ -> None
         | Ok g -> (
             match Approx.solve_general g with
-            | Error _ -> ()
+            | Error _ -> None
             | Ok o when o.lower_bound > 0 ->
-                ratios := (float_of_int o.makespan /. float_of_int o.lower_bound) :: !ratios
-            | Ok _ -> ())
-      done;
-      if !ratios <> [] then begin
-        let mean = List.fold_left ( +. ) 0. !ratios /. float_of_int (List.length !ratios) in
-        let mx = List.fold_left Float.max 0. !ratios in
+                Some (float_of_int o.makespan /. float_of_int o.lower_bound)
+            | Ok _ -> None))
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci (n, m) ->
+      let ratios = rev_successes (slice ci) in
+      if ratios <> [] then begin
+        let mean = List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios) in
+        let mx = List.fold_left Float.max 0. ratios in
         Table.add_row tbl
           [
             Table.cell_int n;
             Table.cell_int m;
-            Table.cell_int (List.length !ratios);
+            Table.cell_int (List.length ratios);
             Table.cell_float mean;
             Table.cell_float mx;
             "8.000";
           ]
       end)
-    (if quick then [ (4, 3) ] else [ (4, 3); (6, 4); (8, 5) ]);
+    sizes;
   Table.print tbl
 
 (** {b F4} — Lemma V.1: fractional mass by level before and after the
     push-down; after the sweep everything sits on level-max singletons. *)
-let f4 ?(quick = false) () =
-  let module I = Ilp.Make (Hs_lp.Field.Exact) in
-  let module P = Pushdown.Make (Hs_lp.Field.Exact) in
+let f4 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"F4: Lemma V.1 push-down, fractional mass by set cardinality"
       ~header:[ "seed"; "card"; "mass before"; "mass after"; "feasible after" ]
   in
   let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
-  List.iter
-    (fun seed ->
-      let rng = Rng.create (base_seed + seed) in
-      let lam = T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
-      let inst = Generators.hierarchical rng ~lam ~n:10 ~base:(2, 8) ~overhead:0.25 () in
-      match I.min_feasible_t inst with
-      | None -> ()
-      | Some (t, x) ->
-          let x' = P.push_down inst ~tmax:t x in
-          let lamc = Instance.laminar inst in
-          let mass (z : Q.t array array) card =
-            let acc = ref Q.zero in
-            Array.iteri
-              (fun s row ->
-                if L.card lamc s = card then Array.iter (fun v -> acc := Q.add !acc v) row)
-              z;
-            !acc
-          in
-          let feas = P.feasible inst ~tmax:t x' && P.singletons_only inst x' in
-          List.iter
-            (fun card ->
-              let before = mass x card and after = mass x' card in
-              if Q.sign before <> 0 || Q.sign after <> 0 then
-                Table.add_row tbl
-                  [
-                    Table.cell_int seed;
-                    Table.cell_int card;
-                    Table.cell_q_float before;
-                    Table.cell_q_float after;
-                    (if feas then "yes" else "NO");
-                  ])
-            [ 1; 2; 4; 8 ])
-    seeds;
+  let rows_by_seed =
+    sweep ~jobs
+      (fun seed ->
+        let module I = Ilp.Make (Hs_lp.Field.Exact) in
+        let module P = Pushdown.Make (Hs_lp.Field.Exact) in
+        let rng = Rng.create (base_seed + seed) in
+        let lam = T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2 in
+        let inst = Generators.hierarchical rng ~lam ~n:10 ~base:(2, 8) ~overhead:0.25 () in
+        match I.min_feasible_t inst with
+        | None -> []
+        | Some (t, x) ->
+            let x' = P.push_down inst ~tmax:t x in
+            let lamc = Instance.laminar inst in
+            let mass (z : Q.t array array) card =
+              let acc = ref Q.zero in
+              Array.iteri
+                (fun s row ->
+                  if L.card lamc s = card then Array.iter (fun v -> acc := Q.add !acc v) row)
+                z;
+              !acc
+            in
+            let feas = P.feasible inst ~tmax:t x' && P.singletons_only inst x' in
+            List.filter_map
+              (fun card ->
+                let before = mass x card and after = mass x' card in
+                if Q.sign before <> 0 || Q.sign after <> 0 then
+                  Some
+                    [
+                      Table.cell_int seed;
+                      Table.cell_int card;
+                      Table.cell_q_float before;
+                      Table.cell_q_float after;
+                      (if feas then "yes" else "NO");
+                    ]
+                else None)
+              [ 1; 2; 4; 8 ])
+      seeds
+  in
+  List.iter (List.iter (Table.add_row tbl)) rows_by_seed;
   Table.print tbl
 
 (** {b F5} — the motivating SMP-CMP effect: realised makespan under
-    explicit per-level migration latencies vs the model's makespan. *)
+    explicit per-level migration latencies vs the model's makespan.
+    Single instance, sequential. *)
 let f5 ?(quick = false) () =
   let tbl =
     Table.create
@@ -565,16 +680,17 @@ let f5 ?(quick = false) () =
 (** {b A1} (ablation) — value of the branch-and-bound warm start: nodes
     explored with the built-in greedy warm start vs. seeding with the
     2-approximation's solution. *)
-let a1 ?(quick = false) () =
+let a1 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create ~title:"A1 (ablation): B&B warm start, node counts to proven optimality"
       ~header:[ "n"; "m"; "inst"; "greedy-start nodes"; "approx-start nodes"; "ratio" ]
   in
   let trials = if quick then 3 else 8 in
-  List.iter
-    (fun (n, m) ->
-      let acc_g = ref 0 and acc_a = ref 0 and cnt = ref 0 in
-      for k = 0 to trials - 1 do
+  let sizes = if quick then [ (8, 4) ] else [ (8, 4); (10, 4); (12, 5) ] in
+  let items = List.concat_map (fun sz -> List.init trials (fun k -> (sz, k))) sizes in
+  let results =
+    sweep ~jobs
+      (fun ((n, m), k) ->
         let rng = Rng.create (base_seed + (41 * k) + n) in
         let inst =
           Generators.hierarchical rng ~lam:(T.semi_partitioned m) ~n ~base:(1, 9)
@@ -583,13 +699,23 @@ let a1 ?(quick = false) () =
         match (Exact.optimal inst, Approx.Exact.solve inst) with
         | Some (_, _, sg), Ok o when sg.proven -> (
             match Exact.optimal ~initial:(o.assignment, o.makespan) inst with
-            | Some (_, _, sa) when sa.proven ->
-                acc_g := !acc_g + sg.nodes;
-                acc_a := !acc_a + sa.nodes;
-                incr cnt
-            | _ -> ())
-        | _ -> ()
-      done;
+            | Some (_, _, sa) when sa.proven -> Some (sg.nodes, sa.nodes)
+            | _ -> None)
+        | _ -> None)
+      items
+  in
+  let slice = slices results ~width:trials in
+  List.iteri
+    (fun ci (n, m) ->
+      let acc_g = ref 0 and acc_a = ref 0 and cnt = ref 0 in
+      List.iter
+        (function
+          | None -> ()
+          | Some (g, a) ->
+              acc_g := !acc_g + g;
+              acc_a := !acc_a + a;
+              incr cnt)
+        (slice ci);
       if !cnt > 0 then
         Table.add_row tbl
           [
@@ -600,17 +726,14 @@ let a1 ?(quick = false) () =
             Table.cell_int (!acc_a / !cnt);
             Table.cell_float (float_of_int !acc_a /. float_of_int (Stdlib.max 1 !acc_g));
           ])
-    (if quick then [ (8, 4) ] else [ (8, 4); (10, 4); (12, 5) ]);
+    sizes;
   Table.print tbl
 
 (** {b A2} (ablation) — why the pipeline re-solves the unrelated
     restriction before rounding: the pushed-down solution (Lemma V.1) is
     feasible but generally not a vertex, so rounding it directly needs
     the greedy fallback; re-solving always yields a perfect matching. *)
-let a2 ?(quick = false) () =
-  let module I = Ilp.Make (Hs_lp.Field.Exact) in
-  let module P = Pushdown.Make (Hs_lp.Field.Exact) in
-  let module R = Lst_rounding.Make (Hs_lp.Field.Exact) in
+let a2 ?(quick = false) ?(jobs = 1) () =
   let tbl =
     Table.create
       ~title:"A2 (ablation): LST on pushed-down solutions vs re-solved vertices"
@@ -618,36 +741,52 @@ let a2 ?(quick = false) () =
         [ "inst"; "frac jobs (pushdown)"; "unmatched (pushdown)"; "frac jobs (resolve)"; "unmatched (resolve)" ]
   in
   let trials = if quick then 10 else 40 in
+  let results =
+    sweep ~jobs
+      (fun k ->
+        let module I = Ilp.Make (Hs_lp.Field.Exact) in
+        let module P = Pushdown.Make (Hs_lp.Field.Exact) in
+        let module R = Lst_rounding.Make (Hs_lp.Field.Exact) in
+        let rng = Rng.create (base_seed + (59 * k)) in
+        let m = 3 + Rng.int rng 4 in
+        let n = 4 + Rng.int rng 6 in
+        let inst =
+          Generators.hierarchical rng
+            ~lam:(Generators.random_laminar rng ~m ())
+            ~n ~base:(1, 9) ~heterogeneity:1.7 ~overhead:0.3 ()
+        in
+        let closed, _ = Instance.with_singletons inst in
+        match I.min_feasible_t closed with
+        | None -> None
+        | Some (t, x) -> (
+            let xd = P.push_down closed ~tmax:t x in
+            let iu = Approx.Exact.unrelated_restriction closed in
+            match (R.round closed xd, I.lp_feasible iu ~tmax:t) with
+            | Ok (_, spd), Some xu -> (
+                match R.round iu xu with
+                | Ok (_, srs) ->
+                    Some
+                      ( spd.fractional_jobs,
+                        spd.fractional_jobs - spd.matched,
+                        srs.fractional_jobs,
+                        srs.fractional_jobs - srs.matched )
+                | Error _ -> None)
+            | _ -> None))
+      (List.init trials (fun k -> k))
+  in
   let pd_frac = ref 0 and pd_unmatched = ref 0 in
   let rs_frac = ref 0 and rs_unmatched = ref 0 in
   let cnt = ref 0 in
-  for k = 0 to trials - 1 do
-    let rng = Rng.create (base_seed + (59 * k)) in
-    let m = 3 + Rng.int rng 4 in
-    let n = 4 + Rng.int rng 6 in
-    let inst =
-      Generators.hierarchical rng
-        ~lam:(Generators.random_laminar rng ~m ())
-        ~n ~base:(1, 9) ~heterogeneity:1.7 ~overhead:0.3 ()
-    in
-    let closed, _ = Instance.with_singletons inst in
-    match I.min_feasible_t closed with
-    | None -> ()
-    | Some (t, x) -> (
-        let xd = P.push_down closed ~tmax:t x in
-        let iu = Approx.Exact.unrelated_restriction closed in
-        match (R.round closed xd, I.lp_feasible iu ~tmax:t) with
-        | Ok (_, spd), Some xu -> (
-            match R.round iu xu with
-            | Ok (_, srs) ->
-                incr cnt;
-                pd_frac := !pd_frac + spd.fractional_jobs;
-                pd_unmatched := !pd_unmatched + (spd.fractional_jobs - spd.matched);
-                rs_frac := !rs_frac + srs.fractional_jobs;
-                rs_unmatched := !rs_unmatched + (srs.fractional_jobs - srs.matched)
-            | Error _ -> ())
-        | _ -> ())
-  done;
+  List.iter
+    (function
+      | None -> ()
+      | Some (pf, pu, rf, ru) ->
+          incr cnt;
+          pd_frac := !pd_frac + pf;
+          pd_unmatched := !pd_unmatched + pu;
+          rs_frac := !rs_frac + rf;
+          rs_unmatched := !rs_unmatched + ru)
+    results;
   Table.add_row tbl
     [
       Table.cell_int !cnt;
@@ -659,7 +798,8 @@ let a2 ?(quick = false) () =
   Table.print tbl
 
 (** {b A3} (ablation) — simplex pricing: wall time of the exact (IP-3)
-    relaxation under Bland's rule vs Dantzig with Bland fallback. *)
+    relaxation under Bland's rule vs Dantzig with Bland fallback.
+    Sequential at any [jobs] (wall-clock measurement). *)
 let a3 ?(quick = false) () =
   let module I = Ilp.Make (Hs_lp.Field.Exact) in
   let module S = Hs_lp.Simplex.Make (Hs_lp.Field.Exact) in
@@ -702,39 +842,39 @@ let a3 ?(quick = false) () =
     sizes;
   Table.print tbl
 
-let all ?quick () =
-  t1 ?quick ();
-  t2 ?quick ();
-  t3 ?quick ();
-  t4 ?quick ();
-  t5 ?quick ();
-  t6 ?quick ();
-  f1 ?quick ();
-  f2 ?quick ();
+let all ?quick ?jobs () =
+  t1 ?quick ?jobs ();
+  t2 ?quick ?jobs ();
+  t3 ?quick ?jobs ();
+  t4 ?quick ?jobs ();
+  t5 ?quick ?jobs ();
+  t6 ?quick ?jobs ();
+  f1 ?quick ?jobs ();
+  f2 ?quick ?jobs ();
   f3 ?quick ();
-  f4 ?quick ();
+  f4 ?quick ?jobs ();
   f5 ?quick ();
-  a1 ?quick ();
-  a2 ?quick ();
+  a1 ?quick ?jobs ();
+  a2 ?quick ?jobs ();
   a3 ?quick ()
 
-let by_name name ?quick () =
+let by_name name ?quick ?jobs () =
   match String.lowercase_ascii name with
-  | "t1" -> t1 ?quick ()
-  | "t2" -> t2 ?quick ()
-  | "t3" -> t3 ?quick ()
-  | "t4" -> t4 ?quick ()
-  | "t5" -> t5 ?quick ()
-  | "t6" -> t6 ?quick ()
-  | "f1" -> f1 ?quick ()
-  | "f2" -> f2 ?quick ()
+  | "t1" -> t1 ?quick ?jobs ()
+  | "t2" -> t2 ?quick ?jobs ()
+  | "t3" -> t3 ?quick ?jobs ()
+  | "t4" -> t4 ?quick ?jobs ()
+  | "t5" -> t5 ?quick ?jobs ()
+  | "t6" -> t6 ?quick ?jobs ()
+  | "f1" -> f1 ?quick ?jobs ()
+  | "f2" -> f2 ?quick ?jobs ()
   | "f3" -> f3 ?quick ()
-  | "f4" -> f4 ?quick ()
+  | "f4" -> f4 ?quick ?jobs ()
   | "f5" -> f5 ?quick ()
-  | "a1" -> a1 ?quick ()
-  | "a2" -> a2 ?quick ()
+  | "a1" -> a1 ?quick ?jobs ()
+  | "a2" -> a2 ?quick ?jobs ()
   | "a3" -> a3 ?quick ()
-  | "all" -> all ?quick ()
+  | "all" -> all ?quick ?jobs ()
   | other -> Printf.eprintf "unknown experiment %s (T1-T6, F1-F5, A1-A3, all)\n" other
 
 let names =

@@ -14,6 +14,14 @@ let cell_q v = Hs_numeric.Q.to_string v
 
 let cell_q_float ?(digits = 3) v = Printf.sprintf "%.*f" digits (Hs_numeric.Q.to_float v)
 
+(* Optional in-process sink: when set, {!print} appends to the buffer
+   instead of stdout.  The parallel bench uses it to byte-compare the
+   tables produced at different job counts without forking. *)
+let sink : Buffer.t option ref = ref None
+let redirect b = sink := b
+
+let out s = match !sink with Some b -> Buffer.add_string b s | None -> print_string s
+
 let print t =
   let rows = List.rev t.rows in
   let all = t.header :: rows in
@@ -35,8 +43,8 @@ let print t =
            s ^ String.make (w - String.length s) ' ')
          (row @ List.init (ncols - List.length row) (fun _ -> "")))
   in
-  Printf.printf "\n== %s ==\n" t.title;
-  print_endline (line t.header);
-  print_endline (String.make (String.length (line t.header)) '-');
-  List.iter (fun r -> print_endline (line r)) rows;
-  print_newline ()
+  out (Printf.sprintf "\n== %s ==\n" t.title);
+  out (line t.header ^ "\n");
+  out (String.make (String.length (line t.header)) '-' ^ "\n");
+  List.iter (fun r -> out (line r ^ "\n")) rows;
+  out "\n"

@@ -1,69 +1,165 @@
-(** Process-global metrics registry; see the interface for conventions. *)
+(** Domain-local metrics registry; see the interface for conventions.
 
-type counter = { mutable c : int }
-type gauge = { mutable g : int }
+    Names are interned {e globally} (a mutex-protected table mapping each
+    metric name to a small integer id), but every value cell lives in
+    {e domain-local} storage: an increment is a [Domain.DLS.get] plus an
+    integer store, with no cross-domain contention and no locks on the
+    hot path.  A worker domain therefore accumulates into its own arrays;
+    {!merge} folds a worker's {!snapshot} back into the calling domain's
+    registry (counters and histograms summed, gauges upper-bounded), which
+    is what makes a parallel sweep's final snapshot byte-identical to the
+    sequential one. *)
 
-type histogram = {
-  h_buckets : int list;  (* upper bounds, ascending *)
-  h_counts : int array;  (* length = #buckets + 1, last = overflow *)
-  mutable h_sum : int;
-  mutable h_obs : int;
+type counter = int (* interned id *)
+type gauge = int
+type histogram = int
+
+(* ---- global interning (mutex-protected, cold path only) --------------- *)
+
+let lock = Mutex.create ()
+
+type names = { ids : (string, int) Hashtbl.t; mutable count : int }
+
+let ctr_names = { ids = Hashtbl.create 32; count = 0 }
+let gauge_names = { ids = Hashtbl.create 16; count = 0 }
+let hist_names = { ids = Hashtbl.create 8; count = 0 }
+
+(* Bucket layout per histogram id, fixed at first registration. *)
+let hist_buckets : (int, int list) Hashtbl.t = Hashtbl.create 8
+
+let intern tbl name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt tbl.ids name with
+      | Some id -> id
+      | None ->
+          let id = tbl.count in
+          tbl.count <- id + 1;
+          Hashtbl.add tbl.ids name id;
+          id)
+
+let bindings tbl = Mutex.protect lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl.ids [])
+
+(* ---- domain-local cells ----------------------------------------------- *)
+
+type hcell = {
+  hc_buckets : int list;
+  hc_counts : int array; (* length = #buckets + 1, last = overflow *)
+  mutable hc_sum : int;
+  mutable hc_obs : int;
 }
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 8
+type local = {
+  mutable lc : int array;
+  mutable lg : int array;
+  mutable lh : hcell option array;
+}
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c = 0 } in
-      Hashtbl.add counters name c;
-      c
+let dls : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { lc = [||]; lg = [||]; lh = [||] })
 
-let incr c = c.c <- c.c + 1
-let add c by = c.c <- c.c + by
-let value c = c.c
+let local () = Domain.DLS.get dls
 
-let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-      let g = { g = 0 } in
-      Hashtbl.add gauges name g;
-      g
+let grown len id = Stdlib.max 8 (Stdlib.max (id + 1) (2 * len))
 
-let set g v = g.g <- v
-let gauge_value g = g.g
+let ensure_c l id =
+  let len = Array.length l.lc in
+  if id >= len then begin
+    let a = Array.make (grown len id) 0 in
+    Array.blit l.lc 0 a 0 len;
+    l.lc <- a
+  end
+
+let ensure_g l id =
+  let len = Array.length l.lg in
+  if id >= len then begin
+    let a = Array.make (grown len id) 0 in
+    Array.blit l.lg 0 a 0 len;
+    l.lg <- a
+  end
+
+let ensure_h l id =
+  let len = Array.length l.lh in
+  if id >= len then begin
+    let a = Array.make (grown len id) None in
+    Array.blit l.lh 0 a 0 len;
+    l.lh <- a
+  end
+
+(* ---- counters --------------------------------------------------------- *)
+
+let counter name = intern ctr_names name
+
+let incr c =
+  let l = local () in
+  ensure_c l c;
+  l.lc.(c) <- l.lc.(c) + 1
+
+let add c by =
+  let l = local () in
+  ensure_c l c;
+  l.lc.(c) <- l.lc.(c) + by
+
+let value c =
+  let l = local () in
+  if c < Array.length l.lc then l.lc.(c) else 0
+
+(* ---- gauges ----------------------------------------------------------- *)
+
+let gauge name = intern gauge_names name
+
+let set g v =
+  let l = local () in
+  ensure_g l g;
+  l.lg.(g) <- v
+
+let gauge_value g =
+  let l = local () in
+  if g < Array.length l.lg then l.lg.(g) else 0
+
+(* ---- histograms ------------------------------------------------------- *)
 
 let default_buckets = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
 
 let histogram ?(buckets = default_buckets) name =
-  match Hashtbl.find_opt histograms name with
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt hist_names.ids name with
+      | Some id -> id
+      | None ->
+          let id = hist_names.count in
+          hist_names.count <- id + 1;
+          Hashtbl.add hist_names.ids name id;
+          Hashtbl.add hist_buckets id (List.sort_uniq compare buckets);
+          id)
+
+let buckets_of id = Mutex.protect lock (fun () -> Hashtbl.find hist_buckets id)
+
+let hcell l id =
+  ensure_h l id;
+  match l.lh.(id) with
   | Some h -> h
   | None ->
-      let buckets = List.sort_uniq compare buckets in
+      let buckets = buckets_of id in
       let h =
         {
-          h_buckets = buckets;
-          h_counts = Array.make (List.length buckets + 1) 0;
-          h_sum = 0;
-          h_obs = 0;
+          hc_buckets = buckets;
+          hc_counts = Array.make (List.length buckets + 1) 0;
+          hc_sum = 0;
+          hc_obs = 0;
         }
       in
-      Hashtbl.add histograms name h;
+      l.lh.(id) <- Some h;
       h
 
-let observe h v =
+let observe hid v =
+  let h = hcell (local ()) hid in
   let rec slot i = function
     | bound :: rest -> if v <= bound then i else slot (i + 1) rest
     | [] -> i
   in
-  let i = slot 0 h.h_buckets in
-  h.h_counts.(i) <- h.h_counts.(i) + 1;
-  h.h_sum <- h.h_sum + v;
-  h.h_obs <- h.h_obs + 1
+  let i = slot 0 h.hc_buckets in
+  h.hc_counts.(i) <- h.hc_counts.(i) + 1;
+  h.hc_sum <- h.hc_sum + v;
+  h.hc_obs <- h.hc_obs + 1
 
 (* ---- snapshots -------------------------------------------------------- *)
 
@@ -80,33 +176,83 @@ type snapshot = {
   histograms : (string * hist_snapshot) list;
 }
 
-let sorted_bindings tbl f =
-  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let sorted kvs = List.sort (fun (a, _) (b, _) -> compare a b) kvs
 
 let snapshot () =
+  let l = local () in
   {
-    counters = sorted_bindings counters (fun c -> c.c);
-    gauges = sorted_bindings gauges (fun g -> g.g);
+    counters =
+      sorted
+        (List.map
+           (fun (name, id) -> (name, if id < Array.length l.lc then l.lc.(id) else 0))
+           (bindings ctr_names));
+    gauges =
+      sorted
+        (List.map
+           (fun (name, id) -> (name, if id < Array.length l.lg then l.lg.(id) else 0))
+           (bindings gauge_names));
     histograms =
-      sorted_bindings histograms (fun h ->
-          {
-            buckets = h.h_buckets;
-            counts = Array.copy h.h_counts;
-            sum = h.h_sum;
-            observations = h.h_obs;
-          });
+      sorted
+        (List.map
+           (fun (name, id) ->
+             match if id < Array.length l.lh then l.lh.(id) else None with
+             | Some h ->
+                 ( name,
+                   {
+                     buckets = h.hc_buckets;
+                     counts = Array.copy h.hc_counts;
+                     sum = h.hc_sum;
+                     observations = h.hc_obs;
+                   } )
+             | None ->
+                 let buckets = buckets_of id in
+                 ( name,
+                   {
+                     buckets;
+                     counts = Array.make (List.length buckets + 1) 0;
+                     sum = 0;
+                     observations = 0;
+                   } ))
+           (bindings hist_names));
   }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
-  Hashtbl.iter (fun _ g -> g.g <- 0) gauges;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-      h.h_sum <- 0;
-      h.h_obs <- 0)
-    histograms
+  let l = local () in
+  Array.fill l.lc 0 (Array.length l.lc) 0;
+  Array.fill l.lg 0 (Array.length l.lg) 0;
+  Array.iter
+    (function
+      | None -> ()
+      | Some h ->
+          Array.fill h.hc_counts 0 (Array.length h.hc_counts) 0;
+          h.hc_sum <- 0;
+          h.hc_obs <- 0)
+    l.lh
+
+let merge (snap : snapshot) =
+  List.iter (fun (name, v) -> if v <> 0 then add (counter name) v) snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let g = gauge name in
+      if v > gauge_value g then set g v)
+    snap.gauges;
+  List.iter
+    (fun (name, (h : hist_snapshot)) ->
+      if h.observations > 0 then begin
+        let id = histogram ~buckets:h.buckets name in
+        let cell = hcell (local ()) id in
+        if cell.hc_buckets = h.buckets then
+          Array.iteri (fun i c -> cell.hc_counts.(i) <- cell.hc_counts.(i) + c) h.counts
+        else begin
+          (* Layout disagreement (re-registration with other buckets):
+             fold everything into the overflow slot rather than lose it. *)
+          let last = Array.length cell.hc_counts - 1 in
+          cell.hc_counts.(last) <- cell.hc_counts.(last) + Array.fold_left ( + ) 0 h.counts
+        end;
+        cell.hc_sum <- cell.hc_sum + h.sum;
+        cell.hc_obs <- cell.hc_obs + h.observations
+      end)
+    snap.histograms
 
 let find_counter snap name = List.assoc_opt name snap.counters
 let find_gauge snap name = List.assoc_opt name snap.gauges

@@ -1,12 +1,19 @@
-(** Process-global metrics registry: named counters, gauges, and
-    fixed-bucket histograms.
+(** Metrics registry: named counters, gauges, and fixed-bucket
+    histograms.  Names are process-global; values are {e domain-local}.
 
     Instruments register a metric once at module initialisation
     ([let pivots = Metrics.counter "simplex.pivots"]) and then mutate a
-    plain cell — an increment is an integer store, cheap enough for the
-    simplex pivot loop.  Registration is idempotent: the same name
+    plain cell — an increment is a domain-local-storage read and an
+    integer store, cheap enough for the simplex pivot loop and free of
+    cross-domain contention.  Registration is idempotent: the same name
     yields the same cell, so functor instantiations (exact and float
     fields share one solver module) do not double-register.
+
+    Each domain accumulates into its own cells: a worker domain of the
+    {!Hs_exec} pool takes a {!snapshot} when it finishes and the main
+    domain folds it back in with {!merge}.  Because counters count
+    algorithmic events and merging is commutative, a parallel sweep's
+    final snapshot equals the sequential one.
 
     Snapshots are {e deterministic}: entries are sorted by name and
     counters count algorithmic events (pivots, nodes, probes), never
@@ -58,9 +65,18 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** The calling domain's values for every registered name (metrics the
+    domain never touched read as zero). *)
 
 val reset : unit -> unit
-(** Zero every registered metric (registrations persist). *)
+(** Zero every metric of the calling domain (registrations persist). *)
+
+val merge : snapshot -> unit
+(** Fold a snapshot — typically taken in a worker domain — into the
+    calling domain's registry: counters and histogram buckets are
+    summed, gauges keep the maximum of both sides.  Every operation is
+    commutative and associative, so the result is independent of the
+    order worker snapshots arrive in. *)
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option

@@ -1,8 +1,14 @@
-(** Structured phase tracing: nestable spans into a process-global sink.
+(** Structured phase tracing: nestable spans into a domain-local sink.
 
     Disabled (the default) the recorder is a conditional branch and a
     direct call — safe to leave in hot paths.  Enabled, each span costs
-    two clock reads and one record allocation at close. *)
+    two clock reads and one record allocation at close.
+
+    Every domain has its own sink (domain-local storage), so worker
+    domains of the {!Hs_exec} pool record without synchronisation; the
+    pool hands the parent's {!config} to each worker and {!absorb}s the
+    workers' spans back into the parent sink, tagged with the worker's
+    [domain.id]. *)
 
 type attr = Str of string | Int of int | Bool of bool | Float of float
 
@@ -42,44 +48,60 @@ type state = {
 
 let default_clock () = Int64.of_float (Sys.time () *. 1e9)
 
-let st =
-  {
-    on = false;
-    clock = default_clock;
-    stack = [];
-    completed = [];
-    ncompleted = 0;
-    ndropped = 0;
-    next_seq = 0;
-  }
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        on = false;
+        clock = default_clock;
+        stack = [];
+        completed = [];
+        ncompleted = 0;
+        ndropped = 0;
+        next_seq = 0;
+      })
 
-let enabled () = st.on
-let enable () = st.on <- true
-let disable () = st.on <- false
-let set_clock c = st.clock <- c
+let state () = Domain.DLS.get dls
+
+let enabled () = (state ()).on
+let enable () = (state ()).on <- true
+let disable () = (state ()).on <- false
+let set_clock c = (state ()).clock <- c
+
+type config = { c_on : bool; c_clock : unit -> int64 }
+
+let config () =
+  let st = state () in
+  { c_on = st.on; c_clock = st.clock }
+
+let set_config cfg =
+  let st = state () in
+  st.on <- cfg.c_on;
+  st.clock <- cfg.c_clock
 
 let clear () =
+  let st = state () in
   st.completed <- [];
   st.ncompleted <- 0;
   st.ndropped <- 0;
   st.next_seq <- 0
 
 let with_disabled f =
+  let st = state () in
   let was = st.on in
   st.on <- false;
   Fun.protect ~finally:(fun () -> st.on <- was) f
 
-let record sp =
+let record st sp =
   if st.ncompleted >= max_spans then st.ndropped <- st.ndropped + 1
   else begin
     st.completed <- sp :: st.completed;
     st.ncompleted <- st.ncompleted + 1
   end
 
-let close o =
+let close st o =
   let stop = st.clock () in
   (match st.stack with _ :: rest -> st.stack <- rest | [] -> ());
-  record
+  record st
     {
       name = o.o_name;
       cat = o.o_cat;
@@ -91,6 +113,7 @@ let close o =
     }
 
 let with_span ?(cat = "") ?(args = []) name f =
+  let st = state () in
   if not st.on then f ()
   else begin
     let o =
@@ -105,17 +128,32 @@ let with_span ?(cat = "") ?(args = []) name f =
     in
     st.next_seq <- st.next_seq + 1;
     st.stack <- o :: st.stack;
-    Fun.protect ~finally:(fun () -> close o) f
+    Fun.protect ~finally:(fun () -> close st o) f
   end
 
 let add_args args =
+  let st = state () in
   if st.on then
     match st.stack with
     | o :: _ -> o.o_args <- List.rev_append args o.o_args
     | [] -> ()
 
-let spans () = List.rev st.completed
-let dropped () = st.ndropped
+let spans () = List.rev (state ()).completed
+let dropped () = (state ()).ndropped
+
+let absorb ~domain worker_spans =
+  let st = state () in
+  (* Re-number [seq] past everything already open here so the merged
+     stream stays strictly increasing; keep the workers' relative order. *)
+  let base = st.next_seq in
+  let maxseq = ref (-1) in
+  List.iter
+    (fun sp ->
+      if sp.seq > !maxseq then maxseq := sp.seq;
+      record st
+        { sp with seq = base + sp.seq; args = sp.args @ [ ("domain.id", Int domain) ] })
+    worker_spans;
+  if !maxseq >= 0 then st.next_seq <- base + !maxseq + 1
 
 (* ---- exporters -------------------------------------------------------- *)
 
@@ -127,8 +165,13 @@ let json_of_attr = function
 
 let json_args args = Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) args)
 
-(* Chrome trace_event complete event; timestamps in microseconds. *)
+(* Chrome trace_event complete event; timestamps in microseconds.  Spans
+   absorbed from a worker carry a [domain.id] arg and get their own
+   Perfetto track via [tid]; the recording domain's own spans are tid 1. *)
 let chrome_event sp =
+  let tid =
+    match List.assoc_opt "domain.id" sp.args with Some (Int d) -> d + 1 | _ -> 1
+  in
   Json.Obj
     [
       ("name", Json.String sp.name);
@@ -137,7 +180,7 @@ let chrome_event sp =
       ("ts", Json.Float (Int64.to_float sp.start_ns /. 1e3));
       ("dur", Json.Float (Int64.to_float sp.dur_ns /. 1e3));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int tid);
       ("args", json_args (("depth", Int sp.depth) :: ("seq", Int sp.seq) :: sp.args));
     ]
 
@@ -153,7 +196,7 @@ let to_chrome () =
         Json.Obj
           [
             ("producer", Json.String "hsched");
-            ("droppedSpans", Json.Int st.ndropped);
+            ("droppedSpans", Json.Int (dropped ()));
           ] );
     ]
 
@@ -172,7 +215,7 @@ let jsonl_line sp =
 
 let to_jsonl () =
   String.concat "\n" (List.map jsonl_line (spans ()))
-  ^ if st.completed = [] then "" else "\n"
+  ^ if (state ()).completed = [] then "" else "\n"
 
 let write_file path contents =
   match open_out path with

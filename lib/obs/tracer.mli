@@ -1,10 +1,13 @@
 (** Structured phase tracing for the solver pipeline.
 
     Nestable spans with monotonic timestamps and typed attributes,
-    recorded into a process-global sink.  The sink is {e disabled} by
+    recorded into a {e domain-local} sink.  The sink is {e disabled} by
     default and {!with_span} is then a direct call of its thunk — no
     event is recorded, nothing is retained — so instrumentation can stay
-    in hot paths permanently.
+    in hot paths permanently.  Worker domains record into their own
+    sinks without synchronisation; {!config}/{!set_config} hand the
+    parent's tracing setup to a worker and {!absorb} merges a worker's
+    spans back, tagged with its [domain.id].
 
     Naming convention (see DESIGN.md §9): span names are
     [<layer>.<operation>] ("search.probe", "simplex.solve", "bb.optimal")
@@ -62,7 +65,26 @@ val clear : unit -> unit
 val with_disabled : (unit -> 'a) -> 'a
 (** Run a thunk with the tracer forced off, restoring the previous
     enabled/disabled state afterwards — the fuzz harness uses this to
-    leave the process-global tracing flags alone. *)
+    leave the (domain-local) tracing flags alone. *)
+
+(** {1 Cross-domain handoff (used by [Hs_exec])} *)
+
+type config
+(** The enabled flag and clock of a sink, without its recorded spans. *)
+
+val config : unit -> config
+(** Capture the calling domain's tracing setup. *)
+
+val set_config : config -> unit
+(** Install a captured setup in the calling domain (typically a fresh
+    worker, whose sink starts empty and disabled). *)
+
+val absorb : domain:int -> span list -> unit
+(** Append spans collected in a worker domain to the calling domain's
+    sink.  Each span gets a [("domain.id", Int domain)] attribute (the
+    Chrome exporter maps it to a per-worker [tid]) and a re-numbered
+    [seq] past the sink's current maximum, preserving the worker's
+    relative order.  Works whether or not the sink is enabled. *)
 
 (** {1 Exporters} *)
 

@@ -1,6 +1,13 @@
 (* Standalone fuzz driver for the `@fuzz` alias: a larger-iteration run
    of the mutator harness than the deterministic slice in the default
-   test suite.  Usage: fuzz_main [ITERS] (default 5000).
+   test suite.  Usage: fuzz_main [ITERS] [JOBS] (defaults 5000 and 1;
+   JOBS = 0 means all cores).
+
+   The sweep is decomposed into a {e fixed} number of shards, each with
+   its own seed derived from the shard index — the decomposition never
+   depends on JOBS, so the aggregate report (and the exit status) is
+   byte-identical at any parallelism.  Shards run on an {!Hs_exec} pool
+   and their reports are folded in shard order.
 
    Exit status 0 when the parser never raised and the validators caught
    every structural mutation; 1 otherwise, with the offending inputs
@@ -9,17 +16,26 @@
 open Hs_model
 open Hs_workloads
 
+let nshards = 10
+
 let () =
+  let pos_int k = match int_of_string_opt k with Some v when v > 0 -> Some v | _ -> None in
+  let usage () =
+    prerr_endline "usage: fuzz_main [ITERS] [JOBS]";
+    exit 2
+  in
   let iters =
     if Array.length Sys.argv > 1 then
-      match int_of_string_opt Sys.argv.(1) with
-      | Some k when k > 0 -> k
-      | _ ->
-          prerr_endline "usage: fuzz_main [ITERS]";
-          exit 2
+      match pos_int Sys.argv.(1) with Some k -> k | None -> usage ()
     else 5000
   in
-  let rng = Rng.create 0xf022ed in
+  let jobs =
+    if Array.length Sys.argv > 2 then
+      match int_of_string_opt Sys.argv.(2) with
+      | Some k when k >= 0 -> Hs_exec.resolve_jobs k
+      | _ -> usage ()
+    else 1
+  in
   (* Base corpus: one serialised instance per topology family and size. *)
   let bases =
     List.init 16 (fun i ->
@@ -42,8 +58,35 @@ let () =
         Generators.hierarchical gen ~lam ~n ~base:(1, 9) ~heterogeneity:1.6 ~overhead:0.4 ())
   in
   let base_texts = List.map Instance_io.to_string bases in
-  let parser_report = Mutators.fuzz_of_string rng ~iters ~base:base_texts in
-  let validator_report = Mutators.fuzz_validators rng ~iters:(iters / 2) bases in
+  (* Fixed shard decomposition: shard s owns its share of the iteration
+     budget and a seed derived only from s. *)
+  let shard_iters s = (iters / nshards) + if s < iters mod nshards then 1 else 0 in
+  let reports =
+    Hs_exec.parmap ~jobs
+      (fun s ->
+        let it = shard_iters s in
+        let rng = Rng.create (0xf022ed + (7919 * s)) in
+        let parser_report = Mutators.fuzz_of_string rng ~iters:it ~base:base_texts in
+        let validator_report = Mutators.fuzz_validators rng ~iters:(it / 2) bases in
+        (parser_report, validator_report))
+      (List.init nshards (fun s -> s))
+  in
+  let fold get =
+    List.fold_left
+      (fun acc (p, v) ->
+        let r : Mutators.fuzz_report = get (p, v) in
+        Mutators.
+          {
+            total = acc.total + r.total;
+            rejected = acc.rejected + r.rejected;
+            accepted = acc.accepted + r.accepted;
+            escaped = acc.escaped @ r.escaped;
+          })
+      Mutators.{ total = 0; rejected = 0; accepted = 0; escaped = [] }
+      reports
+  in
+  let parser_report = fold fst in
+  let validator_report = fold snd in
   Printf.printf "parser fuzz:    %d inputs, %d rejected, %d parsed, %d escaped exceptions\n"
     parser_report.Mutators.total parser_report.Mutators.rejected parser_report.Mutators.accepted
     (List.length parser_report.Mutators.escaped);

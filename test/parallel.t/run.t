@@ -1,0 +1,55 @@
+Deterministic parallelism end to end (DESIGN.md section 10).
+
+An experiment sweep sharded over 4 worker domains prints byte-identical
+tables and byte-identical merged metrics to the sequential run:
+
+  $ ../../bin/hsched.exe experiment t3 --quick --stats-json seq.json > seq.out
+  $ ../../bin/hsched.exe experiment t3 --quick --jobs 4 --stats-json par.json > par.out
+  $ cmp seq.out par.out && echo "tables identical"
+  tables identical
+  $ cmp seq.json par.json && echo "metrics identical"
+  metrics identical
+
+--jobs 0 means all cores and must agree too:
+
+  $ ../../bin/hsched.exe experiment t3 --quick --jobs 0 > all.out
+  $ cmp seq.out all.out && echo "identical at --jobs 0"
+  identical at --jobs 0
+
+The sweep subcommand batch-solves instance files with outcomes reported
+in argument order at any job count:
+
+  $ ../../bin/hsched.exe generate --seed 1 -n 5 -m 3 -o a.txt
+  wrote a.txt
+  $ ../../bin/hsched.exe generate --seed 2 -n 6 -m 4 -o b.txt
+  wrote b.txt
+  $ ../../bin/hsched.exe generate --seed 3 -n 4 -m 3 -o c.txt
+  wrote c.txt
+  $ ../../bin/hsched.exe sweep a.txt b.txt c.txt > sweep1.out
+  $ ../../bin/hsched.exe sweep --jobs 4 a.txt b.txt c.txt > sweep4.out
+  $ cmp sweep1.out sweep4.out && cat sweep4.out
+  == a.txt ==
+  LP lower bound T* = 13
+  achieved makespan = 18  (guarantee: <= 26)
+  == b.txt ==
+  LP lower bound T* = 10
+  achieved makespan = 10  (guarantee: <= 20)
+  == c.txt ==
+  LP lower bound T* = 8
+  achieved makespan = 8  (guarantee: <= 16)
+
+A failing file reports its typed error in place, the other files still
+solve, and the exit code is that of the first failure — parse errors
+exit 2 regardless of worker scheduling:
+
+  $ echo "garbage" > bad.txt
+  $ ../../bin/hsched.exe sweep --jobs 4 a.txt bad.txt c.txt
+  == a.txt ==
+  LP lower bound T* = 13
+  achieved makespan = 18  (guarantee: <= 26)
+  == bad.txt ==
+  ERROR: parse error: expected 'machines <count>', got 'garbage'
+  == c.txt ==
+  LP lower bound T* = 8
+  achieved makespan = 8  (guarantee: <= 16)
+  [2]

@@ -1,0 +1,88 @@
+(* Differential test of the Theorem V.2 pipeline against the exact
+   branch-and-bound on seeded small instances: for every instance where
+   the optimum is proven,
+
+     t_lp <= OPT <= ALG <= 2 * t_lp   (hence ALG <= 2 * OPT)
+
+   i.e. the approximation never beats the proven optimum (its schedule
+   is real), never loses to the LP bound, and keeps the paper's factor-2
+   guarantee with room to spare. *)
+
+module T = Hs_laminar.Topology
+
+let cases =
+  (* (family, n, m, seed offset) small enough for proven optima *)
+  List.concat_map
+    (fun (name, lam_of) ->
+      List.concat_map
+        (fun (n, m) -> List.init 4 (fun k -> (name, lam_of, n, m, k)))
+        [ (4, 3); (6, 3); (7, 4) ])
+    [
+      ("semi", fun ~rng:_ m -> T.semi_partitioned m);
+      ("clustered", fun ~rng:_ m -> T.clustered ~m ~clusters:(if m mod 2 = 0 then 2 else 1));
+      ("3-level", fun ~rng:_ m -> T.balanced [ 2; (m + 1) / 2 ]);
+      ("random", fun ~rng m -> Hs_workloads.Generators.random_laminar rng ~m ());
+    ]
+
+let test_alg_between_lp_and_2opt () =
+  let proven = ref 0 in
+  List.iter
+    (fun (name, lam_of, n, m, k) ->
+      let label = Printf.sprintf "%s n=%d m=%d k=%d" name n m k in
+      let rng = Hs_workloads.Rng.create (77001 + (997 * k) + n + (31 * m)) in
+      let lam = lam_of ~rng m in
+      let inst =
+        Hs_workloads.Generators.hierarchical rng ~lam ~n ~base:(1, 9) ~heterogeneity:1.6
+          ~overhead:0.25 ()
+      in
+      match Hs_core.Approx.Exact.solve inst with
+      | Error e -> Alcotest.failf "%s: pipeline failed: %s" label e
+      | Ok o -> (
+          match Hs_core.Exact.optimal ~initial:(Array.map (fun _ -> 0) o.assignment, o.makespan) inst with
+          | Some (_, opt, stats) when stats.proven ->
+              incr proven;
+              if not (o.t_lp <= opt) then
+                Alcotest.failf "%s: LP bound %d above proven optimum %d" label o.t_lp opt;
+              if not (opt <= o.makespan) then
+                Alcotest.failf "%s: approximation %d beats proven optimum %d" label o.makespan opt;
+              if not (o.makespan <= 2 * o.t_lp) then
+                Alcotest.failf "%s: guarantee broken: ALG %d > 2*t_lp %d" label o.makespan
+                  (2 * o.t_lp);
+              if not (o.makespan <= 2 * opt) then
+                Alcotest.failf "%s: ALG %d > 2*OPT %d" label o.makespan (2 * opt)
+          | _ -> ()))
+    cases;
+  (* The sizes are chosen so branch and bound proves (almost) all of
+     them; a drastic drop would silently hollow the test out. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "enough proven optima (%d of %d)" !proven (List.length cases))
+    true
+    (!proven >= List.length cases / 2)
+
+let test_float_lp_agrees_on_bound () =
+  (* The float LP is uncertified but on small seeded instances its
+     reported makespan must still be sandwiched the same way. *)
+  for k = 0 to 5 do
+    let rng = Hs_workloads.Rng.create (88100 + (53 * k)) in
+    let inst =
+      Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 3) ~n:5 ~base:(1, 9)
+        ~heterogeneity:1.5 ~overhead:0.2 ()
+    in
+    match (Hs_core.Approx.Exact.solve inst, Hs_core.Approx.Fast.solve inst) with
+    | Ok e, Ok f ->
+        Alcotest.(check int) (Printf.sprintf "k=%d: same certified bound" k) e.t_lp f.t_lp;
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d: float path keeps the guarantee" k)
+          true
+          (f.makespan <= 2 * f.t_lp)
+    | Error e, _ -> Alcotest.failf "k=%d: exact pipeline failed: %s" k e
+    | _, Error e -> Alcotest.failf "k=%d: float pipeline failed: %s" k e
+  done
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  ( "differential",
+    [
+      u "t_lp <= OPT <= ALG <= 2*t_lp" test_alg_between_lp_and_2opt;
+      u "float LP sandwiched identically" test_float_lp_agrees_on_bound;
+    ] )

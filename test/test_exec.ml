@@ -1,0 +1,158 @@
+(* Properties of the Hs_exec domain pool (DESIGN.md section 10): parmap
+   agrees with List.map at every job count — on pure functions, on real
+   seeded solver sweeps, when items raise mid-sweep (the same exception
+   surfaces), and when items exhaust a resource budget (the same typed
+   Hs_error comes back) — and worker metrics merge into a snapshot
+   byte-identical to the sequential run's. *)
+
+module T = Hs_laminar.Topology
+
+let job_counts = [ 1; 2; 4; 7 ]
+
+let solve_makespan seed =
+  let rng = Hs_workloads.Rng.create seed in
+  let inst =
+    Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 3) ~n:5
+      ~base:(1, 9) ~heterogeneity:1.6 ~overhead:0.25 ()
+  in
+  match Hs_core.Approx.Exact.solve inst with
+  | Ok o -> (o.t_lp, o.makespan)
+  | Error e -> Alcotest.failf "solve failed on seed %d: %s" seed e
+
+let test_parmap_pure () =
+  List.iter
+    (fun n ->
+      let items = List.init n (fun i -> i) in
+      let f i = (i * 31) mod 17 in
+      let expect = List.map f items in
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "n=%d jobs=%d chunk=%d" n jobs chunk)
+                expect
+                (Hs_exec.parmap ~chunk ~jobs f items))
+            [ 1; 3; 16 ])
+        job_counts)
+    [ 0; 1; 5; 23 ]
+
+let test_parmap_solver_sweep () =
+  let seeds = List.init 12 (fun i -> 4000 + (17 * i)) in
+  let expect = List.map solve_makespan seeds in
+  List.iter
+    (fun jobs ->
+      let got = Hs_exec.parmap ~jobs solve_makespan seeds in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "solver sweep at jobs=%d" jobs)
+        expect got)
+    job_counts
+
+exception Boom of int
+
+let test_parmap_raises_lowest_index () =
+  (* f raises on two items; the sequential map dies on the lower index,
+     and so must every parallel run — regardless of which worker hit
+     which failure first. *)
+  let items = List.init 20 (fun i -> i) in
+  let f i = if i = 13 || i = 7 then raise (Boom i) else i * i in
+  let observed jobs =
+    match Hs_exec.parmap ~jobs f items with
+    | _ -> Alcotest.failf "jobs=%d: expected an exception" jobs
+    | exception e -> e
+  in
+  List.iter
+    (fun jobs ->
+      match observed jobs with
+      | Boom i -> Alcotest.(check int) (Printf.sprintf "jobs=%d raises index 7" jobs) 7 i
+      | e -> Alcotest.failf "jobs=%d: unexpected exception %s" jobs (Printexc.to_string e))
+    job_counts
+
+let test_parmap_budget_exhaustion () =
+  (* Items that run out of budget raise the same typed error at any job
+     count: solve_robust with a starvation budget and ~on_exhausted:`Fail
+     returns Budget_exhausted, which the item turns into a raise. *)
+  let f seed =
+    let rng = Hs_workloads.Rng.create seed in
+    let inst =
+      Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 3) ~n:5
+        ~base:(1, 9) ~heterogeneity:1.6 ~overhead:0.25 ()
+    in
+    let budget = Hs_core.Budget.of_units 1 in
+    match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fail inst with
+    | Ok _ -> Alcotest.fail "a 1-unit budget should not suffice"
+    | Error e -> Hs_core.Hs_error.raise_ e
+  in
+  let seeds = List.init 6 (fun i -> 300 + i) in
+  let classify jobs =
+    match Hs_exec.parmap ~jobs f seeds with
+    | _ -> Alcotest.failf "jobs=%d: expected Hs_error.Error" jobs
+    | exception Hs_core.Hs_error.Error e -> Hs_core.Hs_error.to_string e
+    | exception e -> Alcotest.failf "jobs=%d: unexpected %s" jobs (Printexc.to_string e)
+  in
+  let expect = classify 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "same Hs_error at jobs=%d" jobs)
+        expect (classify jobs))
+    job_counts
+
+let test_try_parmap_provenance () =
+  let items = List.init 9 (fun i -> i) in
+  let f i = if i mod 4 = 2 then failwith (Printf.sprintf "item %d" i) else 10 * i in
+  List.iter
+    (fun jobs ->
+      let out = Hs_exec.try_parmap ~jobs f items in
+      Alcotest.(check int) "one outcome per item" (List.length items) (List.length out);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "ok value" (10 * i) v
+          | Error (e : Hs_exec.worker_error) ->
+              Alcotest.(check bool) "failures exactly at i mod 4 = 2" true (i mod 4 = 2);
+              Alcotest.(check int) "provenance index" i e.index;
+              Alcotest.(check bool) "worker slot in range" true (e.worker >= 0 && e.worker <= jobs);
+              (match e.exn with
+              | Failure m -> Alcotest.(check string) "message" (Printf.sprintf "item %d" i) m
+              | _ -> Alcotest.fail "wrong exception"))
+        out)
+    job_counts
+
+let test_metrics_merge_identical () =
+  (* The merged registry after a parallel sweep is byte-identical to the
+     sequential one: counters count algorithmic events of deterministic
+     seeded solves, and merging sums them commutatively. *)
+  let seeds = List.init 8 (fun i -> 9000 + (13 * i)) in
+  let snapshot_of jobs =
+    Hs_obs.Metrics.reset ();
+    ignore (Hs_exec.parmap ~jobs solve_makespan seeds);
+    Hs_obs.Json.to_string (Hs_obs.Metrics.to_json (Hs_obs.Metrics.snapshot ()))
+  in
+  let expect = snapshot_of 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "merged snapshot at jobs=%d" jobs)
+        expect (snapshot_of jobs))
+    job_counts
+
+let test_resolve_jobs () =
+  Alcotest.(check bool) "0 resolves to >= 1" true (Hs_exec.resolve_jobs 0 >= 1);
+  Alcotest.(check int) "positive passes through" 5 (Hs_exec.resolve_jobs 5);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Hs_exec.resolve_jobs: negative job count -2") (fun () ->
+      ignore (Hs_exec.resolve_jobs (-2)))
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  ( "exec",
+    [
+      u "parmap = List.map (pure)" test_parmap_pure;
+      u "parmap = List.map (solver sweep)" test_parmap_solver_sweep;
+      u "lowest-index exception surfaces" test_parmap_raises_lowest_index;
+      u "budget exhaustion identical across jobs" test_parmap_budget_exhaustion;
+      u "try_parmap keeps provenance" test_try_parmap_provenance;
+      u "metrics merge byte-identical" test_metrics_merge_identical;
+      u "resolve_jobs semantics" test_resolve_jobs;
+    ] )

@@ -21,4 +21,7 @@ let () =
       Test_consistency.suite;
       Test_faults.suite;
       Test_obs.suite;
+      Test_exec.suite;
+      Test_pushdown.suite;
+      Test_differential.suite;
     ]

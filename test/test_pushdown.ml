@@ -1,0 +1,144 @@
+(* Property test of the Lemma V.1 push-down, fuzzed over all four
+   workload families: starting from the minimal-horizon LP solution,
+   the top-down sweep must (1) leave weight on singletons only,
+   (2) stay (IP-3)-feasible at the same horizon — which includes every
+   per-machine load <= T constraint, (3) preserve each job's fractional
+   mass exactly (rational arithmetic, no tolerance), and (4) never
+   increase the total processed volume: the generator's processing
+   times are monotone (a child set is never slower than its parent —
+   the per-level overhead is clamped to >= 1 even at overhead 0), so
+   moving weight downward can only shrink sum p_{sj} x_{sj}. *)
+
+open Hs_model
+open Hs_core
+module Q = Hs_numeric.Q
+module L = Hs_laminar.Laminar
+module T = Hs_laminar.Topology
+module I = Ilp.Make (Hs_lp.Field.Exact)
+module P = Pushdown.Make (Hs_lp.Field.Exact)
+
+let base_seed = 52017
+
+let families = [ "semi"; "clustered"; "3-level"; "random" ]
+
+let gen_instance ~family ~seed ~heterogeneity ~overhead =
+  let rng = Hs_workloads.Rng.create seed in
+  let n = 4 + Hs_workloads.Rng.int rng 5 in
+  let m = 3 + Hs_workloads.Rng.int rng 4 in
+  let lam =
+    match family with
+    | "semi" -> T.semi_partitioned m
+    | "clustered" -> T.clustered ~m ~clusters:(if m mod 2 = 0 then 2 else 1)
+    | "3-level" -> T.balanced [ 2; (m + 1) / 2 ]
+    | _ -> Hs_workloads.Generators.random_laminar rng ~m ()
+  in
+  Hs_workloads.Generators.hierarchical rng ~lam ~n ~base:(1, 9) ~heterogeneity ~overhead ()
+
+let job_mass (x : Q.t array array) j =
+  Array.fold_left (fun acc row -> Q.add acc row.(j)) Q.zero x
+
+(* Total processed volume sum_s sum_j p_{sj} x_{sj}; only defined where
+   x puts weight on finite-ptime sets (feasibility guarantees that). *)
+let volume inst (x : Q.t array array) =
+  let acc = ref Q.zero in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun j v ->
+          if Q.sign v <> 0 then
+            match Instance.ptime inst ~job:j ~set:s with
+            | Ptime.Fin p -> acc := Q.add !acc (Q.mul (Q.of_int p) v)
+            | Ptime.Inf -> Alcotest.failf "weight on infeasible pair (set %d, job %d)" s j)
+        row)
+    x;
+  !acc
+
+let check_invariants ~label inst =
+  let closed, _ = Instance.with_singletons inst in
+  match I.min_feasible_t closed with
+  | None -> Alcotest.failf "%s: no feasible horizon" label
+  | Some (t, x) ->
+      let x' = P.push_down closed ~tmax:t x in
+      Alcotest.(check bool) (label ^ ": singletons only") true (P.singletons_only closed x');
+      Alcotest.(check bool)
+        (label ^ ": feasible at the same horizon")
+        true
+        (P.feasible closed ~tmax:t x');
+      let njobs = Instance.njobs closed in
+      for j = 0 to njobs - 1 do
+        if not (Q.equal (job_mass x j) (job_mass x' j)) then
+          Alcotest.failf "%s: job %d mass changed: %s -> %s" label j
+            (Q.to_string (job_mass x j))
+            (Q.to_string (job_mass x' j))
+      done;
+      if Q.gt (volume closed x') (volume closed x) then
+        Alcotest.failf "%s: volume grew moving down: %s -> %s" label
+          (Q.to_string (volume closed x))
+          (Q.to_string (volume closed x'))
+
+let test_pushdown_families () =
+  List.iter
+    (fun family ->
+      for k = 0 to 5 do
+        let seed = base_seed + (101 * k) in
+        let inst = gen_instance ~family ~seed ~heterogeneity:1.6 ~overhead:0.25 in
+        check_invariants ~label:(Printf.sprintf "%s seed=%d" family seed) inst
+      done)
+    families
+
+let test_pushdown_homogeneous () =
+  (* The degenerate corner — homogeneous speeds, minimal overhead — is
+     where slack denominators are most likely to vanish (all children
+     look alike); the invariants must survive the zero-slack fallback
+     path of push_one too. *)
+  List.iter
+    (fun family ->
+      for k = 0 to 3 do
+        let seed = base_seed + 7 + (211 * k) in
+        let inst = gen_instance ~family ~seed ~heterogeneity:1.0 ~overhead:0.0 in
+        check_invariants ~label:(Printf.sprintf "%s(o=0) seed=%d" family seed) inst
+      done)
+    families
+
+let test_push_one_is_local () =
+  (* push_one touches only the chosen set's row and its children's rows. *)
+  let inst = gen_instance ~family:"3-level" ~seed:(base_seed + 999) ~heterogeneity:1.4 ~overhead:0.2 in
+  let closed, _ = Instance.with_singletons inst in
+  match I.min_feasible_t closed with
+  | None -> Alcotest.fail "no feasible horizon"
+  | Some (t, x) ->
+      let lam = Instance.laminar closed in
+      let nonsingleton =
+        let found = ref None in
+        Array.iteri
+          (fun s row ->
+            if !found = None && L.card lam s > 1 && Array.exists (fun v -> Q.sign v <> 0) row
+            then found := Some s)
+          x;
+        !found
+      in
+      (match nonsingleton with
+      | None -> () (* LP already integral on singletons; nothing to test *)
+      | Some eta ->
+          let x' = Array.map Array.copy x in
+          P.push_one closed x' ~tmax:t eta;
+          Alcotest.(check bool) "emptied the pushed set" true
+            (Array.for_all (fun v -> Q.sign v = 0) x'.(eta));
+          Array.iteri
+            (fun s row ->
+              if s <> eta && not (L.subset lam s eta) then
+                Array.iteri
+                  (fun j v ->
+                    if not (Q.equal v x.(s).(j)) then
+                      Alcotest.failf "row %d (not under set %d) changed at job %d" s eta j)
+                  row)
+            x')
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  ( "pushdown",
+    [
+      u "Lemma V.1 invariants across families" test_pushdown_families;
+      u "invariants survive zero-slack corner" test_pushdown_homogeneous;
+      u "push_one only moves weight downward" test_push_one_is_local;
+    ] )
