@@ -220,6 +220,141 @@ let run_parallel ~quick () =
     exit 1
   end
 
+(* ---------------- Service throughput bench ----------------------------- *)
+
+(* Drive a fresh in-process daemon (its own domain, its own socket, so
+   its domain-local counters start at zero) with c client domains, each
+   looping solve calls over a shared 8-instance pool.  Misses are
+   exactly the pool size — the daemon classifies batches sequentially —
+   so the hit ratio is deterministic; throughput and latency are the
+   measured quantities.  Results land in BENCH_service.json. *)
+let run_service ~quick ~jobs () =
+  print_endline "\n== Solver service: throughput / latency / cache (Hs_service) ==";
+  let pool =
+    Array.init 8 (fun i ->
+        let rng = Hs_workloads.Rng.create (4200 + i) in
+        let inst =
+          Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 4) ~n:6
+            ~base:(2, 9) ~overhead:0.2 ()
+        in
+        Instance_io.to_string inst)
+  in
+  let total = if quick then 64 else 320 in
+  let counters_of client =
+    match Hs_service.Client.call client Hs_service.Protocol.Stats with
+    | Ok r when r.Hs_service.Protocol.status = 0 ->
+        List.filter_map
+          (fun line ->
+            match String.split_on_char '=' line with
+            | [ k; v ] -> Some (String.trim k, int_of_string (String.trim v))
+            | _ -> None)
+          (String.split_on_char '\n' r.Hs_service.Protocol.body)
+    | Ok r -> failwith ("service bench: stats failed: " ^ r.Hs_service.Protocol.error)
+    | Error e -> failwith ("service bench: stats failed: " ^ e)
+  in
+  let level c =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "hsb-%d-%d.sock" (Unix.getpid ()) c)
+    in
+    let cfg = { (Hs_service.Daemon.default_config ~socket_path:path) with jobs } in
+    let daemon = Domain.spawn (fun () -> Hs_service.Daemon.run cfg) in
+    let rec wait k =
+      if not (Sys.file_exists path) then
+        if k = 0 then failwith "service bench: daemon socket never appeared"
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          wait (k - 1)
+        end
+    in
+    wait 100;
+    let per = Stdlib.max 1 (total / c) in
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      List.init c (fun w ->
+          Domain.spawn (fun () ->
+              match Hs_service.Client.connect path with
+              | Error e -> failwith ("service bench: " ^ e)
+              | Ok client ->
+                  let lat = Array.make per 0.0 in
+                  for i = 0 to per - 1 do
+                    let text = pool.((w + i) mod Array.length pool) in
+                    let s0 = Unix.gettimeofday () in
+                    (match
+                       Hs_service.Client.call client
+                         (Hs_service.Protocol.Solve { instance_text = text; budget = None })
+                     with
+                    | Ok r when r.Hs_service.Protocol.status = 0 -> ()
+                    | Ok r -> failwith ("service bench: solve: " ^ r.Hs_service.Protocol.error)
+                    | Error e -> failwith ("service bench: solve: " ^ e));
+                    lat.(i) <- (Unix.gettimeofday () -. s0) *. 1000.
+                  done;
+                  Hs_service.Client.close client;
+                  lat))
+    in
+    let lats = List.concat_map (fun d -> Array.to_list (Domain.join d)) workers in
+    let wall = Unix.gettimeofday () -. t0 in
+    let counters =
+      match Hs_service.Client.connect path with
+      | Error e -> failwith ("service bench: " ^ e)
+      | Ok client ->
+          let cs = counters_of client in
+          ignore (Hs_service.Client.call client Hs_service.Protocol.Shutdown);
+          Hs_service.Client.close client;
+          cs
+    in
+    (match Domain.join daemon with
+    | Ok () -> ()
+    | Error e -> failwith ("service bench: daemon: " ^ e));
+    let v k = Option.value ~default:0 (List.assoc_opt k counters) in
+    let hits = v "service.cache.hit" and misses = v "service.cache.miss" in
+    let ratio =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let sorted = Array.of_list lats in
+    Array.sort compare sorted;
+    let pct p =
+      let n = Array.length sorted in
+      sorted.(Stdlib.min (n - 1) (int_of_float ((float_of_int (n - 1) *. p /. 100.) +. 0.5)))
+    in
+    let n_req = List.length lats in
+    let rps = float_of_int n_req /. Float.max 1e-9 wall in
+    Printf.printf
+      "c=%-3d requests=%-4d wall=%6.3fs rps=%8.1f p50=%6.2fms p95=%6.2fms p99=%6.2fms hit-ratio=%.3f\n%!"
+      c n_req wall rps (pct 50.) (pct 95.) (pct 99.) ratio;
+    Hs_obs.Json.Obj
+      [
+        ("concurrency", Hs_obs.Json.Int c);
+        ("requests", Hs_obs.Json.Int n_req);
+        ("wall_s", Hs_obs.Json.Float wall);
+        ("rps", Hs_obs.Json.Float rps);
+        ("p50_ms", Hs_obs.Json.Float (pct 50.));
+        ("p95_ms", Hs_obs.Json.Float (pct 95.));
+        ("p99_ms", Hs_obs.Json.Float (pct 99.));
+        ("cache_hits", Hs_obs.Json.Int hits);
+        ("cache_misses", Hs_obs.Json.Int misses);
+        ("cache_hit_ratio", Hs_obs.Json.Float ratio);
+      ]
+  in
+  let rows = List.map level [ 1; 4; 16 ] in
+  let doc =
+    Hs_obs.Json.Obj
+      [
+        ("schema", Hs_obs.Json.String "hsched.bench.service/1");
+        ("pool_size", Hs_obs.Json.Int (Array.length pool));
+        ("daemon_jobs", Hs_obs.Json.Int jobs);
+        ("quick", Hs_obs.Json.Bool quick);
+        ("levels", Hs_obs.Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (Hs_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_service.json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
@@ -238,16 +373,18 @@ let () =
     if List.mem "experiments" args then `Experiments
     else if List.mem "timings" args then `Timings
     else if List.mem "parallel" args then `Parallel
+    else if List.mem "service" args then `Service
     else `Both
   in
   (match which with
   | `Experiments | `Both ->
       print_endline "== Evaluation suite (DESIGN.md section 4; see EXPERIMENTS.md) ==";
       Hs_experiments.Experiments.all ~quick ~jobs ()
-  | `Timings | `Parallel -> ());
+  | `Timings | `Parallel | `Service -> ());
   (match which with
   | `Parallel -> run_parallel ~quick ()
+  | `Service -> run_service ~quick ~jobs ()
   | _ -> ());
   match which with
   | `Timings | `Both -> run_timings ()
-  | `Experiments | `Parallel -> ()
+  | `Experiments | `Parallel | `Service -> ()

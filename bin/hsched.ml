@@ -124,41 +124,16 @@ let exit_typed e =
 
 (* ---------- solve ----------------------------------------------------- *)
 
+(* The report bodies live in Hs_service.Render: the daemon answers a
+   solve request with the exact bytes these commands print, and
+   test/service.t pins the identity. *)
 let print_outcome ~show_schedule (o : Hs_core.Approx.Exact.outcome) =
-  Printf.printf "LP lower bound T* = %d\n" o.t_lp;
-  Printf.printf "achieved makespan = %d  (guarantee: <= %d)\n" o.makespan (2 * o.t_lp);
-  Printf.printf "fractional jobs rounded: %d (matched %d)\n" o.rounding.fractional_jobs
-    o.rounding.matched;
-  let lam = Instance.laminar o.instance in
-  Array.iteri
-    (fun j s ->
-      Printf.printf "  job %d -> {%s} (p=%s)\n" j
-        (String.concat ","
-           (List.map string_of_int (Array.to_list (L.members lam s))))
-        (Ptime.to_string (Instance.ptime o.instance ~job:j ~set:s)))
-    o.assignment;
-  (match Schedule.validate o.instance o.assignment o.schedule with
-  | Ok () -> Printf.printf "schedule: VALID, horizon %d\n" (Schedule.horizon o.schedule)
-  | Error e -> Printf.printf "schedule: INVALID (%s)\n" e);
+  print_string (Hs_service.Render.exact_outcome o);
   if show_schedule then Format.printf "%a@." Schedule.pp o.schedule
 
 let print_robust ~show_schedule ~(budget : Hs_core.Budget.t)
     (r : Hs_core.Approx.robust_outcome) =
-  Printf.printf "path: %s\n" (Hs_core.Approx.provenance_to_string r.r_provenance);
-  List.iter
-    (fun e -> Printf.printf "degraded: %s\n" (Hs_core.Hs_error.to_string e))
-    r.r_fallbacks;
-  (match (budget.Hs_core.Budget.lp_pivots, r.r_consumed.Hs_core.Budget.lp_pivots) with
-  | Some limit, Some used -> Printf.printf "budget: used %d of %d pivots\n" used limit
-  | _ -> ());
-  (match (budget.Hs_core.Budget.search_iters, r.r_consumed.Hs_core.Budget.search_iters) with
-  | Some limit, Some used -> Printf.printf "budget: used %d of %d probes\n" used limit
-  | _ -> ());
-  Printf.printf "lower bound = %d\n" r.r_lower_bound;
-  Printf.printf "achieved makespan = %d  (guarantee: <= %d)\n" r.r_makespan
-    (2 * r.r_lower_bound);
-  Printf.printf "schedule: VALID (re-certified), horizon %d\n"
-    (Schedule.horizon r.r_schedule);
+  print_string (Hs_service.Render.robust_outcome ~budget r);
   if show_schedule then Format.printf "%a@." Schedule.pp r.r_schedule
 
 let budget_arg =
@@ -369,6 +344,141 @@ let sweep_cmd =
           match a sequential run at any --jobs.")
     Term.(const run $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
+(* ---------- service: serve / request / shutdown -------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the solver daemon.")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(value & opt int 128 & info [ "cache" ] ~docv:"K" ~doc:"LRU result-cache capacity (entries).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"B"
+          ~doc:"Maximum solve requests admitted per domain-pool batch.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the server log on stderr.") in
+  let run socket jobs cache batch budget quiet trace stats stats_json =
+    setup_obs trace stats stats_json;
+    let jobs = resolve_jobs_or_exit jobs in
+    if cache < 1 then exit_usage "cache capacity must be >= 1";
+    if batch < 1 then exit_usage "max-batch must be >= 1";
+    let log = if quiet then ignore else fun m -> prerr_endline ("hsched-serve: " ^ m) in
+    let cfg =
+      {
+        Hs_service.Daemon.socket_path = socket;
+        jobs;
+        cache_capacity = cache;
+        default_budget = budget;
+        max_batch = batch;
+        log;
+      }
+    in
+    match Hs_service.Daemon.run cfg with Ok () -> () | Error e -> exit_usage e
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent solver daemon: a Unix-domain socket speaking the framed \
+          JSON protocol of DESIGN.md section 11, with request batching and a \
+          canonical-hash result cache.")
+    Term.(const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ budget_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
+
+let request_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Instance files (Instance_io format) to solve through the daemon.")
+  in
+  let stats_q_arg =
+    Arg.(value & flag & info [ "server-stats" ] ~doc:"Query the daemon's service counters.")
+  in
+  let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check.") in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ]
+          ~doc:
+            "Append a shutdown request after the solves; the daemon answers every \
+             pipelined solve before acknowledging (graceful drain).")
+  in
+  let run socket budget files stats_q ping shutdown =
+    let read_file path =
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> text
+      | exception Sys_error e -> exit_usage e
+    in
+    let reqs =
+      List.map
+        (fun path ->
+          (`File path, Hs_service.Protocol.Solve { instance_text = read_file path; budget }))
+        files
+      @ (if ping then [ (`Other, Hs_service.Protocol.Ping) ] else [])
+      @ (if stats_q then [ (`Other, Hs_service.Protocol.Stats) ] else [])
+      @ if shutdown then [ (`Other, Hs_service.Protocol.Shutdown) ] else []
+    in
+    if reqs = [] then exit_usage "nothing to request: give instance FILEs or a flag";
+    (* A single solve prints its body alone, byte-identical to the
+       offline `hsched solve`; anything else gets per-file headers in
+       request order (the sweep subcommand's format). *)
+    let headers = List.length reqs > 1 in
+    match Hs_service.Client.connect socket with
+    | Error e -> exit_err e
+    | Ok client -> (
+        let result = Hs_service.Client.call_many client (List.map snd reqs) in
+        Hs_service.Client.close client;
+        match result with
+        | Error e -> exit_err e
+        | Ok resps ->
+            let first_err = ref 0 in
+            List.iter2
+              (fun (label, _) (r : Hs_service.Protocol.response) ->
+                (match label with
+                | `File path when headers -> Printf.printf "== %s ==\n" path
+                | _ -> ());
+                if r.status = 0 then begin
+                  print_string r.body;
+                  if r.body = "" || r.body.[String.length r.body - 1] <> '\n' then
+                    print_newline ()
+                end
+                else begin
+                  Printf.printf "ERROR: %s\n" r.error;
+                  if !first_err = 0 then first_err := r.status
+                end)
+              reqs resps;
+            if !first_err <> 0 then exit !first_err)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Solve instance files through a running daemon. All requests are pipelined on \
+          one connection, so they land in the daemon's admission queue as a batch; \
+          output order and exit code match the offline sweep.")
+    Term.(const run $ socket_arg $ budget_arg $ files_arg $ stats_q_arg $ ping_arg $ shutdown_arg)
+
+let shutdown_cmd =
+  let run socket =
+    match Hs_service.Client.connect ~retries:0 socket with
+    | Error e -> exit_err e
+    | Ok client -> (
+        let result = Hs_service.Client.call client Hs_service.Protocol.Shutdown in
+        Hs_service.Client.close client;
+        match result with
+        | Error e -> exit_err e
+        | Ok r ->
+            if r.status = 0 then print_endline "server shut down"
+            else exit_with r.status ("shutdown failed: " ^ r.error))
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Gracefully stop a running daemon: drain in-flight work, then exit.")
+    Term.(const run $ socket_arg)
+
 (* ---------- realtime ------------------------------------------------------ *)
 
 let realtime_cmd =
@@ -473,4 +583,7 @@ let () =
             simulate_cmd;
             topology_cmd;
             realtime_cmd;
+            serve_cmd;
+            request_cmd;
+            shutdown_cmd;
           ]))

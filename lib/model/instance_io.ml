@@ -43,6 +43,41 @@ let to_string inst =
   done;
   Buffer.contents buf
 
+(* Canonical form: the same plain-text format, but with the family
+   members listed in sorted order (lexicographic on the sorted machine
+   lists) and each job row permuted to match.  Two instance files that
+   differ only in whitespace, comments, or the order they list the sets
+   in therefore canonicalise — and hash — identically.  [Laminar.sets]
+   already returns each set's members sorted, so member order inside a
+   line never varies. *)
+let canonicalize inst =
+  let lam = Instance.laminar inst in
+  let nsets = Laminar.size lam in
+  let sets = Array.of_list (Laminar.sets lam) in
+  let order = Array.init nsets (fun s -> s) in
+  Array.sort (fun a b -> compare sets.(a) sets.(b)) order;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" (Laminar.m lam));
+  Buffer.add_string buf (Printf.sprintf "sets %d\n" nsets);
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (String.concat " " (List.map string_of_int sets.(s)));
+      Buffer.add_char buf '\n')
+    order;
+  Buffer.add_string buf (Printf.sprintf "jobs %d\n" (Instance.njobs inst));
+  for j = 0 to Instance.njobs inst - 1 do
+    let row =
+      List.init nsets (fun k ->
+          Ptime.to_string (Instance.ptime inst ~job:j ~set:order.(k)))
+    in
+    Buffer.add_string buf (String.concat " " row);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let digest inst = Digest.to_hex (Digest.string (canonicalize inst))
+
 let of_string text =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let lines =
@@ -53,9 +88,15 @@ let of_string text =
   let exception Bad of string in
   let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
   try
+    (* Repeated spaces are as insignificant in headers as they are in
+       set and job lines — "machines   4" must parse like "machines 4",
+       or two semantically identical files would disagree on validity
+       (and the canonical digest could never see the second one). *)
     let expect_header name = function
       | line :: rest -> (
-          match String.split_on_char ' ' line with
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
           | [ key; v ] when key = name -> (
               match int_of_string_opt v with
               | Some k when k >= 0 -> (k, rest)

@@ -23,6 +23,19 @@
 val to_string : Instance.t -> string
 (** Serialise; {!of_string} of the result reproduces the instance. *)
 
+val canonicalize : Instance.t -> string
+(** The canonical serialisation: same format as {!to_string}, but sets
+    are listed in sorted order (lexicographic on their sorted machine
+    lists) with job rows permuted to match, whitespace normalised to
+    single spaces and no comments.  Two semantically identical instances
+    — same family, same processing-time function — canonicalise to the
+    same bytes even when their source files listed the sets in different
+    orders or used different spacing. *)
+
+val digest : Instance.t -> string
+(** Content hash (hex) of {!canonicalize} — the result-cache key of the
+    solver service (DESIGN.md §11). *)
+
 val of_string : string -> (Instance.t, string) result
 (** Parse untrusted text.  Total: malformed input of any shape is
     reported as [Error], never as an exception. *)

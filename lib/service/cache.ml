@@ -1,0 +1,70 @@
+(* Intrusive doubly-linked LRU list + hash table: O(1) find/add/evict.
+   The list is kept in recency order, head = most recent. *)
+
+let hits = Hs_obs.Metrics.counter "service.cache.hit"
+let misses = Hs_obs.Metrics.counter "service.cache.miss"
+let evictions = Hs_obs.Metrics.counter "service.cache.evict"
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (** towards the head (more recent) *)
+  mutable next : 'a node option;  (** towards the tail (less recent) *)
+}
+
+type 'a t = {
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  cap : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { tbl = Hashtbl.create (2 * capacity); head = None; tail = None; cap = capacity }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      Hs_obs.Metrics.incr misses;
+      None
+  | Some n ->
+      Hs_obs.Metrics.incr hits;
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      Hs_obs.Metrics.incr evictions
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n
+  | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n);
+  if Hashtbl.length t.tbl > t.cap then evict_lru t

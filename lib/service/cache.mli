@@ -1,0 +1,27 @@
+(** LRU result cache of the solver service.
+
+    Keys are canonical-content hashes ({!Hs_model.Instance_io.digest}
+    plus the solver options that shape the answer — see
+    {!Solver.cache_key}), so two textually different files of the same
+    instance share an entry.  Every lookup and eviction is counted in
+    the {!Hs_obs.Metrics} registry as [service.cache.hit] /
+    [service.cache.miss] / [service.cache.evict], which the [stats] verb
+    and [BENCH_service.json] report.
+
+    Not thread-safe by design: the daemon owns its cache from the event
+    loop; worker domains only compute, they never touch the cache. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (refreshing the entry's recency) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; the least-recently-used entry is evicted (and
+    counted) when the capacity is exceeded. *)

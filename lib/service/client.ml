@@ -1,0 +1,122 @@
+module Json = Hs_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  mutable next_id : int;
+  mutable eof : bool;
+}
+
+let connect ?(retries = 20) path =
+  let rec go attempt =
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "cannot connect to %s: No such file or directory" path)
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok { fd; dec = Frame.create (); next_id = 0; eof = false }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if attempt < retries && (e = Unix.ECONNREFUSED || e = Unix.ENOENT) then begin
+            ignore (Unix.select [] [] [] 0.05);
+            go (attempt + 1)
+          end
+          else
+            Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  in
+  go 0
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go pos =
+    if pos >= n then Ok ()
+    else
+      match Unix.write_substring fd s pos (n - pos) with
+      | written -> go (pos + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> go pos
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+  in
+  go 0
+
+let send_raw t s = write_all t.fd s
+
+let read_response ?(timeout_s = 60.0) t =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let buf = Bytes.create 65536 in
+  let rec next_frame () =
+    match Frame.next t.dec with
+    | Error e -> Error ("response " ^ Frame.error_to_string e)
+    | Ok (Some payload) -> (
+        match Json.parse payload with
+        | Error e -> Error ("undecodable response: " ^ e)
+        | Ok json -> (
+            match Protocol.response_of_json json with
+            | Error e -> Error ("undecodable response: " ^ e)
+            | Ok r -> Ok (Some r)))
+    | Ok None ->
+        if t.eof then
+          match Frame.at_eof t.dec with
+          | Ok () -> Ok None
+          | Error e -> Error ("response " ^ Frame.error_to_string e)
+        else
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then Error "timed out waiting for a response"
+          else begin
+            match Unix.select [ t.fd ] [] [] remaining with
+            | [], _, _ -> Error "timed out waiting for a response"
+            | _ -> (
+                match Unix.read t.fd buf 0 (Bytes.length buf) with
+                | 0 ->
+                    t.eof <- true;
+                    next_frame ()
+                | n ->
+                    Frame.feed t.dec (Bytes.sub_string buf 0 n);
+                    next_frame ()
+                | exception Unix.Unix_error (EINTR, _, _) -> next_frame ()
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+            | exception Unix.Unix_error (EINTR, _, _) -> next_frame ()
+          end
+  in
+  next_frame ()
+
+let call_many ?(timeout_s = 60.0) t reqs =
+  let ids_reqs = List.map (fun r -> let id = t.next_id in t.next_id <- id + 1; (id, r)) reqs in
+  let wire = Buffer.create 1024 in
+  List.iter
+    (fun (id, r) ->
+      Buffer.add_string wire
+        (Frame.encode (Json.to_string (Protocol.request_to_json ~id r))))
+    ids_reqs;
+  match write_all t.fd (Buffer.contents wire) with
+  | Error _ as e -> e
+  | Ok () ->
+      let want = List.length ids_reqs in
+      let got : (int, Protocol.response) Hashtbl.t = Hashtbl.create want in
+      let rec collect () =
+        if Hashtbl.length got >= want then Ok ()
+        else
+          match read_response ~timeout_s t with
+          | Error _ as e -> e
+          | Ok None ->
+              Error
+                (Printf.sprintf "server closed the connection after %d of %d responses"
+                   (Hashtbl.length got) want)
+          | Ok (Some r) ->
+              (* Unsolicited ids are ignored rather than fatal. *)
+              if List.exists (fun (id, _) -> id = r.Protocol.rid) ids_reqs then
+                Hashtbl.replace got r.Protocol.rid r;
+              collect ()
+      in
+      (match collect () with
+      | Error e -> Error e
+      | Ok () -> Ok (List.map (fun (id, _) -> Hashtbl.find got id) ids_reqs))
+
+let call ?timeout_s t req =
+  match call_many ?timeout_s t [ req ] with
+  | Ok [ r ] -> Ok r
+  | Ok _ -> Error "protocol invariant broken: one request, not one response"
+  | Error e -> Error e

@@ -1,0 +1,42 @@
+(** Client side of the service protocol.
+
+    Thin and blocking: connect to the daemon's Unix-domain socket, send
+    framed requests (pipelined — all frames in one write, so a batch
+    lands in the daemon's admission queue together), read framed
+    responses.  Request ids are assigned sequentially; responses are
+    matched by id, so the daemon is free to answer [ping]/[stats] out of
+    band. *)
+
+type t
+
+val connect : ?retries:int -> string -> (t, string) result
+(** Connect to a socket path.  [retries] (default 20) covers the
+    bind-to-listen startup race with a 50 ms pause between attempts —
+    but only while the socket file exists and refuses connections; a
+    missing path fails immediately. *)
+
+val close : t -> unit
+
+val call : ?timeout_s:float -> t -> Protocol.request -> (Protocol.response, string) result
+(** One request, one response (default timeout 60 s). *)
+
+val call_many :
+  ?timeout_s:float ->
+  t ->
+  Protocol.request list ->
+  (Protocol.response list, string) result
+(** Pipelined round-trip: every request is framed into a single write,
+    then responses are collected until each id has answered (or the
+    peer closes / the per-read timeout expires).  Responses are returned
+    in request order. *)
+
+(** {1 Test hooks (fault-injection harness)} *)
+
+val send_raw : t -> string -> (unit, string) result
+(** Write raw bytes — corrupted frames — straight to the socket. *)
+
+val read_response :
+  ?timeout_s:float -> t -> (Protocol.response option, string) result
+(** Next response frame; [Ok None] on clean EOF.  [Error] covers
+    timeouts (the daemon-never-hangs assertion) and undecodable
+    responses. *)

@@ -1,0 +1,342 @@
+(* Select-loop daemon; see the interface for the architecture. *)
+
+module Json = Hs_obs.Json
+module Metrics = Hs_obs.Metrics
+
+(* Registration is idempotent and name-keyed, so this is the same cell
+   [Cache] increments on a lookup hit. *)
+let c_hit = Metrics.counter "service.cache.hit"
+let c_requests = Metrics.counter "service.requests"
+let c_batches = Metrics.counter "service.batches"
+let h_batch = Metrics.histogram ~buckets:[ 1; 2; 4; 8; 16; 32; 64; 128 ] "service.batch.size"
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  cache_capacity : int;
+  default_budget : int option;
+  max_batch : int;
+  log : string -> unit;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 1;
+    cache_capacity = 128;
+    default_budget = None;
+    max_batch = 64;
+    log = ignore;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  mutable alive : bool;
+}
+
+type work = { w_conn : conn; w_rid : int; w_params : Protocol.solve_params }
+
+(* A cached answer is the full response payload modulo identity fields:
+   replaying it only flips [cached]. *)
+type answer = { a_status : int; a_body : string; a_error : string }
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  queue : work Queue.t;
+  cache : answer Cache.t;
+  mutable draining : (conn * int) option;  (** shutdown requester *)
+}
+
+(* ---- low-level IO ---------------------------------------------------- *)
+
+let close_conn st c =
+  if c.alive then begin
+    c.alive <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c' -> c' != c) st.conns
+  end
+
+(* Blocking-ish write on a nonblocking fd: wait for writability with a
+   deadline so one stuck client cannot wedge the loop.  Failures just
+   drop the connection — the daemon must outlive any client. *)
+let write_all st c s =
+  let n = String.length s in
+  let pos = ref 0 in
+  (try
+     while c.alive && !pos < n do
+       match Unix.write_substring c.fd s !pos (n - !pos) with
+       | written -> pos := !pos + written
+       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
+           match Unix.select [] [ c.fd ] [] 10.0 with
+           | [], [], [] -> close_conn st c (* write deadline expired *)
+           | _ -> ()
+           | exception Unix.Unix_error (EINTR, _, _) -> ())
+       | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+           close_conn st c
+     done
+   with Unix.Unix_error _ -> close_conn st c);
+  c.alive
+
+let send st c (r : Protocol.response) =
+  ignore (write_all st c (Frame.encode (Json.to_string (Protocol.response_to_json r))))
+
+(* ---- request handling ------------------------------------------------ *)
+
+let protocol_err st c ~rid msg =
+  send st c (Protocol.err ~rid ~status:2 ("protocol error: " ^ msg))
+
+let stats_body () =
+  let snap = Metrics.snapshot () in
+  let v name = Option.value ~default:0 (Metrics.find_counter snap name) in
+  Printf.sprintf
+    "service.cache.evict = %d\nservice.cache.hit = %d\nservice.cache.miss = %d\nservice.requests = %d"
+    (v "service.cache.evict") (v "service.cache.hit") (v "service.cache.miss")
+    (v "service.requests")
+
+let handle_payload st c payload =
+  match Json.parse payload with
+  | Error msg -> protocol_err st c ~rid:(-1) ("bad JSON: " ^ msg)
+  | Ok json -> (
+      match Protocol.request_of_json json with
+      | Error (rid, msg) -> protocol_err st c ~rid msg
+      | Ok (rid, Protocol.Ping) -> send st c (Protocol.ok ~rid "pong")
+      | Ok (rid, Protocol.Stats) -> send st c (Protocol.ok ~rid (stats_body ()))
+      | Ok (rid, Protocol.Shutdown) ->
+          if st.draining = None then st.draining <- Some (c, rid)
+      | Ok (rid, Protocol.Solve p) ->
+          if st.draining <> None then
+            send st c (Protocol.err ~rid ~status:2 "server is draining")
+          else Queue.add { w_conn = c; w_rid = rid; w_params = p } st.queue)
+
+let read_buf = Bytes.create 65536
+
+let read_conn st c =
+  let rec pull_frames () =
+    if c.alive then
+      match Frame.next c.dec with
+      | Ok (Some payload) ->
+          handle_payload st c payload;
+          pull_frames ()
+      | Ok None -> ()
+      | Error e ->
+          (* Frame sync is lost: answer once, typed, and hang up. *)
+          protocol_err st c ~rid:(-1) (Frame.error_to_string e);
+          close_conn st c
+  in
+  let rec read_loop () =
+    if c.alive then
+      match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+      | 0 ->
+          (* EOF: a partial frame left behind is a typed fault too. *)
+          (match Frame.at_eof c.dec with
+          | Ok () -> ()
+          | Error e -> protocol_err st c ~rid:(-1) (Frame.error_to_string e));
+          close_conn st c
+      | n ->
+          Frame.feed c.dec (Bytes.sub_string read_buf 0 n);
+          pull_frames ();
+          if n = Bytes.length read_buf then read_loop ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn st c
+  in
+  read_loop ()
+
+(* ---- the admission queue --------------------------------------------- *)
+
+(* One batch: classify sequentially against the cache (so duplicate
+   requests coalesce deterministically regardless of how the stream was
+   chopped into batches), solve the distinct misses on the pool, then
+   respond in admission order. *)
+let process_batch st =
+  let batch = ref [] in
+  while Queue.length st.queue > 0 && List.length !batch < st.cfg.max_batch do
+    batch := Queue.pop st.queue :: !batch
+  done;
+  let batch = List.rev !batch in
+  Metrics.incr c_batches;
+  Metrics.observe h_batch (List.length batch);
+  Hs_obs.Tracer.with_span ~cat:"service"
+    ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
+    "service.batch"
+  @@ fun () ->
+  let pending : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let classified =
+    List.map
+      (fun w ->
+        Metrics.incr c_requests;
+        match Solver.prepare ~default_budget:st.cfg.default_budget w.w_params with
+        | Error e ->
+            ( w,
+              `Done
+                (Protocol.err ~rid:w.w_rid ~status:(Protocol.status_of_error e)
+                   (Hs_core.Hs_error.to_string e)) )
+        | Ok prep ->
+            if Hashtbl.mem pending prep.Solver.key then begin
+              (* Coalesced onto an identical request in this batch: the
+                 answer is shared, so it counts as a cache hit. *)
+              Metrics.incr c_hit;
+              (w, `Follower prep.Solver.key)
+            end
+            else (
+              match Cache.find st.cache prep.Solver.key with
+              | Some a -> (w, `Hit a)
+              | None ->
+                  Hashtbl.replace pending prep.Solver.key ();
+                  (w, `Leader prep)))
+      batch
+  in
+  let leaders =
+    List.filter_map (function _, `Leader p -> Some p | _ -> None) classified
+  in
+  let solved =
+    Hs_exec.try_parmap ~jobs:st.cfg.jobs
+      (fun prep ->
+        match Solver.execute prep with
+        | Ok body -> { a_status = 0; a_body = body; a_error = "" }
+        | Error e ->
+            {
+              a_status = Protocol.status_of_error e;
+              a_body = "";
+              a_error = Hs_core.Hs_error.to_string e;
+            })
+      leaders
+  in
+  let answers : (string, answer) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun (prep : Solver.prepared) outcome ->
+      let a =
+        match outcome with
+        | Ok a -> a
+        | Error (we : Hs_exec.worker_error) ->
+            { a_status = 1; a_body = ""; a_error = Printexc.to_string we.exn }
+      in
+      Cache.add st.cache prep.Solver.key a;
+      Hashtbl.replace answers prep.Solver.key a)
+    leaders solved;
+  let respond w (a : answer) ~cached =
+    send st w.w_conn
+      {
+        Protocol.rid = w.w_rid;
+        status = a.a_status;
+        cached;
+        body = a.a_body;
+        error = a.a_error;
+      }
+  in
+  List.iter
+    (fun (w, cls) ->
+      match cls with
+      | `Done r -> send st w.w_conn r
+      | `Hit a -> respond w a ~cached:true
+      | `Follower key -> respond w (Hashtbl.find answers key) ~cached:true
+      | `Leader prep -> respond w (Hashtbl.find answers prep.Solver.key) ~cached:false)
+    classified
+
+let drain_queue st =
+  while not (Queue.is_empty st.queue) do
+    process_batch st
+  done
+
+(* ---- socket setup ---------------------------------------------------- *)
+
+(* A leftover socket file from a crashed daemon must not block restarts,
+   but a live daemon must: probe with a connect. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then Error (Printf.sprintf "%s: a daemon is already serving" path)
+    else (
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ())
+  end
+  else Ok ()
+
+let listen_on path =
+  match claim_socket_path path with
+  | Error _ as e -> e
+  | Ok () -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        Unix.set_nonblock fd
+      with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "cannot listen on %s: %s" path (Unix.error_message e)))
+
+(* ---- main loop ------------------------------------------------------- *)
+
+let accept_all st =
+  let rec go () =
+    match Unix.accept st.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        st.conns <- st.conns @ [ { fd; dec = Frame.create (); alive = true } ];
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let run cfg =
+  if cfg.jobs < 1 then invalid_arg "Daemon.run: jobs must be >= 1";
+  if cfg.max_batch < 1 then invalid_arg "Daemon.run: max_batch must be >= 1";
+  (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
+  match listen_on cfg.socket_path with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+      let st =
+        {
+          cfg;
+          listen_fd;
+          conns = [];
+          queue = Queue.create ();
+          cache = Cache.create ~capacity:cfg.cache_capacity;
+          draining = None;
+        }
+      in
+      cfg.log
+        (Printf.sprintf "listening on %s (jobs=%d, cache=%d, batch=%d)" cfg.socket_path
+           cfg.jobs cfg.cache_capacity cfg.max_batch);
+      let rec loop () =
+        match st.draining with
+        | Some (requester, rid) ->
+            let in_flight = Queue.length st.queue in
+            drain_queue st;
+            cfg.log (Printf.sprintf "drained %d in-flight request(s)" in_flight);
+            if requester.alive then send st requester (Protocol.ok ~rid "bye");
+            cfg.log "bye"
+        | None -> (
+            let fds = st.listen_fd :: List.map (fun c -> c.fd) st.conns in
+            match Unix.select fds [] [] (-1.0) with
+            | exception Unix.Unix_error (EINTR, _, _) -> loop ()
+            | ready, _, _ ->
+                if List.mem st.listen_fd ready then accept_all st;
+                List.iter
+                  (fun c -> if List.mem c.fd ready then read_conn st c)
+                  (* snapshot: read_conn mutates st.conns on close *)
+                  (List.filter (fun c -> c.alive) st.conns);
+                (* Run everything admitted this round; batches bound each
+                   pool submission, and later batches see earlier
+                   batches' cache entries. *)
+                while not (Queue.is_empty st.queue) && st.draining = None do
+                  process_batch st
+                done;
+                loop ())
+      in
+      loop ();
+      List.iter (fun c -> close_conn st c) st.conns;
+      (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      Ok ()

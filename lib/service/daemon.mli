@@ -1,0 +1,48 @@
+(** The persistent solver daemon.
+
+    A single-threaded [select] event loop owns the Unix-domain listen
+    socket, every connection's incremental {!Frame} decoder, the LRU
+    {!Cache} and the admission queue; solver work is the only thing that
+    leaves the loop, batched onto an {!Hs_exec} domain pool.  The loop
+    per iteration:
+
+    + accept pending connections, read every readable one, decode
+      complete frames into requests ([ping]/[stats] answered inline,
+      [solve] admitted to the queue, wire-level faults answered with a
+      typed status-2 response — the daemon never crashes or hangs on
+      malformed input);
+    + drain the admission queue in batches of at most [max_batch]:
+      each request is parsed, keyed ({!Solver.cache_key}) and either
+      served from the cache, coalesced onto an identical request already
+      in the batch, or solved on the pool under its per-request budget;
+      responses go out in admission order.
+
+    Batching bounds the pool submission (one huge instance occupies one
+    worker while the rest of the batch proceeds) and per-request budgets
+    bound each solve itself; both are admission-time knobs, not solver
+    changes.
+
+    Shutdown ([hsched shutdown] or a pipelined [shutdown] frame) is
+    graceful: the daemon stops admitting, finishes every queued request,
+    flushes their responses, acknowledges the shutdown, removes the
+    socket and returns. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** worker domains per batch (resolved, >= 1) *)
+  cache_capacity : int;  (** LRU entries, >= 1 *)
+  default_budget : int option;
+      (** budget applied to requests that carry none; [None] = the
+          unbudgeted certified pipeline, exactly like plain
+          [hsched solve] *)
+  max_batch : int;  (** max requests per pool submission *)
+  log : string -> unit;  (** server-side log sink *)
+}
+
+val default_config : socket_path:string -> config
+(** jobs 1, cache 128, no default budget, batches of 64, silent log. *)
+
+val run : config -> (unit, string) result
+(** Serve until a shutdown request arrives.  [Error] covers startup
+    failures (socket in use, unbindable path) and nothing else: once
+    listening, every fault is handled inside the loop. *)

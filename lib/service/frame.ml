@@ -1,0 +1,98 @@
+(* Length-prefixed frames; see the interface for the grammar.
+
+   The decoder keeps one growing buffer and a consumed-bytes offset.
+   [next] never copies more than the returned payload, and the buffer is
+   compacted once the consumed prefix dominates, so a long-lived
+   connection does not grow its buffer beyond the largest in-flight
+   frame. *)
+
+let max_payload = 16 * 1024 * 1024
+let header_len = 9 (* 8 hex digits + '\n' *)
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then
+    invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes exceeds %d" n max_payload);
+  Printf.sprintf "%08x\n%s" n payload
+
+type error = Bad_header of string | Oversized of int | Truncated of int
+
+let error_to_string = function
+  | Bad_header h -> Printf.sprintf "malformed frame header %S (want 8 hex digits + newline)" h
+  | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n max_payload
+  | Truncated n -> Printf.sprintf "connection closed mid-frame (%d buffered bytes)" n
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable len : int;  (** valid bytes in [buf] *)
+  mutable pos : int;  (** consumed prefix *)
+  mutable failed : error option;  (** sticky decode error *)
+}
+
+let create () = { buf = Bytes.create 4096; len = 0; pos = 0; failed = None }
+let buffered d = d.len - d.pos
+
+let compact d =
+  if d.pos > 0 && (d.pos = d.len || d.pos > Bytes.length d.buf / 2) then begin
+    Bytes.blit d.buf d.pos d.buf 0 (d.len - d.pos);
+    d.len <- d.len - d.pos;
+    d.pos <- 0
+  end
+
+let feed d s =
+  let n = String.length s in
+  compact d;
+  if d.len + n > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf) in
+    while d.len + n > !cap do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.len;
+    d.buf <- bigger
+  end;
+  Bytes.blit_string s 0 d.buf d.len n;
+  d.len <- d.len + n
+
+let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let parse_header d =
+  (* Caller guarantees [buffered d >= header_len]. *)
+  let h = Bytes.sub_string d.buf d.pos header_len in
+  let ok = ref (h.[8] = '\n') in
+  let v = ref 0 in
+  for i = 0 to 7 do
+    let c = h.[i] in
+    if is_hex c then
+      v := (!v * 16) + if c <= '9' then Char.code c - Char.code '0' else Char.code c - Char.code 'a' + 10
+    else ok := false
+  done;
+  if not !ok then
+    Error (Bad_header (if h.[8] = '\n' then String.sub h 0 8 else h))
+  else if !v > max_payload then Error (Oversized !v)
+  else Ok !v
+
+let next d =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+      if buffered d < header_len then Ok None
+      else begin
+        match parse_header d with
+        | Error e ->
+            d.failed <- Some e;
+            Error e
+        | Ok n ->
+            if buffered d < header_len + n then Ok None
+            else begin
+              let payload = Bytes.sub_string d.buf (d.pos + header_len) n in
+              d.pos <- d.pos + header_len + n;
+              compact d;
+              Ok (Some payload)
+            end
+      end
+
+let at_eof d =
+  match d.failed with
+  | Some e -> Error e
+  | None -> if buffered d = 0 then Ok () else Error (Truncated (buffered d))

@@ -1,0 +1,54 @@
+(** Length-prefixed wire frames for the solver service.
+
+    Grammar (DESIGN.md §11): a frame is an 8-digit lowercase-hex payload
+    length, a newline, and exactly that many payload bytes:
+
+    {v
+    frame   ::= header payload
+    header  ::= hex{8} '\n'
+    payload ::= byte{length}
+    v}
+
+    The header is fixed-width ASCII so a human can read a capture and a
+    corrupted stream fails fast: a non-hex header byte or a declared
+    length above {!max_payload} is detected as soon as the header is
+    complete, before any payload is buffered.  The decoder is
+    incremental (feed bytes as they arrive, pull complete frames) and
+    {e total}: malformed input of any shape surfaces as a typed
+    {!error}, never as an exception or an unbounded buffer. *)
+
+val max_payload : int
+(** Upper bound on a payload (16 MiB).  Larger declared lengths are
+    rejected without buffering. *)
+
+val encode : string -> string
+(** [encode payload] is the wire form.  Raises [Invalid_argument] when
+    the payload exceeds {!max_payload} — encoding oversized frames is a
+    programming error, not an input condition. *)
+
+type error =
+  | Bad_header of string  (** header bytes are not 8 hex digits + newline *)
+  | Oversized of int  (** declared length exceeds {!max_payload} *)
+  | Truncated of int  (** EOF with this many unconsumed bytes buffered *)
+
+val error_to_string : error -> string
+
+type decoder
+
+val create : unit -> decoder
+
+val feed : decoder -> string -> unit
+(** Append raw bytes received from the peer. *)
+
+val next : decoder -> (string option, error) result
+(** The next complete payload, [Ok None] when more bytes are needed.
+    Decode errors are sticky: once the stream is malformed every
+    subsequent call reports the same error. *)
+
+val at_eof : decoder -> (unit, error) result
+(** Call when the peer closed the connection: [Error (Truncated _)] when
+    a partial frame (or a sticky decode error) is pending, [Ok ()] on a
+    clean frame boundary. *)
+
+val buffered : decoder -> int
+(** Bytes received but not yet consumed as complete frames. *)

@@ -1,0 +1,99 @@
+(* JSON codec for the service protocol; see the interface for the
+   grammar and the status-code contract. *)
+
+module Json = Hs_obs.Json
+
+type solve_params = { instance_text : string; budget : int option }
+type request = Solve of solve_params | Stats | Ping | Shutdown
+
+let version = 1
+
+type response = {
+  rid : int;
+  status : int;
+  cached : bool;
+  body : string;
+  error : string;
+}
+
+let ok ~rid ?(cached = false) body = { rid; status = 0; cached; body; error = "" }
+let err ~rid ~status error = { rid; status; cached = false; body = ""; error }
+let status_of_error = Hs_core.Hs_error.exit_code
+
+let request_to_json ~id req =
+  let base = [ ("hsched.rpc", Json.Int version); ("id", Json.Int id) ] in
+  let rest =
+    match req with
+    | Solve { instance_text; budget } ->
+        [ ("verb", Json.String "solve"); ("instance", Json.String instance_text) ]
+        @ (match budget with None -> [] | Some k -> [ ("budget", Json.Int k) ])
+    | Stats -> [ ("verb", Json.String "stats") ]
+    | Ping -> [ ("verb", Json.String "ping") ]
+    | Shutdown -> [ ("verb", Json.String "shutdown") ]
+  in
+  Json.Obj (base @ rest)
+
+let int_member key json =
+  match Json.member key json with Some (Json.Int v) -> Some v | _ -> None
+
+let string_member key json =
+  match Json.member key json with Some (Json.String v) -> Some v | _ -> None
+
+let bool_member key json =
+  match Json.member key json with Some (Json.Bool v) -> Some v | _ -> None
+
+(* The id is recovered even from otherwise-malformed requests, so the
+   error response can still be correlated by the client. *)
+let request_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      let id = Option.value ~default:(-1) (int_member "id" json) in
+      match int_member "hsched.rpc" json with
+      | Some v when v <> version ->
+          Error (id, Printf.sprintf "unsupported protocol version %d (want %d)" v version)
+      | None -> Error (id, "missing integer \"hsched.rpc\" version")
+      | Some _ when id < 0 -> Error (id, "missing or negative integer \"id\"")
+      | Some _ -> (
+      match string_member "verb" json with
+      | None -> Error (id, "missing or non-string \"verb\"")
+      | Some "solve" -> (
+          match string_member "instance" json with
+          | None -> Error (id, "solve needs a string \"instance\"")
+          | Some instance_text -> (
+              match Json.member "budget" json with
+              | None -> Ok (id, Solve { instance_text; budget = None })
+              | Some (Json.Int k) when k > 0 ->
+                  Ok (id, Solve { instance_text; budget = Some k })
+              | Some _ -> Error (id, "\"budget\" must be a positive integer")))
+      | Some "stats" -> Ok (id, Stats)
+      | Some "ping" -> Ok (id, Ping)
+      | Some "shutdown" -> Ok (id, Shutdown)
+      | Some verb -> Error (id, Printf.sprintf "unknown verb %S" verb)))
+  | _ -> Error (-1, "request is not a JSON object")
+
+let response_to_json r =
+  Json.Obj
+    [
+      ("hsched.rpc", Json.Int version);
+      ("id", Json.Int r.rid);
+      ("status", Json.Int r.status);
+      ("cached", Json.Bool r.cached);
+      ("body", Json.String r.body);
+      ("error", Json.String r.error);
+    ]
+
+let response_of_json json =
+  match json with
+  | Json.Obj _ -> (
+      match (int_member "id" json, int_member "status" json) with
+      | Some rid, Some status ->
+          Ok
+            {
+              rid;
+              status;
+              cached = Option.value ~default:false (bool_member "cached" json);
+              body = Option.value ~default:"" (string_member "body" json);
+              error = Option.value ~default:"" (string_member "error" json);
+            }
+      | _ -> Error "response needs integer \"id\" and \"status\"")
+  | _ -> Error "response is not a JSON object"

@@ -1,0 +1,59 @@
+(** Request/response codec of the solver service.
+
+    One JSON object per {!Frame} payload (DESIGN.md §11):
+
+    {v
+    request  ::= {"hsched.rpc": 1, "id": int, "verb": verb, ...}
+    verb     ::= "solve" | "stats" | "ping" | "shutdown"
+    solve    ::= ... "instance": string  ["budget": int]
+    response ::= {"hsched.rpc": 1, "id": int, "status": int,
+                  "cached": bool, "body": string, "error": string}
+    v}
+
+    Status codes mirror the CLI exit-code contract (README.md): [0]
+    success, [1] internal failure, [2] unusable input — including every
+    wire-level fault: bad frame, bad JSON, unknown verb —, [3]
+    infeasible instance, [4] budget exhausted.  A client can therefore
+    [exit status] and behave exactly like the offline [hsched solve].
+
+    The codec is total in both directions: [of_json] never raises on
+    untrusted input, and unknown object keys are ignored so the protocol
+    can grow compatibly. *)
+
+type solve_params = {
+  instance_text : string;  (** Instance_io format, parsed server-side *)
+  budget : int option;  (** per-request [Budget.of_units] knob *)
+}
+
+type request =
+  | Solve of solve_params
+  | Stats  (** service counters, one ["name = value"] line each *)
+  | Ping
+  | Shutdown  (** drain queued work, acknowledge, exit *)
+
+val version : int
+(** Wire version, [1]; carried as ["hsched.rpc"] in every object. *)
+
+type response = {
+  rid : int;  (** echoed request id; [-1] when the request had none *)
+  status : int;  (** CLI exit-code contract, see above *)
+  cached : bool;  (** body served from (or coalesced into) the cache *)
+  body : string;  (** rendered result when [status = 0] *)
+  error : string;  (** diagnostic when [status <> 0] *)
+}
+
+val ok : rid:int -> ?cached:bool -> string -> response
+val err : rid:int -> status:int -> string -> response
+
+val status_of_error : Hs_core.Hs_error.t -> int
+(** [Hs_core.Hs_error.exit_code], restated here as the protocol-status
+    mapping. *)
+
+val request_to_json : id:int -> request -> Hs_obs.Json.t
+
+(** Decoded request with its id.  Errors also carry the id ([-1] when
+    absent or non-integer), so a malformed request still gets a
+    correlatable error response. *)
+val request_of_json : Hs_obs.Json.t -> (int * request, int * string) result
+val response_to_json : response -> Hs_obs.Json.t
+val response_of_json : Hs_obs.Json.t -> (response, string) result

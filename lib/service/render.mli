@@ -1,0 +1,18 @@
+(** Textual reports of solver outcomes, shared by the CLI and the
+    daemon.
+
+    The daemon's acceptance contract is byte-identity: a [solve] request
+    answered over the wire must print exactly what the offline
+    [hsched solve] prints for the same instance.  Both therefore render
+    through these functions; the CLI keeps only its extras (the optional
+    schedule dump and Gantt chart) on its side. *)
+
+val exact_outcome : Hs_core.Approx.Exact.outcome -> string
+(** The default [hsched solve] report (no [--budget]): LP bound,
+    makespan with its 2·T* guarantee, rounding stats, per-job
+    assignment, validation verdict. *)
+
+val robust_outcome :
+  budget:Hs_core.Budget.t -> Hs_core.Approx.robust_outcome -> string
+(** The [hsched solve --budget K] report: provenance, degradations,
+    budget consumption, bounds, re-certification verdict. *)

@@ -1,0 +1,33 @@
+open Hs_model
+module E = Hs_core.Hs_error
+
+type prepared = { instance : Instance.t; budget : int option; key : string }
+
+let cache_key ~digest ~budget =
+  match budget with
+  | None -> digest ^ ":solve"
+  | Some k -> Printf.sprintf "%s:solve:b%d" digest k
+
+let prepare ~default_budget (p : Protocol.solve_params) =
+  match Instance_io.of_string p.instance_text with
+  | Error e -> Error (E.Parse_error e)
+  | Ok instance ->
+      let budget = match p.budget with Some _ as b -> b | None -> default_budget in
+      Ok { instance; budget; key = cache_key ~digest:(Instance_io.digest instance) ~budget }
+
+let execute { instance; budget; _ } =
+  Hs_obs.Tracer.with_span ~cat:"service" "service.solve" @@ fun () ->
+  try
+    match budget with
+    | None -> (
+        match Hs_core.Approx.Exact.solve_checked instance with
+        | Error e -> Error e
+        | Ok o -> Ok (Render.exact_outcome o))
+    | Some k -> (
+        let budget = Hs_core.Budget.of_units k in
+        match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback instance with
+        | Error e -> Error e
+        | Ok r -> Ok (Render.robust_outcome ~budget r))
+  with
+  | E.Error e -> Error e
+  | exn -> Error (E.Internal (Printexc.to_string exn))

@@ -1,0 +1,33 @@
+(** The daemon's compute path: parse a solve request, derive its cache
+    key, run the same pipeline the CLI runs, render the same report.
+
+    Splitting parse/key derivation ({!prepare}) from the solve
+    ({!execute}) lets the admission queue consult the cache — and
+    coalesce duplicate requests within a batch — before any solver work
+    is scheduled on the {!Hs_exec} pool. *)
+
+type prepared = {
+  instance : Hs_model.Instance.t;
+  budget : int option;  (** effective per-request budget (request or default) *)
+  key : string;  (** cache key: content digest + option tag *)
+}
+
+val cache_key : digest:string -> budget:int option -> string
+(** The cache key argument (DESIGN.md §11): the canonical-content digest
+    of the instance, extended with every option that changes the
+    rendered answer — today only the budget. *)
+
+val prepare :
+  default_budget:int option ->
+  Protocol.solve_params ->
+  (prepared, Hs_core.Hs_error.t) result
+(** Parse the instance text and derive the cache key.  Malformed text is
+    a [Parse_error] (protocol status 2), as in the CLI. *)
+
+val execute : prepared -> (string, Hs_core.Hs_error.t) result
+(** Solve and render.  Without a budget this is
+    [Approx.Exact.solve_checked] + {!Render.exact_outcome} (the default
+    [hsched solve] path); with one it is [Approx.solve_robust] +
+    {!Render.robust_outcome} ([hsched solve --budget K]).  Runs inside a
+    ["service.solve"] tracer span; stray exceptions surface as
+    [Internal], never escape. *)

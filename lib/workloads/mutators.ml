@@ -132,6 +132,85 @@ let malformed_corpus =
     "machines 0\nsets 0\njobs 1\n\n";
   ]
 
+(* ---- wire-level corruption ------------------------------------------ *)
+
+(* The service frame format (lib/service/frame.ml, DESIGN.md §11) is
+   [hex{8} '\n' payload].  The encoder is restated here rather than
+   imported: hs_workloads must stay usable without the service stack,
+   and an independent spelling of the grammar is exactly what a
+   fault-injection corpus wants. *)
+let frame payload = Printf.sprintf "%08x\n%s" (String.length payload) payload
+
+(* One random wire-level mutation of an encoded frame.  Every branch
+   yields a byte string the daemon must answer with a typed protocol
+   error (or reject at EOF) — never a crash, never a hang. *)
+let corrupt_frame rng encoded =
+  let n = String.length encoded in
+  match Rng.int rng 6 with
+  | 0 ->
+      (* truncated length prefix: chop inside the 9-byte header *)
+      String.sub encoded 0 (Rng.int rng (Stdlib.min n 9))
+  | 1 ->
+      (* truncated payload: header intact, body cut short *)
+      if n <= 10 then String.sub encoded 0 (Stdlib.max 0 (n - 1))
+      else String.sub encoded 0 (9 + Rng.int rng (n - 10))
+  | 2 ->
+      (* oversized declared length: larger than any accepted payload *)
+      Printf.sprintf "%08x\n%s" (0x1000000 + Rng.int rng 0xefffffff)
+        (String.sub encoded (Stdlib.min 9 n) (Stdlib.max 0 (n - 9)))
+  | 3 ->
+      (* non-hex garbage in the header *)
+      let b = Bytes.of_string encoded in
+      if n > 0 then
+        Bytes.set b (Rng.int rng (Stdlib.min 9 n)) (Rng.choose rng [| 'g'; 'Z'; '-'; ' '; '\x00' |]);
+      Bytes.to_string b
+  | 4 ->
+      (* flip a payload byte: frame stays well-formed, JSON may not *)
+      let b = Bytes.of_string encoded in
+      if n > 9 then
+        Bytes.set b (9 + Rng.int rng (n - 9)) (Char.chr (32 + Rng.int rng 95));
+      Bytes.to_string b
+  | _ ->
+      (* declared length disagrees with the actual payload *)
+      if n <= 9 then frame "x"
+      else
+        Printf.sprintf "%08x\n%s"
+          (Stdlib.max 0 (n - 9 + 1 + Rng.int rng 16))
+          (String.sub encoded 9 (n - 9))
+
+(* Handwritten wire corpus: each entry, written alone to a fresh
+   connection and followed by EOF, must produce either a typed error
+   response or a clean close — the daemon survives all of them. *)
+let malformed_frames =
+  [
+    (* truncated length prefix *)
+    "";
+    "0000";
+    "0000001";
+    (* header not hex / not terminated by '\n' *)
+    "zzzzzzzz\n{}";
+    "0000000g\n{}";
+    "00000002X{}";
+    "-0000002\n{}";
+    (* oversized frame: one past the 16 MiB payload cap *)
+    "01000001\n";
+    "ffffffff\n";
+    (* truncated payload after a valid header *)
+    "00000010\n{\"hsched.rp";
+    (* well-formed frame, malformed JSON payload *)
+    frame "";
+    frame "{";
+    frame "not json at all";
+    frame "{\"hsched.rpc\":1,\"id\":0,";
+    frame "[1,2,3]";
+    (* well-formed JSON, not a valid request *)
+    frame "{}";
+    frame "{\"hsched.rpc\":99,\"id\":0,\"verb\":\"ping\"}";
+    frame "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"frobnicate\"}";
+    frame "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"solve\"}";
+    frame "{\"hsched.rpc\":1,\"id\":\"zero\",\"verb\":\"ping\"}";
+  ]
+
 (* ---- structural mutations ------------------------------------------- *)
 
 (** Violate monotonicity: raise the time of a proper subset strictly

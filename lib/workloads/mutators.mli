@@ -16,6 +16,20 @@ val malformed_corpus : string list
 (** Handwritten inputs covering every parser failure branch; each must
     be rejected with [Error] by {!Hs_model.Instance_io.of_string}. *)
 
+val corrupt_frame : Rng.t -> string -> string
+(** Apply one random wire-level mutation to an encoded service frame
+    (truncated length prefix, truncated payload, oversized or lying
+    declared length, non-hex header bytes, payload byte flips).  The
+    daemon must answer every variant with a typed protocol error —
+    never crash, never hang. *)
+
+val malformed_frames : string list
+(** Handwritten wire corpus covering every frame/codec failure branch:
+    truncated prefixes, non-hex headers, oversized frames, truncated
+    payloads, malformed JSON, and well-formed JSON that is not a valid
+    request.  Each entry, sent alone and followed by EOF, must yield a
+    typed error response or a clean close. *)
+
 val break_monotonicity : Rng.t -> Instance.t -> (Laminar.t * Ptime.t array array) option
 (** Raise the processing time of a proper subset strictly above its
     parent's, violating monotonicity.  The result must be rejected by

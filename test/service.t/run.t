@@ -1,0 +1,91 @@
+Persistent solver service end to end (DESIGN.md section 11): a
+background daemon, a 200-request mixed sweep that must come back
+byte-identical to the offline solver, pinned cache counters, and a
+graceful drain on shutdown.
+
+Generate a pool of five instances and capture offline ground truth:
+
+  $ for s in 1 2 3 4 5; do
+  >   ../../bin/hsched.exe generate --machines 4 --jobs 6 --seed $s --out i$s.inst
+  >   ../../bin/hsched.exe solve -f i$s.inst > want$s.out
+  > done
+  wrote i1.inst
+  wrote i2.inst
+  wrote i3.inst
+  wrote i4.inst
+  wrote i5.inst
+
+Start the daemon and wait for its socket:
+
+  $ ../../bin/hsched.exe serve --socket d.sock > /dev/null 2> server.log &
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+A second daemon cannot steal a live socket:
+
+  $ ../../bin/hsched.exe serve --socket d.sock
+  hsched: d.sock: a daemon is already serving
+  [2]
+
+The 200-request mixed sweep: 40 rounds over the 5-instance pool,
+pipelined through one connection.  Every response must be byte-identical
+to the offline run of the same instance:
+
+  $ args=""
+  $ for r in $(seq 1 40); do for s in 1 2 3 4 5; do args="$args i$s.inst"; done; done
+  $ ../../bin/hsched.exe request --socket d.sock $args > got200.out
+  $ for r in $(seq 1 40); do
+  >   for s in 1 2 3 4 5; do echo "== i$s.inst =="; cat want$s.out; done
+  > done > want200.out
+  $ cmp got200.out want200.out && echo byte-identical
+  byte-identical
+
+Only the five first-seen instances were solved; the 195 repeats were
+answered from the canonical-hash result cache (nonzero service.cache.hit):
+
+  $ ../../bin/hsched.exe request --socket d.sock --server-stats
+  service.cache.evict = 0
+  service.cache.hit = 195
+  service.cache.miss = 5
+  service.requests = 200
+
+A single request prints the body alone, byte-identical to `hsched solve`:
+
+  $ ../../bin/hsched.exe request --socket d.sock i1.inst > got1.out
+  $ cmp got1.out want1.out && echo byte-identical
+  byte-identical
+
+Liveness:
+
+  $ ../../bin/hsched.exe request --socket d.sock --ping
+  pong
+
+Unusable input is a typed error carrying the CLI exit-code contract, and
+the daemon survives it:
+
+  $ echo "machines x" > bad.inst
+  $ ../../bin/hsched.exe request --socket d.sock bad.inst
+  ERROR: parse error: invalid machines count: x
+  [2]
+  $ ../../bin/hsched.exe request --socket d.sock --ping
+  pong
+
+Graceful drain: two solves and a shutdown pipelined together; the daemon
+answers both solves before acknowledging the shutdown:
+
+  $ ../../bin/hsched.exe request --socket d.sock --shutdown i1.inst i2.inst > drain.out
+  $ head -1 drain.out
+  == i1.inst ==
+  $ tail -1 drain.out
+  bye
+  $ grep -c "drained 2 in-flight request(s)" server.log
+  1
+  $ wait
+
+The daemon removed its socket on exit, so a second shutdown has nothing
+to talk to:
+
+  $ [ -e d.sock ] || echo socket removed
+  socket removed
+  $ ../../bin/hsched.exe shutdown --socket d.sock
+  hsched: cannot connect to d.sock: No such file or directory
+  [1]

@@ -83,6 +83,66 @@ let test_file_io () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "unwritable path accepted"
 
+(* ---- canonical form and digest -------------------------------------- *)
+
+(* The same instance as [sample_text], with the sets listed in a
+   different order (and the job columns permuted to match), plus noise
+   the parser normalises away: comments, blank lines, extra spaces. *)
+let sample_text_scrambled =
+  "# same instance, different presentation\n\n\
+   machines   4\n\
+   sets 6\n\
+   2\n\
+   0   1\n\
+   1\n\
+   2 3\n\
+   0 1 2 3\n\
+   0\n\n\
+   jobs 2\n\
+   6   7 5 7 9   4\n\
+   5 6 3 6 6 3\n"
+
+let parse_exn text =
+  match Instance_io.of_string text with
+  | Ok inst -> inst
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_canonical_equal_digests () =
+  let a = parse_exn sample_text and b = parse_exn sample_text_scrambled in
+  (* The raw serialisations differ (set order is preserved by id) ... *)
+  Alcotest.(check bool) "raw texts differ" true
+    (Instance_io.to_string a <> Instance_io.to_string b);
+  (* ... but the canonical forms and digests agree. *)
+  Alcotest.(check string) "canonical forms equal" (Instance_io.canonicalize a)
+    (Instance_io.canonicalize b);
+  Alcotest.(check string) "digests equal" (Instance_io.digest a) (Instance_io.digest b)
+
+let test_canonical_distinguishes () =
+  let a = parse_exn sample_text in
+  let changed =
+    parse_exn
+      "machines 4\nsets 6\n0 1 2 3\n0 1\n2 3\n0\n1\n2\njobs 2\n\
+       9 7 7 4 5 6\n6 6 6 3 3 4\n"
+  in
+  Alcotest.(check bool) "different instances, different digests" true
+    (Instance_io.digest a <> Instance_io.digest changed)
+
+let test_canonical_roundtrip () =
+  let a = parse_exn sample_text_scrambled in
+  let c = Instance_io.canonicalize a in
+  let b = parse_exn c in
+  Alcotest.(check string) "canonicalize is a fixed point" c (Instance_io.canonicalize b);
+  Alcotest.(check string) "digest stable across the round-trip" (Instance_io.digest a)
+    (Instance_io.digest b)
+
+let prop_canonical_roundtrip =
+  QCheck.Test.make ~name:"canonical form round-trips with a stable digest" ~count:100
+    Test_util.seed_arb (fun seed ->
+      let inst = Test_util.random_instance seed in
+      match Instance_io.of_string (Instance_io.canonicalize inst) with
+      | Error e -> QCheck.Test.fail_reportf "canonical reparse failed: %s" e
+      | Ok inst' -> Instance_io.digest inst = Instance_io.digest inst')
+
 (* ---- Tape ----------------------------------------------------------- *)
 
 let seg_total segs =
@@ -169,10 +229,14 @@ let suite =
       u "round-trip sample" test_roundtrip_sample;
       u "parse errors" test_parse_errors;
       u "file io" test_file_io;
+      u "canonical: scrambled file hashes equal" test_canonical_equal_digests;
+      u "canonical: different instances differ" test_canonical_distinguishes;
+      u "canonical: round-trip" test_canonical_roundtrip;
       u "tape: lay basic" test_tape_lay_basic;
       u "tape: wrap preemption" test_tape_wrap_preemption;
       u "tape: overflow rejected" test_tape_overflow_rejected;
       u "tape: complement" test_tape_complement;
       qt prop_generator_roundtrip;
+      qt prop_canonical_roundtrip;
       qt prop_tape_conserves_volume;
     ] )

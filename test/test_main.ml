@@ -22,6 +22,7 @@ let () =
       Test_faults.suite;
       Test_obs.suite;
       Test_exec.suite;
+      Test_service.suite;
       Test_pushdown.suite;
       Test_differential.suite;
     ]

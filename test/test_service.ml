@@ -1,0 +1,418 @@
+(* The service stack (DESIGN.md section 11): frame codec, protocol
+   codec, LRU result cache, and a live daemon under wire-level fault
+   injection — every corrupted byte stream must come back as a typed
+   protocol error on the wire; the daemon never crashes and never
+   hangs. *)
+
+module Frame = Hs_service.Frame
+module Protocol = Hs_service.Protocol
+module Cache = Hs_service.Cache
+module Client = Hs_service.Client
+module Daemon = Hs_service.Daemon
+module Solver = Hs_service.Solver
+module Json = Hs_obs.Json
+
+let sample_text =
+  "machines 4\n\
+   sets 6\n\
+   0 1 2 3\n\
+   0 1\n\
+   2 3\n\
+   0\n\
+   1\n\
+   2\n\
+   jobs 2\n\
+   9 7 7 4 5 6\n\
+   6 6 6 3 3 5\n"
+
+(* ---- frame codec ------------------------------------------------------ *)
+
+let decode_all feed_sizes encoded =
+  let dec = Frame.create () in
+  let pos = ref 0 and sizes = ref feed_sizes and out = ref [] in
+  let rec drain () =
+    match Frame.next dec with
+    | Ok (Some p) ->
+        out := p :: !out;
+        drain ()
+    | Ok None -> ()
+    | Error e -> Alcotest.failf "decode error: %s" (Frame.error_to_string e)
+  in
+  while !pos < String.length encoded do
+    let k =
+      match !sizes with
+      | [] -> String.length encoded - !pos
+      | k :: rest ->
+          sizes := rest;
+          Stdlib.min k (String.length encoded - !pos)
+    in
+    Frame.feed dec (String.sub encoded !pos k);
+    pos := !pos + k;
+    drain ()
+  done;
+  (match Frame.at_eof dec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "partial frame at EOF: %s" (Frame.error_to_string e));
+  List.rev !out
+
+let test_frame_roundtrip () =
+  let payloads = [ ""; "x"; "{\"a\":1}"; String.make 100_000 'q'; sample_text ] in
+  let encoded = String.concat "" (List.map Frame.encode payloads) in
+  (* whole-stream, byte-at-a-time, and ragged chunk feeds all agree *)
+  List.iter
+    (fun sizes ->
+      Alcotest.(check (list string)) "payloads survive framing" payloads
+        (decode_all sizes encoded))
+    [ []; List.init (String.length encoded) (fun _ -> 1); [ 3; 7; 1; 11; 50_000 ] ]
+
+let test_frame_errors () =
+  let feed_and_next s =
+    let dec = Frame.create () in
+    Frame.feed dec s;
+    Frame.next dec
+  in
+  (match feed_and_next "zzzzzzzz\n" with
+  | Error (Frame.Bad_header _) -> ()
+  | _ -> Alcotest.fail "non-hex header must be Bad_header");
+  (match feed_and_next "00000002X{}" with
+  | Error (Frame.Bad_header _) -> ()
+  | _ -> Alcotest.fail "missing newline must be Bad_header");
+  (match feed_and_next "ffffffff\n" with
+  | Error (Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "16 MiB cap must be Oversized");
+  let dec = Frame.create () in
+  Frame.feed dec "0000";
+  (match Frame.at_eof dec with
+  | Error (Frame.Truncated _) -> ()
+  | _ -> Alcotest.fail "EOF inside the header must be Truncated");
+  let dec = Frame.create () in
+  Frame.feed dec "00000010\n{\"hsched.rp";
+  (match Frame.next dec with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "incomplete payload is not a frame yet");
+  match Frame.at_eof dec with
+  | Error (Frame.Truncated _) -> ()
+  | _ -> Alcotest.fail "EOF inside the payload must be Truncated"
+
+(* ---- protocol codec --------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Solve { instance_text = sample_text; budget = None };
+      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7 };
+      Protocol.Stats;
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iteri
+    (fun id req ->
+      let wire = Json.to_string (Protocol.request_to_json ~id req) in
+      match Json.parse wire with
+      | Error e -> Alcotest.failf "request JSON unparsable: %s" e
+      | Ok json -> (
+          match Protocol.request_of_json json with
+          | Error (_, e) -> Alcotest.failf "request rejected: %s" e
+          | Ok (id', req') ->
+              Alcotest.(check int) "id" id id';
+              Alcotest.(check bool) "request" true (req = req')))
+    reqs;
+  List.iter
+    (fun (r : Protocol.response) ->
+      let wire = Json.to_string (Protocol.response_to_json r) in
+      match Json.parse wire with
+      | Error e -> Alcotest.failf "response JSON unparsable: %s" e
+      | Ok json -> (
+          match Protocol.response_of_json json with
+          | Error e -> Alcotest.failf "response rejected: %s" e
+          | Ok r' -> Alcotest.(check bool) "response" true (r = r')))
+    [
+      Protocol.ok ~rid:3 "body\nwith \"quotes\"";
+      Protocol.ok ~rid:0 ~cached:true "";
+      Protocol.err ~rid:(-1) ~status:2 "protocol error: bad JSON";
+      Protocol.err ~rid:9 ~status:4 "budget exhausted";
+    ]
+
+let test_protocol_rejects () =
+  List.iter
+    (fun wire ->
+      match Json.parse wire with
+      | Error _ -> ()
+      | Ok json -> (
+          match Protocol.request_of_json json with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted bad request: %s" wire))
+    [
+      "{}";
+      "[1]";
+      "\"solve\"";
+      "{\"hsched.rpc\":2,\"id\":0,\"verb\":\"ping\"}";
+      "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"frobnicate\"}";
+      "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"solve\"}";
+      "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"solve\",\"instance\":7}";
+      "{\"hsched.rpc\":1,\"verb\":\"ping\"}";
+    ]
+
+(* ---- LRU cache -------------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Alcotest.(check (option string)) "miss on empty" None (Cache.find c "a");
+  Cache.add c "a" "A";
+  Cache.add c "b" "B";
+  Alcotest.(check (option string)) "hit a" (Some "A") (Cache.find c "a");
+  (* b is now least-recent; inserting c evicts it *)
+  Cache.add c "c" "C";
+  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option string)) "a kept" (Some "A") (Cache.find c "a");
+  Alcotest.(check (option string)) "c kept" (Some "C") (Cache.find c "c");
+  (* re-adding an existing key refreshes, never duplicates *)
+  Cache.add c "a" "A2";
+  Cache.add c "d" "D";
+  Alcotest.(check (option string)) "c evicted after refresh" None (Cache.find c "c");
+  Alcotest.(check (option string)) "a updated" (Some "A2") (Cache.find c "a");
+  Alcotest.(check (option string)) "d kept" (Some "D") (Cache.find c "d")
+
+(* ---- live daemon ------------------------------------------------------ *)
+
+let socket_counter = ref 0
+
+let with_daemon ?(jobs = 1) f =
+  incr socket_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsvc-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  let cfg = { (Daemon.default_config ~socket_path:path) with jobs } in
+  let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
+  (* Wait out the bind race: the socket file appears at bind time, and
+     Client.connect retries through the bind-to-listen window. *)
+  let rec wait k =
+    if not (Sys.file_exists path) then
+      if k = 0 then Alcotest.fail "daemon socket never appeared"
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait (k - 1)
+      end
+  in
+  wait 100;
+  let finish () =
+    (match Client.connect path with
+    | Error _ -> ()
+    | Ok c ->
+        ignore (Client.call ~timeout_s:10.0 c Protocol.Shutdown);
+        Client.close c);
+    match Domain.join daemon with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "daemon failed: %s" e
+  in
+  Fun.protect ~finally:finish (fun () -> f path)
+
+(* Write raw bytes, half-close, then read every response frame until the
+   daemon hangs up.  The deadline doubles as the never-hangs assertion. *)
+let raw_roundtrip path bytes =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let n = String.length bytes in
+  let pos = ref 0 in
+  (try
+     while !pos < n do
+       pos := !pos + Unix.write_substring fd bytes !pos (n - !pos)
+     done
+   with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+     (* The daemon may reject mid-stream (e.g. oversized header) and
+        close before we finish writing; that is a valid typed outcome. *)
+     ());
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+   with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let dec = Frame.create () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let rec drain () =
+    match Frame.next dec with
+    | Ok (Some payload) ->
+        (match Json.parse payload with
+        | Error e -> Alcotest.failf "daemon sent non-JSON: %s" e
+        | Ok json -> (
+            match Protocol.response_of_json json with
+            | Error e -> Alcotest.failf "daemon sent a non-response: %s" e
+            | Ok r -> out := r :: !out));
+        drain ()
+    | Ok None -> ()
+    | Error e -> Alcotest.failf "daemon sent a bad frame: %s" (Frame.error_to_string e)
+  in
+  let rec read_loop () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Alcotest.fail "daemon hung (no EOF within deadline)";
+    match Unix.select [ fd ] [] [] remaining with
+    | [], _, _ -> Alcotest.fail "daemon hung (no EOF within deadline)"
+    | _ -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> drain ()
+        | k ->
+            Frame.feed dec (Bytes.sub_string buf 0 k);
+            drain ();
+            read_loop ()
+        | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+        | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> drain ())
+    | exception Unix.Unix_error (EINTR, _, _) -> read_loop ()
+  in
+  read_loop ();
+  List.rev !out
+
+let assert_alive path =
+  match Client.connect path with
+  | Error e -> Alcotest.failf "daemon unreachable after faults: %s" e
+  | Ok c -> (
+      let r = Client.call ~timeout_s:10.0 c Protocol.Ping in
+      Client.close c;
+      match r with
+      | Ok { Protocol.status = 0; body = "pong"; _ } -> ()
+      | Ok r -> Alcotest.failf "ping answered %d %S" r.Protocol.status r.Protocol.body
+      | Error e -> Alcotest.failf "ping failed: %s" e)
+
+let test_daemon_fault_corpus () =
+  with_daemon @@ fun path ->
+  List.iter
+    (fun bytes ->
+      let resps = raw_roundtrip path bytes in
+      List.iter
+        (fun (r : Protocol.response) ->
+          if r.status = 0 then
+            Alcotest.failf "corrupted frame %S answered status 0" bytes;
+          Alcotest.(check bool)
+            (Printf.sprintf "typed diagnostic for %S" bytes)
+            true (r.error <> ""))
+        resps;
+      assert_alive path)
+    Hs_workloads.Mutators.malformed_frames
+
+let test_daemon_fault_fuzz () =
+  with_daemon @@ fun path ->
+  let rng = Hs_workloads.Rng.create 7 in
+  let base =
+    [|
+      Frame.encode
+        (Json.to_string
+           (Protocol.request_to_json ~id:0
+              (Protocol.Solve { instance_text = sample_text; budget = None })));
+      Frame.encode
+        (Json.to_string (Protocol.request_to_json ~id:1 Protocol.Ping));
+    |]
+  in
+  for _ = 1 to 60 do
+    let bytes =
+      Hs_workloads.Mutators.corrupt_frame rng (Hs_workloads.Rng.choose rng base)
+    in
+    let resps = raw_roundtrip path bytes in
+    (* A mutation can leave the frame intact (payload byte flips may even
+       leave valid JSON): then a real answer is fine.  What is never fine
+       is a crash, a hang, or an untyped failure — all caught above. *)
+    ignore resps
+  done;
+  assert_alive path
+
+let test_daemon_solve_and_cache () =
+  with_daemon @@ fun path ->
+  let offline =
+    match
+      Solver.prepare ~default_budget:None
+        { Protocol.instance_text = sample_text; budget = None }
+    with
+    | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
+    | Ok prep -> (
+        match Solver.execute prep with
+        | Ok body -> body
+        | Error e -> Alcotest.failf "execute failed: %s" (Hs_core.Hs_error.to_string e))
+  in
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let solve () =
+        match
+          Client.call ~timeout_s:30.0 c
+            (Protocol.Solve { instance_text = sample_text; budget = None })
+        with
+        | Error e -> Alcotest.failf "solve call failed: %s" e
+        | Ok r -> r
+      in
+      let r1 = solve () in
+      Alcotest.(check int) "status" 0 r1.Protocol.status;
+      Alcotest.(check bool) "first solve not cached" false r1.Protocol.cached;
+      Alcotest.(check string) "daemon body = offline body" offline r1.Protocol.body;
+      let r2 = solve () in
+      Alcotest.(check bool) "second solve cached" true r2.Protocol.cached;
+      Alcotest.(check string) "cached body identical" r1.Protocol.body r2.Protocol.body;
+      (* semantically identical text, different bytes: same cache entry *)
+      let scrambled = "# comment\nmachines   4\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' sample_text)) in
+      (match
+         Client.call ~timeout_s:30.0 c
+           (Protocol.Solve { instance_text = scrambled; budget = None })
+       with
+      | Error e -> Alcotest.failf "scrambled solve failed: %s" e
+      | Ok r3 ->
+          Alcotest.(check bool) "canonical key: scrambled text hits" true
+            r3.Protocol.cached;
+          Alcotest.(check string) "same body" r1.Protocol.body r3.Protocol.body);
+      (* a different budget is a different cache key *)
+      (match
+         Client.call ~timeout_s:30.0 c
+           (Protocol.Solve { instance_text = sample_text; budget = Some 100 })
+       with
+      | Error e -> Alcotest.failf "budgeted solve failed: %s" e
+      | Ok r4 -> Alcotest.(check bool) "budget keys apart" false r4.Protocol.cached);
+      (* an unparsable instance is a typed status-2 error, not a crash *)
+      (match
+         Client.call ~timeout_s:30.0 c
+           (Protocol.Solve { instance_text = "machines x\n"; budget = None })
+       with
+      | Error e -> Alcotest.failf "bad-instance call failed: %s" e
+      | Ok r5 ->
+          Alcotest.(check int) "unusable input is status 2" 2 r5.Protocol.status;
+          Alcotest.(check bool) "typed diagnostic" true (r5.Protocol.error <> ""))
+
+let test_daemon_drain () =
+  with_daemon @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* Pipelined solve+shutdown: the daemon must answer the solve
+         before acknowledging the shutdown (graceful drain). *)
+      match
+        Client.call_many ~timeout_s:30.0 c
+          [
+            Protocol.Solve { instance_text = sample_text; budget = None };
+            Protocol.Shutdown;
+          ]
+      with
+      | Error e -> Alcotest.failf "drain round-trip failed: %s" e
+      | Ok [ solve; bye ] ->
+          Alcotest.(check int) "in-flight solve answered" 0 solve.Protocol.status;
+          Alcotest.(check bool) "with a real body" true (solve.Protocol.body <> "");
+          Alcotest.(check int) "shutdown acknowledged" 0 bye.Protocol.status;
+          Alcotest.(check string) "ack body" "bye" bye.Protocol.body
+      | Ok _ -> Alcotest.fail "expected exactly two responses")
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "frame round-trip under ragged feeds" `Quick test_frame_roundtrip;
+      Alcotest.test_case "frame decoder typed errors" `Quick test_frame_errors;
+      Alcotest.test_case "protocol codec round-trip" `Quick test_protocol_roundtrip;
+      Alcotest.test_case "protocol rejects malformed requests" `Quick test_protocol_rejects;
+      Alcotest.test_case "LRU cache eviction order" `Quick test_cache_lru;
+      Alcotest.test_case "daemon survives the malformed-frame corpus" `Quick
+        test_daemon_fault_corpus;
+      Alcotest.test_case "daemon survives corrupt_frame fuzzing" `Quick
+        test_daemon_fault_fuzz;
+      Alcotest.test_case "solve body, cache keys, typed solve errors" `Quick
+        test_daemon_solve_and_cache;
+      Alcotest.test_case "shutdown drains in-flight work" `Quick test_daemon_drain;
+    ] )

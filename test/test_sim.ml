@@ -55,7 +55,36 @@ let test_latency_table_clamps () =
   let latency = Simulator.latency_of_levels lam [| 0; 5 |] in
   Alcotest.(check int) "same machine free" 0 (latency 3 3);
   Alcotest.(check int) "intra-chip" 5 (latency 0 1);
-  Alcotest.(check int) "clamped beyond table" 5 (latency 0 7)
+  Alcotest.(check int) "clamped beyond table" 5 (latency 0 7);
+  (* edge tables: a singleton clamps everything to its one entry, an
+     empty table means free migration — but never a crash *)
+  let flat = Simulator.latency_of_levels lam [| 3 |] in
+  Alcotest.(check int) "singleton table, intra-chip" 3 (flat 0 1);
+  Alcotest.(check int) "singleton table, inter-node" 3 (flat 0 7);
+  Alcotest.(check int) "singleton table, same machine" 0 (flat 5 5);
+  let free = Simulator.latency_of_levels lam [||] in
+  Alcotest.(check int) "empty table, inter-node" 0 (free 0 7);
+  Alcotest.(check int) "empty table, same machine" 0 (free 2 2)
+
+let prop_zero_latency_identity =
+  QCheck.Test.make ~name:"zero-latency replay is the identity" ~count:30 Test_util.seed_arb
+    (fun seed ->
+      let _, _, sched = sample_schedule seed in
+      let r = Simulator.run ~lam:(smp ()) sched ~latency:(fun _ _ -> 0) in
+      r.realised_makespan = r.model_makespan && r.total_stall = 0)
+
+let prop_stall_nonnegative =
+  QCheck.Test.make ~name:"stall accounting is non-negative" ~count:30 Test_util.seed_arb
+    (fun seed ->
+      let _, _, sched = sample_schedule seed in
+      let lam = smp () in
+      (* seed-derived latency table, including all-zero and flat shapes *)
+      let rng = Rng.create (seed * 31 + 5) in
+      let table = Array.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng 7) in
+      let r = Simulator.run ~lam sched ~latency:(Simulator.latency_of_levels lam table) in
+      r.total_stall >= 0
+      && r.realised_makespan >= r.model_makespan
+      && List.for_all (fun (h, c) -> h >= 0 && c > 0) r.migrations_by_level)
 
 let prop_realised_bounded_by_total_stall =
   QCheck.Test.make ~name:"realised <= model + total stall" ~count:30 Test_util.seed_arb
@@ -76,5 +105,7 @@ let suite =
       u "latency monotone" test_latency_monotone;
       u "per-level accounting" test_per_level_accounting;
       u "latency table clamps" test_latency_table_clamps;
+      qt prop_zero_latency_identity;
+      qt prop_stall_nonnegative;
       qt prop_realised_bounded_by_total_stall;
     ] )
