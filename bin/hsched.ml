@@ -136,6 +136,25 @@ let print_robust ~show_schedule ~(budget : Hs_core.Budget.t)
   print_string (Hs_service.Render.robust_outcome ~budget r);
   if show_schedule then Format.printf "%a@." Schedule.pp r.r_schedule
 
+(* --check: re-verify the produced artifact with the independent
+   certificate checker (lib/check).  Strictly additive: without the flag
+   every byte of output is unchanged. *)
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Re-verify the result with the independent certificate checker: paper \
+           invariants (IP-2/IP-3, Lemmas IV.1/IV.2/V.1, Prop. III.2), Section II \
+           schedule validity, and the Theorem V.2 bound against a recomputed LP lower \
+           bound. A violated invariant exits with code 1.")
+
+let print_verdict v = print_string (Hs_check.Verdict.to_string v)
+
+let enforce_verdict v =
+  print_verdict v;
+  match Hs_check.Verdict.to_error v with Some e -> exit_typed e | None -> ()
+
 let budget_arg =
   Arg.(
     value
@@ -166,8 +185,10 @@ let solve_cmd =
     Arg.(value & flag & info [ "float-lp" ] ~doc:"Use the floating-point LP (faster, uncertified).")
   in
   let run file topology m n seed overhead het show_schedule show_gantt use_float budget
-      on_exhausted trace stats stats_json =
+      on_exhausted check trace stats stats_json =
     setup_obs trace stats stats_json;
+    if check && use_float then
+      exit_usage "--check certifies the exact pipeline; drop --float-lp";
     match load_or_generate file topology m n seed overhead het with
     | Error e -> exit_usage e
     | Ok inst -> (
@@ -180,7 +201,8 @@ let solve_cmd =
             | Error e -> exit_typed e
             | Ok r ->
                 print_robust ~show_schedule ~budget r;
-                if show_gantt then Gantt.print r.r_schedule)
+                if show_gantt then Gantt.print r.r_schedule;
+                if check then enforce_verdict (Hs_check.Certify.robust r))
         | None -> (
             if use_float then
               match Hs_core.Approx.Fast.solve inst with
@@ -193,10 +215,11 @@ let solve_cmd =
               | Error e -> exit_typed e
               | Ok o ->
                   print_outcome ~show_schedule o;
-                  if show_gantt then Gantt.print o.schedule))
+                  if show_gantt then Gantt.print o.schedule;
+                  if check then enforce_verdict (Hs_check.Certify.outcome o)))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 2-approximation pipeline (Theorem V.2).")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- exact ------------------------------------------------------ *)
 
@@ -293,12 +316,20 @@ let sweep_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"FILE" ~doc:"Instance files (Instance_io format) to solve in batch.")
   in
-  let run files jobs budget on_exhausted trace stats stats_json =
+  let run files jobs budget on_exhausted check trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     (* Each file is one deterministic work item; [parmap] returns the
        outcomes in argument order, so the report (and the exit code:
        that of the first failing file) is independent of [jobs]. *)
+    let certify verdict report =
+      match Hs_check.Verdict.to_error verdict with
+      | Some e -> Error e
+      | None ->
+          Ok
+            (Printf.sprintf "%s\ncertified: %d invariants re-verified" report
+               (List.length (Hs_check.Verdict.items verdict)))
+    in
     let solve_one path =
       match Instance_io.load path with
       | Error e -> Error (Hs_core.Hs_error.Parse_error e)
@@ -309,18 +340,24 @@ let sweep_cmd =
               match Hs_core.Approx.solve_robust ~budget ~on_exhausted inst with
               | Error e -> Error e
               | Ok r ->
-                  Ok
-                    (Printf.sprintf "lower bound = %d\nachieved makespan = %d  (path: %s)"
-                       r.r_lower_bound r.r_makespan
-                       (Hs_core.Approx.provenance_to_string r.r_provenance)))
+                  let report =
+                    Printf.sprintf "lower bound = %d\nachieved makespan = %d  (path: %s)"
+                      r.r_lower_bound r.r_makespan
+                      (Hs_core.Approx.provenance_to_string r.r_provenance)
+                  in
+                  if check then certify (Hs_check.Certify.robust r) report
+                  else Ok report)
           | None -> (
               match Hs_core.Approx.Exact.solve_checked inst with
               | Error e -> Error e
               | Ok o ->
-                  Ok
-                    (Printf.sprintf
-                       "LP lower bound T* = %d\nachieved makespan = %d  (guarantee: <= %d)"
-                       o.t_lp o.makespan (2 * o.t_lp))))
+                  let report =
+                    Printf.sprintf
+                      "LP lower bound T* = %d\nachieved makespan = %d  (guarantee: <= %d)"
+                      o.t_lp o.makespan (2 * o.t_lp)
+                  in
+                  if check then certify (Hs_check.Certify.outcome o) report
+                  else Ok report))
     in
     let outcomes = Hs_exec.parmap ~jobs solve_one files in
     let first_err = ref None in
@@ -342,7 +379,115 @@ let sweep_cmd =
        ~doc:
          "Batch-solve instance files on a worker-domain pool. Output order and exit code \
           match a sequential run at any --jobs.")
-    Term.(const run $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
+
+(* ---------- check ------------------------------------------------------- *)
+
+let check_cmd =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Instance files (Instance_io format) to certify.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit each certificate as a JSON object.")
+  in
+  let assignment_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "assignment" ] ~docv:"CSV"
+          ~doc:
+            "Check this externally produced assignment (comma-separated set ids, one \
+             per job) against each FILE instead of running the pipeline. Requires \
+             $(b,--tmax).")
+  in
+  let tmax_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tmax" ] ~docv:"T" ~doc:"Horizon for $(b,--assignment) certification.")
+  in
+  let no_lp_arg =
+    Arg.(
+      value & flag
+      & info [ "no-lp" ]
+          ~doc:
+            "Skip the LP lower-bound recomputation (the exact-simplex re-derivation of \
+             T* and the Farkas check at T*-1); the remaining invariants still run.")
+  in
+  let run files json assignment tmax budget jobs no_lp trace stats stats_json =
+    setup_obs trace stats stats_json;
+    let jobs = resolve_jobs_or_exit jobs in
+    let lp = not no_lp in
+    let artifact =
+      match (assignment, tmax) with
+      | None, _ -> `Pipeline
+      | Some csv, Some tmax -> (
+          let cells = String.split_on_char ',' (String.trim csv) in
+          match List.map int_of_string_opt cells with
+          | ids when List.for_all Option.is_some ids ->
+              `Assignment (Array.of_list (List.map Option.get ids), tmax)
+          | _ -> exit_usage ("invalid --assignment: " ^ csv))
+      | Some _, None -> exit_usage "--assignment requires --tmax"
+    in
+    (* One deterministic work item per file, as in sweep: report order
+       and exit code are independent of --jobs. *)
+    let check_one path =
+      match Instance_io.load path with
+      | Error e -> Error (Hs_core.Hs_error.Parse_error e)
+      | Ok inst -> (
+          match artifact with
+          | `Assignment (a, tmax) ->
+              if Array.length a <> Instance.njobs inst then
+                Error
+                  (Hs_core.Hs_error.Invalid_instance
+                     (Printf.sprintf "--assignment lists %d jobs, %s has %d"
+                        (Array.length a) path (Instance.njobs inst)))
+              else Ok (Hs_check.Certify.assignment inst a ~tmax)
+          | `Pipeline -> (
+              match budget with
+              | None -> (
+                  match Hs_core.Approx.Exact.solve_checked inst with
+                  | Error e -> Error e
+                  | Ok o -> Ok (Hs_check.Certify.outcome ~lp o))
+              | Some k -> (
+                  let budget = Hs_core.Budget.of_units k in
+                  match
+                    Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback inst
+                  with
+                  | Error e -> Error e
+                  | Ok r -> Ok (Hs_check.Certify.robust ~lp r))))
+    in
+    let outcomes = Hs_exec.parmap ~jobs check_one files in
+    let headers = List.length files > 1 in
+    let first_err = ref None in
+    List.iter2
+      (fun path outcome ->
+        if headers then Printf.printf "== %s ==\n" path;
+        match outcome with
+        | Error e ->
+            Printf.printf "ERROR: %s\n" (Hs_core.Hs_error.to_string e);
+            if !first_err = None then first_err := Some e
+        | Ok verdict ->
+            if json then
+              print_endline (Hs_obs.Json.to_string (Hs_check.Verdict.to_json verdict))
+            else print_verdict verdict;
+            if !first_err = None then first_err := Hs_check.Verdict.to_error verdict)
+      files outcomes;
+    match !first_err with
+    | None -> ()
+    | Some e -> exit (Hs_core.Hs_error.exit_code e)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Independently certify solver artifacts: solve each FILE and re-verify every \
+          paper invariant (laminarity, monotonicity, IP-2, Section II schedule \
+          validity, the recomputed LP lower bound and the Theorem V.2 factor-2 bound), \
+          or certify an externally produced --assignment at a given --tmax. Exit 0 \
+          only when every certificate passes.")
+    Term.(const run $ files_arg $ json_arg $ assignment_arg $ tmax_arg $ budget_arg $ jobs_arg $ no_lp_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- service: serve / request / shutdown -------------------------- *)
 
@@ -363,7 +508,7 @@ let serve_cmd =
           ~doc:"Maximum solve requests admitted per domain-pool batch.")
   in
   let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the server log on stderr.") in
-  let run socket jobs cache batch budget quiet trace stats stats_json =
+  let run socket jobs cache batch budget check quiet trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     if cache < 1 then exit_usage "cache capacity must be >= 1";
@@ -376,6 +521,7 @@ let serve_cmd =
         cache_capacity = cache;
         default_budget = budget;
         max_batch = batch;
+        verify = check;
         log;
       }
     in
@@ -387,7 +533,7 @@ let serve_cmd =
          "Run the persistent solver daemon: a Unix-domain socket speaking the framed \
           JSON protocol of DESIGN.md section 11, with request batching and a \
           canonical-hash result cache.")
-    Term.(const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ budget_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 let request_cmd =
   let files_arg =
@@ -580,6 +726,7 @@ let () =
             generate_cmd;
             experiment_cmd;
             sweep_cmd;
+            check_cmd;
             simulate_cmd;
             topology_cmd;
             realtime_cmd;

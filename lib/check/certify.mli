@@ -1,0 +1,31 @@
+(** Whole-artifact certificates (DESIGN.md §12).
+
+    Bundle the per-invariant checkers of {!Check} into one verdict per
+    artifact kind.  [?lp] (default [true]) controls the expensive part:
+    re-deriving the certified LP lower bound with the exact simplex so
+    the Theorem V.2 bound is checked against an independently recomputed
+    T*, not the pipeline's own claim. *)
+
+open Hs_model
+
+val instance : Instance.t -> Verdict.t
+(** Laminarity and monotonicity of a bare instance. *)
+
+val assignment : Instance.t -> Assignment.t -> tmax:int -> Verdict.t
+(** Instance well-formedness plus (IP-2) at [tmax]. *)
+
+val schedule : Instance.t -> Assignment.t -> Schedule.t -> Verdict.t
+(** Instance well-formedness, (IP-2) at the schedule's horizon, and
+    Section II validity of the concrete schedule. *)
+
+val outcome : ?lp:bool -> Hs_core.Approx.Exact.outcome -> Verdict.t
+(** The full Theorem V.2 pipeline outcome: assignment and schedule
+    checks against the singleton-closed instance, the reported makespan,
+    the recomputed LP lower bound (feasible at T*, certified infeasible
+    at T* − 1), and ALG ≤ 2·T*. *)
+
+val robust : ?lp:bool -> Hs_core.Approx.robust_outcome -> Verdict.t
+(** A budgeted outcome: base checks plus provenance-specific ones — a
+    claimed optimum must equal its lower bound and dominate the LP
+    horizon; an LP-approx outcome must satisfy the recomputed-T*
+    Theorem V.2 bound. *)

@@ -1,0 +1,58 @@
+(** Independent per-invariant checkers (DESIGN.md §12).
+
+    Each function re-derives one family of paper invariants from raw
+    accessors — member lists, processing times, segment endpoints —
+    without calling the predicates of the module that produced the
+    artifact, and reports one {!Verdict.item} per condition.  Fractional
+    arithmetic is exact ({!Hs_numeric.Q}). *)
+
+open Hs_model
+
+val laminar_family : Hs_laminar.Laminar.t -> Verdict.item list
+(** Well-formedness: members non-empty and in range, every pair of sets
+    nested or disjoint, no duplicates. *)
+
+val monotonicity : Instance.t -> Verdict.item list
+(** [α ⊆ β ⇒ P_j(α) ≤ P_j(β)] with ∞ as top element (§II). *)
+
+val assignment : Instance.t -> Assignment.t -> tmax:int -> Verdict.item list
+(** (IP-2) at horizon [tmax]: well-formedness, (2c) job fit, (2b)
+    subtree volume vs. aggregate capacity. *)
+
+val fractional :
+  Instance.t -> Hs_numeric.Q.t array array -> tmax:int -> Verdict.item list
+(** (IP-3) relaxation at [tmax], exactly: non-negativity, restriction to
+    [R], per-job unit mass, (3a) capacity.  [x.(set).(job)]. *)
+
+val pushdown :
+  Instance.t ->
+  before:Hs_numeric.Q.t array array ->
+  after:Hs_numeric.Q.t array array ->
+  tmax:int ->
+  Verdict.item list
+(** Lemma V.1: after push-down the mass sits only on singletons, per-job
+    mass is preserved, and (IP-3) feasibility still holds. *)
+
+val allocation :
+  Instance.t ->
+  Assignment.t ->
+  Hs_core.Hierarchical.allocation ->
+  tmax:int ->
+  Verdict.item list
+(** Algorithm 2 output: volume conservation, Lemma IV.1 (chain sums and
+    horizon), Lemma IV.2 (unique shared machine per set). *)
+
+val schedule : Instance.t -> Assignment.t -> Schedule.t -> Verdict.item list
+(** Section II validity by event sweep: segment bounds, affinity,
+    machine exclusivity, job seriality, exact work conservation. *)
+
+val tape_bounds : m:int -> Hs_core.Tape.stats -> Verdict.item list
+(** Proposition III.2: migrations ≤ m−1 and stops ≤ 2m−2. *)
+
+val lp_lower_bound : Instance.t -> t_lp:int -> Verdict.item list
+(** Recompute the certified lower bound: the (IP-3) relaxation is
+    feasible at [t_lp] and certified infeasible (verified Farkas
+    witness) at [t_lp − 1]. *)
+
+val theorem_v2 : t_lp:int -> makespan:int -> Verdict.item list
+(** The end-to-end bound ALG ≤ 2·T*. *)

@@ -1,0 +1,76 @@
+(** Structured verification verdicts.
+
+    A verdict is the result of re-validating one artifact against the
+    paper's invariants: one {!item} per invariant checked, each either
+    passing or failing with a witness string that pinpoints the first
+    violation found.  Verdicts render to JSON for machine consumption
+    and to an indented text report for humans; a failing verdict
+    converts to the typed {!Hs_core.Hs_error.Verification} error so the
+    CLI and the service surface it on their usual error paths. *)
+
+type item = {
+  invariant : string;  (** stable dotted name, e.g. ["ip2.subtree-volume"] *)
+  ok : bool;
+  detail : string;
+      (** for passes: what was established; for failures: the witness
+          pinpointing the first violation *)
+}
+
+type t = { subject : string; items : item list }
+
+let pass ~invariant detail = { invariant; ok = true; detail }
+
+let fail ~invariant fmt =
+  Printf.ksprintf (fun detail -> { invariant; ok = false; detail }) fmt
+
+(* [check ~invariant cond ~witness ~detail]: one boolean invariant. *)
+let check ~invariant cond ~witness ~detail =
+  if cond then pass ~invariant detail else { invariant; ok = false; detail = witness }
+
+let make ~subject items = { subject; items }
+let items t = t.items
+let subject t = t.subject
+let ok t = List.for_all (fun i -> i.ok) t.items
+let failures t = List.filter (fun i -> not i.ok) t.items
+let first_failure t = List.find_opt (fun i -> not i.ok) t.items
+
+let to_error t =
+  match first_failure t with
+  | None -> None
+  | Some { invariant; detail; _ } ->
+      Some (Hs_core.Hs_error.Verification { invariant; witness = detail })
+
+let merge ~subject ts = { subject; items = List.concat_map items ts }
+
+let to_json t =
+  let open Hs_obs.Json in
+  Obj
+    [
+      ("subject", String t.subject);
+      ("ok", Bool (ok t));
+      ("checked", Int (List.length t.items));
+      ("failed", Int (List.length (failures t)));
+      ( "invariants",
+        List
+          (List.map
+             (fun i ->
+               Obj
+                 [
+                   ("invariant", String i.invariant);
+                   ("ok", Bool i.ok);
+                   ((if i.ok then "detail" else "witness"), String i.detail);
+                 ])
+             t.items) );
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "certificate: %s — %s@\n" t.subject
+    (if ok t then "PASS" else "FAIL");
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "  [%s] %-28s %s@\n"
+        (if i.ok then "ok" else "FAIL")
+        i.invariant i.detail)
+    t.items
+
+let to_string t = Format.asprintf "%a" pp t

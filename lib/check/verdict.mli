@@ -1,0 +1,43 @@
+(** Structured verification verdicts (DESIGN.md §12).
+
+    One {!item} per paper invariant re-validated; failures carry a
+    witness string pinpointing the first violation.  A verdict is never
+    a bare boolean: the consumer sees {e which} invariant failed and
+    {e where}, and can render the whole certificate as JSON. *)
+
+type item = {
+  invariant : string;  (** stable dotted name, e.g. ["ip2.subtree-volume"] *)
+  ok : bool;
+  detail : string;
+      (** for passes: what was established; for failures: the witness *)
+}
+
+type t
+
+val pass : invariant:string -> string -> item
+val fail : invariant:string -> ('a, unit, string, item) format4 -> 'a
+
+val check :
+  invariant:string -> bool -> witness:string -> detail:string -> item
+(** [check ~invariant cond ~witness ~detail] passes with [detail] or
+    fails with [witness]. *)
+
+val make : subject:string -> item list -> t
+(** [subject] names the artifact checked (["assignment"],
+    ["schedule"], ["outcome"], …). *)
+
+val merge : subject:string -> t list -> t
+
+val subject : t -> string
+val items : t -> item list
+val ok : t -> bool
+val failures : t -> item list
+val first_failure : t -> item option
+
+val to_error : t -> Hs_core.Hs_error.t option
+(** [Some (Verification _)] built from the first failure; [None] when
+    the verdict passes. *)
+
+val to_json : t -> Hs_obs.Json.t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

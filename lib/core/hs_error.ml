@@ -25,6 +25,10 @@ type t =
   | Infeasible of { reason : string; certified : bool }
       (** the instance admits no schedule; [certified] when backed by a
           verified Farkas witness *)
+  | Verification of { invariant : string; witness : string }
+      (** an independent certificate check ([lib/check]) rejected a
+          produced or cached artifact; [invariant] names the first
+          violated paper condition, [witness] pinpoints it *)
   | Internal of string  (** an invariant the paper guarantees was broken *)
 
 exception Error of t
@@ -48,6 +52,8 @@ let to_string = function
       Printf.sprintf "budget exhausted [%s]: %s" (stage_name stage) detail
   | Infeasible { reason; certified } ->
       Printf.sprintf "infeasible%s: %s" (if certified then " (certified)" else "") reason
+  | Verification { invariant; witness } ->
+      Printf.sprintf "verification failed [%s]: %s" invariant witness
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
@@ -58,7 +64,7 @@ let exit_code = function
   | Parse_error _ | Invalid_instance _ -> 2
   | Infeasible _ -> 3
   | Budget_exhausted _ -> 4
-  | Lp_stall _ | Internal _ -> 1
+  | Lp_stall _ | Verification _ | Internal _ -> 1
 
 (** Run [f], turning a raised {!Error} into [Error]. *)
 let guard f = try Ok (f ()) with Error e -> Error e

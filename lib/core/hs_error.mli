@@ -25,6 +25,10 @@ type t =
   | Infeasible of { reason : string; certified : bool }
       (** the instance admits no schedule; [certified] when backed by a
           verified Farkas witness *)
+  | Verification of { invariant : string; witness : string }
+      (** an independent certificate check ([lib/check]) rejected a
+          produced or cached artifact; [invariant] names the first
+          violated paper condition, [witness] pinpoints it *)
   | Internal of string  (** an invariant the paper guarantees was broken *)
 
 exception Error of t

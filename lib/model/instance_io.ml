@@ -124,6 +124,30 @@ let of_string text =
     let nsets, lines = expect_header "sets" lines in
     let set_lines, lines = take nsets lines "sets" in
     let sets = List.map parse_ints set_lines in
+    (* Duplicate ids are rejected here, not silently canonicalised away:
+       [Laminar.of_sets] sorts-and-dedups its input, so "0 0 1" would
+       otherwise parse as {0,1} and two identical set lines would
+       collapse into whichever survives — the file and the parsed model
+       must not disagree about what was written. *)
+    List.iteri
+      (fun k members ->
+        let sorted = List.sort compare members in
+        let rec dup = function
+          | a :: (b :: _ as rest) -> if a = b then Some a else dup rest
+          | _ -> None
+        in
+        match dup sorted with
+        | Some machine -> fail "set %d lists machine %d more than once" k machine
+        | None -> ())
+      sets;
+    (let seen = Hashtbl.create 16 in
+     List.iteri
+       (fun k members ->
+         let key = List.sort compare members in
+         match Hashtbl.find_opt seen key with
+         | Some k0 -> fail "set %d duplicates set %d" k k0
+         | None -> Hashtbl.add seen key k)
+       sets);
     let njobs, lines = expect_header "jobs" lines in
     let job_lines, rest = take njobs lines "jobs" in
     if rest <> [] then fail "trailing content after job lines";

@@ -38,7 +38,11 @@ val digest : Instance.t -> string
 
 val of_string : string -> (Instance.t, string) result
 (** Parse untrusted text.  Total: malformed input of any shape is
-    reported as [Error], never as an exception. *)
+    reported as [Error], never as an exception.  A set line listing the
+    same machine id twice, or two set lines describing the same set, is
+    rejected here (the laminar constructor would otherwise canonicalise
+    the duplicates away silently); callers at typed boundaries wrap the
+    message as [Hs_error.Parse_error]. *)
 
 val load : string -> (Instance.t, string) result
 (** Read a file; IO errors are reported as [Error]. *)

@@ -3,10 +3,6 @@
 module Json = Hs_obs.Json
 module Metrics = Hs_obs.Metrics
 
-(* Registration is idempotent and name-keyed, so this is the same cell
-   [Cache] increments on a lookup hit. *)
-let c_hit = Metrics.counter "service.cache.hit"
-let c_requests = Metrics.counter "service.requests"
 let c_batches = Metrics.counter "service.batches"
 let h_batch = Metrics.histogram ~buckets:[ 1; 2; 4; 8; 16; 32; 64; 128 ] "service.batch.size"
 
@@ -16,6 +12,7 @@ type config = {
   cache_capacity : int;
   default_budget : int option;
   max_batch : int;
+  verify : bool;
   log : string -> unit;
 }
 
@@ -26,6 +23,7 @@ let default_config ~socket_path =
     cache_capacity = 128;
     default_budget = None;
     max_batch = 64;
+    verify = false;
     log = ignore;
   }
 
@@ -37,16 +35,12 @@ type conn = {
 
 type work = { w_conn : conn; w_rid : int; w_params : Protocol.solve_params }
 
-(* A cached answer is the full response payload modulo identity fields:
-   replaying it only flips [cached]. *)
-type answer = { a_status : int; a_body : string; a_error : string }
-
 type state = {
   cfg : config;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
   queue : work Queue.t;
-  cache : answer Cache.t;
+  engine : Engine.t;  (** classification, cache, solving, verification *)
   mutable draining : (conn * int) option;  (** shutdown requester *)
 }
 
@@ -146,10 +140,9 @@ let read_conn st c =
 
 (* ---- the admission queue --------------------------------------------- *)
 
-(* One batch: classify sequentially against the cache (so duplicate
-   requests coalesce deterministically regardless of how the stream was
-   chopped into batches), solve the distinct misses on the pool, then
-   respond in admission order. *)
+(* One batch: hand the admitted requests to the engine (which
+   classifies against the cache, coalesces duplicates and solves the
+   distinct misses on the pool), then respond in admission order. *)
 let process_batch st =
   let batch = ref [] in
   while Queue.length st.queue > 0 && List.length !batch < st.cfg.max_batch do
@@ -162,78 +155,18 @@ let process_batch st =
     ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
     "service.batch"
   @@ fun () ->
-  let pending : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let classified =
-    List.map
-      (fun w ->
-        Metrics.incr c_requests;
-        match Solver.prepare ~default_budget:st.cfg.default_budget w.w_params with
-        | Error e ->
-            ( w,
-              `Done
-                (Protocol.err ~rid:w.w_rid ~status:(Protocol.status_of_error e)
-                   (Hs_core.Hs_error.to_string e)) )
-        | Ok prep ->
-            if Hashtbl.mem pending prep.Solver.key then begin
-              (* Coalesced onto an identical request in this batch: the
-                 answer is shared, so it counts as a cache hit. *)
-              Metrics.incr c_hit;
-              (w, `Follower prep.Solver.key)
-            end
-            else (
-              match Cache.find st.cache prep.Solver.key with
-              | Some a -> (w, `Hit a)
-              | None ->
-                  Hashtbl.replace pending prep.Solver.key ();
-                  (w, `Leader prep)))
-      batch
-  in
-  let leaders =
-    List.filter_map (function _, `Leader p -> Some p | _ -> None) classified
-  in
-  let solved =
-    Hs_exec.try_parmap ~jobs:st.cfg.jobs
-      (fun prep ->
-        match Solver.execute prep with
-        | Ok body -> { a_status = 0; a_body = body; a_error = "" }
-        | Error e ->
-            {
-              a_status = Protocol.status_of_error e;
-              a_body = "";
-              a_error = Hs_core.Hs_error.to_string e;
-            })
-      leaders
-  in
-  let answers : (string, answer) Hashtbl.t = Hashtbl.create 16 in
+  let answers = Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch) in
   List.iter2
-    (fun (prep : Solver.prepared) outcome ->
-      let a =
-        match outcome with
-        | Ok a -> a
-        | Error (we : Hs_exec.worker_error) ->
-            { a_status = 1; a_body = ""; a_error = Printexc.to_string we.exn }
-      in
-      Cache.add st.cache prep.Solver.key a;
-      Hashtbl.replace answers prep.Solver.key a)
-    leaders solved;
-  let respond w (a : answer) ~cached =
-    send st w.w_conn
-      {
-        Protocol.rid = w.w_rid;
-        status = a.a_status;
-        cached;
-        body = a.a_body;
-        error = a.a_error;
-      }
-  in
-  List.iter
-    (fun (w, cls) ->
-      match cls with
-      | `Done r -> send st w.w_conn r
-      | `Hit a -> respond w a ~cached:true
-      | `Follower key -> respond w (Hashtbl.find answers key) ~cached:true
-      | `Leader prep -> respond w (Hashtbl.find answers prep.Solver.key) ~cached:false)
-    classified
+    (fun w (a : Engine.answer) ->
+      send st w.w_conn
+        {
+          Protocol.rid = w.w_rid;
+          status = a.Engine.status;
+          cached = a.Engine.cached;
+          body = a.Engine.body;
+          error = a.Engine.error;
+        })
+    batch answers
 
 let drain_queue st =
   while not (Queue.is_empty st.queue) do
@@ -302,7 +235,10 @@ let run cfg =
           listen_fd;
           conns = [];
           queue = Queue.create ();
-          cache = Cache.create ~capacity:cfg.cache_capacity;
+          engine =
+            Engine.create ~verify:cfg.verify ~jobs:cfg.jobs
+              ~cache_capacity:cfg.cache_capacity ~default_budget:cfg.default_budget
+              ();
           draining = None;
         }
       in

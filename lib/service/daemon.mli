@@ -36,11 +36,17 @@ type config = {
           unbudgeted certified pipeline, exactly like plain
           [hsched solve] *)
   max_batch : int;  (** max requests per pool submission *)
+  verify : bool;
+      (** certify every answer before responding: fresh solves run the
+          independent {!Hs_check.Certify} re-validation, cache hits are
+          fingerprint-checked ({!Engine}); violations surface as typed
+          status-1 verification errors *)
   log : string -> unit;  (** server-side log sink *)
 }
 
 val default_config : socket_path:string -> config
-(** jobs 1, cache 128, no default budget, batches of 64, silent log. *)
+(** jobs 1, cache 128, no default budget, batches of 64, no
+    verification, silent log. *)
 
 val run : config -> (unit, string) result
 (** Serve until a shutdown request arrives.  [Error] covers startup

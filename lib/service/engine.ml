@@ -1,0 +1,144 @@
+(* Socket-free batch pipeline of the daemon; see the interface. *)
+
+module Metrics = Hs_obs.Metrics
+module E = Hs_core.Hs_error
+
+(* Same name-keyed cells the daemon and Cache increment. *)
+let c_hit = Metrics.counter "service.cache.hit"
+let c_requests = Metrics.counter "service.requests"
+let c_tampered = Metrics.counter "service.cache.tampered"
+
+(* A cached answer is the full response payload modulo identity fields,
+   plus a fingerprint binding it to its key so a verifying engine can
+   prove a replay untampered before sending it. *)
+type entry = {
+  e_status : int;
+  e_body : string;
+  e_error : string;
+  e_integrity : string;
+}
+
+type answer = { status : int; cached : bool; body : string; error : string }
+
+type t = {
+  jobs : int;
+  default_budget : int option;
+  verify : bool;
+  cache : entry Cache.t;
+}
+
+let create ?(verify = false) ~jobs ~cache_capacity ~default_budget () =
+  if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
+  { jobs; default_budget; verify; cache = Cache.create ~capacity:cache_capacity }
+
+let verifying t = t.verify
+
+let fingerprint ~key ~status ~body ~error =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "%s|%d|%d:%s|%d:%s" key status
+       (String.length body) body (String.length error) error))
+
+let entry ~key ~status ~body ~error =
+  {
+    e_status = status;
+    e_body = body;
+    e_error = error;
+    e_integrity = fingerprint ~key ~status ~body ~error;
+  }
+
+let intact ~key e =
+  fingerprint ~key ~status:e.e_status ~body:e.e_body ~error:e.e_error
+  = e.e_integrity
+
+let of_entry ~cached e =
+  { status = e.e_status; cached; body = e.e_body; error = e.e_error }
+
+let of_error e =
+  { status = Protocol.status_of_error e; cached = false; body = ""; error = E.to_string e }
+
+(* Replay a cache hit.  A verifying engine recomputes the fingerprint
+   first: a mismatch means the stored answer no longer matches what was
+   computed for this key — surfaced as a typed verification error, never
+   replayed. *)
+let replay t ~key e =
+  if t.verify && not (intact ~key e) then begin
+    Metrics.incr c_tampered;
+    of_error
+      (E.Verification
+         { invariant = "cache.integrity"; witness = "cached entry for " ^ key ^ " does not match its fingerprint" })
+  end
+  else of_entry ~cached:true e
+
+let solve_batch t params =
+  (* Classify sequentially against the cache so duplicate requests
+     coalesce deterministically regardless of batch boundaries. *)
+  let pending : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let classified =
+    List.map
+      (fun p ->
+        Metrics.incr c_requests;
+        match Solver.prepare ~default_budget:t.default_budget p with
+        | Error e -> `Done (of_error e)
+        | Ok prep -> (
+            if Hashtbl.mem pending prep.Solver.key then begin
+              (* Coalesced onto an identical request in this batch: the
+                 answer is shared, so it counts as a cache hit. *)
+              Metrics.incr c_hit;
+              `Follower prep.Solver.key
+            end
+            else
+              match Cache.find t.cache prep.Solver.key with
+              | Some e -> `Done (replay t ~key:prep.Solver.key e)
+              | None ->
+                  Hashtbl.replace pending prep.Solver.key ();
+                  `Leader prep))
+      params
+  in
+  let leaders =
+    List.filter_map (function `Leader p -> Some p | _ -> None) classified
+  in
+  let solved =
+    Hs_exec.try_parmap ~jobs:t.jobs
+      (fun prep ->
+        match Solver.execute ~verify:t.verify prep with
+        | Ok body -> (0, body, "")
+        | Error e -> (Protocol.status_of_error e, "", E.to_string e))
+      leaders
+  in
+  let answers : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun (prep : Solver.prepared) outcome ->
+      let status, body, error =
+        match outcome with
+        | Ok a -> a
+        | Error (we : Hs_exec.worker_error) -> (1, "", Printexc.to_string we.exn)
+      in
+      let e = entry ~key:prep.Solver.key ~status ~body ~error in
+      Cache.add t.cache prep.Solver.key e;
+      Hashtbl.replace answers prep.Solver.key e)
+    leaders solved;
+  List.map
+    (function
+      | `Done a -> a
+      | `Follower key -> of_entry ~cached:true (Hashtbl.find answers key)
+      | `Leader (prep : Solver.prepared) ->
+          of_entry ~cached:false (Hashtbl.find answers prep.Solver.key))
+    classified
+
+let cache_length t = Cache.length t.cache
+
+(* Test hook (DESIGN.md §12): simulate memory corruption or a buggy
+   eviction path by flipping a byte of a cached body while keeping the
+   recorded fingerprint. *)
+let poison_cache t ~key =
+  match Cache.find t.cache key with
+  | None -> false
+  | Some e ->
+      let body = Bytes.of_string e.e_body in
+      if Bytes.length body = 0 then
+        Cache.add t.cache key { e with e_body = "poisoned" }
+      else begin
+        Bytes.set body 0 (Char.chr (Char.code (Bytes.get body 0) lxor 1));
+        Cache.add t.cache key { e with e_body = Bytes.to_string body }
+      end;
+      true

@@ -1,0 +1,48 @@
+(** The daemon's batch pipeline, factored out of the event loop so it
+    can be driven (and corrupted) directly by tests.
+
+    A batch of solve requests is classified sequentially against the LRU
+    cache — duplicate requests coalesce onto one leader —, the distinct
+    misses are solved on an {!Hs_exec} pool, and answers come back in
+    admission order with their [cached] flags.
+
+    With [verify = true] every answer is certified before it leaves the
+    engine: fresh solves run the full {!Hs_check.Certify} re-validation
+    of the outcome ({!Solver.execute} with [~verify:true]), and cache
+    hits are replayed only after their stored fingerprint re-checks —
+    a tampered entry is answered with the typed
+    [Hs_error.Verification] error (protocol status 1), never replayed. *)
+
+type t
+
+type answer = {
+  status : int;  (** protocol status / CLI exit-code contract *)
+  cached : bool;  (** replayed from (or coalesced into) the cache *)
+  body : string;
+  error : string;
+}
+
+val create :
+  ?verify:bool ->
+  jobs:int ->
+  cache_capacity:int ->
+  default_budget:int option ->
+  unit ->
+  t
+(** [verify] defaults to [false] — byte-identical behaviour to the
+    pre-verification engine.  Raises [Invalid_argument] when
+    [jobs < 1]. *)
+
+val verifying : t -> bool
+
+val solve_batch : t -> Protocol.solve_params list -> answer list
+(** One admission batch, answers in admission order.  Later batches see
+    this batch's cache entries. *)
+
+val cache_length : t -> int
+
+val poison_cache : t -> key:string -> bool
+(** Test hook: flip a byte of the cached body for [key] while keeping
+    its recorded fingerprint, simulating cache corruption.  Returns
+    [false] when the key is not cached.  A verifying engine detects the
+    mismatch on the next hit ([service.cache.tampered] counter). *)

@@ -15,19 +15,34 @@ let prepare ~default_budget (p : Protocol.solve_params) =
       let budget = match p.budget with Some _ as b -> b | None -> default_budget in
       Ok { instance; budget; key = cache_key ~digest:(Instance_io.digest instance) ~budget }
 
-let execute { instance; budget; _ } =
+(* With [verify] the structured outcome is re-validated by the
+   independent checker before it is rendered; the first violated
+   invariant surfaces as the typed [Verification] error. *)
+let certified verdict render =
+  match Hs_check.Verdict.to_error verdict with
+  | Some e -> Error e
+  | None -> Ok (render ())
+
+let execute ?(verify = false) { instance; budget; _ } =
   Hs_obs.Tracer.with_span ~cat:"service" "service.solve" @@ fun () ->
   try
     match budget with
     | None -> (
         match Hs_core.Approx.Exact.solve_checked instance with
         | Error e -> Error e
-        | Ok o -> Ok (Render.exact_outcome o))
+        | Ok o ->
+            if verify then
+              certified (Hs_check.Certify.outcome o) (fun () -> Render.exact_outcome o)
+            else Ok (Render.exact_outcome o))
     | Some k -> (
         let budget = Hs_core.Budget.of_units k in
         match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback instance with
         | Error e -> Error e
-        | Ok r -> Ok (Render.robust_outcome ~budget r))
+        | Ok r ->
+            if verify then
+              certified (Hs_check.Certify.robust r) (fun () ->
+                  Render.robust_outcome ~budget r)
+            else Ok (Render.robust_outcome ~budget r))
   with
   | E.Error e -> Error e
   | exn -> Error (E.Internal (Printexc.to_string exn))

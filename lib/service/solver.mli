@@ -24,10 +24,13 @@ val prepare :
 (** Parse the instance text and derive the cache key.  Malformed text is
     a [Parse_error] (protocol status 2), as in the CLI. *)
 
-val execute : prepared -> (string, Hs_core.Hs_error.t) result
+val execute : ?verify:bool -> prepared -> (string, Hs_core.Hs_error.t) result
 (** Solve and render.  Without a budget this is
     [Approx.Exact.solve_checked] + {!Render.exact_outcome} (the default
     [hsched solve] path); with one it is [Approx.solve_robust] +
-    {!Render.robust_outcome} ([hsched solve --budget K]).  Runs inside a
-    ["service.solve"] tracer span; stray exceptions surface as
-    [Internal], never escape. *)
+    {!Render.robust_outcome} ([hsched solve --budget K]).  With
+    [~verify:true] (default [false]) the structured outcome is
+    re-validated by the independent checker ({!Hs_check.Certify}) before
+    rendering; the first violated invariant surfaces as the typed
+    [Verification] error.  Runs inside a ["service.solve"] tracer span;
+    stray exceptions surface as [Internal], never escape. *)

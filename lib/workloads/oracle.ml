@@ -1,0 +1,137 @@
+(** The property-based oracle: solve seeded random instances with the
+    exact pipeline and certify every outcome with {!Hs_check}.
+
+    Every success is certified (the checker re-derives the invariants
+    independently of the pipeline); every failure is shrunk to a locally
+    minimal counterexample before being reported.  The sweep decomposes
+    into a {e fixed} number of shards with seeds derived from the shard
+    index, so the outcome — counts, failing seeds, shrunk witnesses — is
+    identical at any [--jobs] level. *)
+
+open Hs_model
+module Certify = Hs_check.Certify
+module Verdict = Hs_check.Verdict
+
+(* Mirrors the corpus of shapes the algorithm test suites draw from:
+   one of the paper's topologies, then a monotone hierarchical fill. *)
+let instance_of_seed ?(max_m = 6) ?(max_n = 8) seed =
+  let rng = Rng.create seed in
+  let m = 1 + Rng.int rng max_m in
+  let n = 1 + Rng.int rng max_n in
+  let lam =
+    match Rng.int rng 5 with
+    | 0 -> Hs_laminar.Topology.semi_partitioned m
+    | 1 -> Hs_laminar.Topology.singletons m
+    | 2 ->
+        let clusters =
+          let rec div d = if m mod d = 0 then d else div (d - 1) in
+          div (Stdlib.max 1 (Stdlib.min 3 m))
+        in
+        Hs_laminar.Topology.clustered ~m ~clusters
+    | 3 ->
+        Hs_laminar.Topology.smp_cmp ~nodes:2 ~chips_per_node:2
+          ~cores_per_chip:(Stdlib.max 1 (m / 4))
+    | _ -> Generators.random_laminar rng ~m ()
+  in
+  Generators.hierarchical rng ~lam ~n ~base:(1, 8)
+    ~heterogeneity:(1.0 +. Rng.float rng)
+    ~overhead:(Rng.float rng *. 0.5) ()
+
+type violation = { invariant : string; witness : string }
+
+type status =
+  | Certified  (** solved and every invariant re-validated *)
+  | Infeasible  (** the pipeline reported (certified) infeasibility *)
+  | Violated of violation  (** solve failed unexpectedly, or a certificate check did *)
+
+let certify_solve ?(lp = true) inst =
+  match Hs_core.Approx.Exact.solve_checked inst with
+  | Ok o -> (
+      let verdict = Certify.outcome ~lp o in
+      match Verdict.first_failure verdict with
+      | None -> Certified
+      | Some { Verdict.invariant; detail; _ } ->
+          Violated { invariant; witness = detail })
+  | Error (Hs_core.Hs_error.Infeasible _) -> Infeasible
+  | Error e ->
+      Violated { invariant = "pipeline"; witness = Hs_core.Hs_error.to_string e }
+
+type failure = {
+  seed : int;
+  violation : violation;
+  original : Instance.t;
+  shrunk : Instance.t;
+}
+
+type report = {
+  iterations : int;
+  certified : int;
+  infeasible : int;
+  failures : failure list;  (** in seed order, regardless of [--jobs] *)
+}
+
+(* Shrink against the *same* invariant: a candidate that fails some
+   other check is a different bug and must not hijack the witness. *)
+let shrink_failure ~lp ~seed ~violation inst =
+  let still_failing c =
+    match certify_solve ~lp c with
+    | Violated v -> v.invariant = violation.invariant
+    | Certified | Infeasible -> false
+  in
+  let shrunk = Shrink.minimize ~still_failing inst in
+  let violation =
+    match certify_solve ~lp shrunk with Violated v -> v | _ -> violation
+  in
+  { seed; violation; original = inst; shrunk }
+
+let nshards = 16
+
+let run ?(lp = true) ?(max_m = 6) ?(max_n = 8) ~iters ~jobs ~seed () =
+  (* Fixed shard decomposition: shard s owns global iterations
+     i ≡ s (mod nshards); seeds depend only on the base seed and the
+     global iteration index, never on the job count. *)
+  let shard s =
+    let rec go i acc =
+      if i >= iters then List.rev acc
+      else
+        let it_seed = seed + (0x9e3779b9 * i) in
+        let inst = instance_of_seed ~max_m ~max_n it_seed in
+        let outcome =
+          match certify_solve ~lp inst with
+          | Certified -> `Certified
+          | Infeasible -> `Infeasible
+          | Violated violation ->
+              `Failure (shrink_failure ~lp ~seed:it_seed ~violation inst)
+        in
+        go (i + nshards) (outcome :: acc)
+    in
+    go s []
+  in
+  let shards =
+    Hs_exec.parmap ~jobs shard (List.init (Stdlib.min nshards iters) (fun s -> s))
+  in
+  (* Merge back into global iteration order. *)
+  let arr = Array.make iters `Certified in
+  List.iteri
+    (fun s outcomes ->
+      List.iteri (fun k o -> arr.((k * nshards) + s) <- o) outcomes)
+    shards;
+  let certified = ref 0 and infeasible = ref 0 and failures = ref [] in
+  Array.iter
+    (function
+      | `Certified -> incr certified
+      | `Infeasible -> incr infeasible
+      | `Failure f -> failures := f :: !failures)
+    arr;
+  {
+    iterations = iters;
+    certified = !certified;
+    infeasible = !infeasible;
+    failures = List.rev !failures;
+  }
+
+let pp_failure fmt f =
+  let n, k, p = Shrink.measure f.shrunk in
+  Format.fprintf fmt
+    "seed %d: [%s] %s@\n  shrunk to %d jobs / %d sets / volume %d:@\n%a" f.seed
+    f.violation.invariant f.violation.witness n k p Instance.pp f.shrunk

@@ -1,0 +1,51 @@
+(** Property-based oracle: certified solves over seeded random
+    instances, with shrinking to minimal counterexamples.
+
+    Deterministic at any parallelism: the sweep decomposes into a fixed
+    number of shards whose seeds derive from the global iteration index,
+    so counts, failing seeds and shrunk witnesses are identical at any
+    [jobs] level. *)
+
+open Hs_model
+
+val instance_of_seed : ?max_m:int -> ?max_n:int -> int -> Instance.t
+(** The oracle corpus: one of the paper's topologies plus a monotone
+    hierarchical fill, reproducible from the seed alone. *)
+
+type violation = { invariant : string; witness : string }
+
+type status =
+  | Certified  (** solved and every invariant re-validated *)
+  | Infeasible  (** the pipeline reported (certified) infeasibility *)
+  | Violated of violation
+      (** solve failed unexpectedly, or a certificate check did *)
+
+val certify_solve : ?lp:bool -> Instance.t -> status
+(** Run the exact Theorem V.2 pipeline and certify the outcome with
+    {!Hs_check.Certify.outcome}. *)
+
+type failure = {
+  seed : int;
+  violation : violation;  (** re-checked on the shrunk witness *)
+  original : Instance.t;
+  shrunk : Instance.t;  (** locally minimal, same invariant violated *)
+}
+
+type report = {
+  iterations : int;
+  certified : int;
+  infeasible : int;
+  failures : failure list;  (** in seed order, regardless of [jobs] *)
+}
+
+val run :
+  ?lp:bool ->
+  ?max_m:int ->
+  ?max_n:int ->
+  iters:int ->
+  jobs:int ->
+  seed:int ->
+  unit ->
+  report
+
+val pp_failure : Format.formatter -> failure -> unit

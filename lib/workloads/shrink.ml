@@ -1,0 +1,114 @@
+(** Greedy instance shrinking for the oracle harness.
+
+    Given a failing instance and a predicate that re-checks the failure,
+    {!minimize} walks a deterministic candidate order — drop a job, drop
+    a set, halve one job's processing times — accepting the first
+    candidate that still fails, until no candidate does.  Every
+    candidate is strictly smaller under {!measure} and is re-validated
+    through {!Hs_model.Instance.make}, so shrinking terminates and never
+    produces an ill-formed instance. *)
+
+open Hs_model
+open Hs_laminar
+
+let measure inst =
+  let lam = Instance.laminar inst in
+  let total = ref 0 in
+  for j = 0 to Instance.njobs inst - 1 do
+    for s = 0 to Laminar.size lam - 1 do
+      match Ptime.value (Instance.ptime inst ~job:j ~set:s) with
+      | Some p -> total := !total + p
+      | None -> ()
+    done
+  done;
+  (Instance.njobs inst, Laminar.size lam, !total)
+
+let size inst =
+  let n, k, p = measure inst in
+  n + k + p
+
+let smaller a b = size a < size b
+
+let ptimes inst =
+  let lam = Instance.laminar inst in
+  Array.init (Instance.njobs inst) (fun j ->
+      Array.init (Laminar.size lam) (fun s -> Instance.ptime inst ~job:j ~set:s))
+
+(* Candidates in deterministic order, all strictly smaller. *)
+let candidates inst =
+  let lam = Instance.laminar inst in
+  let m = Laminar.m lam in
+  let nsets = Laminar.size lam in
+  let n = Instance.njobs inst in
+  let p = ptimes inst in
+  let acc = ref [] in
+  let emit = function
+    | Ok c -> acc := c :: !acc
+    | Error _ -> ()
+  in
+  (* Drop one job (keep at least one). *)
+  if n > 1 then
+    for j = n - 1 downto 0 do
+      let p' = Array.init (n - 1) (fun k -> p.(if k < j then k else k + 1)) in
+      emit (Instance.make lam p')
+    done;
+  (* Drop one set, provided every job keeps a finite mask.  Any
+     sub-family of a laminar family is laminar, so only non-emptiness
+     needs re-checking (of_sets validates anyway). *)
+  if nsets > 1 then begin
+    let sets = Array.of_list (Laminar.sets lam) in
+    for s = nsets - 1 downto 0 do
+      let keeps_finite j =
+        let ok = ref false in
+        for s' = 0 to nsets - 1 do
+          if s' <> s && Ptime.is_fin p.(j).(s') then ok := true
+        done;
+        !ok
+      in
+      let all_ok = ref true in
+      for j = 0 to n - 1 do
+        if not (keeps_finite j) then all_ok := false
+      done;
+      if !all_ok then
+        let remaining =
+          List.filteri (fun k _ -> k <> s) (Array.to_list sets)
+        in
+        match Laminar.of_sets ~m remaining with
+        | Error _ -> ()
+        | Ok lam' ->
+            let p' =
+              Array.map
+                (fun row ->
+                  Array.init (nsets - 1) (fun k -> row.(if k < s then k else k + 1)))
+                p
+            in
+            emit (Instance.make lam' p')
+    done
+  end;
+  (* Halve one job's processing times (⌈p/2⌉ preserves monotonicity);
+     only when it actually shrinks something. *)
+  for j = n - 1 downto 0 do
+    if Array.exists (function Ptime.Fin v -> v >= 2 | Ptime.Inf -> false) p.(j)
+    then begin
+      let p' = Array.map Array.copy p in
+      p'.(j) <-
+        Array.map
+          (function Ptime.Fin v -> Ptime.Fin ((v + 1) / 2) | Ptime.Inf -> Ptime.Inf)
+          p.(j);
+      emit (Instance.make lam p')
+    end
+  done;
+  List.filter (fun c -> smaller c inst) (List.rev !acc)
+
+let minimize ~still_failing inst =
+  (* Greedy descent: take the first candidate that still fails.  The
+     measure strictly decreases, so this terminates; the explicit cap is
+     a backstop against a pathological predicate. *)
+  let rec go budget inst =
+    if budget = 0 then inst
+    else
+      match List.find_opt still_failing (candidates inst) with
+      | Some c -> go (budget - 1) c
+      | None -> inst
+  in
+  go 10_000 inst

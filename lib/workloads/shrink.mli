@@ -1,0 +1,23 @@
+(** Greedy instance shrinking to minimal counterexamples.
+
+    Deterministic: candidate order is a pure function of the instance,
+    so a given failure always shrinks to the same minimal instance. *)
+
+open Hs_model
+
+val measure : Instance.t -> int * int * int
+(** (jobs, sets, total finite processing time) — the shrink order. *)
+
+val size : Instance.t -> int
+(** Sum of the three {!measure} components; every candidate produced by
+    {!candidates} is strictly smaller under this. *)
+
+val candidates : Instance.t -> Instance.t list
+(** Strictly smaller well-formed variants, in a deterministic order:
+    drop one job, drop one set (only when every job keeps a finite
+    mask), halve one job's processing times ([⌈p/2⌉], monotone). *)
+
+val minimize : still_failing:(Instance.t -> bool) -> Instance.t -> Instance.t
+(** Greedy descent: repeatedly move to the first candidate on which
+    [still_failing] holds, until none does.  The result is locally
+    minimal: no single candidate step reproduces the failure. *)

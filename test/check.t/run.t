@@ -1,0 +1,79 @@
+Independent certificate checker, end to end (DESIGN.md §12).  All seeds
+fixed; outputs promoted from a verified run.
+
+`hsched check FILE` re-runs the certified pipeline and re-validates every
+paper invariant with the independent checkers — exact rationals for the
+LP side, an event sweep for the schedule:
+
+  $ ../../bin/hsched.exe generate --topology clustered --m 4 --jobs 3 --seed 5 -o inst.txt
+  wrote inst.txt
+  $ ../../bin/hsched.exe check inst.txt
+  certificate: outcome — PASS
+    [ok] laminar.members              7 sets non-empty within 4 machines
+    [ok] laminar.nested-or-disjoint   every pair of sets is nested or disjoint
+    [ok] instance.monotone            P_j(α) ≤ P_j(β) for all α ⊆ β
+    [ok] ip2.well-formed              3 jobs on admissible in-range masks
+    [ok] ip2.job-fits                 every assigned time ≤ horizon 8
+    [ok] ip2.subtree-volume           subtree volumes fit |α|·8 on all 7 sets
+    [ok] sched.segments               3 segments well-formed within [0,8)
+    [ok] sched.affinity               segments stay on the assigned masks
+    [ok] sched.machine-exclusive      no overlap (event sweep)
+    [ok] sched.job-serial             no overlap (event sweep)
+    [ok] sched.work-conserved         every job receives exactly its processing time
+    [ok] outcome.makespan             schedule completes within reported makespan 8
+    [ok] lp.feasible-at-t             (IP-3) relaxation feasible at T* = 5
+    [ok] lp.minimal                   T* − 1 = 4 certified infeasible (Farkas)
+    [ok] thm-v2.bound                 makespan 8 ≤ 2·T* = 10
+
+A hand-supplied assignment is certified against (IP-2) at the given
+horizon; a violation pinpoints the invariant and the witness, exit 1:
+
+  $ ../../bin/hsched.exe check inst.txt --assignment 2,2,2 --tmax 3
+  certificate: assignment — FAIL
+    [ok] laminar.members              7 sets non-empty within 4 machines
+    [ok] laminar.nested-or-disjoint   every pair of sets is nested or disjoint
+    [ok] instance.monotone            P_j(α) ≤ P_j(β) for all α ⊆ β
+    [ok] ip2.well-formed              3 jobs on admissible in-range masks
+    [FAIL] ip2.job-fits                 job 0 on set 2 needs 8 > horizon 3
+    [FAIL] ip2.subtree-volume           set 2 carries subtree volume 20 > capacity 12
+  [1]
+
+The JSON rendering carries the same verdict for machines:
+
+  $ ../../bin/hsched.exe check inst.txt --json > cert.json
+  $ ../json_check.exe cert.json subject ok checked failed invariants
+  cert.json: valid JSON; keys ok
+
+`solve --check` certifies the outcome it just printed — the default
+output is byte-identical to an uncertified solve, the certificate is
+strictly additive:
+
+  $ ../../bin/hsched.exe solve --file inst.txt --check | head -3
+  LP lower bound T* = 5
+  achieved makespan = 8  (guarantee: <= 10)
+  fractional jobs rounded: 2 (matched 2)
+  $ ../../bin/hsched.exe solve --file inst.txt --check | tail -3
+    [ok] lp.feasible-at-t             (IP-3) relaxation feasible at T* = 5
+    [ok] lp.minimal                   T* − 1 = 4 certified infeasible (Farkas)
+    [ok] thm-v2.bound                 makespan 8 ≤ 2·T* = 10
+
+The float LP path is uncertified by design; combining it with --check is
+a usage error (exit 2):
+
+  $ ../../bin/hsched.exe solve --file inst.txt --check --float-lp
+  hsched: --check certifies the exact pipeline; drop --float-lp
+  [2]
+
+`sweep --check` folds a one-line certification into each report:
+
+  $ ../../bin/hsched.exe generate --topology semi --m 3 --jobs 4 --seed 7 -o inst2.txt
+  wrote inst2.txt
+  $ ../../bin/hsched.exe sweep inst.txt inst2.txt --check
+  == inst.txt ==
+  LP lower bound T* = 5
+  achieved makespan = 8  (guarantee: <= 10)
+  certified: 15 invariants re-verified
+  == inst2.txt ==
+  LP lower bound T* = 12
+  achieved makespan = 20  (guarantee: <= 24)
+  certified: 15 invariants re-verified

@@ -9,9 +9,15 @@
    byte-identical at any parallelism.  Shards run on an {!Hs_exec} pool
    and their reports are folded in shard order.
 
-   Exit status 0 when the parser never raised and the validators caught
-   every structural mutation; 1 otherwise, with the offending inputs
-   printed. *)
+   A third phase runs the certified-solve oracle ({!Hs_workloads.Oracle})
+   on a tenth of the iteration budget: every generated instance is solved
+   by the exact Theorem V.2 pipeline and its outcome re-validated by the
+   independent {!Hs_check} certifier; any violation is shrunk to a
+   locally minimal witness before being reported.
+
+   Exit status 0 when the parser never raised, the validators caught
+   every structural mutation and every solve was certified; 1 otherwise,
+   with the offending inputs (or shrunk counterexamples) printed. *)
 
 open Hs_model
 open Hs_workloads
@@ -109,5 +115,16 @@ let () =
     fail := true;
     Printf.printf "VALIDATOR MISSED %d structural violations\n" validator_report.Mutators.accepted
   end;
+  let oracle =
+    Oracle.run ~iters:(Stdlib.max 1 (iters / 10)) ~jobs ~seed:0x5eed5 ()
+  in
+  Printf.printf "oracle fuzz:    %d solves, %d certified, %d infeasible, %d violations\n"
+    oracle.Oracle.iterations oracle.Oracle.certified oracle.Oracle.infeasible
+    (List.length oracle.Oracle.failures);
+  List.iter
+    (fun f ->
+      fail := true;
+      Format.printf "%a@." Oracle.pp_failure f)
+    oracle.Oracle.failures;
   if !fail then exit 1;
   print_endline "fuzz: OK"

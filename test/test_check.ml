@@ -1,0 +1,181 @@
+(* The independent certificate checker (lib/check) and the
+   property-based oracle harness: certificates pass on honest pipeline
+   output, fail with pinpointing witnesses on corrupted artifacts, and
+   the shrinker deterministically reduces failures to minimal
+   counterexamples. *)
+
+open Hs_model
+open Hs_check
+module Oracle = Hs_workloads.Oracle
+module Shrink = Hs_workloads.Shrink
+module Families = Hs_workloads.Families
+
+(* {1 Certificates on honest output} *)
+
+let test_outcome_certified () =
+  List.iter
+    (fun seed ->
+      let inst = Oracle.instance_of_seed ~max_m:4 ~max_n:6 seed in
+      match Oracle.certify_solve inst with
+      | Oracle.Certified -> ()
+      | Oracle.Infeasible -> Alcotest.failf "seed %d: unexpected infeasible" seed
+      | Oracle.Violated v ->
+          Alcotest.failf "seed %d: [%s] %s" seed v.invariant v.witness)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_examples_certified () =
+  List.iter
+    (fun inst ->
+      match Hs_core.Approx.Exact.solve_checked inst with
+      | Error e -> Alcotest.failf "solve: %s" (Hs_core.Hs_error.to_string e)
+      | Ok o ->
+          let v = Certify.outcome o in
+          if not (Verdict.ok v) then Alcotest.fail (Verdict.to_string v))
+    [ Families.example_ii1 (); Families.example_v1 4; Families.example_v1 6 ]
+
+let test_robust_certified () =
+  let inst = Oracle.instance_of_seed 7 in
+  match Hs_core.Approx.solve_robust ~budget:(Hs_core.Budget.of_units 200) inst with
+  | Error e -> Alcotest.failf "solve_robust: %s" (Hs_core.Hs_error.to_string e)
+  | Ok r ->
+      let v = Certify.robust r in
+      if not (Verdict.ok v) then Alcotest.fail (Verdict.to_string v)
+
+(* {1 Corrupted artifacts fail with the right invariant} *)
+
+let first_bad v =
+  match Verdict.first_failure v with
+  | Some i -> i.Verdict.invariant
+  | None -> Alcotest.fail "verdict unexpectedly passed"
+
+let solved inst =
+  match Hs_core.Approx.Exact.solve_checked inst with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "solve: %s" (Hs_core.Hs_error.to_string e)
+
+let test_corrupt_assignment () =
+  let o = solved (Families.example_v1 5) in
+  let inst = o.Hs_core.Approx.Exact.instance in
+  (* Squeeze the horizon: the same assignment cannot fit tmax = 0. *)
+  let v = Certify.assignment inst o.assignment ~tmax:0 in
+  Alcotest.(check bool) "fails at tmax=0" false (Verdict.ok v);
+  let bad = first_bad v in
+  Alcotest.(check bool) "an ip2 invariant is blamed" true
+    (String.length bad >= 3 && String.sub bad 0 3 = "ip2");
+  (* Out-of-range mask. *)
+  let a = Array.copy o.assignment in
+  a.(0) <- 9999;
+  let v = Certify.assignment inst a ~tmax:o.makespan in
+  Alcotest.(check string) "well-formedness is blamed" "ip2.well-formed" (first_bad v)
+
+let test_corrupt_schedule () =
+  let o = solved (Families.example_ii1 ()) in
+  let inst = o.Hs_core.Approx.Exact.instance in
+  let sched = o.schedule in
+  (* Drop a segment: some job no longer receives its full time. *)
+  (match Schedule.segments sched with
+  | seg :: rest ->
+      let cut = { sched with Schedule.segments = rest } in
+      ignore seg;
+      let v = Certify.schedule inst o.assignment cut in
+      Alcotest.(check string) "work conservation is blamed" "sched.work-conserved"
+        (first_bad v)
+  | [] -> Alcotest.fail "empty schedule");
+  (* Double-book a machine: overlay every segment onto machine of seg0
+     at the same instants. *)
+  match Schedule.segments sched with
+  | ({ Schedule.machine; start; stop; _ } as s0) :: _ ->
+      let clash = { s0 with Schedule.job = 1 - s0.Schedule.job } in
+      ignore (machine, start, stop);
+      let bad =
+        { sched with Schedule.segments = clash :: Schedule.segments sched }
+      in
+      let v = Certify.schedule inst o.assignment bad in
+      Alcotest.(check bool) "double booking detected" false (Verdict.ok v)
+  | [] -> Alcotest.fail "empty schedule"
+
+let test_tape_bounds () =
+  let ok = Check.tape_bounds ~m:3 { Hs_core.Tape.migrations = 2; preemptions = 2 } in
+  Alcotest.(check bool) "within Prop III.2" true (List.for_all (fun i -> i.Verdict.ok) ok);
+  let bad = Check.tape_bounds ~m:3 { Hs_core.Tape.migrations = 3; preemptions = 0 } in
+  Alcotest.(check bool) "m migrations rejected" true
+    (List.exists (fun i -> not i.Verdict.ok) bad)
+
+let test_verdict_surface () =
+  let v =
+    Verdict.make ~subject:"demo"
+      [ Verdict.pass ~invariant:"a" "fine"; Verdict.fail ~invariant:"b" "job %d" 3 ]
+  in
+  Alcotest.(check bool) "not ok" false (Verdict.ok v);
+  (match Verdict.to_error v with
+  | Some (Hs_core.Hs_error.Verification { invariant; witness }) ->
+      Alcotest.(check string) "invariant" "b" invariant;
+      Alcotest.(check string) "witness" "job 3" witness
+  | _ -> Alcotest.fail "expected Verification error");
+  let json = Hs_obs.Json.to_string (Verdict.to_json v) in
+  match Hs_obs.Json.parse json with
+  | Error e -> Alcotest.failf "verdict JSON does not parse: %s" e
+  | Ok j -> (
+      match Hs_obs.Json.member "ok" j with
+      | Some (Hs_obs.Json.Bool false) -> ()
+      | _ -> Alcotest.fail "verdict JSON lacks ok=false")
+
+(* {1 Shrinking} *)
+
+let test_shrink_strictly_smaller () =
+  let inst = Oracle.instance_of_seed 11 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate strictly smaller" true
+        (Shrink.size c < Shrink.size inst))
+    (Shrink.candidates inst)
+
+let test_shrink_minimal_and_deterministic () =
+  (* A synthetic "failure": instances with at least 2 jobs and total
+     volume at least 6.  The minimizer must reach a local minimum that
+     still satisfies the predicate, deterministically. *)
+  let still_failing i =
+    let _, _, vol = Shrink.measure i in
+    Instance.njobs i >= 2 && vol >= 6
+  in
+  let inst = Oracle.instance_of_seed ~max_m:4 ~max_n:6 23 in
+  Alcotest.(check bool) "seed instance fails the predicate" true (still_failing inst);
+  let a = Shrink.minimize ~still_failing inst in
+  let b = Shrink.minimize ~still_failing inst in
+  Alcotest.(check bool) "shrunk still failing" true (still_failing a);
+  Alcotest.(check bool) "no smaller candidate still fails" true
+    (not (List.exists still_failing (Shrink.candidates a)));
+  Alcotest.(check string) "deterministic witness" (Instance_io.to_string a)
+    (Instance_io.to_string b);
+  Alcotest.(check bool) "not larger than the original" true
+    (Shrink.size a <= Shrink.size inst)
+
+let test_oracle_jobs_independent () =
+  let run jobs = Oracle.run ~lp:false ~max_m:3 ~max_n:4 ~iters:12 ~jobs ~seed:2017 () in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check int) "iterations" a.Oracle.iterations b.Oracle.iterations;
+  Alcotest.(check int) "certified" a.Oracle.certified b.Oracle.certified;
+  Alcotest.(check int) "infeasible" a.Oracle.infeasible b.Oracle.infeasible;
+  Alcotest.(check (list int)) "failing seeds"
+    (List.map (fun f -> f.Oracle.seed) a.Oracle.failures)
+    (List.map (fun f -> f.Oracle.seed) b.Oracle.failures);
+  Alcotest.(check int) "healthy pipeline certifies everything"
+    a.Oracle.iterations
+    (a.Oracle.certified + a.Oracle.infeasible)
+
+let suite =
+  ( "check",
+    [
+      Alcotest.test_case "outcomes certified" `Quick test_outcome_certified;
+      Alcotest.test_case "worked examples certified" `Quick test_examples_certified;
+      Alcotest.test_case "robust outcome certified" `Quick test_robust_certified;
+      Alcotest.test_case "corrupt assignment blamed" `Quick test_corrupt_assignment;
+      Alcotest.test_case "corrupt schedule blamed" `Quick test_corrupt_schedule;
+      Alcotest.test_case "tape bounds" `Quick test_tape_bounds;
+      Alcotest.test_case "verdict JSON and typed error" `Quick test_verdict_surface;
+      Alcotest.test_case "shrink candidates smaller" `Quick test_shrink_strictly_smaller;
+      Alcotest.test_case "shrink minimal + deterministic" `Quick
+        test_shrink_minimal_and_deterministic;
+      Alcotest.test_case "oracle independent of --jobs" `Quick
+        test_oracle_jobs_independent;
+    ] )

@@ -79,10 +79,54 @@ let test_float_lp_agrees_on_bound () =
     | _, Error e -> Alcotest.failf "k=%d: float pipeline failed: %s" k e
   done
 
+let test_certifier_agrees_with_asserts () =
+  (* The independent certifier must reach the same verdict as this
+     file's inline inequality asserts — and stay sharper where the
+     asserts cannot look: it recomputes the makespan from the schedule
+     and re-proves LP minimality, so a tampered outcome record that
+     still satisfies the sandwich is rejected. *)
+  for k = 0 to 3 do
+    let label = Printf.sprintf "k=%d" k in
+    let rng = Hs_workloads.Rng.create (99200 + (71 * k)) in
+    let inst =
+      Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned 3) ~n:5 ~base:(1, 9)
+        ~heterogeneity:1.5 ~overhead:0.2 ()
+    in
+    match Hs_core.Approx.Exact.solve inst with
+    | Error e -> Alcotest.failf "%s: pipeline failed: %s" label e
+    | Ok o ->
+        Alcotest.(check bool)
+          (label ^ ": sandwich holds")
+          true
+          (o.t_lp <= o.makespan && o.makespan <= 2 * o.t_lp);
+        Alcotest.(check bool)
+          (label ^ ": certificate agrees")
+          true
+          (Hs_check.Verdict.ok (Hs_check.Certify.outcome o));
+        (* Under-reporting the makespan keeps every inequality above
+           intact; only recomputing it from the schedule catches it. *)
+        let achieved = Hs_model.Schedule.makespan o.schedule in
+        if achieved > 0 then begin
+          let fudged = { o with Hs_core.Approx.Exact.makespan = achieved - 1 } in
+          Alcotest.(check bool)
+            (label ^ ": under-reported makespan caught")
+            false
+            (Hs_check.Verdict.ok (Hs_check.Certify.outcome fudged))
+        end;
+        (* An inflated lower bound would silently tighten the guarantee;
+           minimality (Farkas at t_lp - 1) is what rejects it. *)
+        let inflated = { o with Hs_core.Approx.Exact.t_lp = o.t_lp + 1 } in
+        Alcotest.(check bool)
+          (label ^ ": inflated lower bound caught")
+          false
+          (Hs_check.Verdict.ok (Hs_check.Certify.outcome inflated))
+  done
+
 let suite =
   let u name f = Alcotest.test_case name `Quick f in
   ( "differential",
     [
       u "t_lp <= OPT <= ALG <= 2*t_lp" test_alg_between_lp_and_2opt;
       u "float LP sandwiched identically" test_float_lp_agrees_on_bound;
+      u "certifier agrees with the asserts, and is sharper" test_certifier_agrees_with_asserts;
     ] )

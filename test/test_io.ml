@@ -55,6 +55,37 @@ let test_parse_errors () =
   (* trailing garbage *)
   expect_error "machines 1\nsets 1\n0\njobs 1\n3\nextra\n"
 
+let test_duplicate_ids_rejected () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* Regression: a set line listing the same machine twice used to be
+     silently canonicalised to the deduplicated set by Laminar.of_sets;
+     it must be a parse error (the file and the model would disagree). *)
+  let dup_machine = "machines 2\nsets 2\n0 0 1\n0\njobs 1\n4 2\n" in
+  (match Instance_io.of_string dup_machine with
+  | Error e ->
+      Alcotest.(check bool) "error names the duplicate" true
+        (contains e "more than once")
+  | Ok _ -> Alcotest.fail "duplicate machine id in a set line accepted");
+  (* Two lines describing the same set: rejected at parse level too. *)
+  let dup_set = "machines 2\nsets 3\n0 1\n0\n0\njobs 1\n5 2 2\n" in
+  (match Instance_io.of_string dup_set with
+  | Error e ->
+      Alcotest.(check bool) "error names the duplicated set" true
+        (contains e "duplicates set")
+  | Ok _ -> Alcotest.fail "duplicated set line accepted");
+  (* The same rejection is typed at the service boundary. *)
+  match
+    Hs_service.Solver.prepare ~default_budget:None
+      { Hs_service.Protocol.instance_text = dup_machine; budget = None }
+  with
+  | Error (Hs_error.Parse_error _) -> ()
+  | Error e -> Alcotest.failf "expected Parse_error, got %s" (Hs_error.to_string e)
+  | Ok _ -> Alcotest.fail "service accepted the duplicate-id text"
+
 let prop_generator_roundtrip =
   QCheck.Test.make ~name:"generated instances round-trip" ~count:100 Test_util.seed_arb
     (fun seed ->
@@ -228,6 +259,7 @@ let suite =
       u "parse sample" test_parse_sample;
       u "round-trip sample" test_roundtrip_sample;
       u "parse errors" test_parse_errors;
+      u "duplicate ids rejected" test_duplicate_ids_rejected;
       u "file io" test_file_io;
       u "canonical: scrambled file hashes equal" test_canonical_equal_digests;
       u "canonical: different instances differ" test_canonical_distinguishes;

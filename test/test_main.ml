@@ -25,4 +25,5 @@ let () =
       Test_service.suite;
       Test_pushdown.suite;
       Test_differential.suite;
+      Test_check.suite;
     ]

@@ -74,7 +74,36 @@ let check_invariants ~label inst =
       if Q.gt (volume closed x') (volume closed x) then
         Alcotest.failf "%s: volume grew moving down: %s -> %s" label
           (Q.to_string (volume closed x))
-          (Q.to_string (volume closed x'))
+          (Q.to_string (volume closed x'));
+      (* Differential: the independent Lemma V.1 checker must agree with
+         the producer predicates above — certifying the honest sweep and
+         rejecting a tampered one that the producers also reject. *)
+      let checker_ok after =
+        List.for_all
+          (fun i -> i.Hs_check.Verdict.ok)
+          (Hs_check.Check.pushdown closed ~before:x ~after ~tmax:t)
+      in
+      Alcotest.(check bool) (label ^ ": checker certifies the sweep") true (checker_ok x');
+      let nonzero =
+        let found = ref None in
+        Array.iteri
+          (fun s row ->
+            Array.iteri (fun j v -> if !found = None && Q.sign v <> 0 then found := Some (s, j)) row)
+          x';
+        !found
+      in
+      (match nonzero with
+      | None -> ()
+      | Some (s, j) ->
+          let bad = Array.map Array.copy x' in
+          bad.(s).(j) <- Q.add bad.(s).(j) (Q.of_int 1);
+          Alcotest.(check bool)
+            (label ^ ": checker rejects tampered mass")
+            false (checker_ok bad);
+          Alcotest.(check bool)
+            (label ^ ": producer asserts agree on the tampering")
+            false
+            (P.feasible closed ~tmax:t bad && Q.equal (job_mass bad j) (job_mass x j)))
 
 let test_pushdown_families () =
   List.iter

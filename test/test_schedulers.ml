@@ -183,6 +183,97 @@ let prop_alg23_rejects_below_makespan =
              still has to hold. *)
           Schedule.is_valid inst a sched)
 
+let prop_checker_agrees_with_validate =
+  (* Differential: the event-sweep checker of Hs_check re-derives the
+     Section II conditions without Schedule.validate's sort-and-compare;
+     both must certify the honest schedule and reject a schedule with a
+     segment removed (work conservation). *)
+  QCheck.Test.make ~name:"independent checker agrees with Schedule.validate" ~count:200
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.schedule inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithms 2-3 failed: %s" e
+      | Ok sched ->
+          let checker_ok s =
+            List.for_all
+              (fun i -> i.Hs_check.Verdict.ok)
+              (Hs_check.Check.schedule inst a s)
+          in
+          let honest = Schedule.is_valid inst a sched && checker_ok sched in
+          let tampered_agree =
+            match Schedule.segments sched with
+            | seg :: rest when seg.Schedule.stop > seg.Schedule.start ->
+                let cut = { sched with Schedule.segments = rest } in
+                (not (Schedule.is_valid inst a cut)) && not (checker_ok cut)
+            | _ -> true
+          in
+          honest && tampered_agree)
+
+let prop_checker_agrees_with_lemma_predicates =
+  (* Differential for Algorithm 2: Hs_check recomputes the chain sums
+     and volume balance from raw member arrays; it must agree with
+     lemma_iv1_holds/lemma_iv2_holds and the volume fold, including on a
+     load table corrupted by one unit. *)
+  QCheck.Test.make ~name:"independent checker agrees with the Lemma IV predicates" ~count:200
+    Test_util.seed_arb (fun seed ->
+      let inst, a = Test_util.random_assigned seed in
+      let lam = Instance.laminar inst in
+      let t = Assignment.min_makespan inst a in
+      match Hierarchical.allocate inst a ~tmax:t with
+      | Error e -> QCheck.Test.fail_reportf "Algorithm 2 failed: %s" e
+      | Ok alloc ->
+          let checker_ok al =
+            List.for_all
+              (fun i -> i.Hs_check.Verdict.ok)
+              (Hs_check.Check.allocation inst a al ~tmax:t)
+          in
+          let volume_ok al =
+            List.for_all
+              (fun set ->
+                Assignment.volume inst a ~set
+                = Array.fold_left
+                    (fun acc i -> acc + al.Hierarchical.load.(set).(i))
+                    0 (Laminar.members lam set))
+              (Laminar.bottom_up lam)
+          in
+          let producer_ok al =
+            Hierarchical.lemma_iv1_holds lam al ~tmax:t
+            && Hierarchical.lemma_iv2_holds lam al
+            && volume_ok al
+          in
+          if not (producer_ok alloc) then
+            QCheck.Test.fail_report "producer predicates reject an honest allocation"
+          else if not (checker_ok alloc) then
+            let bad =
+              List.find
+                (fun i -> not i.Hs_check.Verdict.ok)
+                (Hs_check.Check.allocation inst a alloc ~tmax:t)
+            in
+            QCheck.Test.fail_reportf "checker rejects an honest allocation: [%s] %s"
+              bad.Hs_check.Verdict.invariant bad.Hs_check.Verdict.detail
+          else
+            let found = ref None in
+            Array.iteri
+              (fun s row ->
+                Array.iteri
+                  (fun i v -> if !found = None && v > 0 then found := Some (s, i, v))
+                  row)
+              alloc.Hierarchical.load;
+            match !found with
+            | None -> true (* zero-volume instance: nothing to corrupt *)
+            | Some (s, i, v) ->
+                let load = Array.map Array.copy alloc.Hierarchical.load in
+                load.(s).(i) <- v + 1;
+                let bad = { alloc with Hierarchical.load } in
+                if producer_ok bad then
+                  QCheck.Test.fail_reportf "producers accept load.(%d).(%d) bumped to %d" s i
+                    (v + 1)
+                else if checker_ok bad then
+                  QCheck.Test.fail_reportf "checker accepts load.(%d).(%d) bumped to %d" s i
+                    (v + 1)
+                else true)
+
 let test_alg23_identical_machines () =
   (* Pure P|pmtn|Cmax through the hierarchical scheduler. *)
   let inst = Instance.identical ~m:3 ~lengths:[| 5; 4; 3; 2; 1 |] in
@@ -211,4 +302,6 @@ let suite =
       qt prop_alg2_volume_conservation;
       qt prop_alg23_agrees_with_alg1;
       qt prop_alg23_rejects_below_makespan;
+      qt prop_checker_agrees_with_validate;
+      qt prop_checker_agrees_with_lemma_predicates;
     ] )

@@ -377,6 +377,81 @@ let test_daemon_solve_and_cache () =
           Alcotest.(check int) "unusable input is status 2" 2 r5.Protocol.status;
           Alcotest.(check bool) "typed diagnostic" true (r5.Protocol.error <> ""))
 
+(* ---- verification engine ---------------------------------------------- *)
+
+module Engine = Hs_service.Engine
+
+let engine_solve_one engine params =
+  match Engine.solve_batch engine [ params ] with
+  | [ a ] -> a
+  | l -> Alcotest.failf "expected 1 answer, got %d" (List.length l)
+
+let test_engine_cache_poisoning () =
+  (* The daemon's batch pipeline, driven directly (the live daemon's
+     cache sits in another domain and is deliberately unreachable): a
+     cached entry mutated behind the engine's back must be detected by a
+     verifying engine and answered with the typed verification error,
+     never replayed. *)
+  let params = { Protocol.instance_text = sample_text; budget = None } in
+  let key =
+    match Solver.prepare ~default_budget:None params with
+    | Ok prep -> prep.Solver.key
+    | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
+  in
+  let verifying =
+    Engine.create ~verify:true ~jobs:1 ~cache_capacity:8 ~default_budget:None ()
+  in
+  let fresh = engine_solve_one verifying params in
+  Alcotest.(check int) "verified fresh solve succeeds" 0 fresh.Engine.status;
+  Alcotest.(check bool) "fresh solve not cached" false fresh.Engine.cached;
+  (* Verification must not change the rendered body. *)
+  let plain =
+    Engine.create ~jobs:1 ~cache_capacity:8 ~default_budget:None ()
+  in
+  let unverified = engine_solve_one plain params in
+  Alcotest.(check string) "verified body byte-identical" unverified.Engine.body
+    fresh.Engine.body;
+  let hit = engine_solve_one verifying params in
+  Alcotest.(check bool) "intact entry replays" true hit.Engine.cached;
+  Alcotest.(check string) "replayed body identical" fresh.Engine.body hit.Engine.body;
+  (* Poison the cached body (test hook keeps the fingerprint). *)
+  Alcotest.(check bool) "poison hook finds the entry" true
+    (Engine.poison_cache verifying ~key);
+  let tampered = engine_solve_one verifying params in
+  Alcotest.(check int) "tampered hit is a typed error" 1 tampered.Engine.status;
+  Alcotest.(check bool) "verification error names cache.integrity" true
+    (let e = tampered.Engine.error in
+     let needle = "verification failed [cache.integrity]" in
+     String.length e >= String.length needle
+     && String.sub e 0 (String.length needle) = needle);
+  Alcotest.(check string) "tampered body never replayed" "" tampered.Engine.body;
+  (* A non-verifying engine replays the poison blindly — the detection
+     really is the verification layer, not the cache. *)
+  Alcotest.(check bool) "poison the plain engine" true
+    (Engine.poison_cache plain ~key);
+  let blind = engine_solve_one plain params in
+  Alcotest.(check int) "unverified engine replays poison" 0 blind.Engine.status;
+  Alcotest.(check bool) "poisoned body differs from the truth" true
+    (blind.Engine.body <> unverified.Engine.body)
+
+let test_engine_verified_batch () =
+  (* Coalescing and admission order survive verification; a batch mixing
+     duplicates, a parse error and a miss answers in order. *)
+  let engine =
+    Engine.create ~verify:true ~jobs:2 ~cache_capacity:8 ~default_budget:None ()
+  in
+  let good = { Protocol.instance_text = sample_text; budget = None } in
+  let bad = { Protocol.instance_text = "machines x\n"; budget = None } in
+  match Engine.solve_batch engine [ good; bad; good ] with
+  | [ a1; a2; a3 ] ->
+      Alcotest.(check int) "leader solves" 0 a1.Engine.status;
+      Alcotest.(check bool) "leader not cached" false a1.Engine.cached;
+      Alcotest.(check int) "parse error is status 2" 2 a2.Engine.status;
+      Alcotest.(check int) "follower shares the answer" 0 a3.Engine.status;
+      Alcotest.(check bool) "follower counts as cached" true a3.Engine.cached;
+      Alcotest.(check string) "same body" a1.Engine.body a3.Engine.body
+  | l -> Alcotest.failf "expected 3 answers, got %d" (List.length l)
+
 let test_daemon_drain () =
   with_daemon @@ fun path ->
   match Client.connect path with
@@ -414,5 +489,9 @@ let suite =
         test_daemon_fault_fuzz;
       Alcotest.test_case "solve body, cache keys, typed solve errors" `Quick
         test_daemon_solve_and_cache;
+      Alcotest.test_case "verifying engine detects cache poisoning" `Quick
+        test_engine_cache_poisoning;
+      Alcotest.test_case "verified batch keeps coalescing and order" `Quick
+        test_engine_verified_batch;
       Alcotest.test_case "shutdown drains in-flight work" `Quick test_daemon_drain;
     ] )
