@@ -222,14 +222,19 @@ let run_parallel ~quick () =
 
 (* ---------------- Service throughput bench ----------------------------- *)
 
-(* Drive a fresh in-process daemon (its own domain, its own socket, so
-   its domain-local counters start at zero) with c client domains, each
-   looping solve calls over a shared 8-instance pool.  Misses are
-   exactly the pool size — the daemon classifies batches sequentially —
-   so the hit ratio is deterministic; throughput and latency are the
-   measured quantities.  Results land in BENCH_service.json. *)
+(* Saturation sweep: drive a fresh in-process daemon (its own domain,
+   its own socket, so its domain-local counters start at zero) with a
+   deliberately small admission queue at c ∈ {1,4,16,64} client domains,
+   each looping solve calls over a shared 8-instance pool.  Beyond the
+   admission bound every extra request is shed with the typed overloaded
+   response; clients honour its retry_after_ms hint through the
+   deterministic client backoff until accepted.  Latency percentiles
+   cover accepted requests only — the overload contract is that they
+   stay bounded while the excess is shed, not queued.  Results land in
+   BENCH_service.json. *)
 let run_service ~quick ~jobs () =
-  print_endline "\n== Solver service: throughput / latency / cache (Hs_service) ==";
+  print_endline
+    "\n== Solver service: saturation sweep (admission control, Hs_service) ==";
   let pool =
     Array.init 8 (fun i ->
         let rng = Hs_workloads.Rng.create (4200 + i) in
@@ -240,6 +245,7 @@ let run_service ~quick ~jobs () =
         Instance_io.to_string inst)
   in
   let total = if quick then 64 else 320 in
+  let max_queue = 16 in
   let counters_of client =
     match Hs_service.Client.call client Hs_service.Protocol.Stats with
     | Ok r when r.Hs_service.Protocol.status = 0 ->
@@ -258,7 +264,9 @@ let run_service ~quick ~jobs () =
         (Filename.get_temp_dir_name ())
         (Printf.sprintf "hsb-%d-%d.sock" (Unix.getpid ()) c)
     in
-    let cfg = { (Hs_service.Daemon.default_config ~socket_path:path) with jobs } in
+    let cfg =
+      { (Hs_service.Daemon.default_config ~socket_path:path) with jobs; max_queue }
+    in
     let daemon = Domain.spawn (fun () -> Hs_service.Daemon.run cfg) in
     let rec wait k =
       if not (Sys.file_exists path) then
@@ -278,22 +286,47 @@ let run_service ~quick ~jobs () =
               | Error e -> failwith ("service bench: " ^ e)
               | Ok client ->
                   let lat = Array.make per 0.0 in
+                  let my_retries = ref 0 in
                   for i = 0 to per - 1 do
                     let text = pool.((w + i) mod Array.length pool) in
-                    let s0 = Unix.gettimeofday () in
-                    (match
-                       Hs_service.Client.call client
-                         (Hs_service.Protocol.Solve { instance_text = text; budget = None })
-                     with
-                    | Ok r when r.Hs_service.Protocol.status = 0 -> ()
-                    | Ok r -> failwith ("service bench: solve: " ^ r.Hs_service.Protocol.error)
-                    | Error e -> failwith ("service bench: solve: " ^ e));
-                    lat.(i) <- (Unix.gettimeofday () -. s0) *. 1000.
+                    (* Retry shed requests, honouring the daemon's
+                       retry_after_ms hint through the deterministic
+                       client backoff; the recorded latency is that of
+                       the accepted attempt. *)
+                    let rec attempt tries =
+                      let s0 = Unix.gettimeofday () in
+                      match
+                        Hs_service.Client.call client
+                          (Hs_service.Protocol.Solve
+                             { instance_text = text; budget = None; deadline_ms = None })
+                      with
+                      | Ok r when r.Hs_service.Protocol.status = 0 ->
+                          lat.(i) <- (Unix.gettimeofday () -. s0) *. 1000.
+                      | Ok r when r.Hs_service.Protocol.status = 5 ->
+                          if tries >= 200 then
+                            failwith "service bench: shed 200 times in a row"
+                          else begin
+                            incr my_retries;
+                            let wait =
+                              Hs_service.Client.backoff_ms ~base_ms:1 ~cap_ms:100
+                                ~attempt:tries
+                                ~retry_after_ms:r.Hs_service.Protocol.retry_after_ms
+                                ~salt:((w * 7919) + i) ()
+                            in
+                            ignore (Unix.select [] [] [] (float_of_int wait /. 1000.));
+                            attempt (tries + 1)
+                          end
+                      | Ok r -> failwith ("service bench: solve: " ^ r.Hs_service.Protocol.error)
+                      | Error e -> failwith ("service bench: solve: " ^ e)
+                    in
+                    attempt 0
                   done;
                   Hs_service.Client.close client;
-                  lat))
+                  (lat, !my_retries)))
     in
-    let lats = List.concat_map (fun d -> Array.to_list (Domain.join d)) workers in
+    let joined = List.map Domain.join workers in
+    let lats = List.concat_map (fun (l, _) -> Array.to_list l) joined in
+    let retries = List.fold_left (fun acc (_, r) -> acc + r) 0 joined in
     let wall = Unix.gettimeofday () -. t0 in
     let counters =
       match Hs_service.Client.connect path with
@@ -308,6 +341,7 @@ let run_service ~quick ~jobs () =
     | Ok () -> ()
     | Error e -> failwith ("service bench: daemon: " ^ e));
     let v k = Option.value ~default:0 (List.assoc_opt k counters) in
+    let shed = v "service.shed" in
     let hits = v "service.cache.hit" and misses = v "service.cache.miss" in
     let ratio =
       if hits + misses = 0 then 0.0
@@ -322,12 +356,16 @@ let run_service ~quick ~jobs () =
     let n_req = List.length lats in
     let rps = float_of_int n_req /. Float.max 1e-9 wall in
     Printf.printf
-      "c=%-3d requests=%-4d wall=%6.3fs rps=%8.1f p50=%6.2fms p95=%6.2fms p99=%6.2fms hit-ratio=%.3f\n%!"
-      c n_req wall rps (pct 50.) (pct 95.) (pct 99.) ratio;
+      "c=%-3d accepted=%-4d shed=%-5d retries=%-5d wall=%6.3fs rps=%8.1f p50=%6.2fms \
+       p95=%6.2fms p99=%6.2fms hit-ratio=%.3f\n\
+       %!"
+      c n_req shed retries wall rps (pct 50.) (pct 95.) (pct 99.) ratio;
     Hs_obs.Json.Obj
       [
         ("concurrency", Hs_obs.Json.Int c);
-        ("requests", Hs_obs.Json.Int n_req);
+        ("accepted", Hs_obs.Json.Int n_req);
+        ("shed", Hs_obs.Json.Int shed);
+        ("retries", Hs_obs.Json.Int retries);
         ("wall_s", Hs_obs.Json.Float wall);
         ("rps", Hs_obs.Json.Float rps);
         ("p50_ms", Hs_obs.Json.Float (pct 50.));
@@ -338,13 +376,14 @@ let run_service ~quick ~jobs () =
         ("cache_hit_ratio", Hs_obs.Json.Float ratio);
       ]
   in
-  let rows = List.map level [ 1; 4; 16 ] in
+  let rows = List.map level [ 1; 4; 16; 64 ] in
   let doc =
     Hs_obs.Json.Obj
       [
-        ("schema", Hs_obs.Json.String "hsched.bench.service/1");
+        ("schema", Hs_obs.Json.String "hsched.bench.service/2");
         ("pool_size", Hs_obs.Json.Int (Array.length pool));
         ("daemon_jobs", Hs_obs.Json.Int jobs);
+        ("max_queue", Hs_obs.Json.Int max_queue);
         ("quick", Hs_obs.Json.Bool quick);
         ("levels", Hs_obs.Json.List rows);
       ]

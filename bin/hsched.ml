@@ -508,11 +508,68 @@ let serve_cmd =
           ~doc:"Maximum solve requests admitted per domain-pool batch.")
   in
   let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the server log on stderr.") in
-  let run socket jobs cache batch budget check quiet trace stats stats_json =
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"Q"
+          ~doc:
+            "Admission bound: solve requests beyond Q queued are shed with the typed \
+             overloaded response (status 5) and a deterministic retry_after_ms hint. 0 \
+             sheds every solve.")
+  in
+  let retry_hint_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-hint-ms" ] ~docv:"MS"
+          ~doc:"Slope of the deterministic retry_after_ms ladder on shed requests.")
+  in
+  let deadline_units_arg =
+    Arg.(
+      value
+      & opt int Hs_service.Solver.default_deadline_units_per_ms
+      & info [ "deadline-units" ] ~docv:"U"
+          ~doc:
+            "Deadline-to-budget exchange rate: a request deadline of D ms caps its \
+             solver budget at D*U units, deterministically.")
+  in
+  let io_timeout_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "io-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-connection IO deadline: clients sitting on a partial frame (or not \
+             reading their responses) this long are cut off.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Cache snapshot file: restored on startup (each entry must re-prove its \
+             fingerprint; tampered entries are rejected) and written back after the \
+             drain on shutdown.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Fault-injection mode (tests only): a solve whose budget is the reserved \
+             chaos sentinel crashes its worker domain, exercising the typed \
+             worker-crash answer path.")
+  in
+  let run socket jobs cache batch queue retry_hint deadline_units io_timeout snapshot
+      chaos budget check quiet trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     if cache < 1 then exit_usage "cache capacity must be >= 1";
     if batch < 1 then exit_usage "max-batch must be >= 1";
+    if queue < 0 then exit_usage "max-queue must be >= 0";
+    if retry_hint < 1 then exit_usage "retry-hint-ms must be >= 1";
+    if deadline_units < 1 then exit_usage "deadline-units must be >= 1";
+    if io_timeout <= 0.0 then exit_usage "io-timeout must be > 0";
+    if chaos then Hs_service.Engine.install_chaos_sentinel ();
     let log = if quiet then ignore else fun m -> prerr_endline ("hsched-serve: " ^ m) in
     let cfg =
       {
@@ -521,6 +578,11 @@ let serve_cmd =
         cache_capacity = cache;
         default_budget = budget;
         max_batch = batch;
+        max_queue = queue;
+        retry_hint_ms = retry_hint;
+        deadline_units_per_ms = deadline_units;
+        io_timeout_s = io_timeout;
+        snapshot_path = snapshot;
         verify = check;
         log;
       }
@@ -531,9 +593,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the persistent solver daemon: a Unix-domain socket speaking the framed \
-          JSON protocol of DESIGN.md section 11, with request batching and a \
-          canonical-hash result cache.")
-    Term.(const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
+          JSON protocol of DESIGN.md section 11, with request batching, bounded \
+          admission (overload shedding), per-request deadlines, a canonical-hash \
+          result cache and optional crash-recovery snapshots.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ queue_arg
+      $ retry_hint_arg $ deadline_units_arg $ io_timeout_arg $ snapshot_arg $ chaos_arg
+      $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 let request_cmd =
   let files_arg =
@@ -553,7 +619,31 @@ let request_cmd =
             "Append a shutdown request after the solves; the daemon answers every \
              pipelined solve before acknowledging (graceful drain).")
   in
-  let run socket budget files stats_q ping shutdown =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a solve shed by the daemon (status 5: overloaded) up to N times, \
+             backing off exponentially with deterministic jitter and honouring the \
+             daemon's retry_after_ms hint. Retried solves are sent sequentially, not \
+             pipelined.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: expires in the daemon's admission queue (status 6) \
+             and deterministically caps the solver budget at the daemon's \
+             deadline-units exchange rate.")
+  in
+  let run socket budget retries deadline_ms files stats_q ping shutdown =
+    if retries < 0 then exit_usage "retries must be >= 0";
+    (match deadline_ms with
+    | Some d when d < 0 -> exit_usage "deadline-ms must be >= 0"
+    | _ -> ());
     let read_file path =
       match In_channel.with_open_text path In_channel.input_all with
       | text -> text
@@ -562,7 +652,9 @@ let request_cmd =
     let reqs =
       List.map
         (fun path ->
-          (`File path, Hs_service.Protocol.Solve { instance_text = read_file path; budget }))
+          ( `File path,
+            Hs_service.Protocol.Solve
+              { instance_text = read_file path; budget; deadline_ms } ))
         files
       @ (if ping then [ (`Other, Hs_service.Protocol.Ping) ] else [])
       @ (if stats_q then [ (`Other, Hs_service.Protocol.Stats) ] else [])
@@ -574,9 +666,22 @@ let request_cmd =
        request order (the sweep subcommand's format). *)
     let headers = List.length reqs > 1 in
     match Hs_service.Client.connect socket with
-    | Error e -> exit_err e
+    | Error e -> exit_typed (Hs_core.Hs_error.Unavailable e)
     | Ok client -> (
-        let result = Hs_service.Client.call_many client (List.map snd reqs) in
+        let result =
+          if retries = 0 then Hs_service.Client.call_many client (List.map snd reqs)
+          else
+            (* Sequential so each shed answer's backoff hint is honoured
+               before the next attempt hits the admission queue. *)
+            let rec each acc = function
+              | [] -> Ok (List.rev acc)
+              | (_, req) :: rest -> (
+                  match Hs_service.Client.call_with_retry ~retries client req with
+                  | Error _ as e -> e
+                  | Ok r -> each (r :: acc) rest)
+            in
+            each [] reqs
+        in
         Hs_service.Client.close client;
         match result with
         | Error e -> exit_err e
@@ -604,13 +709,16 @@ let request_cmd =
        ~doc:
          "Solve instance files through a running daemon. All requests are pipelined on \
           one connection, so they land in the daemon's admission queue as a batch; \
-          output order and exit code match the offline sweep.")
-    Term.(const run $ socket_arg $ budget_arg $ files_arg $ stats_q_arg $ ping_arg $ shutdown_arg)
+          output order and exit code match the offline sweep. With --retries, shed \
+          requests are retried with deterministic backoff.")
+    Term.(
+      const run $ socket_arg $ budget_arg $ retries_arg $ deadline_arg $ files_arg
+      $ stats_q_arg $ ping_arg $ shutdown_arg)
 
 let shutdown_cmd =
   let run socket =
     match Hs_service.Client.connect ~retries:0 socket with
-    | Error e -> exit_err e
+    | Error e -> exit_typed (Hs_core.Hs_error.Unavailable e)
     | Ok client -> (
         let result = Hs_service.Client.call client Hs_service.Protocol.Shutdown in
         Hs_service.Client.close client;

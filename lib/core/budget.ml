@@ -25,6 +25,34 @@ let of_units k =
 
 let is_unlimited b = b.lp_pivots = None && b.bb_nodes = None && b.search_iters = None
 
+(* A wall-clock deadline cannot be enforced deterministically, so the
+   service converts it into budget units at a fixed exchange rate: the
+   same deadline always buys the same number of pivots and nodes, and a
+   deadline-capped solve exhausts at the same point on every run.
+   Multiplication saturates instead of wrapping for huge deadlines. *)
+let of_deadline_ms ~units_per_ms ms =
+  if units_per_ms < 1 then invalid_arg "Budget.of_deadline_ms: units_per_ms must be >= 1";
+  let ms = Stdlib.max 0 ms in
+  let units =
+    if ms > max_int / units_per_ms then max_int else ms * units_per_ms
+  in
+  of_units units
+
+(* Pointwise minimum: the tighter of two caps in each dimension, [None]
+   acting as infinity.  Used to combine a per-request budget with a
+   deadline-derived one. *)
+let meet a b =
+  let dim x y =
+    match (x, y) with
+    | None, c | c, None -> c
+    | Some p, Some q -> Some (Stdlib.min p q)
+  in
+  {
+    lp_pivots = dim a.lp_pivots b.lp_pivots;
+    bb_nodes = dim a.bb_nodes b.bb_nodes;
+    search_iters = dim a.search_iters b.search_iters;
+  }
+
 type counted = { mutable left : int; total : int }
 
 type meter = {

@@ -19,6 +19,19 @@ val of_units : int -> t
 
 val is_unlimited : t -> bool
 
+val of_deadline_ms : units_per_ms:int -> int -> t
+(** Deterministic deadline-to-budget exchange: a client deadline of
+    [ms] milliseconds buys [ms * units_per_ms] budget units
+    ({!of_units}; saturating, clamped at 0).  A wall clock cannot be
+    consulted mid-solve without losing reproducibility, so the service
+    enforces deadlines through this fixed rate — the same deadline
+    always exhausts at the same pivot/node.  Raises [Invalid_argument]
+    when [units_per_ms < 1]. *)
+
+val meet : t -> t -> t
+(** Pointwise minimum of two budgets ([None] = unlimited): the tighter
+    cap wins in each dimension. *)
+
 type counted = { mutable left : int; total : int }
 (** A decrementing allowance that remembers its initial size, so
     consumption ("used X of Y") is always reportable. *)

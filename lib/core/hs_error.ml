@@ -29,6 +29,16 @@ type t =
       (** an independent certificate check ([lib/check]) rejected a
           produced or cached artifact; [invariant] names the first
           violated paper condition, [witness] pinpoints it *)
+  | Overloaded of { retry_after_ms : int }
+      (** the service admission queue is full; the request was shed, not
+          queued — retry after the (deterministic) hinted delay *)
+  | Deadline_exceeded of { deadline_ms : int; detail : string }
+      (** a per-request deadline expired before a result could be
+          produced (in the admission queue, or as a deadline-derived
+          budget exhausted mid-solve) *)
+  | Unavailable of string
+      (** the service endpoint is absent or refusing connections — no
+          daemon at the socket, connection refused, peer vanished *)
   | Internal of string  (** an invariant the paper guarantees was broken *)
 
 exception Error of t
@@ -54,16 +64,26 @@ let to_string = function
       Printf.sprintf "infeasible%s: %s" (if certified then " (certified)" else "") reason
   | Verification { invariant; witness } ->
       Printf.sprintf "verification failed [%s]: %s" invariant witness
+  | Overloaded { retry_after_ms } ->
+      Printf.sprintf "overloaded: admission queue is full, retry after %d ms"
+        retry_after_ms
+  | Deadline_exceeded { deadline_ms; detail } ->
+      Printf.sprintf "deadline exceeded [%d ms]: %s" deadline_ms detail
+  | Unavailable msg -> Printf.sprintf "service unavailable: %s" msg
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 (* Exit-code contract of the CLI: 2 unusable input, 3 infeasible,
-   4 budget exhausted, 1 anything else. *)
+   4 budget exhausted, 5 overloaded, 6 deadline exceeded, 7 service
+   unavailable, 1 anything else. *)
 let exit_code = function
   | Parse_error _ | Invalid_instance _ -> 2
   | Infeasible _ -> 3
   | Budget_exhausted _ -> 4
+  | Overloaded _ -> 5
+  | Deadline_exceeded _ -> 6
+  | Unavailable _ -> 7
   | Lp_stall _ | Verification _ | Internal _ -> 1
 
 (** Run [f], turning a raised {!Error} into [Error]. *)

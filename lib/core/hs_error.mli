@@ -29,6 +29,16 @@ type t =
       (** an independent certificate check ([lib/check]) rejected a
           produced or cached artifact; [invariant] names the first
           violated paper condition, [witness] pinpoints it *)
+  | Overloaded of { retry_after_ms : int }
+      (** the service admission queue is full; the request was shed, not
+          queued — retry after the (deterministic) hinted delay *)
+  | Deadline_exceeded of { deadline_ms : int; detail : string }
+      (** a per-request deadline expired before a result could be
+          produced (in the admission queue, or as a deadline-derived
+          budget exhausted mid-solve) *)
+  | Unavailable of string
+      (** the service endpoint is absent or refusing connections — no
+          daemon at the socket, connection refused, peer vanished *)
   | Internal of string  (** an invariant the paper guarantees was broken *)
 
 exception Error of t
@@ -43,7 +53,9 @@ val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
 (** CLI contract: [2] unusable input (parse / validation), [3]
-    infeasible, [4] budget exhausted, [1] everything else. *)
+    infeasible, [4] budget exhausted, [5] overloaded (shed by admission
+    control), [6] deadline exceeded, [7] service unavailable, [1]
+    everything else. *)
 
 val guard : (unit -> 'a) -> ('a, t) result
 (** Run a pipeline fragment, capturing a raised {!Error}. *)

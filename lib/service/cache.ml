@@ -57,6 +57,15 @@ let evict_lru t =
       Hashtbl.remove t.tbl n.key;
       Hs_obs.Metrics.incr evictions
 
+(* Recency-ordered walk, head (most recent) first.  Raw traversal: it
+   must not touch the hit/miss counters, it is for snapshots. *)
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk ((n.key, n.value) :: acc) n.next
+  in
+  walk [] t.head
+
 let add t key value =
   (match Hashtbl.find_opt t.tbl key with
   | Some n ->

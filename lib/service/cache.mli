@@ -22,6 +22,10 @@ val length : _ t -> int
 val find : 'a t -> string -> 'a option
 (** Counts a hit (refreshing the entry's recency) or a miss. *)
 
+val to_list : 'a t -> (string * 'a) list
+(** Entries in recency order, most recent first.  A raw traversal for
+    snapshots: neither recency nor the hit/miss counters change. *)
+
 val add : 'a t -> string -> 'a -> unit
 (** Insert or overwrite; the least-recently-used entry is evicted (and
     counted) when the capacity is exceeded. *)

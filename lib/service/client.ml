@@ -1,5 +1,7 @@
 module Json = Hs_obs.Json
 
+let c_retries = Hs_obs.Metrics.counter "service.retries"
+
 type t = {
   fd : Unix.file_descr;
   dec : Frame.decoder;
@@ -120,3 +122,42 @@ let call ?timeout_s t req =
   | Ok [ r ] -> Ok r
   | Ok _ -> Error "protocol invariant broken: one request, not one response"
   | Error e -> Error e
+
+(* ---- resilience: deterministic backoff + retry ----------------------- *)
+
+let overloaded_status =
+  Protocol.status_of_error (Hs_core.Hs_error.Overloaded { retry_after_ms = 0 })
+
+(* Exponential in the attempt, floored by the server's [retry_after_ms]
+   hint, plus a jitter that is a pure function of [(salt, attempt)] —
+   reproducible runs need reproducible waits, and distinct salts keep a
+   burst of rejected clients from retrying in lockstep. *)
+let backoff_ms ?(base_ms = 10) ?(cap_ms = 2000) ~attempt ~retry_after_ms ~salt () =
+  let base_ms = Stdlib.max 1 base_ms in
+  let cap_ms = Stdlib.max base_ms cap_ms in
+  let attempt = Stdlib.max 0 attempt in
+  let expo =
+    if attempt >= 20 then cap_ms else Stdlib.min cap_ms (base_ms * (1 lsl attempt))
+  in
+  let floor_ms = Stdlib.max expo (Stdlib.max 0 retry_after_ms) in
+  let h = (1103515245 * (salt + (31 * attempt)) + 12345) land 0x3FFFFFFF in
+  floor_ms + (h mod ((floor_ms / 4) + 1))
+
+let default_sleep ms =
+  if ms > 0 then ignore (Unix.select [] [] [] (float_of_int ms /. 1000.0))
+
+let call_with_retry ?timeout_s ?(retries = 0) ?base_ms ?cap_ms
+    ?(sleep = default_sleep) t req =
+  let salt = t.next_id in
+  let rec go attempt =
+    match call ?timeout_s t req with
+    | Error _ as e -> e
+    | Ok r when r.Protocol.status = overloaded_status && attempt < retries ->
+        Hs_obs.Metrics.incr c_retries;
+        sleep
+          (backoff_ms ?base_ms ?cap_ms ~attempt
+             ~retry_after_ms:r.Protocol.retry_after_ms ~salt ());
+        go (attempt + 1)
+    | Ok r -> Ok r
+  in
+  go 0

@@ -30,6 +30,41 @@ val call_many :
     peer closes / the per-read timeout expires).  Responses are returned
     in request order. *)
 
+(** {1 Resilience} *)
+
+val backoff_ms :
+  ?base_ms:int ->
+  ?cap_ms:int ->
+  attempt:int ->
+  retry_after_ms:int ->
+  salt:int ->
+  unit ->
+  int
+(** The wait before retry number [attempt] (0-based): exponential
+    ([base_ms * 2^attempt], default base 10 ms, capped at [cap_ms],
+    default 2 s), floored by the server's [retry_after_ms] hint, plus a
+    jitter in [\[0, floor/4\]] that is a pure function of
+    [(salt, attempt)].  Fully deterministic — reproducible runs need
+    reproducible waits — while distinct salts keep a burst of rejected
+    clients from retrying in lockstep. *)
+
+val call_with_retry :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?base_ms:int ->
+  ?cap_ms:int ->
+  ?sleep:(int -> unit) ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** {!call}, retrying up to [retries] (default 0) extra times when the
+    daemon sheds the request with the typed overloaded response
+    (status 5), waiting {!backoff_ms} between attempts (the connection's
+    next request id salts the jitter).  Every other response — including
+    the final overloaded one when retries run out — is returned as-is.
+    Each retry counts on the [service.retries] counter.  [sleep]
+    (default a [select]-based millisecond sleep) is a test hook. *)
+
 (** {1 Test hooks (fault-injection harness)} *)
 
 val send_raw : t -> string -> (unit, string) result

@@ -2,9 +2,18 @@
 
 module Json = Hs_obs.Json
 module Metrics = Hs_obs.Metrics
+module E = Hs_core.Hs_error
 
 let c_batches = Metrics.counter "service.batches"
 let h_batch = Metrics.histogram ~buckets:[ 1; 2; 4; 8; 16; 32; 64; 128 ] "service.batch.size"
+
+(* Shed / expired requests never reach the engine, so the daemon counts
+   them into the same [service.requests] cell the engine increments:
+   requests = every solve received, whatever its fate. *)
+let c_requests = Metrics.counter "service.requests"
+let c_shed = Metrics.counter "service.shed"
+let c_deadline_miss = Metrics.counter "service.deadline_miss"
+let g_queue = Metrics.gauge "service.queue.depth"
 
 type config = {
   socket_path : string;
@@ -12,6 +21,11 @@ type config = {
   cache_capacity : int;
   default_budget : int option;
   max_batch : int;
+  max_queue : int;
+  retry_hint_ms : int;
+  deadline_units_per_ms : int;
+  io_timeout_s : float;
+  snapshot_path : string option;
   verify : bool;
   log : string -> unit;
 }
@@ -23,6 +37,11 @@ let default_config ~socket_path =
     cache_capacity = 128;
     default_budget = None;
     max_batch = 64;
+    max_queue = 256;
+    retry_hint_ms = 50;
+    deadline_units_per_ms = Solver.default_deadline_units_per_ms;
+    io_timeout_s = 10.0;
+    snapshot_path = None;
     verify = false;
     log = ignore;
   }
@@ -31,15 +50,24 @@ type conn = {
   fd : Unix.file_descr;
   dec : Frame.decoder;
   mutable alive : bool;
+  mutable last_read : float;  (** for the partial-frame read deadline *)
 }
 
-type work = { w_conn : conn; w_rid : int; w_params : Protocol.solve_params }
+type work = {
+  w_conn : conn;
+  w_rid : int;
+  w_params : Protocol.solve_params;
+  w_enq : float;  (** enqueue instant, for queue-expiry of deadlines *)
+}
 
 type state = {
   cfg : config;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
   queue : work Queue.t;
+  mutable shed_streak : int;
+      (** consecutive sheds since the last admission; positions the
+          deterministic [retry_after_ms] ladder *)
   engine : Engine.t;  (** classification, cache, solving, verification *)
   mutable draining : (conn * int) option;  (** shutdown requester *)
 }
@@ -64,7 +92,7 @@ let write_all st c s =
        match Unix.write_substring c.fd s !pos (n - !pos) with
        | written -> pos := !pos + written
        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> (
-           match Unix.select [] [ c.fd ] [] 10.0 with
+           match Unix.select [] [ c.fd ] [] st.cfg.io_timeout_s with
            | [], [], [] -> close_conn st c (* write deadline expired *)
            | _ -> ()
            | exception Unix.Unix_error (EINTR, _, _) -> ())
@@ -82,13 +110,25 @@ let send st c (r : Protocol.response) =
 let protocol_err st c ~rid msg =
   send st c (Protocol.err ~rid ~status:2 ("protocol error: " ^ msg))
 
+(* Deterministic counters only (sorted by name): the queue-depth
+   high-water gauge depends on read chunking, so it stays registry-only
+   ([--stats-json]) and out of the pinned [stats] verb. *)
 let stats_body () =
   let snap = Metrics.snapshot () in
   let v name = Option.value ~default:0 (Metrics.find_counter snap name) in
-  Printf.sprintf
-    "service.cache.evict = %d\nservice.cache.hit = %d\nservice.cache.miss = %d\nservice.requests = %d"
-    (v "service.cache.evict") (v "service.cache.hit") (v "service.cache.miss")
-    (v "service.requests")
+  String.concat "\n"
+    (List.map
+       (fun name -> Printf.sprintf "%s = %d" name (v name))
+       [
+         "service.cache.evict";
+         "service.cache.hit";
+         "service.cache.miss";
+         "service.deadline_miss";
+         "service.requests";
+         "service.shed";
+         "service.snapshot.loaded";
+         "service.snapshot.rejected";
+       ])
 
 let handle_payload st c payload =
   match Json.parse payload with
@@ -103,7 +143,25 @@ let handle_payload st c payload =
       | Ok (rid, Protocol.Solve p) ->
           if st.draining <> None then
             send st c (Protocol.err ~rid ~status:2 "server is draining")
-          else Queue.add { w_conn = c; w_rid = rid; w_params = p } st.queue)
+          else if Queue.length st.queue >= st.cfg.max_queue then begin
+            (* Admission control: shed, don't buffer.  The hint climbs
+               linearly with the shed position so simultaneous rejects
+               spread their retries instead of stampeding back. *)
+            Metrics.incr c_requests;
+            Metrics.incr c_shed;
+            st.shed_streak <- st.shed_streak + 1;
+            send st c
+              (Protocol.overloaded ~rid
+                 ~retry_after_ms:(st.cfg.retry_hint_ms * st.shed_streak))
+          end
+          else begin
+            st.shed_streak <- 0;
+            Queue.add
+              { w_conn = c; w_rid = rid; w_params = p; w_enq = Unix.gettimeofday () }
+              st.queue;
+            Metrics.set g_queue
+              (Stdlib.max (Metrics.gauge_value g_queue) (Queue.length st.queue))
+          end)
 
 let read_buf = Bytes.create 65536
 
@@ -130,6 +188,7 @@ let read_conn st c =
           | Error e -> protocol_err st c ~rid:(-1) (Frame.error_to_string e));
           close_conn st c
       | n ->
+          c.last_read <- Unix.gettimeofday ();
           Frame.feed c.dec (Bytes.sub_string read_buf 0 n);
           pull_frames ();
           if n = Bytes.length read_buf then read_loop ()
@@ -138,35 +197,77 @@ let read_conn st c =
   in
   read_loop ()
 
+(* A client sitting on a partial frame past the read deadline is cut
+   off with a typed response; connections idle at a frame boundary cost
+   nothing and may idle forever. *)
+let cull_slow_readers st now =
+  List.iter
+    (fun c ->
+      if
+        c.alive
+        && Frame.buffered c.dec > 0
+        && now -. c.last_read >= st.cfg.io_timeout_s
+      then begin
+        protocol_err st c ~rid:(-1)
+          (Printf.sprintf "read timed out with a partial frame (%d bytes buffered)"
+             (Frame.buffered c.dec));
+        close_conn st c
+      end)
+    (List.filter (fun c -> c.alive) st.conns)
+
 (* ---- the admission queue --------------------------------------------- *)
 
-(* One batch: hand the admitted requests to the engine (which
-   classifies against the cache, coalesces duplicates and solves the
-   distinct misses on the pool), then respond in admission order. *)
+(* One batch: expire overdue deadlines at dispatch, hand the survivors
+   to the engine (which classifies against the cache, coalesces
+   duplicates and solves the distinct misses on the pool), then respond
+   in admission order. *)
 let process_batch st =
-  let batch = ref [] in
-  while Queue.length st.queue > 0 && List.length !batch < st.cfg.max_batch do
-    batch := Queue.pop st.queue :: !batch
+  let now = Unix.gettimeofday () in
+  let taken = ref 0 and batch = ref [] and expired = ref [] in
+  while Queue.length st.queue > 0 && !taken < st.cfg.max_batch do
+    incr taken;
+    let w = Queue.pop st.queue in
+    let overdue =
+      match w.w_params.Protocol.deadline_ms with
+      | Some d -> (now -. w.w_enq) *. 1000.0 >= float_of_int d
+      | None -> false
+    in
+    if overdue then expired := w :: !expired else batch := w :: !batch
   done;
-  let batch = List.rev !batch in
-  Metrics.incr c_batches;
-  Metrics.observe h_batch (List.length batch);
-  Hs_obs.Tracer.with_span ~cat:"service"
-    ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
-    "service.batch"
-  @@ fun () ->
-  let answers = Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch) in
-  List.iter2
-    (fun w (a : Engine.answer) ->
+  List.iter
+    (fun w ->
+      Metrics.incr c_requests;
+      Metrics.incr c_deadline_miss;
+      let deadline_ms = Option.value ~default:0 w.w_params.Protocol.deadline_ms in
+      let e =
+        E.Deadline_exceeded { deadline_ms; detail = "expired in the admission queue" }
+      in
       send st w.w_conn
-        {
-          Protocol.rid = w.w_rid;
-          status = a.Engine.status;
-          cached = a.Engine.cached;
-          body = a.Engine.body;
-          error = a.Engine.error;
-        })
-    batch answers
+        (Protocol.err ~rid:w.w_rid ~status:(Protocol.status_of_error e)
+           (E.to_string e)))
+    (List.rev !expired);
+  let batch = List.rev !batch in
+  if batch <> [] then begin
+    Metrics.incr c_batches;
+    Metrics.observe h_batch (List.length batch);
+    Hs_obs.Tracer.with_span ~cat:"service"
+      ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
+      "service.batch"
+    @@ fun () ->
+    let answers = Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch) in
+    List.iter2
+      (fun w (a : Engine.answer) ->
+        send st w.w_conn
+          {
+            Protocol.rid = w.w_rid;
+            status = a.Engine.status;
+            cached = a.Engine.cached;
+            body = a.Engine.body;
+            error = a.Engine.error;
+            retry_after_ms = 0;
+          })
+      batch answers
+  end
 
 let drain_queue st =
   while not (Queue.is_empty st.queue) do
@@ -215,16 +316,40 @@ let accept_all st =
     match Unix.accept st.listen_fd with
     | fd, _ ->
         Unix.set_nonblock fd;
-        st.conns <- st.conns @ [ { fd; dec = Frame.create (); alive = true } ];
+        st.conns <-
+          st.conns
+          @ [ { fd; dec = Frame.create (); alive = true; last_read = Unix.gettimeofday () } ];
         go ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   in
   go ()
 
+let restore_snapshot st =
+  match st.cfg.snapshot_path with
+  | Some path when Sys.file_exists path -> (
+      match Engine.load_snapshot st.engine path with
+      | Ok (loaded, rejected) ->
+          st.cfg.log
+            (Printf.sprintf "restored %d cache entries from %s (%d rejected)" loaded
+               path rejected)
+      | Error e -> st.cfg.log (Printf.sprintf "snapshot not restored: %s" e))
+  | _ -> ()
+
+let persist_snapshot st =
+  match st.cfg.snapshot_path with
+  | None -> ()
+  | Some path -> (
+      match Engine.save_snapshot st.engine path with
+      | Ok n -> st.cfg.log (Printf.sprintf "saved %d cache entries to %s" n path)
+      | Error e -> st.cfg.log (Printf.sprintf "snapshot not saved: %s" e))
+
 let run cfg =
   if cfg.jobs < 1 then invalid_arg "Daemon.run: jobs must be >= 1";
   if cfg.max_batch < 1 then invalid_arg "Daemon.run: max_batch must be >= 1";
+  if cfg.max_queue < 0 then invalid_arg "Daemon.run: max_queue must be >= 0";
+  if cfg.retry_hint_ms < 1 then invalid_arg "Daemon.run: retry_hint_ms must be >= 1";
+  if cfg.io_timeout_s <= 0.0 then invalid_arg "Daemon.run: io_timeout_s must be > 0";
   (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
   match listen_on cfg.socket_path with
   | Error _ as e -> e
@@ -235,27 +360,39 @@ let run cfg =
           listen_fd;
           conns = [];
           queue = Queue.create ();
+          shed_streak = 0;
           engine =
-            Engine.create ~verify:cfg.verify ~jobs:cfg.jobs
+            Engine.create ~verify:cfg.verify
+              ~deadline_units_per_ms:cfg.deadline_units_per_ms ~jobs:cfg.jobs
               ~cache_capacity:cfg.cache_capacity ~default_budget:cfg.default_budget
               ();
           draining = None;
         }
       in
+      restore_snapshot st;
       cfg.log
-        (Printf.sprintf "listening on %s (jobs=%d, cache=%d, batch=%d)" cfg.socket_path
-           cfg.jobs cfg.cache_capacity cfg.max_batch);
+        (Printf.sprintf "listening on %s (jobs=%d, cache=%d, batch=%d, queue=%d)"
+           cfg.socket_path cfg.jobs cfg.cache_capacity cfg.max_batch cfg.max_queue);
       let rec loop () =
         match st.draining with
         | Some (requester, rid) ->
             let in_flight = Queue.length st.queue in
             drain_queue st;
             cfg.log (Printf.sprintf "drained %d in-flight request(s)" in_flight);
+            persist_snapshot st;
             if requester.alive then send st requester (Protocol.ok ~rid "bye");
             cfg.log "bye"
         | None -> (
             let fds = st.listen_fd :: List.map (fun c -> c.fd) st.conns in
-            match Unix.select fds [] [] (-1.0) with
+            (* Block indefinitely only when no connection holds a partial
+               frame; otherwise wake up in time to enforce the read
+               deadline. *)
+            let timeout =
+              if List.exists (fun c -> Frame.buffered c.dec > 0) st.conns then
+                cfg.io_timeout_s
+              else -1.0
+            in
+            match Unix.select fds [] [] timeout with
             | exception Unix.Unix_error (EINTR, _, _) -> loop ()
             | ready, _, _ ->
                 if List.mem st.listen_fd ready then accept_all st;
@@ -263,6 +400,7 @@ let run cfg =
                   (fun c -> if List.mem c.fd ready then read_conn st c)
                   (* snapshot: read_conn mutates st.conns on close *)
                   (List.filter (fun c -> c.alive) st.conns);
+                cull_slow_readers st (Unix.gettimeofday ());
                 (* Run everything admitted this round; batches bound each
                    pool submission, and later batches see earlier
                    batches' cache entries. *)

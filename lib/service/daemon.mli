@@ -11,21 +11,37 @@
       [solve] admitted to the queue, wire-level faults answered with a
       typed status-2 response — the daemon never crashes or hangs on
       malformed input);
+    + cut off clients that sat on a partial frame past [io_timeout_s]
+      (typed status-2 response, then close) — an idle connection at a
+      frame boundary costs nothing and may idle forever;
     + drain the admission queue in batches of at most [max_batch]:
-      each request is parsed, keyed ({!Solver.cache_key}) and either
-      served from the cache, coalesced onto an identical request already
-      in the batch, or solved on the pool under its per-request budget;
-      responses go out in admission order.
+      requests whose deadline expired while queued are answered with the
+      typed status-6 response at dispatch; each survivor is parsed,
+      keyed ({!Solver.cache_key}) and either served from the cache,
+      coalesced onto an identical request already in the batch, or
+      solved on the pool under its per-request budget — the tighter of
+      the requested budget and the deadline-derived cap
+      ({!Hs_core.Budget.of_deadline_ms}); responses go out in admission
+      order.
 
-    Batching bounds the pool submission (one huge instance occupies one
-    worker while the rest of the batch proceeds) and per-request budgets
-    bound each solve itself; both are admission-time knobs, not solver
-    changes.
+    {b Admission control} (DESIGN.md §13): the queue is bounded by
+    [max_queue].  A solve arriving at a full queue is shed immediately
+    with the typed status-5 response; its [retry_after_ms] hint is
+    deterministic — [retry_hint_ms] times the request's position in the
+    current shed streak — so a burst of rejected clients spreads its
+    retries instead of stampeding back.  [max_queue = 0] sheds every
+    solve, which the tests use as a deterministic always-overloaded
+    mode.
+
+    {b Crash recovery}: with [snapshot_path] set, the daemon restores
+    the cache from the snapshot on startup (each entry re-proves its
+    fingerprint; tampered entries are rejected and counted) and writes
+    the cache back after draining on shutdown ({!Engine.save_snapshot}).
 
     Shutdown ([hsched shutdown] or a pipelined [shutdown] frame) is
     graceful: the daemon stops admitting, finishes every queued request,
-    flushes their responses, acknowledges the shutdown, removes the
-    socket and returns. *)
+    flushes their responses, persists the snapshot, acknowledges the
+    shutdown, removes the socket and returns. *)
 
 type config = {
   socket_path : string;
@@ -36,6 +52,20 @@ type config = {
           unbudgeted certified pipeline, exactly like plain
           [hsched solve] *)
   max_batch : int;  (** max requests per pool submission *)
+  max_queue : int;
+      (** admission bound: solves beyond this many queued are shed with
+          the typed status-5 response; [0] sheds everything *)
+  retry_hint_ms : int;
+      (** slope of the deterministic [retry_after_ms] ladder *)
+  deadline_units_per_ms : int;
+      (** deadline-to-budget exchange rate
+          ({!Solver.default_deadline_units_per_ms}) *)
+  io_timeout_s : float;
+      (** per-connection read deadline on partial frames, and the write
+          deadline on responses *)
+  snapshot_path : string option;
+      (** cache snapshot file: restored (fingerprint-gated) on startup,
+          written after drain on shutdown *)
   verify : bool;
       (** certify every answer before responding: fresh solves run the
           independent {!Hs_check.Certify} re-validation, cache hits are
@@ -45,10 +75,14 @@ type config = {
 }
 
 val default_config : socket_path:string -> config
-(** jobs 1, cache 128, no default budget, batches of 64, no
-    verification, silent log. *)
+(** jobs 1, cache 128, no default budget, batches of 64, queue bound
+    256, retry hint 50 ms, deadline rate 100 units/ms, 10 s IO timeout,
+    no snapshot, no verification, silent log. *)
 
 val run : config -> (unit, string) result
 (** Serve until a shutdown request arrives.  [Error] covers startup
     failures (socket in use, unbindable path) and nothing else: once
-    listening, every fault is handled inside the loop. *)
+    listening, every fault is handled inside the loop.  Raises
+    [Invalid_argument] on out-of-range config values ([jobs],
+    [max_batch], [retry_hint_ms] < 1; [max_queue] < 0;
+    [io_timeout_s] <= 0). *)

@@ -1,12 +1,15 @@
 (* Socket-free batch pipeline of the daemon; see the interface. *)
 
 module Metrics = Hs_obs.Metrics
+module Json = Hs_obs.Json
 module E = Hs_core.Hs_error
 
 (* Same name-keyed cells the daemon and Cache increment. *)
 let c_hit = Metrics.counter "service.cache.hit"
 let c_requests = Metrics.counter "service.requests"
 let c_tampered = Metrics.counter "service.cache.tampered"
+let c_snap_loaded = Metrics.counter "service.snapshot.loaded"
+let c_snap_rejected = Metrics.counter "service.snapshot.rejected"
 
 (* A cached answer is the full response payload modulo identity fields,
    plus a fingerprint binding it to its key so a verifying engine can
@@ -23,13 +26,24 @@ type answer = { status : int; cached : bool; body : string; error : string }
 type t = {
   jobs : int;
   default_budget : int option;
+  deadline_units_per_ms : int;
   verify : bool;
   cache : entry Cache.t;
 }
 
-let create ?(verify = false) ~jobs ~cache_capacity ~default_budget () =
+let create ?(verify = false)
+    ?(deadline_units_per_ms = Solver.default_deadline_units_per_ms) ~jobs
+    ~cache_capacity ~default_budget () =
   if jobs < 1 then invalid_arg "Engine.create: jobs must be >= 1";
-  { jobs; default_budget; verify; cache = Cache.create ~capacity:cache_capacity }
+  if deadline_units_per_ms < 1 then
+    invalid_arg "Engine.create: deadline_units_per_ms must be >= 1";
+  {
+    jobs;
+    default_budget;
+    deadline_units_per_ms;
+    verify;
+    cache = Cache.create ~capacity:cache_capacity;
+  }
 
 let verifying t = t.verify
 
@@ -56,6 +70,22 @@ let of_entry ~cached e =
 let of_error e =
   { status = Protocol.status_of_error e; cached = false; body = ""; error = E.to_string e }
 
+(* Chaos hook (DESIGN.md §13): when installed, it runs inside the worker
+   closure right before the solve, so a raise takes the same road a real
+   worker crash would — out of the closure, into {!Hs_exec.try_parmap}'s
+   per-item [worker_error], back as a typed status-1 answer.  The stock
+   sentinel trips on a reserved budget value so the chaos harness can
+   crash workers on demand from across the wire. *)
+let chaos_crash_hook : (Solver.prepared -> unit) option ref = ref None
+let chaos_budget = 424242
+
+let install_chaos_sentinel () =
+  chaos_crash_hook :=
+    Some
+      (fun (prep : Solver.prepared) ->
+        if prep.Solver.budget = Some chaos_budget then
+          failwith "chaos: injected worker crash")
+
 (* Replay a cache hit.  A verifying engine recomputes the fingerprint
    first: a mismatch means the stored answer no longer matches what was
    computed for this key — surfaced as a typed verification error, never
@@ -77,7 +107,10 @@ let solve_batch t params =
     List.map
       (fun p ->
         Metrics.incr c_requests;
-        match Solver.prepare ~default_budget:t.default_budget p with
+        match
+          Solver.prepare ~deadline_units_per_ms:t.deadline_units_per_ms
+            ~default_budget:t.default_budget p
+        with
         | Error e -> `Done (of_error e)
         | Ok prep -> (
             if Hashtbl.mem pending prep.Solver.key then begin
@@ -100,6 +133,7 @@ let solve_batch t params =
   let solved =
     Hs_exec.try_parmap ~jobs:t.jobs
       (fun prep ->
+        (match !chaos_crash_hook with Some f -> f prep | None -> ());
         match Solver.execute ~verify:t.verify prep with
         | Ok body -> (0, body, "")
         | Error e -> (Protocol.status_of_error e, "", E.to_string e))
@@ -126,6 +160,105 @@ let solve_batch t params =
     classified
 
 let cache_length t = Cache.length t.cache
+
+(* ---- Crash recovery: cache snapshots (DESIGN.md §13) ---------------- *)
+
+let snapshot_schema = "hsched.service.snapshot/1"
+
+let snapshot_json t =
+  let entries =
+    List.map
+      (fun (key, e) ->
+        Json.Obj
+          [
+            ("key", Json.String key);
+            ("status", Json.Int e.e_status);
+            ("body", Json.String e.e_body);
+            ("error", Json.String e.e_error);
+            ("integrity", Json.String e.e_integrity);
+          ])
+      (Cache.to_list t.cache)
+  in
+  Json.Obj
+    [ ("schema", Json.String snapshot_schema); ("entries", Json.List entries) ]
+
+let save_snapshot t path =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string (snapshot_json t));
+        output_char oc '\n');
+    Sys.rename tmp path;
+    Ok (Cache.length t.cache)
+  with Sys_error e -> Error e
+
+let entry_of_json j =
+  let str k =
+    match Json.member k j with Some (Json.String s) -> Some s | _ -> None
+  in
+  let int k =
+    match Json.member k j with Some (Json.Int i) -> Some i | _ -> None
+  in
+  match
+    (str "key", int "status", str "body", str "error", str "integrity")
+  with
+  | Some key, Some status, Some body, Some error, Some integrity ->
+      Some
+        ( key,
+          { e_status = status; e_body = body; e_error = error; e_integrity = integrity } )
+  | _ -> None
+
+let load_snapshot t path =
+  let read () =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  match read () with
+  | Error e -> Error e
+  | Ok text -> (
+      match Json.parse text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok json -> (
+          match (Json.member "schema" json, Json.member "entries" json) with
+          | Some (Json.String s), _ when s <> snapshot_schema ->
+              Error
+                (Printf.sprintf "%s: unsupported snapshot schema %S (want %S)"
+                   path s snapshot_schema)
+          | Some (Json.String _), Some (Json.List entries) ->
+              (* Every entry must re-prove its fingerprint before it is
+                 trusted: a snapshot edited on disk is data, not an
+                 answer.  Rejected entries are counted and skipped — a
+                 partially tampered snapshot still restores its intact
+                 remainder. *)
+              let rejected = ref 0 in
+              let keep =
+                List.filter_map
+                  (fun j ->
+                    match entry_of_json j with
+                    | Some (key, e) when intact ~key e -> Some (key, e)
+                    | Some _ | None ->
+                        incr rejected;
+                        None)
+                  entries
+              in
+              (* Most-recent-first on disk; keep at most [capacity] of
+                 the most recent and insert oldest-first so recency
+                 survives the round trip without spurious evictions. *)
+              let cap = Cache.capacity t.cache in
+              let keep = List.filteri (fun i _ -> i < cap) keep in
+              List.iter (fun (key, e) -> Cache.add t.cache key e) (List.rev keep);
+              let loaded = List.length keep in
+              Metrics.add c_snap_loaded loaded;
+              Metrics.add c_snap_rejected !rejected;
+              Ok (loaded, !rejected)
+          | _ -> Error (Printf.sprintf "%s: not an hsched service snapshot" path)))
 
 (* Test hook (DESIGN.md §12): simulate memory corruption or a buggy
    eviction path by flipping a byte of a cached body while keeping the

@@ -11,7 +11,12 @@
     of the outcome ({!Solver.execute} with [~verify:true]), and cache
     hits are replayed only after their stored fingerprint re-checks —
     a tampered entry is answered with the typed
-    [Hs_error.Verification] error (protocol status 1), never replayed. *)
+    [Hs_error.Verification] error (protocol status 1), never replayed.
+
+    For crash recovery the cache round-trips through disk
+    ({!save_snapshot} / {!load_snapshot}); the same per-entry
+    fingerprints gate the restore, so a snapshot edited on disk loses
+    exactly its tampered entries. *)
 
 type t
 
@@ -24,14 +29,18 @@ type answer = {
 
 val create :
   ?verify:bool ->
+  ?deadline_units_per_ms:int ->
   jobs:int ->
   cache_capacity:int ->
   default_budget:int option ->
   unit ->
   t
 (** [verify] defaults to [false] — byte-identical behaviour to the
-    pre-verification engine.  Raises [Invalid_argument] when
-    [jobs < 1]. *)
+    pre-verification engine.  [deadline_units_per_ms] (default
+    {!Solver.default_deadline_units_per_ms}) is the deterministic
+    deadline-to-budget exchange rate passed to {!Solver.prepare}.
+    Raises [Invalid_argument] when [jobs < 1] or
+    [deadline_units_per_ms < 1]. *)
 
 val verifying : t -> bool
 
@@ -40,6 +49,42 @@ val solve_batch : t -> Protocol.solve_params list -> answer list
     this batch's cache entries. *)
 
 val cache_length : t -> int
+
+(** {1 Crash recovery} *)
+
+val snapshot_schema : string
+(** ["hsched.service.snapshot/1"], pinned in the snapshot file. *)
+
+val save_snapshot : t -> string -> (int, string) result
+(** Write the cache to [path] (via [path ^ ".tmp"] and an atomic
+    rename), entries in recency order, most recent first, each with its
+    stored fingerprint.  Returns the number of entries written. *)
+
+val load_snapshot : t -> string -> (int * int, string) result
+(** Restore a snapshot into the cache: [(loaded, rejected)].  Every
+    entry re-proves its fingerprint before it is trusted; entries that
+    fail (tampered on disk) or are malformed are counted as [rejected]
+    and skipped, and the count lands on the [service.snapshot.rejected]
+    counter ([service.snapshot.loaded] for the rest).  At most
+    [capacity] of the most recent entries are restored, oldest inserted
+    first, so recency survives the round trip.  A missing or unreadable
+    file, unparsable JSON, or a wrong schema tag is the [Error]. *)
+
+(** {1 Fault injection} *)
+
+val chaos_crash_hook : (Solver.prepared -> unit) option ref
+(** When installed, runs inside the worker closure immediately before
+    each solve; an exception it raises follows the real worker-crash
+    path ({!Hs_exec.try_parmap} [worker_error] → typed status-1
+    answer).  [None] (the default) costs one ref read per solve. *)
+
+val chaos_budget : int
+(** Reserved budget value ([424242]) that trips the stock sentinel. *)
+
+val install_chaos_sentinel : unit -> unit
+(** Arm {!chaos_crash_hook} with the stock sentinel: any request whose
+    effective budget is {!chaos_budget} crashes its worker.  Test-only
+    — wired to [hsched serve --chaos]. *)
 
 val poison_cache : t -> key:string -> bool
 (** Test hook: flip a byte of the cached body for [key] while keeping

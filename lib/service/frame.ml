@@ -4,10 +4,18 @@
    [next] never copies more than the returned payload, and the buffer is
    compacted once the consumed prefix dominates, so a long-lived
    connection does not grow its buffer beyond the largest in-flight
-   frame. *)
+   frame.
+
+   The buffer is bounded: a peer that streams bytes without ever
+   completing a frame (or declares a huge length and dribbles payload)
+   trips the [Overrun] error at [max_buffer] bytes instead of growing
+   the buffer without limit, and a sticky-failed decoder drops all
+   further input — one malicious connection costs at most [max_buffer]
+   bytes, ever. *)
 
 let max_payload = 16 * 1024 * 1024
 let header_len = 9 (* 8 hex digits + '\n' *)
+let max_buffer = header_len + max_payload
 
 let encode payload =
   let n = String.length payload in
@@ -15,21 +23,33 @@ let encode payload =
     invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes exceeds %d" n max_payload);
   Printf.sprintf "%08x\n%s" n payload
 
-type error = Bad_header of string | Oversized of int | Truncated of int
+type error =
+  | Bad_header of string
+  | Oversized of int
+  | Truncated of int
+  | Overrun of int
 
 let error_to_string = function
   | Bad_header h -> Printf.sprintf "malformed frame header %S (want 8 hex digits + newline)" h
   | Oversized n -> Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n max_payload
   | Truncated n -> Printf.sprintf "connection closed mid-frame (%d buffered bytes)" n
+  | Overrun n ->
+      Printf.sprintf "read buffer overrun (%d bytes buffered without a complete frame; limit %d)"
+        n max_buffer
 
 type decoder = {
   mutable buf : Bytes.t;
   mutable len : int;  (** valid bytes in [buf] *)
   mutable pos : int;  (** consumed prefix *)
   mutable failed : error option;  (** sticky decode error *)
+  limit : int;  (** max buffered (unconsumed) bytes *)
 }
 
-let create () = { buf = Bytes.create 4096; len = 0; pos = 0; failed = None }
+let create ?(max_buffer = max_buffer) () =
+  if max_buffer < header_len then
+    invalid_arg "Frame.create: max_buffer must hold at least a header";
+  { buf = Bytes.create 4096; len = 0; pos = 0; failed = None; limit = max_buffer }
+
 let buffered d = d.len - d.pos
 
 let compact d =
@@ -40,19 +60,26 @@ let compact d =
   end
 
 let feed d s =
-  let n = String.length s in
-  compact d;
-  if d.len + n > Bytes.length d.buf then begin
-    let cap = ref (Bytes.length d.buf) in
-    while d.len + n > !cap do
-      cap := !cap * 2
-    done;
-    let bigger = Bytes.create !cap in
-    Bytes.blit d.buf 0 bigger 0 d.len;
-    d.buf <- bigger
-  end;
-  Bytes.blit_string s 0 d.buf d.len n;
-  d.len <- d.len + n
+  (* A failed decoder never buffers another byte: the caller is about to
+     hang up, and a flooding peer must not grow the buffer meanwhile. *)
+  if d.failed = None then begin
+    let n = String.length s in
+    if buffered d + n > d.limit then d.failed <- Some (Overrun (buffered d + n))
+    else begin
+      compact d;
+      if d.len + n > Bytes.length d.buf then begin
+        let cap = ref (Bytes.length d.buf) in
+        while d.len + n > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit d.buf 0 bigger 0 d.len;
+        d.buf <- bigger
+      end;
+      Bytes.blit_string s 0 d.buf d.len n;
+      d.len <- d.len + n
+    end
+  end
 
 let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
 

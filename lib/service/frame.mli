@@ -15,11 +15,23 @@
     complete, before any payload is buffered.  The decoder is
     incremental (feed bytes as they arrive, pull complete frames) and
     {e total}: malformed input of any shape surfaces as a typed
-    {!error}, never as an exception or an unbounded buffer. *)
+    {!error}, never as an exception or an unbounded buffer.
+
+    The buffer itself is bounded ({!max_buffer}): a malicious length
+    prefix (say 2 GB) is rejected at header-parse time without any
+    allocation, a peer that streams bytes without completing a frame is
+    cut off with {!Overrun}, and once a decoder has failed it silently
+    drops all further input — so one bad connection can never cost more
+    than {!max_buffer} bytes of memory. *)
 
 val max_payload : int
 (** Upper bound on a payload (16 MiB).  Larger declared lengths are
     rejected without buffering. *)
+
+val max_buffer : int
+(** Default upper bound on a decoder's unconsumed buffer
+    ({!max_payload} + the header width); {!feed} beyond it is the
+    {!Overrun} error, not an allocation. *)
 
 val encode : string -> string
 (** [encode payload] is the wire form.  Raises [Invalid_argument] when
@@ -30,15 +42,22 @@ type error =
   | Bad_header of string  (** header bytes are not 8 hex digits + newline *)
   | Oversized of int  (** declared length exceeds {!max_payload} *)
   | Truncated of int  (** EOF with this many unconsumed bytes buffered *)
+  | Overrun of int
+      (** this many bytes arrived without a complete frame inside the
+          decoder's buffer bound *)
 
 val error_to_string : error -> string
 
 type decoder
 
-val create : unit -> decoder
+val create : ?max_buffer:int -> unit -> decoder
+(** [max_buffer] (default {!max_buffer}) bounds the unconsumed buffer;
+    raises [Invalid_argument] when it cannot hold a header. *)
 
 val feed : decoder -> string -> unit
-(** Append raw bytes received from the peer. *)
+(** Append raw bytes received from the peer.  Feeding past the buffer
+    bound sets the sticky {!Overrun} error; feeding a failed decoder
+    drops the bytes. *)
 
 val next : decoder -> (string option, error) result
 (** The next complete payload, [Ok None] when more bytes are needed.

@@ -3,7 +3,12 @@
 
 module Json = Hs_obs.Json
 
-type solve_params = { instance_text : string; budget : int option }
+type solve_params = {
+  instance_text : string;
+  budget : int option;
+  deadline_ms : int option;
+}
+
 type request = Solve of solve_params | Stats | Ping | Shutdown
 
 let version = 1
@@ -14,19 +19,36 @@ type response = {
   cached : bool;
   body : string;
   error : string;
+  retry_after_ms : int;
 }
 
-let ok ~rid ?(cached = false) body = { rid; status = 0; cached; body; error = "" }
-let err ~rid ~status error = { rid; status; cached = false; body = ""; error }
+let ok ~rid ?(cached = false) body =
+  { rid; status = 0; cached; body; error = ""; retry_after_ms = 0 }
+
+let err ~rid ~status error =
+  { rid; status; cached = false; body = ""; error; retry_after_ms = 0 }
+
+let overloaded ~rid ~retry_after_ms =
+  let e = Hs_core.Hs_error.Overloaded { retry_after_ms } in
+  {
+    rid;
+    status = Hs_core.Hs_error.exit_code e;
+    cached = false;
+    body = "";
+    error = Hs_core.Hs_error.to_string e;
+    retry_after_ms;
+  }
+
 let status_of_error = Hs_core.Hs_error.exit_code
 
 let request_to_json ~id req =
   let base = [ ("hsched.rpc", Json.Int version); ("id", Json.Int id) ] in
   let rest =
     match req with
-    | Solve { instance_text; budget } ->
+    | Solve { instance_text; budget; deadline_ms } ->
         [ ("verb", Json.String "solve"); ("instance", Json.String instance_text) ]
         @ (match budget with None -> [] | Some k -> [ ("budget", Json.Int k) ])
+        @ (match deadline_ms with None -> [] | Some d -> [ ("deadline_ms", Json.Int d) ])
     | Stats -> [ ("verb", Json.String "stats") ]
     | Ping -> [ ("verb", Json.String "ping") ]
     | Shutdown -> [ ("verb", Json.String "shutdown") ]
@@ -60,11 +82,22 @@ let request_of_json json =
           match string_member "instance" json with
           | None -> Error (id, "solve needs a string \"instance\"")
           | Some instance_text -> (
-              match Json.member "budget" json with
-              | None -> Ok (id, Solve { instance_text; budget = None })
-              | Some (Json.Int k) when k > 0 ->
-                  Ok (id, Solve { instance_text; budget = Some k })
-              | Some _ -> Error (id, "\"budget\" must be a positive integer")))
+              let budget =
+                match Json.member "budget" json with
+                | None -> Ok None
+                | Some (Json.Int k) when k > 0 -> Ok (Some k)
+                | Some _ -> Error "\"budget\" must be a positive integer"
+              in
+              let deadline_ms =
+                match Json.member "deadline_ms" json with
+                | None -> Ok None
+                | Some (Json.Int d) when d >= 0 -> Ok (Some d)
+                | Some _ -> Error "\"deadline_ms\" must be a non-negative integer"
+              in
+              match (budget, deadline_ms) with
+              | Error e, _ | _, Error e -> Error (id, e)
+              | Ok budget, Ok deadline_ms ->
+                  Ok (id, Solve { instance_text; budget; deadline_ms })))
       | Some "stats" -> Ok (id, Stats)
       | Some "ping" -> Ok (id, Ping)
       | Some "shutdown" -> Ok (id, Shutdown)
@@ -73,14 +106,17 @@ let request_of_json json =
 
 let response_to_json r =
   Json.Obj
-    [
-      ("hsched.rpc", Json.Int version);
-      ("id", Json.Int r.rid);
-      ("status", Json.Int r.status);
-      ("cached", Json.Bool r.cached);
-      ("body", Json.String r.body);
-      ("error", Json.String r.error);
-    ]
+    ([
+       ("hsched.rpc", Json.Int version);
+       ("id", Json.Int r.rid);
+       ("status", Json.Int r.status);
+       ("cached", Json.Bool r.cached);
+       ("body", Json.String r.body);
+       ("error", Json.String r.error);
+     ]
+    @
+    if r.retry_after_ms > 0 then [ ("retry_after_ms", Json.Int r.retry_after_ms) ]
+    else [])
 
 let response_of_json json =
   match json with
@@ -94,6 +130,9 @@ let response_of_json json =
               cached = Option.value ~default:false (bool_member "cached" json);
               body = Option.value ~default:"" (string_member "body" json);
               error = Option.value ~default:"" (string_member "error" json);
+              retry_after_ms =
+                Stdlib.max 0
+                  (Option.value ~default:0 (int_member "retry_after_ms" json));
             }
       | _ -> Error "response needs integer \"id\" and \"status\"")
   | _ -> Error "response is not a JSON object"

@@ -6,15 +6,21 @@
     request  ::= {"hsched.rpc": 1, "id": int, "verb": verb, ...}
     verb     ::= "solve" | "stats" | "ping" | "shutdown"
     solve    ::= ... "instance": string  ["budget": int]
+                 ["deadline_ms": int>=0]
     response ::= {"hsched.rpc": 1, "id": int, "status": int,
-                  "cached": bool, "body": string, "error": string}
+                  "cached": bool, "body": string, "error": string
+                  ["retry_after_ms": int]}
     v}
 
     Status codes mirror the CLI exit-code contract (README.md): [0]
     success, [1] internal failure, [2] unusable input — including every
     wire-level fault: bad frame, bad JSON, unknown verb —, [3]
-    infeasible instance, [4] budget exhausted.  A client can therefore
-    [exit status] and behave exactly like the offline [hsched solve].
+    infeasible instance, [4] budget exhausted, [5] overloaded (the
+    admission queue shed the request; [retry_after_ms] carries the
+    deterministic backoff hint), [6] deadline exceeded, [7] unavailable
+    (only ever produced client-side — the daemon cannot answer when it
+    is absent).  A client can therefore [exit status] and behave exactly
+    like the offline [hsched solve].
 
     The codec is total in both directions: [of_json] never raises on
     untrusted input, and unknown object keys are ignored so the protocol
@@ -23,6 +29,10 @@
 type solve_params = {
   instance_text : string;  (** Instance_io format, parsed server-side *)
   budget : int option;  (** per-request [Budget.of_units] knob *)
+  deadline_ms : int option;
+      (** per-request deadline: expires in the admission queue by wall
+          clock, and caps the solver budget deterministically via
+          [Budget.of_deadline_ms] (see DESIGN.md section 13) *)
 }
 
 type request =
@@ -40,10 +50,17 @@ type response = {
   cached : bool;  (** body served from (or coalesced into) the cache *)
   body : string;  (** rendered result when [status = 0] *)
   error : string;  (** diagnostic when [status <> 0] *)
+  retry_after_ms : int;
+      (** deterministic backoff hint on status 5 (overloaded); [0]
+          otherwise *)
 }
 
 val ok : rid:int -> ?cached:bool -> string -> response
 val err : rid:int -> status:int -> string -> response
+
+val overloaded : rid:int -> retry_after_ms:int -> response
+(** The admission-control shed reply: status 5, the
+    [Hs_error.Overloaded] diagnostic, and the backoff hint. *)
 
 val status_of_error : Hs_core.Hs_error.t -> int
 (** [Hs_core.Hs_error.exit_code], restated here as the protocol-status

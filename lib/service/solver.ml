@@ -1,19 +1,70 @@
 open Hs_model
 module E = Hs_core.Hs_error
 
-type prepared = { instance : Instance.t; budget : int option; key : string }
+let default_deadline_units_per_ms = 100
 
-let cache_key ~digest ~budget =
-  match budget with
-  | None -> digest ^ ":solve"
-  | Some k -> Printf.sprintf "%s:solve:b%d" digest k
+type prepared = {
+  instance : Instance.t;
+  budget : int option;
+  deadline_ms : int option;
+  deadline_capped : bool;
+  key : string;
+}
 
-let prepare ~default_budget (p : Protocol.solve_params) =
+let cache_key ~digest ~budget ~deadline_capped =
+  let base =
+    match budget with
+    | None -> digest ^ ":solve"
+    | Some k -> Printf.sprintf "%s:solve:b%d" digest k
+  in
+  (* A deadline-capped solve answers exhaustion as Deadline_exceeded
+     where a plain budget answers Budget_exhausted, so the two must not
+     share a cache line even at equal effective units. *)
+  if deadline_capped then base ^ ":d" else base
+
+let prepare ?(deadline_units_per_ms = default_deadline_units_per_ms)
+    ~default_budget (p : Protocol.solve_params) =
+  if deadline_units_per_ms < 1 then
+    invalid_arg "Solver.prepare: deadline_units_per_ms must be >= 1";
   match Instance_io.of_string p.instance_text with
   | Error e -> Error (E.Parse_error e)
   | Ok instance ->
-      let budget = match p.budget with Some _ as b -> b | None -> default_budget in
-      Ok { instance; budget; key = cache_key ~digest:(Instance_io.digest instance) ~budget }
+      let requested =
+        match p.budget with Some _ as b -> b | None -> default_budget
+      in
+      (* The deadline buys budget units at a fixed, deterministic rate
+         (Budget.of_deadline_ms); the effective budget is the meet (the
+         tighter cap per dimension) of the requested and
+         deadline-derived budgets.  [of_units]/[of_deadline_ms] put the
+         unit count in every capped dimension, so reading [lp_pivots]
+         back recovers it. *)
+      let module B = Hs_core.Budget in
+      let requested_b =
+        match requested with None -> B.unlimited | Some k -> B.of_units k
+      in
+      let effective_b =
+        match p.deadline_ms with
+        | None -> requested_b
+        | Some d ->
+            B.meet requested_b
+              (B.of_deadline_ms ~units_per_ms:deadline_units_per_ms d)
+      in
+      let budget = effective_b.B.lp_pivots in
+      let deadline_capped =
+        match (requested, budget) with
+        | _, None | None, Some _ -> p.deadline_ms <> None
+        | Some k, Some e -> e < k
+      in
+      Ok
+        {
+          instance;
+          budget;
+          deadline_ms = p.deadline_ms;
+          deadline_capped;
+          key =
+            cache_key ~digest:(Instance_io.digest instance) ~budget
+              ~deadline_capped;
+        }
 
 (* With [verify] the structured outcome is re-validated by the
    independent checker before it is rendered; the first violated
@@ -23,26 +74,42 @@ let certified verdict render =
   | Some e -> Error e
   | None -> Ok (render ())
 
-let execute ?(verify = false) { instance; budget; _ } =
+let execute ?(verify = false) { instance; budget; deadline_ms; deadline_capped; _ } =
   Hs_obs.Tracer.with_span ~cat:"service" "service.solve" @@ fun () ->
-  try
-    match budget with
-    | None -> (
-        match Hs_core.Approx.Exact.solve_checked instance with
-        | Error e -> Error e
-        | Ok o ->
-            if verify then
-              certified (Hs_check.Certify.outcome o) (fun () -> Render.exact_outcome o)
-            else Ok (Render.exact_outcome o))
-    | Some k -> (
-        let budget = Hs_core.Budget.of_units k in
-        match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback instance with
-        | Error e -> Error e
-        | Ok r ->
-            if verify then
-              certified (Hs_check.Certify.robust r) (fun () ->
-                  Render.robust_outcome ~budget r)
-            else Ok (Render.robust_outcome ~budget r))
-  with
-  | E.Error e -> Error e
-  | exn -> Error (E.Internal (Printexc.to_string exn))
+  let outcome =
+    try
+      match budget with
+      | None -> (
+          match Hs_core.Approx.Exact.solve_checked instance with
+          | Error e -> Error e
+          | Ok o ->
+              if verify then
+                certified (Hs_check.Certify.outcome o) (fun () -> Render.exact_outcome o)
+              else Ok (Render.exact_outcome o))
+      | Some k -> (
+          let budget = Hs_core.Budget.of_units k in
+          match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback instance with
+          | Error e -> Error e
+          | Ok r ->
+              if verify then
+                certified (Hs_check.Certify.robust r) (fun () ->
+                    Render.robust_outcome ~budget r)
+              else Ok (Render.robust_outcome ~budget r))
+    with
+    | E.Error e -> Error e
+    | exn -> Error (E.Internal (Printexc.to_string exn))
+  in
+  (* When the deadline supplied the binding cap, exhaustion is the
+     deadline's fault: surface the typed deadline error (status 6), not
+     a budget one (status 4). *)
+  match outcome with
+  | Error (E.Budget_exhausted { stage; detail }) when deadline_capped ->
+      Error
+        (E.Deadline_exceeded
+           {
+             deadline_ms = Option.value ~default:0 deadline_ms;
+             detail =
+               Printf.sprintf "deadline-derived budget ran out [%s]: %s"
+                 (E.stage_name stage) detail;
+           })
+  | o -> o

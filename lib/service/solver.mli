@@ -6,23 +6,38 @@
     coalesce duplicate requests within a batch — before any solver work
     is scheduled on the {!Hs_exec} pool. *)
 
+val default_deadline_units_per_ms : int
+(** Default exchange rate of the deadline-to-budget conversion
+    ({!Hs_core.Budget.of_deadline_ms}): 100 units per millisecond. *)
+
 type prepared = {
   instance : Hs_model.Instance.t;
-  budget : int option;  (** effective per-request budget (request or default) *)
-  key : string;  (** cache key: content digest + option tag *)
+  budget : int option;
+      (** effective per-request budget: the tighter of the
+          requested/default budget and the deadline-derived cap *)
+  deadline_ms : int option;  (** as sent by the client, for queue expiry *)
+  deadline_capped : bool;
+      (** the deadline supplied the binding budget cap, so exhaustion is
+          answered as [Deadline_exceeded] (status 6), not
+          [Budget_exhausted] (status 4) *)
+  key : string;  (** cache key: content digest + option tags *)
 }
 
-val cache_key : digest:string -> budget:int option -> string
-(** The cache key argument (DESIGN.md §11): the canonical-content digest
-    of the instance, extended with every option that changes the
-    rendered answer — today only the budget. *)
+val cache_key : digest:string -> budget:int option -> deadline_capped:bool -> string
+(** The cache key argument (DESIGN.md §11/§13): the canonical-content
+    digest of the instance, extended with every option that changes the
+    rendered answer — the effective budget, and whether a deadline
+    supplied it (the two differ in how exhaustion is typed). *)
 
 val prepare :
+  ?deadline_units_per_ms:int ->
   default_budget:int option ->
   Protocol.solve_params ->
   (prepared, Hs_core.Hs_error.t) result
-(** Parse the instance text and derive the cache key.  Malformed text is
-    a [Parse_error] (protocol status 2), as in the CLI. *)
+(** Parse the instance text, fold the optional deadline into the budget
+    at [deadline_units_per_ms] (saturating), and derive the cache key.
+    Malformed text is a [Parse_error] (protocol status 2), as in the
+    CLI.  Raises [Invalid_argument] when [deadline_units_per_ms < 1]. *)
 
 val execute : ?verify:bool -> prepared -> (string, Hs_core.Hs_error.t) result
 (** Solve and render.  Without a budget this is
@@ -32,5 +47,7 @@ val execute : ?verify:bool -> prepared -> (string, Hs_core.Hs_error.t) result
     [~verify:true] (default [false]) the structured outcome is
     re-validated by the independent checker ({!Hs_check.Certify}) before
     rendering; the first violated invariant surfaces as the typed
-    [Verification] error.  Runs inside a ["service.solve"] tracer span;
-    stray exceptions surface as [Internal], never escape. *)
+    [Verification] error.  When the prepared request is
+    [deadline_capped], budget exhaustion surfaces as the typed
+    [Deadline_exceeded] instead.  Runs inside a ["service.solve"] tracer
+    span; stray exceptions surface as [Internal], never escape. *)

@@ -146,7 +146,7 @@ let frame payload = Printf.sprintf "%08x\n%s" (String.length payload) payload
    error (or reject at EOF) — never a crash, never a hang. *)
 let corrupt_frame rng encoded =
   let n = String.length encoded in
-  match Rng.int rng 6 with
+  match Rng.int rng 7 with
   | 0 ->
       (* truncated length prefix: chop inside the 9-byte header *)
       String.sub encoded 0 (Rng.int rng (Stdlib.min n 9))
@@ -170,6 +170,12 @@ let corrupt_frame rng encoded =
       if n > 9 then
         Bytes.set b (9 + Rng.int rng (n - 9)) (Char.chr (32 + Rng.int rng 95));
       Bytes.to_string b
+  | 5 ->
+      (* malicious giant prefix: a ~2 GB declared length must be
+         rejected at header-parse time, never allocated *)
+      Printf.sprintf "%08x\n%s"
+        (0x7fffffff - Rng.int rng 0x1000)
+        (String.sub encoded (Stdlib.min 9 n) (Stdlib.max 0 (n - 9)))
   | _ ->
       (* declared length disagrees with the actual payload *)
       if n <= 9 then frame "x"
@@ -195,6 +201,10 @@ let malformed_frames =
     (* oversized frame: one past the 16 MiB payload cap *)
     "01000001\n";
     "ffffffff\n";
+    (* malicious ~2 GB prefix, with and without trailing bytes: the
+       typed protocol error must arrive without any payload allocation *)
+    "7fffffff\n";
+    "7fffffff\n{\"hsched.rpc\":1,\"id\":0,\"verb\":\"ping\"}";
     (* truncated payload after a valid header *)
     "00000010\n{\"hsched.rp";
     (* well-formed frame, malformed JSON payload *)

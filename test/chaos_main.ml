@@ -1,0 +1,258 @@
+(* Chaos harness for the solver service (`@chaos` alias; CI runs a
+   larger sweep).  Usage: chaos_main [ITERS] [CLIENTS] [SEED].
+
+   One verifying daemon (its engine certifies every fresh answer with
+   the independent lib/check certifier and fingerprints every cache
+   replay) is driven by CLIENTS concurrent client domains, each mixing a
+   seeded stream of fault actions with real work:
+
+   - plain solves, retried through the deterministic backoff when the
+     small admission queue sheds them; every accepted body must be
+     byte-identical to the offline [Solver.execute] answer;
+   - worker-crash injection (the chaos sentinel budget crashes the
+     worker domain mid-batch; the answer must be the typed status-1
+     worker error, never a daemon death);
+   - zero deadlines (must expire in the admission queue as status 6);
+   - malformed-frame corpus entries on throwaway connections;
+   - half-written frames abandoned on open connections (the daemon's
+     read deadline must cut them off);
+   - mid-write connection resets.
+
+   Exit 0 iff every client observed only typed, correct behaviour AND
+   the daemon survived to answer a final ping and drain a graceful
+   shutdown — zero daemon deaths, by construction of the exit code. *)
+
+module P = Hs_service.Protocol
+module C = Hs_service.Client
+module Rng = Hs_workloads.Rng
+
+let usage () =
+  prerr_endline "usage: chaos_main [ITERS] [CLIENTS] [SEED]";
+  exit 2
+
+let arg i default =
+  if Array.length Sys.argv > i then
+    match int_of_string_opt Sys.argv.(i) with
+    | Some v when v > 0 -> v
+    | _ -> usage ()
+  else default
+
+let () =
+  let iters = arg 1 120 in
+  let clients = arg 2 8 in
+  let seed = arg 3 7 in
+  (* The sentinel must be armed in the daemon's process — which is this
+     process: the daemon runs in a spawned domain. *)
+  Hs_service.Engine.install_chaos_sentinel ();
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hschaos-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Hs_service.Daemon.default_config ~socket_path:path) with
+      jobs = 2;
+      max_queue = 8;
+      io_timeout_s = 1.0;
+      verify = true;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Hs_service.Daemon.run cfg) in
+  let rec wait k =
+    if not (Sys.file_exists path) then
+      if k = 0 then failwith "chaos: daemon socket never appeared"
+      else begin
+        ignore (Unix.select [] [] [] 0.05);
+        wait (k - 1)
+      end
+  in
+  wait 100;
+  (* Offline ground truth per pool instance: the daemon's status-0
+     answers must reproduce these bytes exactly. *)
+  let pool =
+    Array.init 6 (fun i ->
+        let rng = Rng.create (4200 + i) in
+        let inst =
+          Hs_workloads.Generators.hierarchical rng
+            ~lam:(Hs_laminar.Topology.semi_partitioned 4) ~n:6 ~base:(2, 9)
+            ~overhead:0.2 ()
+        in
+        Hs_model.Instance_io.to_string inst)
+  in
+  let offline =
+    Array.map
+      (fun text ->
+        match
+          Hs_service.Solver.prepare ~default_budget:None
+            { P.instance_text = text; budget = None; deadline_ms = None }
+        with
+        | Error e -> failwith ("chaos: prepare: " ^ Hs_core.Hs_error.to_string e)
+        | Ok prep -> (
+            match Hs_service.Solver.execute ~verify:true prep with
+            | Ok body -> body
+            | Error e -> failwith ("chaos: execute: " ^ Hs_core.Hs_error.to_string e)))
+      pool
+  in
+  let corpus = Array.of_list Hs_workloads.Mutators.malformed_frames in
+  let per = Stdlib.max 1 (iters / clients) in
+  let worker w =
+    Domain.spawn (fun () ->
+        let rng = Rng.create (seed + (w * 101)) in
+        let errs = ref [] in
+        let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+        let conn = ref None in
+        let get_conn () =
+          match !conn with
+          | Some c -> Ok c
+          | None -> (
+              match C.connect path with
+              | Ok c ->
+                  conn := Some c;
+                  Ok c
+              | Error e -> Error e)
+        in
+        let drop_conn () =
+          match !conn with
+          | Some c ->
+              C.close c;
+              conn := None
+          | None -> ()
+        in
+        let solve ?budget ?deadline_ms k =
+          match get_conn () with
+          | Error e ->
+              fail "client %d: connect: %s" w e;
+              None
+          | Ok c -> (
+              match
+                C.call ~timeout_s:60.0 c
+                  (P.Solve { instance_text = pool.(k); budget; deadline_ms })
+              with
+              | Ok r -> Some r
+              | Error e ->
+                  (* A daemon-side hangup mid-call (e.g. our own previous
+                     faults) is tolerated once: reconnect next time. *)
+                  drop_conn ();
+                  fail "client %d: call failed: %s" w e;
+                  None)
+        in
+        for i = 0 to per - 1 do
+          match Rng.int rng 8 with
+          | 0 | 1 | 2 ->
+              (* plain solve: retry sheds, demand byte-identity *)
+              let k = Rng.int rng (Array.length pool) in
+              let rec attempt tries =
+                match solve k with
+                | None -> ()
+                | Some r when r.P.status = 0 ->
+                    if not (String.equal r.P.body offline.(k)) then
+                      fail "client %d iter %d: body diverged from offline solve" w i
+                | Some r when r.P.status = 5 ->
+                    if tries >= 100 then fail "client %d: shed 100 times in a row" w
+                    else begin
+                      let wait_ms =
+                        C.backoff_ms ~base_ms:1 ~cap_ms:50 ~attempt:tries
+                          ~retry_after_ms:r.P.retry_after_ms
+                          ~salt:((w * 997) + i) ()
+                      in
+                      ignore (Unix.select [] [] [] (float_of_int wait_ms /. 1000.));
+                      attempt (tries + 1)
+                    end
+                | Some r ->
+                    fail "client %d iter %d: unexpected status %d: %s" w i r.P.status
+                      r.P.error
+              in
+              attempt 0
+          | 3 -> (
+              (* worker-crash injection: typed status-1 answer, never a
+                 daemon death (shed is also legal under load) *)
+              match solve ~budget:Hs_service.Engine.chaos_budget (Rng.int rng 6) with
+              | None -> ()
+              | Some r when r.P.status = 1 || r.P.status = 5 -> ()
+              | Some r ->
+                  fail "client %d: crash injection answered status %d" w r.P.status)
+          | 4 -> (
+              (* zero deadline: expires in the admission queue *)
+              match solve ~deadline_ms:0 (Rng.int rng 6) with
+              | None -> ()
+              | Some r when r.P.status = 6 || r.P.status = 5 -> ()
+              | Some r ->
+                  fail "client %d: zero deadline answered status %d" w r.P.status)
+          | 5 -> (
+              (* malformed corpus entry on a throwaway connection *)
+              match C.connect path with
+              | Error e -> fail "client %d: raw connect: %s" w e
+              | Ok raw ->
+                  ignore (C.send_raw raw corpus.(Rng.int rng (Array.length corpus)));
+                  C.close raw)
+          | 6 -> (
+              (* half a frame, then abandon the open connection: the
+                 daemon's read deadline must reap it *)
+              match C.connect path with
+              | Error e -> fail "client %d: raw connect: %s" w e
+              | Ok raw ->
+                  let f = Hs_service.Frame.encode "{\"hsched.rpc\":1,\"id\":0,\"verb\":\"ping\"}" in
+                  ignore (C.send_raw raw (String.sub f 0 (String.length f / 2)))
+                  (* deliberately not closed: leaked until process exit *))
+          | _ -> (
+              (* mid-write reset on the working connection *)
+              match get_conn () with
+              | Error e -> fail "client %d: connect: %s" w e
+              | Ok c ->
+                  let f = Hs_service.Frame.encode "{\"hsched.rpc\":1,\"id\":9,\"verb\":\"stats\"}" in
+                  ignore (C.send_raw c (String.sub f 0 (String.length f - 3)));
+                  drop_conn ())
+        done;
+        drop_conn ();
+        List.rev !errs)
+  in
+  let workers = List.init clients worker in
+  let errs = List.concat_map Domain.join workers in
+  List.iter prerr_endline errs;
+  (* The daemon must still be there, answer, and drain cleanly. *)
+  let final_errs = ref (List.length errs) in
+  (match C.connect path with
+  | Error e ->
+      incr final_errs;
+      prerr_endline ("chaos: daemon unreachable after the storm: " ^ e)
+  | Ok c ->
+      (match C.call ~timeout_s:30.0 c P.Ping with
+      | Ok { P.status = 0; body = "pong"; _ } -> ()
+      | Ok r ->
+          incr final_errs;
+          Printf.eprintf "chaos: final ping answered %d %S\n" r.P.status r.P.body
+      | Error e ->
+          incr final_errs;
+          prerr_endline ("chaos: final ping failed: " ^ e));
+      (match C.call ~timeout_s:30.0 c P.Stats with
+      | Ok { P.status = 0; body; _ } -> print_endline body
+      | Ok r ->
+          incr final_errs;
+          Printf.eprintf "chaos: stats answered %d\n" r.P.status
+      | Error e ->
+          incr final_errs;
+          prerr_endline ("chaos: stats failed: " ^ e));
+      (match C.call ~timeout_s:30.0 c P.Shutdown with
+      | Ok { P.status = 0; body = "bye"; _ } -> ()
+      | Ok r ->
+          incr final_errs;
+          Printf.eprintf "chaos: shutdown answered %d %S\n" r.P.status r.P.body
+      | Error e ->
+          incr final_errs;
+          prerr_endline ("chaos: graceful shutdown failed: " ^ e));
+      C.close c);
+  (match Domain.join daemon with
+  | Ok () -> ()
+  | Error e ->
+      incr final_errs;
+      prerr_endline ("chaos: daemon died: " ^ e));
+  if !final_errs = 0 then begin
+    Printf.printf "chaos: %d clients x %d actions: all typed, zero daemon deaths\n"
+      clients per;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "chaos: %d failure(s)\n" !final_errs;
+    exit 1
+  end

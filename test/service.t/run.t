@@ -46,7 +46,11 @@ answered from the canonical-hash result cache (nonzero service.cache.hit):
   service.cache.evict = 0
   service.cache.hit = 195
   service.cache.miss = 5
+  service.deadline_miss = 0
   service.requests = 200
+  service.shed = 0
+  service.snapshot.loaded = 0
+  service.snapshot.rejected = 0
 
 A single request prints the body alone, byte-identical to `hsched solve`:
 
@@ -69,6 +73,15 @@ the daemon survives it:
   $ ../../bin/hsched.exe request --socket d.sock --ping
   pong
 
+A zero deadline always expires in the admission queue: the typed
+status-6 response, deterministic by construction (DESIGN.md section 13):
+
+  $ ../../bin/hsched.exe request --socket d.sock --deadline-ms 0 i1.inst
+  ERROR: deadline exceeded [0 ms]: expired in the admission queue
+  [6]
+  $ ../../bin/hsched.exe request --socket d.sock --ping
+  pong
+
 Graceful drain: two solves and a shutdown pipelined together; the daemon
 answers both solves before acknowledging the shutdown:
 
@@ -87,5 +100,79 @@ to talk to:
   $ [ -e d.sock ] || echo socket removed
   socket removed
   $ ../../bin/hsched.exe shutdown --socket d.sock
-  hsched: cannot connect to d.sock: No such file or directory
-  [1]
+  hsched: service unavailable: cannot connect to d.sock: No such file or directory
+  [7]
+
+Admission control (DESIGN.md section 13): a queue bound of zero sheds
+every solve with the typed overloaded response, and the retry_after_ms
+ladder climbs deterministically with the shed streak:
+
+  $ ../../bin/hsched.exe serve --socket shed.sock --max-queue 0 > /dev/null 2> shed.log &
+  $ for i in $(seq 1 100); do [ -S shed.sock ] && break; sleep 0.1; done
+  $ ../../bin/hsched.exe request --socket shed.sock i1.inst
+  ERROR: overloaded: admission queue is full, retry after 50 ms
+  [5]
+  $ ../../bin/hsched.exe request --socket shed.sock i1.inst i2.inst
+  == i1.inst ==
+  ERROR: overloaded: admission queue is full, retry after 100 ms
+  == i2.inst ==
+  ERROR: overloaded: admission queue is full, retry after 150 ms
+  [5]
+
+Client-side retries honor the ladder: two retries climb it twice more,
+then surface the daemon's final answer unchanged:
+
+  $ ../../bin/hsched.exe request --socket shed.sock --retries 2 i1.inst
+  ERROR: overloaded: admission queue is full, retry after 300 ms
+  [5]
+  $ ../../bin/hsched.exe shutdown --socket shed.sock
+  server shut down
+  $ wait
+
+Crash recovery (DESIGN.md section 13): a daemon with --snapshot writes
+its cache to disk after draining, and a restarted daemon restores it —
+the first request after the restart is a cache hit, byte-identical:
+
+  $ ../../bin/hsched.exe serve --socket s.sock --snapshot snap.json > /dev/null 2> snap1.log &
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ ../../bin/hsched.exe request --socket s.sock i1.inst > snap1.out
+  $ ../../bin/hsched.exe shutdown --socket s.sock
+  server shut down
+  $ wait
+  $ grep -c "saved 1 cache entries to snap.json" snap1.log
+  1
+  $ ../../bin/hsched.exe serve --socket s.sock --snapshot snap.json > /dev/null 2> snap2.log &
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ grep -c "restored 1 cache entries from snap.json (0 rejected)" snap2.log
+  1
+  $ ../../bin/hsched.exe request --socket s.sock i1.inst > snap2.out
+  $ cmp snap1.out snap2.out && echo byte-identical
+  byte-identical
+  $ ../../bin/hsched.exe request --socket s.sock --server-stats
+  service.cache.evict = 0
+  service.cache.hit = 1
+  service.cache.miss = 0
+  service.deadline_miss = 0
+  service.requests = 1
+  service.shed = 0
+  service.snapshot.loaded = 1
+  service.snapshot.rejected = 0
+  $ ../../bin/hsched.exe shutdown --socket s.sock
+  server shut down
+  $ wait
+
+A tampered snapshot entry fails its fingerprint re-verification on
+restore and is rejected — the daemon starts with an empty cache instead
+of serving corrupted bytes:
+
+  $ sed -i 's/makespan/nakespan/' snap.json
+  $ ../../bin/hsched.exe serve --socket s.sock --snapshot snap.json > /dev/null 2> snap3.log &
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ grep -c "restored 0 cache entries from snap.json (1 rejected)" snap3.log
+  1
+  $ ../../bin/hsched.exe request --socket s.sock i1.inst > snap3.out
+  $ cmp snap1.out snap3.out && echo byte-identical
+  byte-identical
+  $ ../../bin/hsched.exe shutdown --socket s.sock
+  server shut down
+  $ wait

@@ -99,8 +99,10 @@ let test_frame_errors () =
 let test_protocol_roundtrip () =
   let reqs =
     [
-      Protocol.Solve { instance_text = sample_text; budget = None };
-      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7 };
+      Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None };
+      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = None };
+      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = Some 250 };
+      Protocol.Solve { instance_text = ""; budget = None; deadline_ms = Some 0 };
       Protocol.Stats;
       Protocol.Ping;
       Protocol.Shutdown;
@@ -132,6 +134,8 @@ let test_protocol_roundtrip () =
       Protocol.ok ~rid:0 ~cached:true "";
       Protocol.err ~rid:(-1) ~status:2 "protocol error: bad JSON";
       Protocol.err ~rid:9 ~status:4 "budget exhausted";
+      Protocol.overloaded ~rid:4 ~retry_after_ms:150;
+      Protocol.err ~rid:5 ~status:6 "deadline exceeded [10 ms]: expired";
     ]
 
 let test_protocol_rejects () =
@@ -178,14 +182,14 @@ let test_cache_lru () =
 
 let socket_counter = ref 0
 
-let with_daemon ?(jobs = 1) f =
+let with_daemon ?(jobs = 1) ?(tweak = fun (c : Daemon.config) -> c) f =
   incr socket_counter;
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "hsvc-%d-%d.sock" (Unix.getpid ()) !socket_counter)
   in
-  let cfg = { (Daemon.default_config ~socket_path:path) with jobs } in
+  let cfg = tweak { (Daemon.default_config ~socket_path:path) with jobs } in
   let daemon = Domain.spawn (fun () -> Daemon.run cfg) in
   (* Wait out the bind race: the socket file appears at bind time, and
      Client.connect retries through the bind-to-listen window. *)
@@ -300,7 +304,7 @@ let test_daemon_fault_fuzz () =
       Frame.encode
         (Json.to_string
            (Protocol.request_to_json ~id:0
-              (Protocol.Solve { instance_text = sample_text; budget = None })));
+              (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })));
       Frame.encode
         (Json.to_string (Protocol.request_to_json ~id:1 Protocol.Ping));
     |]
@@ -322,7 +326,7 @@ let test_daemon_solve_and_cache () =
   let offline =
     match
       Solver.prepare ~default_budget:None
-        { Protocol.instance_text = sample_text; budget = None }
+        { Protocol.instance_text = sample_text; budget = None; deadline_ms = None }
     with
     | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
     | Ok prep -> (
@@ -337,7 +341,7 @@ let test_daemon_solve_and_cache () =
       let solve () =
         match
           Client.call ~timeout_s:30.0 c
-            (Protocol.Solve { instance_text = sample_text; budget = None })
+            (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })
         with
         | Error e -> Alcotest.failf "solve call failed: %s" e
         | Ok r -> r
@@ -353,7 +357,7 @@ let test_daemon_solve_and_cache () =
       let scrambled = "# comment\nmachines   4\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' sample_text)) in
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = scrambled; budget = None })
+           (Protocol.Solve { instance_text = scrambled; budget = None; deadline_ms = None })
        with
       | Error e -> Alcotest.failf "scrambled solve failed: %s" e
       | Ok r3 ->
@@ -363,14 +367,14 @@ let test_daemon_solve_and_cache () =
       (* a different budget is a different cache key *)
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = sample_text; budget = Some 100 })
+           (Protocol.Solve { instance_text = sample_text; budget = Some 100; deadline_ms = None })
        with
       | Error e -> Alcotest.failf "budgeted solve failed: %s" e
       | Ok r4 -> Alcotest.(check bool) "budget keys apart" false r4.Protocol.cached);
       (* an unparsable instance is a typed status-2 error, not a crash *)
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = "machines x\n"; budget = None })
+           (Protocol.Solve { instance_text = "machines x\n"; budget = None; deadline_ms = None })
        with
       | Error e -> Alcotest.failf "bad-instance call failed: %s" e
       | Ok r5 ->
@@ -392,7 +396,7 @@ let test_engine_cache_poisoning () =
      cached entry mutated behind the engine's back must be detected by a
      verifying engine and answered with the typed verification error,
      never replayed. *)
-  let params = { Protocol.instance_text = sample_text; budget = None } in
+  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
   let key =
     match Solver.prepare ~default_budget:None params with
     | Ok prep -> prep.Solver.key
@@ -440,8 +444,8 @@ let test_engine_verified_batch () =
   let engine =
     Engine.create ~verify:true ~jobs:2 ~cache_capacity:8 ~default_budget:None ()
   in
-  let good = { Protocol.instance_text = sample_text; budget = None } in
-  let bad = { Protocol.instance_text = "machines x\n"; budget = None } in
+  let good = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
+  let bad = { Protocol.instance_text = "machines x\n"; budget = None; deadline_ms = None } in
   match Engine.solve_batch engine [ good; bad; good ] with
   | [ a1; a2; a3 ] ->
       Alcotest.(check int) "leader solves" 0 a1.Engine.status;
@@ -463,7 +467,7 @@ let test_daemon_drain () =
       match
         Client.call_many ~timeout_s:30.0 c
           [
-            Protocol.Solve { instance_text = sample_text; budget = None };
+            Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None };
             Protocol.Shutdown;
           ]
       with
@@ -474,6 +478,240 @@ let test_daemon_drain () =
           Alcotest.(check int) "shutdown acknowledged" 0 bye.Protocol.status;
           Alcotest.(check string) "ack body" "bye" bye.Protocol.body
       | Ok _ -> Alcotest.fail "expected exactly two responses")
+
+(* ---- overload robustness (DESIGN.md section 13) ----------------------- *)
+
+let test_frame_overrun () =
+  (* A peer streaming bytes that never complete a frame is cut off at
+     the buffer bound, not buffered forever. *)
+  Alcotest.(check int) "default bound covers one max frame"
+    (Frame.max_payload + 9) Frame.max_buffer;
+  (match Frame.create ~max_buffer:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "a bound below the header width must be rejected");
+  let dec = Frame.create ~max_buffer:16 () in
+  Frame.feed dec "00000040\n";
+  (match Frame.next dec with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "incomplete payload is not a frame yet");
+  Frame.feed dec (String.make 20 'x');
+  (match Frame.next dec with
+  | Error (Frame.Overrun _) -> ()
+  | _ -> Alcotest.fail "feeding past the bound must be Overrun");
+  (* sticky, and further input is dropped rather than buffered *)
+  Frame.feed dec (String.make 1000 'y');
+  (match Frame.next dec with
+  | Error (Frame.Overrun _) -> ()
+  | _ -> Alcotest.fail "Overrun must be sticky");
+  Alcotest.(check bool) "failed decoder stops buffering" true (Frame.buffered dec <= 16)
+
+let test_deadline_budget_mapping () =
+  let prep ?budget ?deadline_ms () =
+    match
+      Solver.prepare ~default_budget:None
+        { Protocol.instance_text = sample_text; budget; deadline_ms }
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
+  in
+  (* 1 ms buys exactly deadline_units_per_ms budget units. *)
+  let p = prep ~deadline_ms:1 () in
+  Alcotest.(check (option int)) "deadline-derived budget"
+    (Some Solver.default_deadline_units_per_ms) p.Solver.budget;
+  Alcotest.(check bool) "deadline supplied the cap" true p.Solver.deadline_capped;
+  (* The cache key must keep deadline-capped solves apart from
+     plain-budget solves at equal effective units. *)
+  let q = prep ~budget:Solver.default_deadline_units_per_ms () in
+  Alcotest.(check (option int)) "same effective units" p.Solver.budget q.Solver.budget;
+  Alcotest.(check bool) "distinct cache keys" true (p.Solver.key <> q.Solver.key);
+  (* The tighter cap wins. *)
+  let r = prep ~budget:50 ~deadline_ms:1 () in
+  Alcotest.(check (option int)) "requested budget tighter" (Some 50) r.Solver.budget;
+  Alcotest.(check bool) "not deadline-capped" false r.Solver.deadline_capped;
+  let s = prep ~budget:500 ~deadline_ms:1 () in
+  Alcotest.(check (option int)) "deadline tighter" (Some 100) s.Solver.budget;
+  Alcotest.(check bool) "deadline-capped" true s.Solver.deadline_capped;
+  (* Exhaustion of a deadline-derived budget is the typed deadline
+     error, not a budget one. *)
+  match Solver.execute (prep ~deadline_ms:0 ()) with
+  | Error (Hs_core.Hs_error.Deadline_exceeded { deadline_ms = 0; _ }) -> ()
+  | Error e ->
+      Alcotest.failf "expected Deadline_exceeded, got %s" (Hs_core.Hs_error.to_string e)
+  | Ok _ -> Alcotest.fail "a zero deadline cannot afford a solve"
+
+let test_daemon_sheds_beyond_queue () =
+  (* Queue bound 2, five pipelined solves in one write: the first two are
+     admitted (leader + coalesced follower), the rest shed with the
+     deterministic retry_after_ms ladder. *)
+  with_daemon ~tweak:(fun c -> { c with Daemon.max_queue = 2 }) @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let solve =
+        Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None }
+      in
+      match Client.call_many ~timeout_s:30.0 c [ solve; solve; solve; solve; solve ] with
+      | Error e -> Alcotest.failf "pipelined batch failed: %s" e
+      | Ok resps ->
+          Alcotest.(check (list int)) "admit 2, shed 3" [ 0; 0; 5; 5; 5 ]
+            (List.map (fun (r : Protocol.response) -> r.Protocol.status) resps);
+          Alcotest.(check (list int)) "deterministic backoff ladder" [ 0; 0; 50; 100; 150 ]
+            (List.map (fun (r : Protocol.response) -> r.Protocol.retry_after_ms) resps);
+          List.iter
+            (fun (r : Protocol.response) ->
+              if r.Protocol.status = 5 then
+                Alcotest.(check bool) "typed overloaded diagnostic" true
+                  (r.Protocol.error <> ""))
+            resps)
+
+let test_daemon_deadline_expires_in_queue () =
+  with_daemon @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match
+        Client.call ~timeout_s:30.0 c
+          (Protocol.Solve
+             { instance_text = sample_text; budget = None; deadline_ms = Some 0 })
+      with
+      | Error e -> Alcotest.failf "deadline call failed: %s" e
+      | Ok r ->
+          Alcotest.(check int) "expired in the queue is status 6" 6 r.Protocol.status;
+          Alcotest.(check bool) "typed deadline diagnostic" true
+            (let needle = "deadline exceeded [0 ms]" in
+             String.length r.Protocol.error >= String.length needle
+             && String.sub r.Protocol.error 0 (String.length needle) = needle))
+
+let test_client_backoff_and_retry () =
+  (* The backoff is a pure function: deterministic, monotone in the
+     attempt, floored by the server hint. *)
+  let b0 = Client.backoff_ms ~attempt:0 ~retry_after_ms:0 ~salt:3 () in
+  Alcotest.(check int) "deterministic" b0
+    (Client.backoff_ms ~attempt:0 ~retry_after_ms:0 ~salt:3 ());
+  Alcotest.(check bool) "hint is a floor" true
+    (Client.backoff_ms ~attempt:0 ~retry_after_ms:500 ~salt:3 () >= 500);
+  Alcotest.(check bool) "exponential growth" true
+    (Client.backoff_ms ~attempt:6 ~retry_after_ms:0 ~salt:3 ()
+    > Client.backoff_ms ~attempt:0 ~retry_after_ms:0 ~salt:3 ());
+  Alcotest.(check bool) "cap holds" true
+    (Client.backoff_ms ~cap_ms:100 ~attempt:60 ~retry_after_ms:0 ~salt:3 () <= 125);
+  (* Against an always-overloaded daemon (max_queue = 0) the client
+     retries, honouring each response's hint, and finally surfaces the
+     typed overloaded answer. *)
+  with_daemon ~tweak:(fun c -> { c with Daemon.max_queue = 0 }) @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let waits = ref [] in
+      let sleep ms = waits := ms :: !waits in
+      (match
+         Client.call_with_retry ~timeout_s:30.0 ~retries:2 ~sleep c
+           (Protocol.Solve
+              { instance_text = sample_text; budget = None; deadline_ms = None })
+       with
+      | Error e -> Alcotest.failf "retry loop failed: %s" e
+      | Ok r ->
+          Alcotest.(check int) "still overloaded after retries" 5 r.Protocol.status;
+          Alcotest.(check int) "final hint climbs the ladder" 150 r.Protocol.retry_after_ms);
+      match List.rev !waits with
+      | [ w1; w2 ] ->
+          Alcotest.(check bool) "first wait honours the 50 ms hint" true (w1 >= 50);
+          Alcotest.(check bool) "second wait honours the 100 ms hint" true (w2 >= 100)
+      | l -> Alcotest.failf "expected 2 waits, got %d" (List.length l)
+
+let test_snapshot_roundtrip () =
+  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsvc-snap-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let a = Engine.create ~jobs:1 ~cache_capacity:8 ~default_budget:None () in
+  let fresh = engine_solve_one a params in
+  Alcotest.(check int) "solve ok" 0 fresh.Engine.status;
+  (match Engine.save_snapshot a path with
+  | Ok n -> Alcotest.(check int) "one entry saved" 1 n
+  | Error e -> Alcotest.failf "save failed: %s" e);
+  (* Restore into a fresh engine: the answer replays byte-identically. *)
+  let b = Engine.create ~verify:true ~jobs:1 ~cache_capacity:8 ~default_budget:None () in
+  (match Engine.load_snapshot b path with
+  | Ok (1, 0) -> ()
+  | Ok (l, r) -> Alcotest.failf "expected (1,0), got (%d,%d)" l r
+  | Error e -> Alcotest.failf "load failed: %s" e);
+  let restored = engine_solve_one b params in
+  Alcotest.(check bool) "restored entry replays as a hit" true restored.Engine.cached;
+  Alcotest.(check string) "byte-identical answer" fresh.Engine.body restored.Engine.body;
+  (* Tamper with the snapshot on disk — flip one byte inside the stored
+     body, keeping the JSON well-formed: the restore must reject the
+     entry, because a snapshot is data, not an answer. *)
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let needle = "makespan" in
+  let idx =
+    let n = String.length text and k = String.length needle in
+    let rec go i =
+      if i + k > n then Alcotest.fail "snapshot lacks the expected body text"
+      else if String.sub text i k = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let tampered = Bytes.of_string text in
+  Bytes.set tampered idx 'n';
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_bytes oc tampered);
+  let c = Engine.create ~jobs:1 ~cache_capacity:8 ~default_budget:None () in
+  match Engine.load_snapshot c path with
+  | Ok (0, 1) ->
+      Alcotest.(check int) "tampered entry never lands in the cache" 0
+        (Engine.cache_length c)
+  | Ok (l, r) -> Alcotest.failf "tampered snapshot accepted: (%d,%d)" l r
+  | Error e -> Alcotest.failf "tampered load errored instead of rejecting: %s" e
+
+let test_daemon_snapshot_restart () =
+  let snap =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hsvc-restart-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+  @@ fun () ->
+  let solve c =
+    match
+      Client.call ~timeout_s:30.0 c
+        (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })
+    with
+    | Error e -> Alcotest.failf "solve failed: %s" e
+    | Ok r ->
+        Alcotest.(check int) "solve ok" 0 r.Protocol.status;
+        r
+  in
+  let first =
+    with_daemon ~tweak:(fun c -> { c with Daemon.snapshot_path = Some snap })
+    @@ fun path ->
+    match Client.connect path with
+    | Error e -> Alcotest.failf "connect failed: %s" e
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let r = solve c in
+        Alcotest.(check bool) "first daemon solves fresh" false r.Protocol.cached;
+        r.Protocol.body
+  in
+  Alcotest.(check bool) "snapshot written on shutdown" true (Sys.file_exists snap);
+  (* Same socket dance, fresh daemon process state: the first request
+     after restart must already hit. *)
+  with_daemon ~tweak:(fun c -> { c with Daemon.snapshot_path = Some snap })
+  @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let r = solve c in
+      Alcotest.(check bool) "restored cache answers the restart" true r.Protocol.cached;
+      Alcotest.(check string) "byte-identical across the restart" first r.Protocol.body
 
 let suite =
   ( "service",
@@ -494,4 +732,17 @@ let suite =
       Alcotest.test_case "verified batch keeps coalescing and order" `Quick
         test_engine_verified_batch;
       Alcotest.test_case "shutdown drains in-flight work" `Quick test_daemon_drain;
+      Alcotest.test_case "frame decoder bounds its buffer" `Quick test_frame_overrun;
+      Alcotest.test_case "deadline folds into the budget and the key" `Quick
+        test_deadline_budget_mapping;
+      Alcotest.test_case "admission queue sheds with a deterministic ladder" `Quick
+        test_daemon_sheds_beyond_queue;
+      Alcotest.test_case "queued deadline expires at dispatch" `Quick
+        test_daemon_deadline_expires_in_queue;
+      Alcotest.test_case "client backoff is deterministic and honors hints" `Quick
+        test_client_backoff_and_retry;
+      Alcotest.test_case "snapshot round-trips and rejects tampering" `Quick
+        test_snapshot_roundtrip;
+      Alcotest.test_case "daemon restores its cache across restarts" `Quick
+        test_daemon_snapshot_restart;
     ] )
