@@ -228,10 +228,14 @@ let run_parallel ~quick () =
    each looping solve calls over a shared 8-instance pool.  Beyond the
    admission bound every extra request is shed with the typed overloaded
    response; clients honour its retry_after_ms hint through the
-   deterministic client backoff until accepted.  Latency percentiles
-   cover accepted requests only — the overload contract is that they
-   stay bounded while the excess is shed, not queued.  Results land in
-   BENCH_service.json. *)
+   deterministic client backoff until accepted.  Two latency series are
+   kept per request: the accepted attempt alone (p50/p95/p99 — the
+   overload contract is that accepted latency stays bounded while the
+   excess is shed, not queued) and the total including shed round-trips
+   and backoff sleeps (p99_total — the cost a retrying caller actually
+   pays).  The daemon's own per-phase histograms (queue-wait, solve) are
+   pulled over the out-of-band introspect verb before shutdown.  Results
+   land in BENCH_service.json. *)
 let run_service ~quick ~jobs () =
   print_endline
     "\n== Solver service: saturation sweep (admission control, Hs_service) ==";
@@ -257,6 +261,60 @@ let run_service ~quick ~jobs () =
           (String.split_on_char '\n' r.Hs_service.Protocol.body)
     | Ok r -> failwith ("service bench: stats failed: " ^ r.Hs_service.Protocol.error)
     | Error e -> failwith ("service bench: stats failed: " ^ e)
+  in
+  (* Daemon-side per-phase latency, over the out-of-band introspect verb:
+     the smallest histogram bucket bound covering quantile [q], as a
+     string (">max" when the overflow bucket is hit). *)
+  let hist_quantile (h : Hs_obs.Metrics.hist_snapshot) q =
+    if h.observations = 0 then "-"
+    else
+      let want =
+        int_of_float (ceil (q *. float_of_int h.observations))
+        |> Stdlib.max 1 |> Stdlib.min h.observations
+      in
+      let rec go i cum = function
+        | [] -> ">" ^ string_of_int (List.fold_left Stdlib.max 0 h.buckets)
+        | b :: rest ->
+            let cum = cum + h.counts.(i) in
+            if cum >= want then string_of_int b else go (i + 1) cum rest
+      in
+      go 0 0 h.buckets
+  in
+  let phases_of client =
+    match
+      Hs_service.Client.call client (Hs_service.Protocol.Introspect { recent = false })
+    with
+    | Ok r when r.Hs_service.Protocol.status = 0 -> (
+        match Hs_obs.Json.parse r.Hs_service.Protocol.body with
+        | Error e -> failwith ("service bench: introspect body: " ^ e)
+        | Ok doc -> (
+            match Hs_obs.Json.member "metrics" doc with
+            | None -> failwith "service bench: introspect body lacks metrics"
+            | Some m -> (
+                match Hs_obs.Metrics.of_json m with
+                | Error e -> failwith ("service bench: introspect metrics: " ^ e)
+                | Ok snap ->
+                    List.filter_map
+                      (fun (label, name) ->
+                        match Hs_obs.Metrics.find_histogram snap name with
+                        | None -> None
+                        | Some h ->
+                            Some
+                              ( label,
+                                Hs_obs.Json.Obj
+                                  [
+                                    ("p50_le_ms", Hs_obs.Json.String (hist_quantile h 0.50));
+                                    ("p99_le_ms", Hs_obs.Json.String (hist_quantile h 0.99));
+                                    ("observations", Hs_obs.Json.Int h.observations);
+                                  ] ))
+                      [
+                        ("queue", "service.phase.queue_ms");
+                        ("solve", "service.phase.solve_ms");
+                        ("render", "service.phase.render_ms");
+                        ("write", "service.phase.write_ms");
+                      ])))
+    | Ok r -> failwith ("service bench: introspect failed: " ^ r.Hs_service.Protocol.error)
+    | Error e -> failwith ("service bench: introspect failed: " ^ e)
   in
   let level c =
     let path =
@@ -286,22 +344,29 @@ let run_service ~quick ~jobs () =
               | Error e -> failwith ("service bench: " ^ e)
               | Ok client ->
                   let lat = Array.make per 0.0 in
+                  let tot = Array.make per 0.0 in
                   let my_retries = ref 0 in
                   for i = 0 to per - 1 do
                     let text = pool.((w + i) mod Array.length pool) in
                     (* Retry shed requests, honouring the daemon's
                        retry_after_ms hint through the deterministic
-                       client backoff; the recorded latency is that of
-                       the accepted attempt. *)
+                       client backoff.  [lat] is the accepted attempt
+                       alone; [tot] additionally carries every shed
+                       round-trip and backoff sleep, so retry cost shows
+                       up in p99_total instead of silently inflating the
+                       accepted-latency percentiles. *)
+                    let first = Unix.gettimeofday () in
                     let rec attempt tries =
                       let s0 = Unix.gettimeofday () in
                       match
                         Hs_service.Client.call client
                           (Hs_service.Protocol.Solve
-                             { instance_text = text; budget = None; deadline_ms = None })
+                             { instance_text = text; budget = None; deadline_ms = None; trace_id = None })
                       with
                       | Ok r when r.Hs_service.Protocol.status = 0 ->
-                          lat.(i) <- (Unix.gettimeofday () -. s0) *. 1000.
+                          let now = Unix.gettimeofday () in
+                          lat.(i) <- (now -. s0) *. 1000.;
+                          tot.(i) <- (now -. first) *. 1000.
                       | Ok r when r.Hs_service.Protocol.status = 5 ->
                           if tries >= 200 then
                             failwith "service bench: shed 200 times in a row"
@@ -322,20 +387,22 @@ let run_service ~quick ~jobs () =
                     attempt 0
                   done;
                   Hs_service.Client.close client;
-                  (lat, !my_retries)))
+                  (lat, tot, !my_retries)))
     in
     let joined = List.map Domain.join workers in
-    let lats = List.concat_map (fun (l, _) -> Array.to_list l) joined in
-    let retries = List.fold_left (fun acc (_, r) -> acc + r) 0 joined in
+    let lats = List.concat_map (fun (l, _, _) -> Array.to_list l) joined in
+    let tots = List.concat_map (fun (_, t, _) -> Array.to_list t) joined in
+    let retries = List.fold_left (fun acc (_, _, r) -> acc + r) 0 joined in
     let wall = Unix.gettimeofday () -. t0 in
-    let counters =
+    let counters, phases =
       match Hs_service.Client.connect path with
       | Error e -> failwith ("service bench: " ^ e)
       | Ok client ->
           let cs = counters_of client in
+          let ph = phases_of client in
           ignore (Hs_service.Client.call client Hs_service.Protocol.Shutdown);
           Hs_service.Client.close client;
-          cs
+          (cs, ph)
     in
     (match Domain.join daemon with
     | Ok () -> ()
@@ -347,19 +414,21 @@ let run_service ~quick ~jobs () =
       if hits + misses = 0 then 0.0
       else float_of_int hits /. float_of_int (hits + misses)
     in
-    let sorted = Array.of_list lats in
-    Array.sort compare sorted;
-    let pct p =
+    let pct_of xs p =
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
       let n = Array.length sorted in
       sorted.(Stdlib.min (n - 1) (int_of_float ((float_of_int (n - 1) *. p /. 100.) +. 0.5)))
     in
+    let pct = pct_of lats in
+    let pct_tot = pct_of tots in
     let n_req = List.length lats in
     let rps = float_of_int n_req /. Float.max 1e-9 wall in
     Printf.printf
       "c=%-3d accepted=%-4d shed=%-5d retries=%-5d wall=%6.3fs rps=%8.1f p50=%6.2fms \
-       p95=%6.2fms p99=%6.2fms hit-ratio=%.3f\n\
+       p95=%6.2fms p99=%6.2fms p99_total=%6.2fms hit-ratio=%.3f\n\
        %!"
-      c n_req shed retries wall rps (pct 50.) (pct 95.) (pct 99.) ratio;
+      c n_req shed retries wall rps (pct 50.) (pct 95.) (pct 99.) (pct_tot 99.) ratio;
     Hs_obs.Json.Obj
       [
         ("concurrency", Hs_obs.Json.Int c);
@@ -371,6 +440,9 @@ let run_service ~quick ~jobs () =
         ("p50_ms", Hs_obs.Json.Float (pct 50.));
         ("p95_ms", Hs_obs.Json.Float (pct 95.));
         ("p99_ms", Hs_obs.Json.Float (pct 99.));
+        ("p50_total_ms", Hs_obs.Json.Float (pct_tot 50.));
+        ("p99_total_ms", Hs_obs.Json.Float (pct_tot 99.));
+        ("daemon_phase_ms", Hs_obs.Json.Obj phases);
         ("cache_hits", Hs_obs.Json.Int hits);
         ("cache_misses", Hs_obs.Json.Int misses);
         ("cache_hit_ratio", Hs_obs.Json.Float ratio);
@@ -380,7 +452,7 @@ let run_service ~quick ~jobs () =
   let doc =
     Hs_obs.Json.Obj
       [
-        ("schema", Hs_obs.Json.String "hsched.bench.service/2");
+        ("schema", Hs_obs.Json.String "hsched.bench.service/3");
         ("pool_size", Hs_obs.Json.Int (Array.length pool));
         ("daemon_jobs", Hs_obs.Json.Int jobs);
         ("max_queue", Hs_obs.Json.Int max_queue);

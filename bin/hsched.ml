@@ -559,8 +559,17 @@ let serve_cmd =
              chaos sentinel crashes its worker domain, exercising the typed \
              worker-crash answer path.")
   in
+  let recorder_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "recorder" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder capacity: the last N request outcomes (status, queue \
+             wait, solve time, shed reason) are kept for $(b,hsched stats --recent) \
+             and dumped to the log on drain.")
+  in
   let run socket jobs cache batch queue retry_hint deadline_units io_timeout snapshot
-      chaos budget check quiet trace stats stats_json =
+      chaos recorder budget check quiet trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     if cache < 1 then exit_usage "cache capacity must be >= 1";
@@ -569,6 +578,7 @@ let serve_cmd =
     if retry_hint < 1 then exit_usage "retry-hint-ms must be >= 1";
     if deadline_units < 1 then exit_usage "deadline-units must be >= 1";
     if io_timeout <= 0.0 then exit_usage "io-timeout must be > 0";
+    if recorder < 1 then exit_usage "recorder capacity must be >= 1";
     if chaos then Hs_service.Engine.install_chaos_sentinel ();
     let log = if quiet then ignore else fun m -> prerr_endline ("hsched-serve: " ^ m) in
     let cfg =
@@ -584,6 +594,7 @@ let serve_cmd =
         io_timeout_s = io_timeout;
         snapshot_path = snapshot;
         verify = check;
+        recorder_capacity = recorder;
         log;
       }
     in
@@ -599,7 +610,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ queue_arg
       $ retry_hint_arg $ deadline_units_arg $ io_timeout_arg $ snapshot_arg $ chaos_arg
-      $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg $ stats_json_arg)
+      $ recorder_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg
+      $ stats_json_arg)
 
 let request_cmd =
   let files_arg =
@@ -639,23 +651,48 @@ let request_cmd =
              and deterministically caps the solver budget at the daemon's \
              deadline-units exchange rate.")
   in
-  let run socket budget retries deadline_ms files stats_q ping shutdown =
+  let req_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Trace the request end to end: mint a deterministic trace id (digest of \
+             the instance texts), carry it on every solve, absorb the server-side \
+             spans from the responses and write one merged Chrome trace_event \
+             timeline — client connect/send/await next to the daemon's queue-wait, \
+             batch, solve and render spans — to FILE.")
+  in
+  let run socket budget retries deadline_ms files stats_q ping shutdown trace =
     if retries < 0 then exit_usage "retries must be >= 0";
     (match deadline_ms with
     | Some d when d < 0 -> exit_usage "deadline-ms must be >= 0"
     | _ -> ());
+    setup_obs trace false None;
     let read_file path =
       match In_channel.with_open_text path In_channel.input_all with
       | text -> text
       | exception Sys_error e -> exit_usage e
     in
+    let file_texts = List.map (fun path -> (path, read_file path)) files in
+    (* The trace id is deterministic — the digest of what is being asked
+       — so a re-run of the same request joins the same trace. *)
+    let trace_id =
+      match trace with
+      | None -> None
+      | Some _ ->
+          Some
+            (Digest.to_hex
+               (Digest.string (String.concat "\x00" (List.map snd file_texts))))
+    in
+    Hs_obs.Tracer.set_trace_id trace_id;
     let reqs =
       List.map
-        (fun path ->
+        (fun (path, instance_text) ->
           ( `File path,
-            Hs_service.Protocol.Solve
-              { instance_text = read_file path; budget; deadline_ms } ))
-        files
+            Hs_service.Protocol.Solve { instance_text; budget; deadline_ms; trace_id }
+          ))
+        file_texts
       @ (if ping then [ (`Other, Hs_service.Protocol.Ping) ] else [])
       @ (if stats_q then [ (`Other, Hs_service.Protocol.Stats) ] else [])
       @ if shutdown then [ (`Other, Hs_service.Protocol.Shutdown) ] else []
@@ -686,6 +723,30 @@ let request_cmd =
         match result with
         | Error e -> exit_err e
         | Ok resps ->
+            (* Stitch the server side in: decode the spans each traced
+               response carried back and absorb them into this process's
+               sink as remote (the Chrome exporter gives them their own
+               process track).  One batch serves many requests, so the
+               same span can ride back on several responses — dedup on
+               the wire form.  A span that fails to decode degrades the
+               trace, never the request. *)
+            (if trace <> None then begin
+               let seen = Hashtbl.create 64 in
+               List.iter
+                 (fun (r : Hs_service.Protocol.response) ->
+                   r.spans
+                   |> List.filter (fun j ->
+                          let s = Hs_obs.Json.to_string j in
+                          if Hashtbl.mem seen s then false
+                          else begin
+                            Hashtbl.add seen s ();
+                            true
+                          end)
+                   |> List.filter_map (fun j ->
+                          Result.to_option (Hs_obs.Tracer.span_of_json j))
+                   |> Hs_obs.Tracer.absorb_remote)
+                 resps
+             end);
             let first_err = ref 0 in
             List.iter2
               (fun (label, _) (r : Hs_service.Protocol.response) ->
@@ -710,10 +771,177 @@ let request_cmd =
          "Solve instance files through a running daemon. All requests are pipelined on \
           one connection, so they land in the daemon's admission queue as a batch; \
           output order and exit code match the offline sweep. With --retries, shed \
-          requests are retried with deterministic backoff.")
+          requests are retried with deterministic backoff. With --trace, the \
+          server-side spans ride back on the responses and the run writes one merged \
+          client/server Chrome trace.")
     Term.(
       const run $ socket_arg $ budget_arg $ retries_arg $ deadline_arg $ files_arg
-      $ stats_q_arg $ ping_arg $ shutdown_arg)
+      $ stats_q_arg $ ping_arg $ shutdown_arg $ req_trace_arg)
+
+(* ---------- stats: live daemon introspection --------------------------- *)
+
+(* Smallest bucket bound covering quantile [q] of a histogram snapshot —
+   the honest "p99 <= X ms" a fixed-bucket histogram can give. *)
+let hist_quantile (h : Hs_obs.Metrics.hist_snapshot) q =
+  let target =
+    Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.observations)))
+  in
+  let rec go i cum = function
+    | [] -> Printf.sprintf ">%d" (List.fold_left Stdlib.max 0 h.buckets)
+    | b :: rest ->
+        let cum = cum + h.counts.(i) in
+        if cum >= target then string_of_int b else go (i + 1) cum rest
+  in
+  go 0 0 h.buckets
+
+let print_stats_prom doc =
+  let module J = Hs_obs.Json in
+  match J.member "metrics" doc with
+  | None -> exit_err "introspection body has no \"metrics\""
+  | Some m -> (
+      match Hs_obs.Metrics.of_json m with
+      | Error e -> exit_err ("undecodable metrics: " ^ e)
+      | Ok snap ->
+          print_string (Hs_obs.Metrics.to_prometheus snap);
+          (* Loop-local state that has no registry cell: uptime and the
+             instantaneous (not high-water) queue depth. *)
+          (match J.member "uptime_s" doc with
+          | Some (J.Float u) ->
+              Printf.printf "# TYPE hsched_uptime_seconds gauge\nhsched_uptime_seconds %g\n" u
+          | Some (J.Int u) ->
+              Printf.printf "# TYPE hsched_uptime_seconds gauge\nhsched_uptime_seconds %d\n" u
+          | _ -> ());
+          match J.member "queue_depth" doc with
+          | Some (J.Int q) ->
+              Printf.printf "# TYPE hsched_queue_now gauge\nhsched_queue_now %d\n" q
+          | _ -> ())
+
+let print_stats_text ~recent doc =
+  let module J = Hs_obs.Json in
+  let int k = match J.member k doc with Some (J.Int i) -> i | _ -> 0 in
+  let bool_ k = match J.member k doc with Some (J.Bool b) -> b | _ -> false in
+  let uptime =
+    match J.member "uptime_s" doc with
+    | Some (J.Float u) -> u
+    | Some (J.Int u) -> float_of_int u
+    | _ -> 0.0
+  in
+  match J.member "metrics" doc with
+  | None -> exit_err "introspection body has no \"metrics\""
+  | Some m -> (
+      match Hs_obs.Metrics.of_json m with
+      | Error e -> exit_err ("undecodable metrics: " ^ e)
+      | Ok snap ->
+          let c name = Option.value ~default:0 (Hs_obs.Metrics.find_counter snap name) in
+          let g name = Option.value ~default:0 (Hs_obs.Metrics.find_gauge snap name) in
+          Printf.printf "uptime: %.1fs\n" uptime;
+          Printf.printf "queue depth: %d (high water %d)\n" (int "queue_depth")
+            (g "service.queue.depth");
+          Printf.printf "connections: %d\n" (int "connections");
+          Printf.printf "draining: %b\n" (bool_ "draining");
+          Printf.printf "cache entries: %d\n" (int "cache_entries");
+          Printf.printf "requests: %d (shed %d, deadline missed %d)\n"
+            (c "service.requests") (c "service.shed") (c "service.deadline_miss");
+          let hits = c "service.cache.hit" and misses = c "service.cache.miss" in
+          Printf.printf "cache: %d hit(s) / %d miss(es)%s\n" hits misses
+            (if hits + misses = 0 then ""
+             else
+               Printf.sprintf " (hit ratio %.1f%%)"
+                 (100.0 *. float_of_int hits /. float_of_int (hits + misses)));
+          Printf.printf "frames: %d in / %d out (%d / %d bytes)\n" (c "frame.decoded")
+            (c "frame.encoded") (c "frame.bytes.in") (c "frame.bytes.out");
+          print_endline "phase latency (ms):";
+          List.iter
+            (fun (label, name) ->
+              match Hs_obs.Metrics.find_histogram snap name with
+              | Some h when h.Hs_obs.Metrics.observations > 0 ->
+                  Printf.printf "  %-6s n=%d p50<=%s p99<=%s\n" label
+                    h.Hs_obs.Metrics.observations (hist_quantile h 0.5)
+                    (hist_quantile h 0.99)
+              | _ -> Printf.printf "  %-6s n=0\n" label)
+            [
+              ("queue", "service.phase.queue_ms");
+              ("solve", "service.phase.solve_ms");
+              ("render", "service.phase.render_ms");
+              ("write", "service.phase.write_ms");
+            ];
+          (match J.member "recorder" doc with
+          | Some r ->
+              let ri k = match J.member k r with Some (J.Int i) -> i | _ -> 0 in
+              Printf.printf
+                "flight recorder: %d outcome(s) recorded, last %d held (capacity %d)\n"
+                (ri "recorded")
+                (Stdlib.min (ri "recorded") (ri "capacity"))
+                (ri "capacity")
+          | None -> ());
+          if recent then
+            match J.member "recent" doc with
+            | Some (J.List entries) ->
+                print_endline "recent outcomes (oldest first):";
+                List.iter
+                  (fun j ->
+                    match Hs_service.Recorder.entry_of_json j with
+                    | Ok e -> print_endline ("  " ^ Hs_service.Recorder.entry_to_line e)
+                    | Error _ -> ())
+                  entries
+            | _ -> ())
+
+let stats_cmd =
+  let socket_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path of the solver daemon.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw hsched.introspect/1 JSON document.")
+  in
+  let prom_arg =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Print the metrics in Prometheus text exposition format (hsched_ \
+             namespace, cumulative histogram buckets).")
+  in
+  let recent_arg =
+    Arg.(
+      value & flag
+      & info [ "recent" ]
+          ~doc:
+            "Include the flight recorder: the last N request outcomes (status, queue \
+             wait, solve time, shed reason, retry hint), oldest first.")
+  in
+  let run socket json prom recent =
+    if json && prom then exit_usage "--json and --prom are mutually exclusive";
+    match Hs_service.Client.connect ~retries:0 socket with
+    | Error e -> exit_typed (Hs_core.Hs_error.Unavailable e)
+    | Ok client -> (
+        let result =
+          Hs_service.Client.call client (Hs_service.Protocol.Introspect { recent })
+        in
+        Hs_service.Client.close client;
+        match result with
+        | Error e -> exit_err e
+        | Ok r when r.status <> 0 -> exit_with r.status ("stats failed: " ^ r.error)
+        | Ok r ->
+            if json then print_endline r.body
+            else (
+              match Hs_obs.Json.parse r.body with
+              | Error e -> exit_err ("undecodable introspection body: " ^ e)
+              | Ok doc ->
+                  if prom then print_stats_prom doc else print_stats_text ~recent doc))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Live daemon introspection, answered out of band (never through the \
+          admission queue, so it works during overload): uptime, queue depth, \
+          shed/deadline counters, cache hit ratio and per-phase latency histograms, \
+          as text, --json, or --prom; --recent adds the flight recorder.")
+    Term.(const run $ socket_pos $ json_arg $ prom_arg $ recent_arg)
 
 let shutdown_cmd =
   let run socket =
@@ -840,5 +1068,6 @@ let () =
             realtime_cmd;
             serve_cmd;
             request_cmd;
+            stats_cmd;
             shutdown_cmd;
           ]))

@@ -256,6 +256,7 @@ let merge (snap : snapshot) =
 
 let find_counter snap name = List.assoc_opt name snap.counters
 let find_gauge snap name = List.assoc_opt name snap.gauges
+let find_histogram snap name = List.assoc_opt name snap.histograms
 
 (* ---- export ----------------------------------------------------------- *)
 
@@ -278,6 +279,100 @@ let to_json snap =
       ("gauges", ints snap.gauges);
       ("histograms", Json.Obj (List.map hist snap.histograms));
     ]
+
+let of_json json =
+  let ints key =
+    match Json.member key json with
+    | Some (Json.Obj kvs) ->
+        let pairs =
+          List.filter_map
+            (fun (k, v) -> match v with Json.Int i -> Some (k, i) | _ -> None)
+          kvs
+        in
+        if List.length pairs = List.length kvs then Ok (sorted pairs)
+        else Error (Printf.sprintf "%S values must be integers" key)
+    | Some _ -> Error (Printf.sprintf "%S must be an object" key)
+    | None -> Error (Printf.sprintf "missing %S" key)
+  in
+  let hist name j =
+    let int_list key =
+      match Json.member key j with
+      | Some (Json.List xs) ->
+          let ints =
+            List.filter_map (function Json.Int i -> Some i | _ -> None) xs
+          in
+          if List.length ints = List.length xs then Some ints else None
+      | _ -> None
+    in
+    let int key =
+      match Json.member key j with Some (Json.Int i) -> Some i | _ -> None
+    in
+    match (int_list "buckets", int_list "counts", int "sum", int "observations") with
+    | Some buckets, Some counts, Some sum, Some observations
+      when List.length counts = List.length buckets + 1 ->
+        Ok (name, { buckets; counts = Array.of_list counts; sum; observations })
+    | _ -> Error (Printf.sprintf "malformed histogram %S" name)
+  in
+  match Json.member "schema" json with
+  | Some (Json.String "hsched.metrics/1") -> (
+      match (ints "counters", ints "gauges", Json.member "histograms" json) with
+      | Error e, _, _ | _, Error e, _ -> Error e
+      | Ok counters, Ok gauges, Some (Json.Obj hs) ->
+          let rec fold acc = function
+            | [] -> Ok (List.rev acc)
+            | (name, j) :: rest -> (
+                match hist name j with
+                | Error _ as e -> e
+                | Ok h -> fold (h :: acc) rest)
+          in
+          Result.map
+            (fun histograms -> { counters; gauges; histograms = sorted histograms })
+            (fold [] hs)
+      | Ok _, Ok _, _ -> Error "missing \"histograms\" object")
+  | Some (Json.String s) ->
+      Error (Printf.sprintf "unsupported metrics schema %S (want \"hsched.metrics/1\")" s)
+  | _ -> Error "not an hsched metrics document (no \"schema\")"
+
+(* Prometheus text exposition (version 0.0.4).  Metric names are the
+   registry names with every character outside [a-zA-Z0-9_] mapped to
+   '_', under an "hsched_" namespace prefix; histogram buckets are
+   emitted cumulatively with the closing "+Inf" bucket, as the format
+   requires. *)
+let prometheus_name name =
+  let b = Bytes.of_string ("hsched_" ^ name) in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let simple kind (name, v) =
+    let n = prometheus_name name in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n%s %d\n" n kind n v)
+  in
+  List.iter (simple "counter") snap.counters;
+  List.iter (simple "gauge") snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prometheus_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iteri
+        (fun i bound ->
+          cum := !cum + h.counts.(i);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n bound !cum))
+        h.buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n h.observations);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n h.sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.observations))
+    snap.histograms;
+  Buffer.contents buf
 
 let pp_summary fmt snap =
   Format.fprintf fmt "@[<v>";

@@ -80,10 +80,30 @@ val merge : snapshot -> unit
 
 val find_counter : snapshot -> string -> int option
 val find_gauge : snapshot -> string -> int option
+val find_histogram : snapshot -> string -> hist_snapshot option
 
 val to_json : snapshot -> Json.t
 (** Stable shape: [{"schema": "hsched.metrics/1", "counters": {..},
     "gauges": {..}, "histograms": {..}}]. *)
+
+val of_json : Json.t -> (snapshot, string) result
+(** Decode {!to_json} output back into a snapshot — how [hsched stats]
+    reconstructs a daemon's registry from the introspection response.
+    Total on untrusted input: a wrong schema tag, a non-integer value or
+    a histogram whose [counts] length disagrees with its [buckets] is an
+    [Error], never an exception. *)
+
+val prometheus_name : string -> string
+(** The exposition name for a registry name: prefixed ["hsched_"],
+    characters outside [[a-zA-Z0-9_]] mapped to ['_'].  Exposed so the
+    naming contract is testable. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (format version 0.0.4).  Names are
+    prefixed ["hsched_"] with every character outside [[a-zA-Z0-9_]]
+    mapped to ['_']; counters and gauges become single samples under a
+    [# TYPE] header, histograms emit cumulative [_bucket{le="..."}]
+    samples closed by [le="+Inf"], then [_sum] and [_count]. *)
 
 val pp_summary : Format.formatter -> snapshot -> unit
 (** Human-readable table (one metric per line), for [--stats]. *)

@@ -33,8 +33,10 @@ type open_span = {
 }
 
 (* Bound the sink so a runaway (or budget-exhausted) solve cannot hold
-   unbounded memory; past the cap, spans are counted but not retained. *)
-let max_spans = 1 lsl 20
+   unbounded memory; past the cap, spans are counted but not retained.
+   The cap is per-sink and settable: a long-lived daemon keeps it small
+   and clears between traced batches. *)
+let default_max_spans = 1 lsl 20
 
 type state = {
   mutable on : bool;
@@ -44,6 +46,8 @@ type state = {
   mutable ncompleted : int;
   mutable ndropped : int;
   mutable next_seq : int;
+  mutable cap : int;
+  mutable trace : string option;  (* trace-context id, None = untraced *)
 }
 
 let default_clock () = Int64.of_float (Sys.time () *. 1e9)
@@ -58,6 +62,8 @@ let dls : state Domain.DLS.key =
         ncompleted = 0;
         ndropped = 0;
         next_seq = 0;
+        cap = default_max_spans;
+        trace = None;
       })
 
 let state () = Domain.DLS.get dls
@@ -67,16 +73,26 @@ let enable () = (state ()).on <- true
 let disable () = (state ()).on <- false
 let set_clock c = (state ()).clock <- c
 
-type config = { c_on : bool; c_clock : unit -> int64 }
+let max_spans () = (state ()).cap
+
+let set_max_spans cap =
+  if cap < 1 then invalid_arg "Tracer.set_max_spans: cap must be >= 1";
+  (state ()).cap <- cap
+
+let trace_id () = (state ()).trace
+let set_trace_id t = (state ()).trace <- t
+
+type config = { c_on : bool; c_clock : unit -> int64; c_trace : string option }
 
 let config () =
   let st = state () in
-  { c_on = st.on; c_clock = st.clock }
+  { c_on = st.on; c_clock = st.clock; c_trace = st.trace }
 
 let set_config cfg =
   let st = state () in
   st.on <- cfg.c_on;
-  st.clock <- cfg.c_clock
+  st.clock <- cfg.c_clock;
+  st.trace <- cfg.c_trace
 
 let clear () =
   let st = state () in
@@ -92,7 +108,7 @@ let with_disabled f =
   Fun.protect ~finally:(fun () -> st.on <- was) f
 
 let record st sp =
-  if st.ncompleted >= max_spans then st.ndropped <- st.ndropped + 1
+  if st.ncompleted >= st.cap then st.ndropped <- st.ndropped + 1
   else begin
     st.completed <- sp :: st.completed;
     st.ncompleted <- st.ncompleted + 1
@@ -141,7 +157,27 @@ let add_args args =
 let spans () = List.rev (state ()).completed
 let dropped () = (state ()).ndropped
 
-let absorb ~domain worker_spans =
+(* A completed span with explicit timestamps, recorded after the fact —
+   phases only observed once they are over (a queue wait is measured at
+   dispatch, long after it started) still become first-class spans. *)
+let record_span ?(cat = "") ?(args = []) ~start_ns ~dur_ns name =
+  let st = state () in
+  if st.on then begin
+    let seq = st.next_seq in
+    st.next_seq <- seq + 1;
+    record st
+      {
+        name;
+        cat;
+        start_ns;
+        dur_ns = Int64.max 0L dur_ns;
+        depth = List.length st.stack;
+        seq;
+        args;
+      }
+  end
+
+let absorb_tagged ~tag worker_spans =
   let st = state () in
   (* Re-number [seq] past everything already open here so the merged
      stream stays strictly increasing; keep the workers' relative order. *)
@@ -150,10 +186,18 @@ let absorb ~domain worker_spans =
   List.iter
     (fun sp ->
       if sp.seq > !maxseq then maxseq := sp.seq;
-      record st
-        { sp with seq = base + sp.seq; args = sp.args @ [ ("domain.id", Int domain) ] })
+      record st { sp with seq = base + sp.seq; args = sp.args @ tag })
     worker_spans;
   if !maxseq >= 0 then st.next_seq <- base + !maxseq + 1
+
+let absorb ~domain worker_spans =
+  absorb_tagged ~tag:[ ("domain.id", Int domain) ] worker_spans
+
+let absorb_remote remote_spans =
+  (* Spans that crossed a process boundary (a daemon answering a traced
+     request): keep every tag they already carry and add the [remote]
+     marker the Chrome exporter maps to its own process track. *)
+  absorb_tagged ~tag:[ ("remote", Bool true) ] remote_spans
 
 (* ---- exporters -------------------------------------------------------- *)
 
@@ -165,9 +209,15 @@ let json_of_attr = function
 
 let json_args args = Json.Obj (List.map (fun (k, v) -> (k, json_of_attr v)) args)
 
+let is_remote sp =
+  match List.assoc_opt "remote" sp.args with Some (Bool b) -> b | _ -> false
+
 (* Chrome trace_event complete event; timestamps in microseconds.  Spans
    absorbed from a worker carry a [domain.id] arg and get their own
-   Perfetto track via [tid]; the recording domain's own spans are tid 1. *)
+   Perfetto track via [tid]; the recording domain's own spans are tid 1.
+   Spans absorbed from another process ({!absorb_remote}) render as a
+   second process ([pid] 2), so a merged client/server trace keeps the
+   two sides on separate track groups in one timeline. *)
 let chrome_event sp =
   let tid =
     match List.assoc_opt "domain.id" sp.args with Some (Int d) -> d + 1 | _ -> 1
@@ -179,39 +229,90 @@ let chrome_event sp =
       ("ph", Json.String "X");
       ("ts", Json.Float (Int64.to_float sp.start_ns /. 1e3));
       ("dur", Json.Float (Int64.to_float sp.dur_ns /. 1e3));
-      ("pid", Json.Int 1);
+      ("pid", Json.Int (if is_remote sp then 2 else 1));
       ("tid", Json.Int tid);
       ("args", json_args (("depth", Int sp.depth) :: ("seq", Int sp.seq) :: sp.args));
     ]
 
-let to_chrome () =
-  let events =
-    spans () |> List.sort (fun a b -> compare a.seq b.seq) |> List.map chrome_event
-  in
+let process_name ~pid name =
   Json.Obj
     [
-      ("traceEvents", Json.List events);
-      ("displayTimeUnit", Json.String "ns");
-      ( "otherData",
-        Json.Obj
-          [
-            ("producer", Json.String "hsched");
-            ("droppedSpans", Json.Int (dropped ()));
-          ] );
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
     ]
 
-let jsonl_line sp =
-  Json.to_string
-    (Json.Obj
-       [
-         ("name", Json.String sp.name);
-         ("cat", Json.String sp.cat);
-         ("start_ns", Json.Int (Int64.to_int sp.start_ns));
-         ("dur_ns", Json.Int (Int64.to_int sp.dur_ns));
-         ("depth", Json.Int sp.depth);
-         ("seq", Json.Int sp.seq);
-         ("args", json_args sp.args);
-       ])
+let to_chrome () =
+  let all = spans () in
+  let events =
+    all |> List.sort (fun a b -> compare a.seq b.seq) |> List.map chrome_event
+  in
+  let events =
+    (* Name the two process tracks only when the trace is actually a
+       merged one, so single-process traces are byte-stable. *)
+    if List.exists is_remote all then
+      process_name ~pid:1 "client" :: process_name ~pid:2 "server" :: events
+    else events
+  in
+  Json.Obj
+    ([ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ns") ]
+    @ [
+        ( "otherData",
+          Json.Obj
+            (("producer", Json.String "hsched")
+             :: (match trace_id () with
+                | Some id -> [ ("trace_id", Json.String id) ]
+                | None -> [])
+            @ [ ("droppedSpans", Json.Int (dropped ())) ]) );
+      ])
+
+(* ---- wire codec (trace propagation across the service protocol) ------ *)
+
+let span_to_json sp =
+  Json.Obj
+    [
+      ("name", Json.String sp.name);
+      ("cat", Json.String sp.cat);
+      ("start_ns", Json.Int (Int64.to_int sp.start_ns));
+      ("dur_ns", Json.Int (Int64.to_int sp.dur_ns));
+      ("depth", Json.Int sp.depth);
+      ("seq", Json.Int sp.seq);
+      ("args", json_args sp.args);
+    ]
+
+let span_of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let attr = function
+    | Json.String s -> Some (Str s)
+    | Json.Int i -> Some (Int i)
+    | Json.Bool b -> Some (Bool b)
+    | Json.Float f -> Some (Float f)
+    | _ -> None
+  in
+  let args =
+    match Json.member "args" j with
+    | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun a -> (k, a)) (attr v)) kvs
+    | _ -> []
+  in
+  match (str "name", int "start_ns", int "dur_ns") with
+  | Some name, Some start_ns, Some dur_ns ->
+      Ok
+        {
+          name;
+          cat = Option.value ~default:"" (str "cat");
+          start_ns = Int64.of_int start_ns;
+          dur_ns = Int64.of_int dur_ns;
+          depth = Option.value ~default:0 (int "depth");
+          seq = Option.value ~default:0 (int "seq");
+          args;
+        }
+  | _ -> Error "span needs string \"name\" and integer \"start_ns\"/\"dur_ns\""
+
+let jsonl_line sp = Json.to_string (span_to_json sp)
 
 let to_jsonl () =
   String.concat "\n" (List.map jsonl_line (spans ()))

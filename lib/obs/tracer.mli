@@ -50,13 +50,34 @@ val add_args : (string * attr) list -> unit
     mid-span, e.g. a probe's feasibility verdict).  No-op when disabled
     or outside any span. *)
 
+val record_span :
+  ?cat:string ->
+  ?args:(string * attr) list ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  string ->
+  unit
+(** Record an already-completed span with explicit timestamps.  For
+    phases that are only observed after the fact — a daemon measures a
+    request's queue wait at dispatch, long after the wait began — yet
+    should still appear on the timeline.  No-op when disabled. *)
+
 val spans : unit -> span list
 (** Completed spans in completion order.  Enclosing spans complete after
     their children, so a parent appears {e after} its children here;
     [seq] recovers the open order. *)
 
 val dropped : unit -> int
-(** Spans discarded after the retention cap (2^20) was reached. *)
+(** Spans discarded after the retention cap ({!max_spans}) was reached —
+    by the recorder or by {!absorb}/{!absorb_remote}.  Multicore span
+    loss is counted here, never silent. *)
+
+val max_spans : unit -> int
+(** The calling domain's retention cap (default 2^20 spans). *)
+
+val set_max_spans : int -> unit
+(** Set the calling domain's retention cap.  Spans past it are dropped
+    and counted in {!dropped}.  Raises [Invalid_argument] when < 1. *)
 
 val clear : unit -> unit
 (** Drop collected spans (open spans survive; their records are kept
@@ -67,10 +88,24 @@ val with_disabled : (unit -> 'a) -> 'a
     enabled/disabled state afterwards — the fuzz harness uses this to
     leave the (domain-local) tracing flags alone. *)
 
+(** {1 Trace context}
+
+    A trace id names one logical request end to end, across domains and
+    processes: the client mints it, the wire carries it, and every side
+    tags its spans with it so a merged timeline can be re-assembled. *)
+
+val trace_id : unit -> string option
+(** The calling domain's current trace id ([None] = untraced). *)
+
+val set_trace_id : string option -> unit
+(** Install (or clear) the trace id.  {!config}/{!set_config} hand it to
+    worker domains; the Chrome exporter records it in [otherData]. *)
+
 (** {1 Cross-domain handoff (used by [Hs_exec])} *)
 
 type config
-(** The enabled flag and clock of a sink, without its recorded spans. *)
+(** The enabled flag, clock and trace id of a sink, without its recorded
+    spans. *)
 
 val config : unit -> config
 (** Capture the calling domain's tracing setup. *)
@@ -84,9 +119,26 @@ val absorb : domain:int -> span list -> unit
     sink.  Each span gets a [("domain.id", Int domain)] attribute (the
     Chrome exporter maps it to a per-worker [tid]) and a re-numbered
     [seq] past the sink's current maximum, preserving the worker's
-    relative order.  Works whether or not the sink is enabled. *)
+    relative order.  Works whether or not the sink is enabled.  Spans
+    past the retention cap are dropped and counted in {!dropped}. *)
+
+val absorb_remote : span list -> unit
+(** Append spans that crossed a process boundary (a daemon's server-side
+    spans carried back on a traced response).  Like {!absorb} but tags
+    each span [("remote", Bool true)] instead, which the Chrome exporter
+    maps to a second process ([pid] 2, named "server") so the merged
+    timeline keeps client and server on separate track groups. *)
 
 (** {1 Exporters} *)
+
+val span_to_json : span -> Json.t
+(** Wire/JSONL shape of one span: [{"name", "cat", "start_ns",
+    "dur_ns", "depth", "seq", "args"}]. *)
+
+val span_of_json : Json.t -> (span, string) result
+(** Decode {!span_to_json} output.  Total on untrusted input: missing
+    optional fields default, malformed args are skipped, and a missing
+    [name]/[start_ns]/[dur_ns] is the [Error]. *)
 
 val to_chrome : unit -> Json.t
 (** Chrome [trace_event] format: an object with a ["traceEvents"] list

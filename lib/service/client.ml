@@ -1,4 +1,5 @@
 module Json = Hs_obs.Json
+module Tracer = Hs_obs.Tracer
 
 let c_retries = Hs_obs.Metrics.counter "service.retries"
 
@@ -9,7 +10,11 @@ type t = {
   mutable eof : bool;
 }
 
+(* Client-side phases of a traced request.  Free when the tracer is
+   disabled (with_span is then a direct call), so they stay in
+   permanently. *)
 let connect ?(retries = 20) path =
+  Tracer.with_span ~cat:"client" "client.connect" @@ fun () ->
   let rec go attempt =
     if not (Sys.file_exists path) then
       Error (Printf.sprintf "cannot connect to %s: No such file or directory" path)
@@ -86,6 +91,10 @@ let read_response ?(timeout_s = 60.0) t =
   next_frame ()
 
 let call_many ?(timeout_s = 60.0) t reqs =
+  Tracer.with_span ~cat:"client"
+    ~args:[ ("requests", Tracer.Int (List.length reqs)) ]
+    "client.call"
+  @@ fun () ->
   let ids_reqs = List.map (fun r -> let id = t.next_id in t.next_id <- id + 1; (id, r)) reqs in
   let wire = Buffer.create 1024 in
   List.iter
@@ -93,9 +102,12 @@ let call_many ?(timeout_s = 60.0) t reqs =
       Buffer.add_string wire
         (Frame.encode (Json.to_string (Protocol.request_to_json ~id r))))
     ids_reqs;
-  match write_all t.fd (Buffer.contents wire) with
+  match Tracer.with_span ~cat:"client" "client.send" (fun () ->
+            write_all t.fd (Buffer.contents wire))
+  with
   | Error _ as e -> e
   | Ok () ->
+      Tracer.with_span ~cat:"client" "client.await" @@ fun () ->
       let want = List.length ids_reqs in
       let got : (int, Protocol.response) Hashtbl.t = Hashtbl.create want in
       let rec collect () =

@@ -5,7 +5,13 @@
     lands in the daemon's admission queue together), read framed
     responses.  Request ids are assigned sequentially; responses are
     matched by id, so the daemon is free to answer [ping]/[stats] out of
-    band. *)
+    band.
+
+    When the calling domain's tracer is enabled, {!connect} and the
+    calls record client-side spans ([client.connect], [client.call]
+    with [client.send]/[client.await] nested) — the client half of a
+    merged client/server trace (DESIGN.md §14).  Disabled, the spans
+    cost nothing. *)
 
 type t
 

@@ -15,6 +15,11 @@ let c_shed = Metrics.counter "service.shed"
 let c_deadline_miss = Metrics.counter "service.deadline_miss"
 let g_queue = Metrics.gauge "service.queue.depth"
 
+(* The event loop's two latency phases; solve/render live in Solver
+   (worker domains) and share the same bucket ladder. *)
+let h_queue_ms = Metrics.histogram ~buckets:Solver.ms_buckets "service.phase.queue_ms"
+let h_write_ms = Metrics.histogram ~buckets:Solver.ms_buckets "service.phase.write_ms"
+
 type config = {
   socket_path : string;
   jobs : int;
@@ -27,6 +32,7 @@ type config = {
   io_timeout_s : float;
   snapshot_path : string option;
   verify : bool;
+  recorder_capacity : int;
   log : string -> unit;
 }
 
@@ -43,6 +49,7 @@ let default_config ~socket_path =
     io_timeout_s = 10.0;
     snapshot_path = None;
     verify = false;
+    recorder_capacity = 256;
     log = ignore;
   }
 
@@ -63,12 +70,14 @@ type work = {
 type state = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  started : float;  (** daemon start instant, for introspection uptime *)
   mutable conns : conn list;
   queue : work Queue.t;
   mutable shed_streak : int;
       (** consecutive sheds since the last admission; positions the
           deterministic [retry_after_ms] ladder *)
   engine : Engine.t;  (** classification, cache, solving, verification *)
+  recorder : Recorder.t;  (** flight recorder of recent outcomes *)
   mutable draining : (conn * int) option;  (** shutdown requester *)
 }
 
@@ -102,8 +111,12 @@ let write_all st c s =
    with Unix.Unix_error _ -> close_conn st c);
   c.alive
 
+let wall_ms t0 = int_of_float (((Unix.gettimeofday () -. t0) *. 1000.0) +. 0.5)
+
 let send st c (r : Protocol.response) =
-  ignore (write_all st c (Frame.encode (Json.to_string (Protocol.response_to_json r))))
+  let t0 = Unix.gettimeofday () in
+  ignore (write_all st c (Frame.encode (Json.to_string (Protocol.response_to_json r))));
+  Metrics.observe h_write_ms (wall_ms t0)
 
 (* ---- request handling ------------------------------------------------ *)
 
@@ -130,6 +143,33 @@ let stats_body () =
          "service.snapshot.rejected";
        ])
 
+let introspect_schema = "hsched.introspect/1"
+
+(* The live-introspection document ("hsched.introspect/1").  Answered
+   out-of-band — straight from the event loop, never via the admission
+   queue — so it stays available during overload, which is exactly when
+   it is needed.  Queue depth here is the instantaneous depth; the
+   [service.queue.depth] gauge in [metrics] stays the high-water mark. *)
+let introspect_body st ~recent =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("schema", Json.String introspect_schema);
+          ("uptime_s", Json.Float (Unix.gettimeofday () -. st.started));
+          ("queue_depth", Json.Int (Queue.length st.queue));
+          ("connections", Json.Int (List.length st.conns));
+          ("draining", Json.Bool (st.draining <> None));
+          ("cache_entries", Json.Int (Engine.cache_length st.engine));
+          ( "recorder",
+            Json.Obj
+              [
+                ("capacity", Json.Int (Recorder.capacity st.recorder));
+                ("recorded", Json.Int (Recorder.recorded st.recorder));
+              ] );
+          ("metrics", Metrics.to_json (Metrics.snapshot ()));
+        ]
+       @ if recent then [ ("recent", Recorder.to_json st.recorder) ] else []))
+
 let handle_payload st c payload =
   match Json.parse payload with
   | Error msg -> protocol_err st c ~rid:(-1) ("bad JSON: " ^ msg)
@@ -138,6 +178,8 @@ let handle_payload st c payload =
       | Error (rid, msg) -> protocol_err st c ~rid msg
       | Ok (rid, Protocol.Ping) -> send st c (Protocol.ok ~rid "pong")
       | Ok (rid, Protocol.Stats) -> send st c (Protocol.ok ~rid (stats_body ()))
+      | Ok (rid, Protocol.Introspect { recent }) ->
+          send st c (Protocol.ok ~rid (introspect_body st ~recent))
       | Ok (rid, Protocol.Shutdown) ->
           if st.draining = None then st.draining <- Some (c, rid)
       | Ok (rid, Protocol.Solve p) ->
@@ -150,9 +192,12 @@ let handle_payload st c payload =
             Metrics.incr c_requests;
             Metrics.incr c_shed;
             st.shed_streak <- st.shed_streak + 1;
-            send st c
-              (Protocol.overloaded ~rid
-                 ~retry_after_ms:(st.cfg.retry_hint_ms * st.shed_streak))
+            let retry_after_ms = st.cfg.retry_hint_ms * st.shed_streak in
+            Recorder.record st.recorder ~digest:""
+              ~status:(Protocol.status_of_error (E.Overloaded { retry_after_ms }))
+              ?trace_id:p.Protocol.trace_id ~shed_reason:"queue_full"
+              ~retry_after_ms ();
+            send st c (Protocol.overloaded ~rid ~retry_after_ms)
           end
           else begin
             st.shed_streak <- 0;
@@ -217,6 +262,33 @@ let cull_slow_readers st now =
 
 (* ---- the admission queue --------------------------------------------- *)
 
+(* Trace stitching (DESIGN.md §14).  When a batch contains at least one
+   traced request the daemon makes sure its tracer is live for the
+   batch's duration — on a wall clock, so client- and server-side
+   timestamps share a timeline (same machine; the socket is Unix-domain)
+   — and isolates the spans recorded during the batch by remembering the
+   sink length beforehand.  A daemon that was not already tracing is
+   returned to its untraced state afterwards, so tracing one request
+   costs nothing once its response is out. *)
+module Tracer = Hs_obs.Tracer
+
+let wall_clock_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let drop_prefix n l =
+  let rec go n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> go (n - 1) t in
+  go n l
+
+(* Wire form of the server-side spans for one traced response: every
+   batch span, tagged with the request's trace id at encode time (the
+   sink itself stays trace-agnostic — one batch can serve requests of
+   several traces). *)
+let spans_for ~trace_id batch_spans =
+  List.map
+    (fun (sp : Tracer.span) ->
+      Tracer.span_to_json
+        { sp with args = sp.args @ [ ("trace_id", Tracer.Str trace_id) ] })
+    batch_spans
+
 (* One batch: expire overdue deadlines at dispatch, hand the survivors
    to the engine (which classifies against the cache, coalesces
    duplicates and solves the distinct misses on the pool), then respond
@@ -238,10 +310,15 @@ let process_batch st =
     (fun w ->
       Metrics.incr c_requests;
       Metrics.incr c_deadline_miss;
+      let queue_ms = wall_ms w.w_enq in
+      Metrics.observe h_queue_ms queue_ms;
       let deadline_ms = Option.value ~default:0 w.w_params.Protocol.deadline_ms in
       let e =
         E.Deadline_exceeded { deadline_ms; detail = "expired in the admission queue" }
       in
+      Recorder.record st.recorder ~digest:"" ~status:(Protocol.status_of_error e)
+        ~queue_ms ?trace_id:w.w_params.Protocol.trace_id
+        ~shed_reason:"queue_deadline" ();
       send st w.w_conn
         (Protocol.err ~rid:w.w_rid ~status:(Protocol.status_of_error e)
            (E.to_string e)))
@@ -250,13 +327,52 @@ let process_batch st =
   if batch <> [] then begin
     Metrics.incr c_batches;
     Metrics.observe h_batch (List.length batch);
-    Hs_obs.Tracer.with_span ~cat:"service"
-      ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
-      "service.batch"
-    @@ fun () ->
-    let answers = Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch) in
+    let traced =
+      List.exists (fun w -> w.w_params.Protocol.trace_id <> None) batch
+    in
+    let was_tracing = Tracer.enabled () in
+    if traced && not was_tracing then begin
+      Tracer.set_clock wall_clock_ns;
+      Tracer.enable ()
+    end;
+    let spans_before = if traced then List.length (Tracer.spans ()) else 0 in
+    (* The queue wait is over by the time it is measurable: measure it
+       once at dispatch, record it as an after-the-fact span for traced
+       requests, and keep it for the flight-recorder entry. *)
+    let queue_waits =
+      List.map
+        (fun w ->
+          let queue_ms = wall_ms w.w_enq in
+          Metrics.observe h_queue_ms queue_ms;
+          if w.w_params.Protocol.trace_id <> None then
+            Tracer.record_span ~cat:"service"
+              ~args:[ ("rid", Tracer.Int w.w_rid) ]
+              ~start_ns:(Int64.of_float (w.w_enq *. 1e9))
+              ~dur_ns:(Int64.of_float (float_of_int queue_ms *. 1e6))
+              "service.queue.wait";
+          queue_ms)
+        batch
+    in
+    let answers =
+      Hs_obs.Tracer.with_span ~cat:"service"
+        ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
+        "service.batch"
+        (fun () ->
+          Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch))
+    in
+    let batch_spans =
+      if traced then drop_prefix spans_before (Tracer.spans ()) else []
+    in
     List.iter2
-      (fun w (a : Engine.answer) ->
+      (fun (w, queue_ms) (a : Engine.answer) ->
+        Recorder.record st.recorder ~digest:a.Engine.key ~status:a.Engine.status
+          ~cached:a.Engine.cached ~queue_ms ~solve_ms:a.Engine.solve_ms
+          ?trace_id:w.w_params.Protocol.trace_id ();
+        let spans =
+          match w.w_params.Protocol.trace_id with
+          | Some t -> spans_for ~trace_id:t batch_spans
+          | None -> []
+        in
         send st w.w_conn
           {
             Protocol.rid = w.w_rid;
@@ -265,8 +381,17 @@ let process_batch st =
             body = a.Engine.body;
             error = a.Engine.error;
             retry_after_ms = 0;
+            spans;
           })
-      batch answers
+      (List.combine batch queue_waits)
+      answers;
+    if traced && not was_tracing then begin
+      (* Forget the batch's spans along with the borrowed tracer: an
+         untraced daemon must not accumulate span memory across its
+         lifetime. *)
+      Tracer.disable ();
+      Tracer.clear ()
+    end
   end
 
 let drain_queue st =
@@ -350,6 +475,8 @@ let run cfg =
   if cfg.max_queue < 0 then invalid_arg "Daemon.run: max_queue must be >= 0";
   if cfg.retry_hint_ms < 1 then invalid_arg "Daemon.run: retry_hint_ms must be >= 1";
   if cfg.io_timeout_s <= 0.0 then invalid_arg "Daemon.run: io_timeout_s must be > 0";
+  if cfg.recorder_capacity < 1 then
+    invalid_arg "Daemon.run: recorder_capacity must be >= 1";
   (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
   match listen_on cfg.socket_path with
   | Error _ as e -> e
@@ -358,6 +485,7 @@ let run cfg =
         {
           cfg;
           listen_fd;
+          started = Unix.gettimeofday ();
           conns = [];
           queue = Queue.create ();
           shed_streak = 0;
@@ -366,6 +494,7 @@ let run cfg =
               ~deadline_units_per_ms:cfg.deadline_units_per_ms ~jobs:cfg.jobs
               ~cache_capacity:cfg.cache_capacity ~default_budget:cfg.default_budget
               ();
+          recorder = Recorder.create ~capacity:cfg.recorder_capacity;
           draining = None;
         }
       in
@@ -379,6 +508,18 @@ let run cfg =
             let in_flight = Queue.length st.queue in
             drain_queue st;
             cfg.log (Printf.sprintf "drained %d in-flight request(s)" in_flight);
+            (* The last flight before landing: dump the recorder so a
+               post-mortem has the recent request history even when
+               nobody thought to ask for it while the daemon was up. *)
+            if Recorder.recorded st.recorder > 0 then begin
+              cfg.log
+                (Printf.sprintf "flight recorder (last %d of %d outcome(s)):"
+                   (Recorder.length st.recorder)
+                   (Recorder.recorded st.recorder));
+              List.iter
+                (fun e -> cfg.log ("  " ^ Recorder.entry_to_line e))
+                (Recorder.entries st.recorder)
+            end;
             persist_snapshot st;
             if requester.alive then send st requester (Protocol.ok ~rid "bye");
             cfg.log "bye"

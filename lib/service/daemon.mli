@@ -7,10 +7,11 @@
     per iteration:
 
     + accept pending connections, read every readable one, decode
-      complete frames into requests ([ping]/[stats] answered inline,
-      [solve] admitted to the queue, wire-level faults answered with a
-      typed status-2 response — the daemon never crashes or hangs on
-      malformed input);
+      complete frames into requests ([ping]/[stats]/[introspect]
+      answered inline — introspection is out-of-band by construction, so
+      it stays available during overload —, [solve] admitted to the
+      queue, wire-level faults answered with a typed status-2 response —
+      the daemon never crashes or hangs on malformed input);
     + cut off clients that sat on a partial frame past [io_timeout_s]
       (typed status-2 response, then close) — an idle connection at a
       frame boundary costs nothing and may idle forever;
@@ -37,6 +38,19 @@
     the cache from the snapshot on startup (each entry re-proves its
     fingerprint; tampered entries are rejected and counted) and writes
     the cache back after draining on shutdown ({!Engine.save_snapshot}).
+
+    {b Observability} (DESIGN.md §14): every solve outcome — completed,
+    shed, or queue-expired — lands in a {!Recorder} ring of
+    [recorder_capacity] entries, served by [introspect {recent = true}]
+    and dumped to [log] on drain; queue-wait and response-write times
+    feed the [service.phase.queue_ms]/[service.phase.write_ms]
+    histograms.  A batch containing traced requests runs with the tracer
+    live on a wall clock: each traced request gets an after-the-fact
+    [service.queue.wait] span, and the whole batch's spans ride back on
+    each traced response ([spans], tagged with that request's trace id)
+    for client-side stitching into one merged timeline.  A daemon that
+    was not already tracing returns to its untraced state after the
+    batch.
 
     Shutdown ([hsched shutdown] or a pipelined [shutdown] frame) is
     graceful: the daemon stops admitting, finishes every queued request,
@@ -71,13 +85,17 @@ type config = {
           independent {!Hs_check.Certify} re-validation, cache hits are
           fingerprint-checked ({!Engine}); violations surface as typed
           status-1 verification errors *)
+  recorder_capacity : int;
+      (** flight-recorder ring size: the last this-many request outcomes
+          are kept for [introspect]/post-mortem, >= 1 *)
   log : string -> unit;  (** server-side log sink *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs 1, cache 128, no default budget, batches of 64, queue bound
     256, retry hint 50 ms, deadline rate 100 units/ms, 10 s IO timeout,
-    no snapshot, no verification, silent log. *)
+    no snapshot, no verification, a 256-entry flight recorder, silent
+    log. *)
 
 val run : config -> (unit, string) result
 (** Serve until a shutdown request arrives.  [Error] covers startup

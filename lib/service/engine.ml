@@ -21,7 +21,14 @@ type entry = {
   e_integrity : string;
 }
 
-type answer = { status : int; cached : bool; body : string; error : string }
+type answer = {
+  status : int;
+  cached : bool;
+  body : string;
+  error : string;
+  key : string;
+  solve_ms : int;
+}
 
 type t = {
   jobs : int;
@@ -64,11 +71,18 @@ let intact ~key e =
   fingerprint ~key ~status:e.e_status ~body:e.e_body ~error:e.e_error
   = e.e_integrity
 
-let of_entry ~cached e =
-  { status = e.e_status; cached; body = e.e_body; error = e.e_error }
+let of_entry ~key ?(solve_ms = 0) ~cached e =
+  { status = e.e_status; cached; body = e.e_body; error = e.e_error; key; solve_ms }
 
 let of_error e =
-  { status = Protocol.status_of_error e; cached = false; body = ""; error = E.to_string e }
+  {
+    status = Protocol.status_of_error e;
+    cached = false;
+    body = "";
+    error = E.to_string e;
+    key = "";
+    solve_ms = 0;
+  }
 
 (* Chaos hook (DESIGN.md §13): when installed, it runs inside the worker
    closure right before the solve, so a raise takes the same road a real
@@ -97,7 +111,7 @@ let replay t ~key e =
       (E.Verification
          { invariant = "cache.integrity"; witness = "cached entry for " ^ key ^ " does not match its fingerprint" })
   end
-  else of_entry ~cached:true e
+  else of_entry ~key ~cached:true e
 
 let solve_batch t params =
   (* Classify sequentially against the cache so duplicate requests
@@ -134,29 +148,33 @@ let solve_batch t params =
     Hs_exec.try_parmap ~jobs:t.jobs
       (fun prep ->
         (match !chaos_crash_hook with Some f -> f prep | None -> ());
-        match Solver.execute ~verify:t.verify prep with
-        | Ok body -> (0, body, "")
-        | Error e -> (Protocol.status_of_error e, "", E.to_string e))
+        match Solver.execute_timed ~verify:t.verify prep with
+        | Ok body, solve_ms -> (0, body, "", solve_ms)
+        | Error e, solve_ms -> (Protocol.status_of_error e, "", E.to_string e, solve_ms))
       leaders
   in
-  let answers : (string, entry) Hashtbl.t = Hashtbl.create 16 in
+  let answers : (string, entry * int) Hashtbl.t = Hashtbl.create 16 in
   List.iter2
     (fun (prep : Solver.prepared) outcome ->
-      let status, body, error =
+      let status, body, error, solve_ms =
         match outcome with
         | Ok a -> a
-        | Error (we : Hs_exec.worker_error) -> (1, "", Printexc.to_string we.exn)
+        | Error (we : Hs_exec.worker_error) -> (1, "", Printexc.to_string we.exn, 0)
       in
       let e = entry ~key:prep.Solver.key ~status ~body ~error in
       Cache.add t.cache prep.Solver.key e;
-      Hashtbl.replace answers prep.Solver.key e)
+      Hashtbl.replace answers prep.Solver.key (e, solve_ms))
     leaders solved;
   List.map
     (function
       | `Done a -> a
-      | `Follower key -> of_entry ~cached:true (Hashtbl.find answers key)
+      | `Follower key ->
+          let e, _ = Hashtbl.find answers key in
+          of_entry ~key ~cached:true e
       | `Leader (prep : Solver.prepared) ->
-          of_entry ~cached:false (Hashtbl.find answers prep.Solver.key))
+          let key = prep.Solver.key in
+          let e, solve_ms = Hashtbl.find answers key in
+          of_entry ~key ~solve_ms ~cached:false e)
     classified
 
 let cache_length t = Cache.length t.cache

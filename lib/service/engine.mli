@@ -25,6 +25,13 @@ type answer = {
   cached : bool;  (** replayed from (or coalesced into) the cache *)
   body : string;
   error : string;
+  key : string;
+      (** cache key ({!Solver.cache_key}) the answer was computed or
+          replayed under; [""] when the request failed to parse — the
+          flight recorder uses it as the request digest *)
+  solve_ms : int;
+      (** wall milliseconds of the fresh solve ({!Solver.execute_timed});
+          [0] for cache hits, coalesced followers and parse failures *)
 }
 
 val create :

@@ -17,10 +17,24 @@ let max_payload = 16 * 1024 * 1024
 let header_len = 9 (* 8 hex digits + '\n' *)
 let max_buffer = header_len + max_payload
 
+(* Wire-level telemetry: framing is where every byte of service traffic
+   passes, so these four counters are the ground truth that [hsched
+   stats] reports as throughput.  Registration is idempotent and the
+   cells are domain-local (merged like all other metrics). *)
+module Metrics = Hs_obs.Metrics
+
+let c_encoded = Metrics.counter "frame.encoded"
+let c_decoded = Metrics.counter "frame.decoded"
+let c_bytes_in = Metrics.counter "frame.bytes.in"
+let c_bytes_out = Metrics.counter "frame.bytes.out"
+let c_errors = Metrics.counter "frame.errors"
+
 let encode payload =
   let n = String.length payload in
   if n > max_payload then
     invalid_arg (Printf.sprintf "Frame.encode: payload of %d bytes exceeds %d" n max_payload);
+  Metrics.incr c_encoded;
+  Metrics.add c_bytes_out (header_len + n);
   Printf.sprintf "%08x\n%s" n payload
 
 type error =
@@ -64,7 +78,11 @@ let feed d s =
      hang up, and a flooding peer must not grow the buffer meanwhile. *)
   if d.failed = None then begin
     let n = String.length s in
-    if buffered d + n > d.limit then d.failed <- Some (Overrun (buffered d + n))
+    Metrics.add c_bytes_in n;
+    if buffered d + n > d.limit then begin
+      d.failed <- Some (Overrun (buffered d + n));
+      Metrics.incr c_errors
+    end
     else begin
       compact d;
       if d.len + n > Bytes.length d.buf then begin
@@ -108,6 +126,7 @@ let next d =
         match parse_header d with
         | Error e ->
             d.failed <- Some e;
+            Metrics.incr c_errors;
             Error e
         | Ok n ->
             if buffered d < header_len + n then Ok None
@@ -115,6 +134,7 @@ let next d =
               let payload = Bytes.sub_string d.buf (d.pos + header_len) n in
               d.pos <- d.pos + header_len + n;
               compact d;
+              Metrics.incr c_decoded;
               Ok (Some payload)
             end
       end

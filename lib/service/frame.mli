@@ -22,7 +22,13 @@
     allocation, a peer that streams bytes without completing a frame is
     cut off with {!Overrun}, and once a decoder has failed it silently
     drops all further input — so one bad connection can never cost more
-    than {!max_buffer} bytes of memory. *)
+    than {!max_buffer} bytes of memory.
+
+    Framing is also the wire-telemetry choke point: every encode/decode
+    bumps the domain-local [frame.encoded] / [frame.decoded] /
+    [frame.bytes.in] / [frame.bytes.out] / [frame.errors] counters
+    ({!Hs_obs.Metrics}), which [hsched stats] reports as service
+    throughput. *)
 
 val max_payload : int
 (** Upper bound on a payload (16 MiB).  Larger declared lengths are

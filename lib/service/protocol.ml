@@ -7,9 +7,15 @@ type solve_params = {
   instance_text : string;
   budget : int option;
   deadline_ms : int option;
+  trace_id : string option;
 }
 
-type request = Solve of solve_params | Stats | Ping | Shutdown
+type request =
+  | Solve of solve_params
+  | Stats
+  | Introspect of { recent : bool }
+  | Ping
+  | Shutdown
 
 let version = 1
 
@@ -20,13 +26,14 @@ type response = {
   body : string;
   error : string;
   retry_after_ms : int;
+  spans : Json.t list;
 }
 
-let ok ~rid ?(cached = false) body =
-  { rid; status = 0; cached; body; error = ""; retry_after_ms = 0 }
+let ok ~rid ?(cached = false) ?(spans = []) body =
+  { rid; status = 0; cached; body; error = ""; retry_after_ms = 0; spans }
 
-let err ~rid ~status error =
-  { rid; status; cached = false; body = ""; error; retry_after_ms = 0 }
+let err ~rid ~status ?(spans = []) error =
+  { rid; status; cached = false; body = ""; error; retry_after_ms = 0; spans }
 
 let overloaded ~rid ~retry_after_ms =
   let e = Hs_core.Hs_error.Overloaded { retry_after_ms } in
@@ -37,6 +44,7 @@ let overloaded ~rid ~retry_after_ms =
     body = "";
     error = Hs_core.Hs_error.to_string e;
     retry_after_ms;
+    spans = [];
   }
 
 let status_of_error = Hs_core.Hs_error.exit_code
@@ -45,11 +53,15 @@ let request_to_json ~id req =
   let base = [ ("hsched.rpc", Json.Int version); ("id", Json.Int id) ] in
   let rest =
     match req with
-    | Solve { instance_text; budget; deadline_ms } ->
+    | Solve { instance_text; budget; deadline_ms; trace_id } ->
         [ ("verb", Json.String "solve"); ("instance", Json.String instance_text) ]
         @ (match budget with None -> [] | Some k -> [ ("budget", Json.Int k) ])
         @ (match deadline_ms with None -> [] | Some d -> [ ("deadline_ms", Json.Int d) ])
+        @ (match trace_id with None -> [] | Some t -> [ ("trace_id", Json.String t) ])
     | Stats -> [ ("verb", Json.String "stats") ]
+    | Introspect { recent } ->
+        ("verb", Json.String "introspect")
+        :: (if recent then [ ("recent", Json.Bool true) ] else [])
     | Ping -> [ ("verb", Json.String "ping") ]
     | Shutdown -> [ ("verb", Json.String "shutdown") ]
   in
@@ -94,11 +106,22 @@ let request_of_json json =
                 | Some (Json.Int d) when d >= 0 -> Ok (Some d)
                 | Some _ -> Error "\"deadline_ms\" must be a non-negative integer"
               in
-              match (budget, deadline_ms) with
-              | Error e, _ | _, Error e -> Error (id, e)
-              | Ok budget, Ok deadline_ms ->
-                  Ok (id, Solve { instance_text; budget; deadline_ms })))
+              let trace_id =
+                match Json.member "trace_id" json with
+                | None -> Ok None
+                | Some (Json.String t) when t <> "" -> Ok (Some t)
+                | Some _ -> Error "\"trace_id\" must be a non-empty string"
+              in
+              match (budget, deadline_ms, trace_id) with
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error (id, e)
+              | Ok budget, Ok deadline_ms, Ok trace_id ->
+                  Ok (id, Solve { instance_text; budget; deadline_ms; trace_id })))
       | Some "stats" -> Ok (id, Stats)
+      | Some "introspect" ->
+          Ok
+            ( id,
+              Introspect
+                { recent = Option.value ~default:false (bool_member "recent" json) } )
       | Some "ping" -> Ok (id, Ping)
       | Some "shutdown" -> Ok (id, Shutdown)
       | Some verb -> Error (id, Printf.sprintf "unknown verb %S" verb)))
@@ -114,9 +137,9 @@ let response_to_json r =
        ("body", Json.String r.body);
        ("error", Json.String r.error);
      ]
-    @
-    if r.retry_after_ms > 0 then [ ("retry_after_ms", Json.Int r.retry_after_ms) ]
-    else [])
+    @ (if r.retry_after_ms > 0 then [ ("retry_after_ms", Json.Int r.retry_after_ms) ]
+       else [])
+    @ if r.spans <> [] then [ ("spans", Json.List r.spans) ] else [])
 
 let response_of_json json =
   match json with
@@ -133,6 +156,10 @@ let response_of_json json =
               retry_after_ms =
                 Stdlib.max 0
                   (Option.value ~default:0 (int_member "retry_after_ms" json));
+              spans =
+                (match Json.member "spans" json with
+                | Some (Json.List l) -> l
+                | _ -> []);
             }
       | _ -> Error "response needs integer \"id\" and \"status\"")
   | _ -> Error "response is not a JSON object"

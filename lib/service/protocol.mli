@@ -4,12 +4,13 @@
 
     {v
     request  ::= {"hsched.rpc": 1, "id": int, "verb": verb, ...}
-    verb     ::= "solve" | "stats" | "ping" | "shutdown"
+    verb     ::= "solve" | "stats" | "introspect" | "ping" | "shutdown"
     solve    ::= ... "instance": string  ["budget": int]
-                 ["deadline_ms": int>=0]
+                 ["deadline_ms": int>=0]  ["trace_id": string]
+    introspect ::= ... ["recent": bool]
     response ::= {"hsched.rpc": 1, "id": int, "status": int,
                   "cached": bool, "body": string, "error": string
-                  ["retry_after_ms": int]}
+                  ["retry_after_ms": int] ["spans": [span...]]}
     v}
 
     Status codes mirror the CLI exit-code contract (README.md): [0]
@@ -33,11 +34,20 @@ type solve_params = {
       (** per-request deadline: expires in the admission queue by wall
           clock, and caps the solver budget deterministically via
           [Budget.of_deadline_ms] (see DESIGN.md section 13) *)
+  trace_id : string option;
+      (** trace-context id minted by the client; the daemon tags its
+          spans with it and carries them back in [response.spans] so the
+          client can stitch one merged timeline (DESIGN.md section 14) *)
 }
 
 type request =
   | Solve of solve_params
   | Stats  (** service counters, one ["name = value"] line each *)
+  | Introspect of { recent : bool }
+      (** live JSON introspection ("hsched.introspect/1": uptime, queue
+          depth, metrics snapshot; [recent] adds the flight recorder's
+          ring).  Answered out-of-band — never enters the admission
+          queue. *)
   | Ping
   | Shutdown  (** drain queued work, acknowledge, exit *)
 
@@ -53,10 +63,15 @@ type response = {
   retry_after_ms : int;
       (** deterministic backoff hint on status 5 (overloaded); [0]
           otherwise *)
+  spans : Hs_obs.Json.t list;
+      (** server-side spans ({!Hs_obs.Tracer.span_to_json} shape) for a
+          traced solve; [[]] otherwise.  Kept as raw JSON in the codec —
+          the client decodes with [span_of_json] and absorbs what it can,
+          so a span it cannot parse degrades, never faults, the call. *)
 }
 
-val ok : rid:int -> ?cached:bool -> string -> response
-val err : rid:int -> status:int -> string -> response
+val ok : rid:int -> ?cached:bool -> ?spans:Hs_obs.Json.t list -> string -> response
+val err : rid:int -> status:int -> ?spans:Hs_obs.Json.t list -> string -> response
 
 val overloaded : rid:int -> retry_after_ms:int -> response
 (** The admission-control shed reply: status 5, the

@@ -1,0 +1,111 @@
+(* Flight recorder: a bounded ring of recent request outcomes; see the
+   interface.  Plain circular array — the daemon records from its single
+   event-loop thread, so no synchronisation is needed. *)
+
+module Json = Hs_obs.Json
+
+type entry = {
+  seq : int;
+  digest : string;
+  status : int;
+  cached : bool;
+  queue_ms : int;
+  solve_ms : int;
+  trace_id : string;
+  shed_reason : string;
+  retry_after_ms : int;
+}
+
+type t = {
+  ring : entry option array;
+  mutable recorded : int;  (* total ever; next entry's 1-based seq *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity must be >= 1";
+  { ring = Array.make capacity None; recorded = 0 }
+
+let capacity t = Array.length t.ring
+let recorded t = t.recorded
+let length t = Stdlib.min t.recorded (capacity t)
+
+let record t ?(cached = false) ?(queue_ms = 0) ?(solve_ms = 0) ?(trace_id = "")
+    ?(shed_reason = "") ?(retry_after_ms = 0) ~digest ~status () =
+  let seq = t.recorded + 1 in
+  t.recorded <- seq;
+  t.ring.((seq - 1) mod capacity t) <-
+    Some
+      {
+        seq;
+        digest;
+        status;
+        cached;
+        queue_ms;
+        solve_ms;
+        trace_id;
+        shed_reason;
+        retry_after_ms;
+      }
+
+let entries t =
+  let cap = capacity t in
+  let n = length t in
+  List.init n (fun i ->
+      match t.ring.((t.recorded - n + i) mod cap) with
+      | Some e -> e
+      | None -> assert false (* slots below [length] are always filled *))
+
+(* One pinnable line per entry: fixed field order, "-" for absent
+   digest/trace/shed so every line parses the same way, the retry hint
+   only when the entry is a shed (it is the hint the post-mortem is
+   after). *)
+let entry_to_line e =
+  Printf.sprintf "#%d status=%d cached=%b digest=%s queue_ms=%d solve_ms=%d trace=%s shed=%s%s"
+    e.seq e.status e.cached
+    (if e.digest = "" then "-" else e.digest)
+    e.queue_ms e.solve_ms
+    (if e.trace_id = "" then "-" else e.trace_id)
+    (if e.shed_reason = "" then "-" else e.shed_reason)
+    (if e.retry_after_ms > 0 then Printf.sprintf " retry_after_ms=%d" e.retry_after_ms
+     else "")
+
+let entry_to_json e =
+  Json.Obj
+    ([
+       ("seq", Json.Int e.seq);
+       ("digest", Json.String e.digest);
+       ("status", Json.Int e.status);
+       ("cached", Json.Bool e.cached);
+       ("queue_ms", Json.Int e.queue_ms);
+       ("solve_ms", Json.Int e.solve_ms);
+     ]
+    @ (if e.trace_id <> "" then [ ("trace_id", Json.String e.trace_id) ] else [])
+    @ (if e.shed_reason <> "" then [ ("shed_reason", Json.String e.shed_reason) ]
+       else [])
+    @
+    if e.retry_after_ms > 0 then [ ("retry_after_ms", Json.Int e.retry_after_ms) ]
+    else [])
+
+let entry_of_json j =
+  let str k d =
+    match Json.member k j with Some (Json.String s) -> s | _ -> d
+  in
+  let int k d = match Json.member k j with Some (Json.Int i) -> i | _ -> d in
+  match (Json.member "seq" j, Json.member "status" j) with
+  | Some (Json.Int seq), Some (Json.Int status) ->
+      Ok
+        {
+          seq;
+          digest = str "digest" "";
+          status;
+          cached =
+            (match Json.member "cached" j with Some (Json.Bool b) -> b | _ -> false);
+          queue_ms = int "queue_ms" 0;
+          solve_ms = int "solve_ms" 0;
+          trace_id = str "trace_id" "";
+          shed_reason = str "shed_reason" "";
+          retry_after_ms = int "retry_after_ms" 0;
+        }
+  | _ -> Error "recorder entry needs integer \"seq\" and \"status\""
+
+let to_json t = Json.List (List.map entry_to_json (entries t))

@@ -1,0 +1,70 @@
+(** Flight recorder: a bounded ring buffer of the last N request
+    outcomes, kept by the daemon so a post-mortem after a shed storm or
+    a crash can replay what just happened without re-running load
+    (DESIGN.md §14).
+
+    Every solve outcome — completed, shed at admission, or expired in
+    the queue — becomes one {!entry}; once the ring is full the oldest
+    entry is overwritten.  [seq] is the 1-based admission number since
+    daemon start and keeps counting past the ring's capacity, so a dump
+    shows both {e what} happened and {e how far back} it reaches.
+
+    The recorder is single-writer by construction (only the daemon's
+    event loop records) and costs one array store per request. *)
+
+type entry = {
+  seq : int;  (** 1-based outcome number since daemon start *)
+  digest : string;  (** cache key; [""] when shed before parsing *)
+  status : int;  (** protocol status / CLI exit-code contract *)
+  cached : bool;
+  queue_ms : int;  (** admission-queue wait, milliseconds *)
+  solve_ms : int;  (** solver wall time, milliseconds; [0] for hits *)
+  trace_id : string;  (** [""] = untraced request *)
+  shed_reason : string;
+      (** [""] for completed requests; ["queue_full"] (admission shed)
+          or ["queue_deadline"] (expired while queued) otherwise *)
+  retry_after_ms : int;  (** backoff hint sent with a shed; [0] otherwise *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total outcomes ever recorded (monotone; exceeds {!capacity} once
+    the ring has wrapped). *)
+
+val length : t -> int
+(** Entries currently held: [min recorded capacity]. *)
+
+val record :
+  t ->
+  ?cached:bool ->
+  ?queue_ms:int ->
+  ?solve_ms:int ->
+  ?trace_id:string ->
+  ?shed_reason:string ->
+  ?retry_after_ms:int ->
+  digest:string ->
+  status:int ->
+  unit ->
+  unit
+
+val entries : t -> entry list
+(** Currently held entries, oldest first. *)
+
+val entry_to_line : entry -> string
+(** One fixed-field text line
+    ([#seq status=.. cached=.. digest=.. queue_ms=.. solve_ms=..
+    trace=.. shed=..] plus [retry_after_ms=..] on sheds), used by the
+    drain dump and [hsched stats --recent]. *)
+
+val entry_to_json : entry -> Hs_obs.Json.t
+val entry_of_json : Hs_obs.Json.t -> (entry, string) result
+
+val to_json : t -> Hs_obs.Json.t
+(** The held entries oldest-first as a JSON list, embedded in the
+    ["hsched.introspect/1"] document. *)

@@ -1,7 +1,18 @@
 open Hs_model
 module E = Hs_core.Hs_error
+module Metrics = Hs_obs.Metrics
 
 let default_deadline_units_per_ms = 100
+
+(* Per-phase service latency, in wall-clock milliseconds.  Unlike the
+   algorithmic counters these are intentionally nondeterministic — they
+   answer "where did this request spend its time", which only wall time
+   can.  Observed in the worker domain and merged back by Hs_exec. *)
+let ms_buckets = [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000 ]
+let h_solve_ms = Metrics.histogram ~buckets:ms_buckets "service.phase.solve_ms"
+let h_render_ms = Metrics.histogram ~buckets:ms_buckets "service.phase.render_ms"
+
+let wall_ms t0 = int_of_float (((Unix.gettimeofday () -. t0) *. 1000.0) +. 0.5)
 
 type prepared = {
   instance : Instance.t;
@@ -74,7 +85,18 @@ let certified verdict render =
   | Some e -> Error e
   | None -> Ok (render ())
 
-let execute ?(verify = false) { instance; budget; deadline_ms; deadline_capped; _ } =
+(* Rendering is its own observable phase: a span nested under
+   [service.solve] plus the [service.phase.render_ms] histogram, so a
+   merged trace (and [hsched stats]) can split "computing the schedule"
+   from "formatting the report". *)
+let rendering f =
+  Hs_obs.Tracer.with_span ~cat:"service" "service.render" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> Metrics.observe h_render_ms (wall_ms t0)) f
+
+let execute_timed ?(verify = false)
+    { instance; budget; deadline_ms; deadline_capped; _ } =
+  let t0 = Unix.gettimeofday () in
   Hs_obs.Tracer.with_span ~cat:"service" "service.solve" @@ fun () ->
   let outcome =
     try
@@ -84,8 +106,9 @@ let execute ?(verify = false) { instance; budget; deadline_ms; deadline_capped; 
           | Error e -> Error e
           | Ok o ->
               if verify then
-                certified (Hs_check.Certify.outcome o) (fun () -> Render.exact_outcome o)
-              else Ok (Render.exact_outcome o))
+                certified (Hs_check.Certify.outcome o) (fun () ->
+                    rendering (fun () -> Render.exact_outcome o))
+              else Ok (rendering (fun () -> Render.exact_outcome o)))
       | Some k -> (
           let budget = Hs_core.Budget.of_units k in
           match Hs_core.Approx.solve_robust ~budget ~on_exhausted:`Fallback instance with
@@ -93,23 +116,30 @@ let execute ?(verify = false) { instance; budget; deadline_ms; deadline_capped; 
           | Ok r ->
               if verify then
                 certified (Hs_check.Certify.robust r) (fun () ->
-                    Render.robust_outcome ~budget r)
-              else Ok (Render.robust_outcome ~budget r))
+                    rendering (fun () -> Render.robust_outcome ~budget r))
+              else Ok (rendering (fun () -> Render.robust_outcome ~budget r)))
     with
     | E.Error e -> Error e
     | exn -> Error (E.Internal (Printexc.to_string exn))
   in
+  let solve_ms = wall_ms t0 in
+  Metrics.observe h_solve_ms solve_ms;
   (* When the deadline supplied the binding cap, exhaustion is the
      deadline's fault: surface the typed deadline error (status 6), not
      a budget one (status 4). *)
-  match outcome with
-  | Error (E.Budget_exhausted { stage; detail }) when deadline_capped ->
-      Error
-        (E.Deadline_exceeded
-           {
-             deadline_ms = Option.value ~default:0 deadline_ms;
-             detail =
-               Printf.sprintf "deadline-derived budget ran out [%s]: %s"
-                 (E.stage_name stage) detail;
-           })
-  | o -> o
+  let outcome =
+    match outcome with
+    | Error (E.Budget_exhausted { stage; detail }) when deadline_capped ->
+        Error
+          (E.Deadline_exceeded
+             {
+               deadline_ms = Option.value ~default:0 deadline_ms;
+               detail =
+                 Printf.sprintf "deadline-derived budget ran out [%s]: %s"
+                   (E.stage_name stage) detail;
+             })
+    | o -> o
+  in
+  (outcome, solve_ms)
+
+let execute ?verify prep = fst (execute_timed ?verify prep)

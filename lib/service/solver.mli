@@ -10,6 +10,12 @@ val default_deadline_units_per_ms : int
 (** Default exchange rate of the deadline-to-budget conversion
     ({!Hs_core.Budget.of_deadline_ms}): 100 units per millisecond. *)
 
+val ms_buckets : int list
+(** The shared bucket ladder (1 ms .. 10 s) of every
+    [service.phase.*_ms] latency histogram, so the daemon's queue/write
+    phases and the solver's solve/render phases line up in [hsched
+    stats] and the Prometheus exposition. *)
+
 type prepared = {
   instance : Hs_model.Instance.t;
   budget : int option;
@@ -49,5 +55,17 @@ val execute : ?verify:bool -> prepared -> (string, Hs_core.Hs_error.t) result
     rendering; the first violated invariant surfaces as the typed
     [Verification] error.  When the prepared request is
     [deadline_capped], budget exhaustion surfaces as the typed
-    [Deadline_exceeded] instead.  Runs inside a ["service.solve"] tracer
-    span; stray exceptions surface as [Internal], never escape. *)
+    [Deadline_exceeded] instead.
+
+    Observability: runs inside a ["service.solve"] tracer span with the
+    rendering step nested as ["service.render"], and observes both
+    phases' wall milliseconds into the [service.phase.solve_ms] /
+    [service.phase.render_ms] histograms (worker-domain cells, merged
+    back by {!Hs_exec}).  Stray exceptions surface as [Internal], never
+    escape. *)
+
+val execute_timed :
+  ?verify:bool -> prepared -> (string, Hs_core.Hs_error.t) result * int
+(** {!execute} plus the solve's wall milliseconds (the same value
+    observed into [service.phase.solve_ms]) — the engine threads it to
+    the daemon's flight recorder. *)

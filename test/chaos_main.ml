@@ -1,5 +1,5 @@
 (* Chaos harness for the solver service (`@chaos` alias; CI runs a
-   larger sweep).  Usage: chaos_main [ITERS] [CLIENTS] [SEED].
+   larger sweep).  Usage: chaos_main [ITERS] [CLIENTS] [SEED] [INTROSPECT.json].
 
    One verifying daemon (its engine certifies every fresh answer with
    the independent lib/check certifier and fingerprints every cache
@@ -20,14 +20,18 @@
 
    Exit 0 iff every client observed only typed, correct behaviour AND
    the daemon survived to answer a final ping and drain a graceful
-   shutdown — zero daemon deaths, by construction of the exit code. *)
+   shutdown — zero daemon deaths, by construction of the exit code.
+
+   With a fourth argument, the post-storm introspection document
+   (hsched.introspect/1, flight recorder included) is written to that
+   path so CI can validate the observability surface after chaos. *)
 
 module P = Hs_service.Protocol
 module C = Hs_service.Client
 module Rng = Hs_workloads.Rng
 
 let usage () =
-  prerr_endline "usage: chaos_main [ITERS] [CLIENTS] [SEED]";
+  prerr_endline "usage: chaos_main [ITERS] [CLIENTS] [SEED] [INTROSPECT.json]";
   exit 2
 
 let arg i default =
@@ -41,6 +45,7 @@ let () =
   let iters = arg 1 120 in
   let clients = arg 2 8 in
   let seed = arg 3 7 in
+  let introspect_out = if Array.length Sys.argv > 4 then Some Sys.argv.(4) else None in
   (* The sentinel must be armed in the daemon's process — which is this
      process: the daemon runs in a spawned domain. *)
   Hs_service.Engine.install_chaos_sentinel ();
@@ -85,7 +90,7 @@ let () =
       (fun text ->
         match
           Hs_service.Solver.prepare ~default_budget:None
-            { P.instance_text = text; budget = None; deadline_ms = None }
+            { P.instance_text = text; budget = None; deadline_ms = None; trace_id = None }
         with
         | Error e -> failwith ("chaos: prepare: " ^ Hs_core.Hs_error.to_string e)
         | Ok prep -> (
@@ -127,7 +132,7 @@ let () =
           | Ok c -> (
               match
                 C.call ~timeout_s:60.0 c
-                  (P.Solve { instance_text = pool.(k); budget; deadline_ms })
+                  (P.Solve { instance_text = pool.(k); budget; deadline_ms; trace_id = None })
               with
               | Ok r -> Some r
               | Error e ->
@@ -233,6 +238,29 @@ let () =
       | Error e ->
           incr final_errs;
           prerr_endline ("chaos: stats failed: " ^ e));
+      (* The post-storm introspection document (flight recorder included)
+         must still be answerable and well-formed; optionally keep it for
+         CI validation. *)
+      (match C.call ~timeout_s:30.0 c (P.Introspect { recent = true }) with
+      | Ok { P.status = 0; body; _ } -> (
+          (match Hs_obs.Json.parse body with
+          | Ok _ -> ()
+          | Error e ->
+              incr final_errs;
+              prerr_endline ("chaos: introspect body unparsable: " ^ e));
+          match introspect_out with
+          | None -> ()
+          | Some out ->
+              let oc = open_out out in
+              output_string oc body;
+              output_char oc '\n';
+              close_out oc)
+      | Ok r ->
+          incr final_errs;
+          Printf.eprintf "chaos: introspect answered %d\n" r.P.status
+      | Error e ->
+          incr final_errs;
+          prerr_endline ("chaos: introspect failed: " ^ e));
       (match C.call ~timeout_s:30.0 c P.Shutdown with
       | Ok { P.status = 0; body = "bye"; _ } -> ()
       | Ok r ->

@@ -1,0 +1,126 @@
+End-to-end service observability (DESIGN.md section 14): a traced
+request yields one merged client/server Chrome timeline, `hsched stats`
+introspects a live daemon out of band, and the flight recorder replays
+the last outcomes — including a deterministic shed with its retry hint.
+
+  $ ../../bin/hsched.exe generate --machines 4 --jobs 6 --seed 1 --out i1.inst
+  wrote i1.inst
+  $ ../../bin/hsched.exe serve --socket d.sock > /dev/null 2> server.log &
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+A traced request answers byte-identically to the offline solver and
+writes the merged timeline:
+
+  $ ../../bin/hsched.exe solve -f i1.inst > want.out
+  $ ../../bin/hsched.exe request --socket d.sock --trace trace.json i1.inst > got.out
+  $ cmp got.out want.out && echo byte-identical
+  byte-identical
+  $ ../json_check.exe trace.json traceEvents displayTimeUnit otherData
+  trace.json: valid JSON; keys ok
+
+One timeline, two processes: pid 1 carries the client phases, pid 2 the
+daemon's — the queue wait, the batch solve, and the render are all
+visible spans:
+
+  $ grep -c '"name":"client.call"' trace.json
+  1
+  $ grep -c '"name":"service.queue.wait"' trace.json
+  1
+  $ grep -c '"name":"service.solve"' trace.json
+  1
+  $ grep -c '"name":"service.render"' trace.json
+  1
+  $ grep -c '"pid":2' trace.json
+  1
+
+The trace id is minted deterministically from the instance bytes, is
+recorded in otherData, and tags every server-side span (so it appears
+more than once):
+
+  $ test $(grep -o 'a6c71dd04756fc8b4f71f2549383e046' trace.json | wc -l) -ge 2 && echo one shared trace id
+  one shared trace id
+
+Live introspection, answered out of band.  Uptime, byte counts and
+bucket bounds are wall-clock-dependent, so they are masked; everything
+else is deterministic after exactly one fresh solve:
+
+  $ ../../bin/hsched.exe stats d.sock \
+  >   | sed -E 's/^uptime: [0-9.]+s/uptime: Ts/; s/\([0-9]+ \/ [0-9]+ bytes\)/(I \/ O bytes)/; s/p50<=[0-9]+ p99<=[0-9]+/p50<=N p99<=N/'
+  uptime: Ts
+  queue depth: 0 (high water 1)
+  connections: 1
+  draining: false
+  cache entries: 1
+  requests: 1 (shed 0, deadline missed 0)
+  cache: 0 hit(s) / 1 miss(es) (hit ratio 0.0%)
+  frames: 2 in / 1 out (I / O bytes)
+  phase latency (ms):
+    queue  n=1 p50<=N p99<=N
+    solve  n=1 p50<=N p99<=N
+    render n=1 p50<=N p99<=N
+    write  n=1 p50<=N p99<=N
+  flight recorder: 1 outcome(s) recorded, last 1 held (capacity 256)
+
+--prom renders the same snapshot in Prometheus text exposition format
+(hsched_ namespace, TYPE headers, cumulative buckets closed by +Inf):
+
+  $ ../../bin/hsched.exe stats d.sock --prom > prom.txt
+  $ grep -c '^# TYPE hsched_service_requests counter$' prom.txt
+  1
+  $ grep '^hsched_service_requests ' prom.txt
+  hsched_service_requests 1
+  $ grep -c '^# TYPE hsched_service_phase_solve_ms histogram$' prom.txt
+  1
+  $ grep '^hsched_service_phase_solve_ms_bucket{le="+Inf"} ' prom.txt
+  hsched_service_phase_solve_ms_bucket{le="+Inf"} 1
+  $ grep '^hsched_service_phase_solve_ms_count ' prom.txt
+  hsched_service_phase_solve_ms_count 1
+  $ grep '^hsched_uptime_seconds ' prom.txt | wc -l
+  1
+
+Every exposition line is a TYPE header or a sample — nothing else:
+
+  $ grep -cvE '^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$|^[a-zA-Z_][a-zA-Z0-9_]*(\{le="[^"]+"\})? -?[0-9.e+-]+$' prom.txt
+  0
+  [1]
+
+--json emits the raw introspection document:
+
+  $ ../../bin/hsched.exe stats d.sock --json > intro.json
+  $ ../json_check.exe intro.json schema uptime_s queue_depth connections draining cache_entries recorder metrics
+  intro.json: valid JSON; keys ok
+
+  $ ../../bin/hsched.exe shutdown --socket d.sock
+  server shut down
+  $ wait
+
+The flight recorder replays a deterministic shed: an always-overloaded
+daemon (queue bound 0) sheds the request with the first rung of the
+retry ladder, and `stats --recent` — still answerable during overload,
+introspection never queues — shows exactly that outcome:
+
+  $ ../../bin/hsched.exe serve --socket shed.sock --max-queue 0 --recorder 4 > /dev/null 2> shed.log &
+  $ for i in $(seq 1 100); do [ -S shed.sock ] && break; sleep 0.1; done
+  $ ../../bin/hsched.exe request --socket shed.sock i1.inst
+  ERROR: overloaded: admission queue is full, retry after 50 ms
+  [5]
+  $ ../../bin/hsched.exe stats shed.sock --recent | tail -3
+  flight recorder: 1 outcome(s) recorded, last 1 held (capacity 4)
+  recent outcomes (oldest first):
+    #1 status=5 cached=false digest=- queue_ms=0 solve_ms=0 trace=- shed=queue_full retry_after_ms=50
+
+The same ring is dumped to the server log on drain:
+
+  $ ../../bin/hsched.exe shutdown --socket shed.sock
+  server shut down
+  $ wait
+  $ grep -c 'flight recorder (last 1 of 1 outcome(s)):' shed.log
+  1
+  $ grep -c 'shed=queue_full retry_after_ms=50' shed.log
+  1
+
+A dead socket is the typed unavailable error:
+
+  $ ../../bin/hsched.exe stats shed.sock
+  hsched: service unavailable: cannot connect to shed.sock: No such file or directory
+  [7]

@@ -80,7 +80,7 @@ let test_duplicate_ids_rejected () =
   (* The same rejection is typed at the service boundary. *)
   match
     Hs_service.Solver.prepare ~default_budget:None
-      { Hs_service.Protocol.instance_text = dup_machine; budget = None; deadline_ms = None }
+      { Hs_service.Protocol.instance_text = dup_machine; budget = None; deadline_ms = None; trace_id = None }
   with
   | Error (Hs_error.Parse_error _) -> ()
   | Error e -> Alcotest.failf "expected Parse_error, got %s" (Hs_error.to_string e)

@@ -143,6 +143,175 @@ let test_pivots_match_budget_meter () =
           | None -> Alcotest.fail "budget.pivots.consumed gauge not published")
       | _ -> Alcotest.fail "pivot counter or meter missing")
 
+(* JSON string escapes must survive emit -> parse exactly: the wire
+   protocol carries instance texts (embedded newlines/tabs), error
+   messages (quotes, backslashes) and span payloads through this
+   codec. *)
+let test_json_escape_round_trip () =
+  let cases =
+    [
+      "plain";
+      "quote \" backslash \\ slash /";
+      "newline\ntab\tcr\rbackspace\bformfeed\012";
+      "nul \000 and unit separator \031";
+      "control run \001\002\003\030";
+      "high bytes survive: caf\xc3\xa9 \xe2\x82\xac";
+      "";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let doc = Json.Obj [ ("k", Json.String s) ] in
+      match Json.parse (Json.to_string doc) with
+      | Error e -> Alcotest.failf "reparse of %S failed: %s" s e
+      | Ok j -> (
+          match Json.member "k" j with
+          | Some (Json.String s') ->
+              Alcotest.(check string) (Printf.sprintf "round trip of %S" s) s s'
+          | _ -> Alcotest.failf "member lost for %S" s))
+    cases;
+  (* \uXXXX escapes parse (emitter writes them for control chars). *)
+  (match Json.parse "{\"k\":\"\\u0041\\u000a\"}" with
+  | Ok j ->
+      Alcotest.(check bool) "unicode escapes decode" true
+        (Json.member "k" j = Some (Json.String "A\n"))
+  | Error e -> Alcotest.failf "unicode escape parse failed: %s" e);
+  (* span args ride the same codec: a span whose name needs escaping *)
+  with_tracer (fun () ->
+      Tracer.with_span ~args:[ ("msg", Tracer.Str "line1\nline2\"q\"") ] "odd\tname"
+        (fun () -> ());
+      match Tracer.spans () with
+      | [ s ] -> (
+          match Tracer.span_of_json (Tracer.span_to_json s) with
+          | Ok s' -> Alcotest.(check bool) "span wire round trip" true (s = s')
+          | Error e -> Alcotest.failf "span_of_json: %s" e)
+      | _ -> Alcotest.fail "expected exactly one span")
+
+(* The retention cap applies to absorb just like direct recording, and
+   every span lost to it is counted in [dropped] — workers record
+   concurrently into their own sinks, then the parent absorbs each
+   worker's spans under a deliberately small cap. *)
+let test_dropped_accounting_multi_domain () =
+  with_tracer (fun () ->
+      Tracer.set_max_spans 10;
+      Fun.protect
+        ~finally:(fun () -> Tracer.set_max_spans (1 lsl 20))
+        (fun () ->
+          let cfg = Tracer.config () in
+          let per_worker = 4 in
+          let workers =
+            List.init 4 (fun w ->
+                Domain.spawn (fun () ->
+                    Tracer.set_config cfg;
+                    for i = 0 to per_worker - 1 do
+                      Tracer.with_span (Printf.sprintf "w%d.s%d" w i) (fun () -> ())
+                    done;
+                    (Domain.self () :> int), Tracer.spans ()))
+          in
+          let results = List.map Domain.join workers in
+          List.iter
+            (fun (d, spans) ->
+              Alcotest.(check int)
+                (Printf.sprintf "worker %d recorded all its spans" d)
+                per_worker (List.length spans))
+            results;
+          List.iter (fun (d, spans) -> Tracer.absorb ~domain:d spans) results;
+          let kept = List.length (Tracer.spans ()) in
+          Alcotest.(check int) "sink capped" 10 kept;
+          Alcotest.(check int) "every excess span counted"
+            ((4 * per_worker) - 10) (Tracer.dropped ());
+          (* absorbed spans carry their worker's domain.id tag *)
+          List.iter
+            (fun (s : Tracer.span) ->
+              if not (List.mem_assoc "domain.id" s.args) then
+                Alcotest.failf "span %s lost its domain tag" s.name)
+            (Tracer.spans ());
+          (* seq stays strictly increasing across the merged sink *)
+          let seqs =
+            List.map (fun (s : Tracer.span) -> s.seq) (Tracer.spans ())
+            |> List.sort compare
+          in
+          let distinct = List.sort_uniq compare seqs in
+          Alcotest.(check int) "absorbed seqs distinct" kept (List.length distinct)))
+
+let test_find_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[ 10; 100 ] "test.obs.lookup_ms" in
+  Metrics.observe h 5;
+  Metrics.observe h 50;
+  Metrics.observe h 500;
+  let snap = Metrics.snapshot () in
+  (match Metrics.find_histogram snap "test.obs.lookup_ms" with
+  | None -> Alcotest.fail "find_histogram missed a registered histogram"
+  | Some hs ->
+      Alcotest.(check (list int)) "bounds" [ 10; 100 ] hs.Metrics.buckets;
+      Alcotest.(check (list int)) "counts" [ 1; 1; 1 ]
+        (Array.to_list hs.Metrics.counts);
+      Alcotest.(check int) "sum" 555 hs.Metrics.sum;
+      Alcotest.(check int) "observations" 3 hs.Metrics.observations);
+  Alcotest.(check bool) "absent name is None" true
+    (Metrics.find_histogram snap "no.such.histogram" = None)
+
+let test_metrics_json_round_trip () =
+  Metrics.reset ();
+  ignore (solve_once ());
+  let h = Metrics.histogram ~buckets:[ 1; 2; 5 ] "test.obs.rt_ms" in
+  Metrics.observe h 1;
+  Metrics.observe h 3;
+  Metrics.observe h 9;
+  let snap = Metrics.snapshot () in
+  (match Metrics.of_json (Metrics.to_json snap) with
+  | Error e -> Alcotest.failf "of_json rejected to_json output: %s" e
+  | Ok snap' ->
+      Alcotest.(check bool) "snapshot round trips" true (snap = snap'));
+  (* typed rejection, not exceptions, on malformed documents *)
+  List.iter
+    (fun doc ->
+      match Metrics.of_json doc with
+      | Ok _ -> Alcotest.fail "malformed metrics document accepted"
+      | Error _ -> ())
+    [
+      Json.Obj [];
+      Json.Obj [ ("schema", Json.String "hsched.metrics/999") ];
+      Json.Obj
+        [
+          ("schema", Json.String "hsched.metrics/1");
+          ("counters", Json.Obj [ ("x", Json.String "nope") ]);
+          ("gauges", Json.Obj []);
+          ("histograms", Json.Obj []);
+        ];
+    ]
+
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.prom.requests" in
+  Metrics.incr c;
+  Metrics.incr c;
+  let h = Metrics.histogram ~buckets:[ 10; 100 ] "test.prom.wait_ms" in
+  Metrics.observe h 5;
+  Metrics.observe h 50;
+  Metrics.observe h 500;
+  let text = Metrics.to_prometheus (Metrics.snapshot ()) in
+  let has line =
+    List.mem line (String.split_on_char '\n' text)
+    || Alcotest.failf "missing exposition line %S in:\n%s" line text
+  in
+  List.iter
+    (fun line -> ignore (has line))
+    [
+      "# TYPE hsched_test_prom_requests counter";
+      "hsched_test_prom_requests 2";
+      "# TYPE hsched_test_prom_wait_ms histogram";
+      "hsched_test_prom_wait_ms_bucket{le=\"10\"} 1";
+      "hsched_test_prom_wait_ms_bucket{le=\"100\"} 2";
+      "hsched_test_prom_wait_ms_bucket{le=\"+Inf\"} 3";
+      "hsched_test_prom_wait_ms_sum 555";
+      "hsched_test_prom_wait_ms_count 3";
+    ];
+  (* names are mangled to the [a-zA-Z0-9_] alphabet *)
+  Alcotest.(check string) "name mangling" "hsched_a_b_c_1"
+    (Metrics.prometheus_name "a.b-c/1")
+
 let suite =
   let u name f = Alcotest.test_case name `Quick f in
   ( "obs",
@@ -153,4 +322,9 @@ let suite =
       u "deterministic metrics snapshots" test_deterministic_snapshots;
       u "Chrome JSON round trip" test_chrome_round_trip;
       u "simplex.pivots == budget consumed" test_pivots_match_budget_meter;
+      u "JSON escape round trips" test_json_escape_round_trip;
+      u "dropped accounting across domains" test_dropped_accounting_multi_domain;
+      u "find_histogram lookup" test_find_histogram;
+      u "metrics JSON round trip" test_metrics_json_round_trip;
+      u "Prometheus exposition format" test_prometheus_exposition;
     ] )

@@ -99,10 +99,19 @@ let test_frame_errors () =
 let test_protocol_roundtrip () =
   let reqs =
     [
-      Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None };
-      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = None };
-      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = Some 250 };
-      Protocol.Solve { instance_text = ""; budget = None; deadline_ms = Some 0 };
+      Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None };
+      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = None; trace_id = None };
+      Protocol.Solve { instance_text = "machines 1\n"; budget = Some 7; deadline_ms = Some 250; trace_id = None };
+      Protocol.Solve { instance_text = ""; budget = None; deadline_ms = Some 0; trace_id = None };
+      Protocol.Solve
+        {
+          instance_text = sample_text;
+          budget = Some 9;
+          deadline_ms = Some 50;
+          trace_id = Some "0123456789abcdef";
+        };
+      Protocol.Introspect { recent = false };
+      Protocol.Introspect { recent = true };
       Protocol.Stats;
       Protocol.Ping;
       Protocol.Shutdown;
@@ -136,6 +145,20 @@ let test_protocol_roundtrip () =
       Protocol.err ~rid:9 ~status:4 "budget exhausted";
       Protocol.overloaded ~rid:4 ~retry_after_ms:150;
       Protocol.err ~rid:5 ~status:6 "deadline exceeded [10 ms]: expired";
+      Protocol.ok ~rid:7
+        ~spans:
+          [
+            Json.Obj
+              [
+                ("name", Json.String "service.solve");
+                ("start_ns", Json.Int 10);
+                ("dur_ns", Json.Int 20);
+              ];
+          ]
+        "traced body";
+      Protocol.err ~rid:8 ~status:4
+        ~spans:[ Json.Obj [ ("name", Json.String "service.batch") ] ]
+        "budget exhausted";
     ]
 
 let test_protocol_rejects () =
@@ -304,7 +327,7 @@ let test_daemon_fault_fuzz () =
       Frame.encode
         (Json.to_string
            (Protocol.request_to_json ~id:0
-              (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })));
+              (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None })));
       Frame.encode
         (Json.to_string (Protocol.request_to_json ~id:1 Protocol.Ping));
     |]
@@ -326,7 +349,7 @@ let test_daemon_solve_and_cache () =
   let offline =
     match
       Solver.prepare ~default_budget:None
-        { Protocol.instance_text = sample_text; budget = None; deadline_ms = None }
+        { Protocol.instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None }
     with
     | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
     | Ok prep -> (
@@ -341,7 +364,7 @@ let test_daemon_solve_and_cache () =
       let solve () =
         match
           Client.call ~timeout_s:30.0 c
-            (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })
+            (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None })
         with
         | Error e -> Alcotest.failf "solve call failed: %s" e
         | Ok r -> r
@@ -357,7 +380,7 @@ let test_daemon_solve_and_cache () =
       let scrambled = "# comment\nmachines   4\n" ^ String.concat "\n" (List.tl (String.split_on_char '\n' sample_text)) in
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = scrambled; budget = None; deadline_ms = None })
+           (Protocol.Solve { instance_text = scrambled; budget = None; deadline_ms = None; trace_id = None })
        with
       | Error e -> Alcotest.failf "scrambled solve failed: %s" e
       | Ok r3 ->
@@ -367,14 +390,14 @@ let test_daemon_solve_and_cache () =
       (* a different budget is a different cache key *)
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = sample_text; budget = Some 100; deadline_ms = None })
+           (Protocol.Solve { instance_text = sample_text; budget = Some 100; deadline_ms = None; trace_id = None })
        with
       | Error e -> Alcotest.failf "budgeted solve failed: %s" e
       | Ok r4 -> Alcotest.(check bool) "budget keys apart" false r4.Protocol.cached);
       (* an unparsable instance is a typed status-2 error, not a crash *)
       (match
          Client.call ~timeout_s:30.0 c
-           (Protocol.Solve { instance_text = "machines x\n"; budget = None; deadline_ms = None })
+           (Protocol.Solve { instance_text = "machines x\n"; budget = None; deadline_ms = None; trace_id = None })
        with
       | Error e -> Alcotest.failf "bad-instance call failed: %s" e
       | Ok r5 ->
@@ -396,7 +419,7 @@ let test_engine_cache_poisoning () =
      cached entry mutated behind the engine's back must be detected by a
      verifying engine and answered with the typed verification error,
      never replayed. *)
-  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
+  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None } in
   let key =
     match Solver.prepare ~default_budget:None params with
     | Ok prep -> prep.Solver.key
@@ -444,8 +467,8 @@ let test_engine_verified_batch () =
   let engine =
     Engine.create ~verify:true ~jobs:2 ~cache_capacity:8 ~default_budget:None ()
   in
-  let good = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
-  let bad = { Protocol.instance_text = "machines x\n"; budget = None; deadline_ms = None } in
+  let good = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None } in
+  let bad = { Protocol.instance_text = "machines x\n"; budget = None; deadline_ms = None; trace_id = None } in
   match Engine.solve_batch engine [ good; bad; good ] with
   | [ a1; a2; a3 ] ->
       Alcotest.(check int) "leader solves" 0 a1.Engine.status;
@@ -467,7 +490,7 @@ let test_daemon_drain () =
       match
         Client.call_many ~timeout_s:30.0 c
           [
-            Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None };
+            Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None };
             Protocol.Shutdown;
           ]
       with
@@ -509,7 +532,7 @@ let test_deadline_budget_mapping () =
   let prep ?budget ?deadline_ms () =
     match
       Solver.prepare ~default_budget:None
-        { Protocol.instance_text = sample_text; budget; deadline_ms }
+        { Protocol.instance_text = sample_text; budget; deadline_ms; trace_id = None }
     with
     | Ok p -> p
     | Error e -> Alcotest.failf "prepare failed: %s" (Hs_core.Hs_error.to_string e)
@@ -549,7 +572,7 @@ let test_daemon_sheds_beyond_queue () =
   | Ok c -> (
       Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
       let solve =
-        Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None }
+        Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None }
       in
       match Client.call_many ~timeout_s:30.0 c [ solve; solve; solve; solve; solve ] with
       | Error e -> Alcotest.failf "pipelined batch failed: %s" e
@@ -574,7 +597,7 @@ let test_daemon_deadline_expires_in_queue () =
       match
         Client.call ~timeout_s:30.0 c
           (Protocol.Solve
-             { instance_text = sample_text; budget = None; deadline_ms = Some 0 })
+             { instance_text = sample_text; budget = None; deadline_ms = Some 0; trace_id = None })
       with
       | Error e -> Alcotest.failf "deadline call failed: %s" e
       | Ok r ->
@@ -610,7 +633,7 @@ let test_client_backoff_and_retry () =
       (match
          Client.call_with_retry ~timeout_s:30.0 ~retries:2 ~sleep c
            (Protocol.Solve
-              { instance_text = sample_text; budget = None; deadline_ms = None })
+              { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None })
        with
       | Error e -> Alcotest.failf "retry loop failed: %s" e
       | Ok r ->
@@ -623,7 +646,7 @@ let test_client_backoff_and_retry () =
       | l -> Alcotest.failf "expected 2 waits, got %d" (List.length l)
 
 let test_snapshot_roundtrip () =
-  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None } in
+  let params = { Protocol.instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None } in
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -682,7 +705,7 @@ let test_daemon_snapshot_restart () =
   let solve c =
     match
       Client.call ~timeout_s:30.0 c
-        (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None })
+        (Protocol.Solve { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None })
     with
     | Error e -> Alcotest.failf "solve failed: %s" e
     | Ok r ->
@@ -712,6 +735,215 @@ let test_daemon_snapshot_restart () =
       let r = solve c in
       Alcotest.(check bool) "restored cache answers the restart" true r.Protocol.cached;
       Alcotest.(check string) "byte-identical across the restart" first r.Protocol.body
+
+(* ---- observability: flight recorder, introspect, trace spans ---------- *)
+
+module Recorder = Hs_service.Recorder
+module Metrics = Hs_obs.Metrics
+module Tracer = Hs_obs.Tracer
+
+let test_recorder_ring () =
+  (try
+     ignore (Recorder.create ~capacity:0);
+     Alcotest.fail "capacity 0 must be rejected"
+   with Invalid_argument _ -> ());
+  let r = Recorder.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Recorder.length r);
+  for i = 1 to 5 do
+    Recorder.record r ~cached:(i mod 2 = 0) ~queue_ms:i ~solve_ms:(10 * i)
+      ~digest:(Printf.sprintf "d%d" i) ~status:0 ()
+  done;
+  Alcotest.(check int) "recorded counts past capacity" 5 (Recorder.recorded r);
+  Alcotest.(check int) "ring holds capacity" 3 (Recorder.length r);
+  let seqs = List.map (fun (e : Recorder.entry) -> e.seq) (Recorder.entries r) in
+  Alcotest.(check (list int)) "oldest first, oldest overwritten" [ 3; 4; 5 ] seqs;
+  (* line format is the drain-dump/post-mortem contract *)
+  Recorder.record r ~trace_id:"abc123" ~shed_reason:"queue_full" ~retry_after_ms:100
+    ~digest:"" ~status:5 ();
+  let last = List.nth (Recorder.entries r) 2 in
+  Alcotest.(check string) "shed line"
+    "#6 status=5 cached=false digest=- queue_ms=0 solve_ms=0 trace=abc123 \
+     shed=queue_full retry_after_ms=100"
+    (Recorder.entry_to_line last);
+  (match List.hd (Recorder.entries r) with
+  | e ->
+      Alcotest.(check string) "completed line"
+        "#4 status=0 cached=true digest=d4 queue_ms=4 solve_ms=40 trace=- shed=-"
+        (Recorder.entry_to_line e));
+  (* wire round trip for every held entry *)
+  List.iter
+    (fun (e : Recorder.entry) ->
+      match Recorder.entry_of_json (Recorder.entry_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "entry round trips" true (e = e')
+      | Error err -> Alcotest.failf "entry_of_json: %s" err)
+    (Recorder.entries r)
+
+let introspect_doc c ~recent =
+  match Client.call ~timeout_s:30.0 c (Protocol.Introspect { recent }) with
+  | Error e -> Alcotest.failf "introspect failed: %s" e
+  | Ok r ->
+      Alcotest.(check int) "introspect is status 0" 0 r.Protocol.status;
+      (match Json.parse r.Protocol.body with
+      | Error e -> Alcotest.failf "introspect body unparsable: %s" e
+      | Ok doc ->
+          Alcotest.(check bool) "introspect schema" true
+            (Json.member "schema" doc = Some (Json.String "hsched.introspect/1"));
+          doc)
+
+let test_daemon_introspect () =
+  with_daemon @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let solve () =
+        match
+          Client.call ~timeout_s:30.0 c
+            (Protocol.Solve
+               { instance_text = sample_text; budget = None; deadline_ms = None; trace_id = None })
+        with
+        | Ok r when r.Protocol.status = 0 -> r
+        | Ok r -> Alcotest.failf "solve failed: %s" r.Protocol.error
+        | Error e -> Alcotest.failf "solve failed: %s" e
+      in
+      let fresh = solve () and hit = solve () in
+      Alcotest.(check bool) "second solve hits" true
+        (not fresh.Protocol.cached && hit.Protocol.cached);
+      let doc = introspect_doc c ~recent:true in
+      Alcotest.(check bool) "queue drained" true
+        (Json.member "queue_depth" doc = Some (Json.Int 0));
+      Alcotest.(check bool) "not draining" true
+        (Json.member "draining" doc = Some (Json.Bool false));
+      (* the embedded metrics snapshot reconstructs client-side *)
+      let snap =
+        match Json.member "metrics" doc with
+        | None -> Alcotest.fail "introspect body lacks metrics"
+        | Some m -> (
+            match Metrics.of_json m with
+            | Ok s -> s
+            | Error e -> Alcotest.failf "metrics snapshot rejected: %s" e)
+      in
+      (match Metrics.find_histogram snap "service.phase.solve_ms" with
+      | Some h -> Alcotest.(check int) "one fresh solve observed" 1 h.Metrics.observations
+      | None -> Alcotest.fail "solve_ms histogram not published");
+      (match Metrics.find_histogram snap "service.phase.queue_ms" with
+      | Some h ->
+          Alcotest.(check bool) "queue waits observed" true (h.Metrics.observations >= 2)
+      | None -> Alcotest.fail "queue_ms histogram not published");
+      (* flight recorder: one fresh entry, one cached hit *)
+      (match Json.member "recent" doc with
+      | Some (Json.List entries) -> (
+          let parsed =
+            List.map
+              (fun j ->
+                match Recorder.entry_of_json j with
+                | Ok e -> e
+                | Error e -> Alcotest.failf "recent entry rejected: %s" e)
+              entries
+          in
+          match parsed with
+          | [ e1; e2 ] ->
+              Alcotest.(check bool) "fresh then hit" true
+                ((not e1.Recorder.cached) && e2.Recorder.cached);
+              Alcotest.(check bool) "both carry the cache key" true
+                (e1.Recorder.digest <> "" && e1.Recorder.digest = e2.Recorder.digest);
+              Alcotest.(check int) "hits do not re-solve" 0 e2.Recorder.solve_ms
+          | es -> Alcotest.failf "expected 2 recent entries, got %d" (List.length es))
+      | _ -> Alcotest.fail "recent=true must include the flight recorder");
+      (* recent is opt-in *)
+      let doc2 = introspect_doc c ~recent:false in
+      Alcotest.(check bool) "no recent by default" true (Json.member "recent" doc2 = None)
+
+let test_introspect_during_overload () =
+  (* max_queue = 0 sheds every solve, yet introspection stays answerable
+     (out-of-band) and the recorder replays the shed with its hint. *)
+  with_daemon ~tweak:(fun c -> { c with Daemon.max_queue = 0; recorder_capacity = 4 })
+  @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match
+         Client.call ~timeout_s:30.0 c
+           (Protocol.Solve
+              {
+                instance_text = sample_text;
+                budget = None;
+                deadline_ms = None;
+                trace_id = Some "feedface00000000";
+              })
+       with
+      | Ok r ->
+          Alcotest.(check int) "shed" 5 r.Protocol.status;
+          Alcotest.(check int) "first shed hint" 50 r.Protocol.retry_after_ms
+      | Error e -> Alcotest.failf "solve failed: %s" e);
+      let doc = introspect_doc c ~recent:true in
+      match Json.member "recent" doc with
+      | Some (Json.List [ j ]) -> (
+          match Recorder.entry_of_json j with
+          | Error e -> Alcotest.failf "recent entry rejected: %s" e
+          | Ok e ->
+              Alcotest.(check int) "status" 5 e.Recorder.status;
+              Alcotest.(check string) "reason" "queue_full" e.Recorder.shed_reason;
+              Alcotest.(check int) "hint replayed" 50 e.Recorder.retry_after_ms;
+              Alcotest.(check string) "shed before parsing has no digest" ""
+                e.Recorder.digest;
+              Alcotest.(check string) "trace id kept" "feedface00000000"
+                e.Recorder.trace_id)
+      | _ -> Alcotest.fail "expected exactly the shed in the recorder")
+
+let test_traced_solve_returns_spans () =
+  with_daemon @@ fun path ->
+  match Client.connect path with
+  | Error e -> Alcotest.failf "connect failed: %s" e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let solve trace_id =
+        match
+          Client.call ~timeout_s:30.0 c
+            (Protocol.Solve
+               { instance_text = sample_text; budget = None; deadline_ms = None; trace_id })
+        with
+        | Ok r when r.Protocol.status = 0 -> r
+        | Ok r -> Alcotest.failf "solve failed: %s" r.Protocol.error
+        | Error e -> Alcotest.failf "solve failed: %s" e
+      in
+      let tid = "cafe0123cafe0123" in
+      let traced = solve (Some tid) in
+      Alcotest.(check bool) "server spans ride the traced response" true
+        (traced.Protocol.spans <> []);
+      let spans =
+        List.map
+          (fun j ->
+            match Tracer.span_of_json j with
+            | Ok s -> s
+            | Error e -> Alcotest.failf "span rejected: %s" e)
+          traced.Protocol.spans
+      in
+      let names = List.map (fun (s : Tracer.span) -> s.name) spans in
+      List.iter
+        (fun want ->
+          if not (List.mem want names) then
+            Alcotest.failf "missing server span %s (got: %s)" want
+              (String.concat ", " names))
+        [ "service.queue.wait"; "service.batch"; "service.solve" ];
+      List.iter
+        (fun (s : Tracer.span) ->
+          match List.assoc_opt "trace_id" s.args with
+          | Some (Tracer.Str t) when t = tid -> ()
+          | _ -> Alcotest.failf "span %s not tagged with the trace id" s.name)
+        spans;
+      (* spans absorb into a local sink as remote (pid 2 in Chrome) *)
+      Tracer.clear ();
+      Tracer.absorb_remote spans;
+      Alcotest.(check int) "absorbed server-side spans" (List.length spans)
+        (List.length (Tracer.spans ()));
+      Tracer.clear ();
+      (* untraced requests stay span-free on the wire *)
+      let untraced = solve None in
+      match untraced.Protocol.spans with
+      | [] -> ()
+      | _ -> Alcotest.fail "untraced response must not carry spans")
 
 let suite =
   ( "service",
@@ -745,4 +977,11 @@ let suite =
         test_snapshot_roundtrip;
       Alcotest.test_case "daemon restores its cache across restarts" `Quick
         test_daemon_snapshot_restart;
+      Alcotest.test_case "flight recorder ring semantics" `Quick test_recorder_ring;
+      Alcotest.test_case "introspect reports live daemon state" `Quick
+        test_daemon_introspect;
+      Alcotest.test_case "introspect answers during overload" `Quick
+        test_introspect_during_overload;
+      Alcotest.test_case "traced solve returns tagged server spans" `Quick
+        test_traced_solve_returns_spans;
     ] )
