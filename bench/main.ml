@@ -466,6 +466,149 @@ let run_service ~quick ~jobs () =
   close_out oc;
   print_endline "wrote BENCH_service.json"
 
+(* ---------------- Online replay bench ---------------------------------- *)
+
+(* Competitive-ratio harness (DESIGN.md §15): replay three seeded trace
+   families through the online scheduler at β ∈ {0, 1/2, ∞}, every
+   intermediate schedule certified.  The β=∞ replay doubles as the
+   clairvoyant comparator for vs_baseline.  Throughput and the
+   online.event_ms histogram (shared ms bucket ladder) land in
+   BENCH_online.json; the run exits non-zero if any certified step fails
+   or an unlimited-budget replay leaves the proven factor-2 envelope. *)
+let run_online ~quick ~jobs () =
+  print_endline "\n== Online replay: competitive ratio vs migration budget (Hs_online) ==";
+  let module Replay = Hs_online.Replay in
+  let module Q = Hs_numeric.Q in
+  let nevents = if quick then 120 else 500 in
+  let families =
+    [
+      (* steady churn: arrivals balanced by departures on a flat family *)
+      ( "steady",
+        Hs_workloads.Generators.trace ~seed:1201 ~lam:(T.semi_partitioned 8)
+          ~events:nevents ~base:(1, 9) ~heterogeneity:1.5 ~overhead:0.15
+          ~departures:0.45 ~max_live:8 () );
+      (* growth to saturation: arrivals only until the live cap bites *)
+      ( "growth",
+        Hs_workloads.Generators.trace ~seed:1301
+          ~lam:(T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2)
+          ~events:nevents ~base:(1, 9) ~heterogeneity:1.3 ~overhead:0.2
+          ~departures:0.0 ~max_live:12 () );
+      (* drain-heavy: three machines retire mid-trace, forcing re-seats *)
+      ( "drain",
+        Hs_workloads.Generators.trace ~seed:1401
+          ~lam:(T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2)
+          ~events:nevents ~base:(1, 9) ~heterogeneity:1.5 ~overhead:0.15
+          ~departures:0.35 ~drains:3 ~max_live:8 () );
+    ]
+  in
+  let betas = [ ("inf", None); ("1/2", Some (Q.of_ints 1 2)); ("0", Some (Q.of_ints 0 1)) ] in
+  let qjson = function
+    | None -> Hs_obs.Json.Null
+    | Some q -> Hs_obs.Json.String (Replay.decimal q)
+  in
+  let hist_json () =
+    match
+      Hs_obs.Metrics.find_histogram (Hs_obs.Metrics.snapshot ()) "online.event_ms"
+    with
+    | None -> Hs_obs.Json.Null
+    | Some h ->
+        Hs_obs.Json.Obj
+          [
+            ( "le_ms",
+              Hs_obs.Json.List (List.map (fun b -> Hs_obs.Json.Int b) h.buckets) );
+            ( "counts",
+              Hs_obs.Json.List
+                (List.map (fun c -> Hs_obs.Json.Int c) (Array.to_list h.counts)) );
+            ("observations", Hs_obs.Json.Int h.observations);
+          ]
+  in
+  let failed = ref false in
+  let bench_family (name, tr) =
+    (* β=∞ first: it is the clairvoyant baseline for the budgeted runs. *)
+    let replay beta =
+      Hs_obs.Metrics.reset ();
+      let t0 = Unix.gettimeofday () in
+      match Replay.run ?beta ~check:true ~jobs tr with
+      | Error e -> failwith (Printf.sprintf "bench online: %s: %s" name e)
+      | Ok o -> (o, Unix.gettimeofday () -. t0, hist_json ())
+    in
+    let baseline, _, _ = replay None in
+    let rows =
+      List.map
+        (fun (label, beta) ->
+          let o, wall, hist = replay beta in
+          let s = o.Replay.summary in
+          let vmax, vmean = Replay.vs_baseline o ~baseline in
+          if s.Replay.check_failures > 0 then begin
+            Printf.eprintf "bench online: %s beta=%s: %d step(s) failed certification\n"
+              name label s.Replay.check_failures;
+            failed := true
+          end;
+          (match (beta, s.Replay.max_ratio) with
+          | None, Some r when Q.compare r (Q.of_int 2) > 0 ->
+              Printf.eprintf
+                "bench online: %s beta=inf: max ratio %s leaves the factor-2 envelope\n"
+                name (Replay.decimal r);
+              failed := true
+          | _ -> ());
+          let eps = float_of_int s.Replay.events /. Float.max 1e-9 wall in
+          Printf.printf
+            "%-7s beta=%-4s events=%-4d ev/s=%8.1f adopted=%-3d blocked=%-3d \
+             migrated=%-5d forced=%-4d ratio(T*) max=%s mean=%s vs-inf max=%s \
+             certified=%d/%d\n\
+             %!"
+            name label s.Replay.events eps s.Replay.adoptions s.Replay.budget_blocked
+            s.Replay.migrated_volume s.Replay.forced_volume
+            (match s.Replay.max_ratio with None -> "-" | Some r -> Replay.decimal r)
+            (match s.Replay.mean_ratio with None -> "-" | Some r -> Replay.decimal r)
+            (match vmax with None -> "-" | Some r -> Replay.decimal r)
+            s.Replay.certified s.Replay.events;
+          Hs_obs.Json.Obj
+            [
+              ("beta", Hs_obs.Json.String label);
+              ("events", Hs_obs.Json.Int s.Replay.events);
+              ("wall_s", Hs_obs.Json.Float wall);
+              ("events_per_s", Hs_obs.Json.Float eps);
+              ("resolves", Hs_obs.Json.Int s.Replay.resolves);
+              ("adoptions", Hs_obs.Json.Int s.Replay.adoptions);
+              ("budget_blocked", Hs_obs.Json.Int s.Replay.budget_blocked);
+              ("arrived_volume", Hs_obs.Json.Int s.Replay.arrived_volume);
+              ("migrated_volume", Hs_obs.Json.Int s.Replay.migrated_volume);
+              ("forced_volume", Hs_obs.Json.Int s.Replay.forced_volume);
+              ("final_makespan", Hs_obs.Json.Int s.Replay.final_makespan);
+              ("max_ratio_vs_lp", qjson s.Replay.max_ratio);
+              ("mean_ratio_vs_lp", qjson s.Replay.mean_ratio);
+              ("max_ratio_vs_clairvoyant", qjson vmax);
+              ("mean_ratio_vs_clairvoyant", qjson vmean);
+              ("certified", Hs_obs.Json.Int s.Replay.certified);
+              ("check_failures", Hs_obs.Json.Int s.Replay.check_failures);
+              ("event_ms", hist);
+            ])
+        betas
+    in
+    (name, Hs_obs.Json.Obj [ ("runs", Hs_obs.Json.List rows) ])
+  in
+  let fams = List.map bench_family families in
+  let doc =
+    Hs_obs.Json.Obj
+      [
+        ("schema", Hs_obs.Json.String "hsched.bench.online/1");
+        ("events", Hs_obs.Json.Int nevents);
+        ("jobs", Hs_obs.Json.Int jobs);
+        ("quick", Hs_obs.Json.Bool quick);
+        ("families", Hs_obs.Json.Obj fams);
+      ]
+  in
+  let oc = open_out "BENCH_online.json" in
+  output_string oc (Hs_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_online.json";
+  if !failed then begin
+    prerr_endline "online bench FAILED: certification or envelope violation";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
@@ -485,17 +628,19 @@ let () =
     else if List.mem "timings" args then `Timings
     else if List.mem "parallel" args then `Parallel
     else if List.mem "service" args then `Service
+    else if List.mem "online" args then `Online
     else `Both
   in
   (match which with
   | `Experiments | `Both ->
       print_endline "== Evaluation suite (DESIGN.md section 4; see EXPERIMENTS.md) ==";
       Hs_experiments.Experiments.all ~quick ~jobs ()
-  | `Timings | `Parallel | `Service -> ());
+  | `Timings | `Parallel | `Service | `Online -> ());
   (match which with
   | `Parallel -> run_parallel ~quick ()
   | `Service -> run_service ~quick ~jobs ()
+  | `Online -> run_online ~quick ~jobs ()
   | _ -> ());
   match which with
   | `Timings | `Both -> run_timings ()
-  | `Experiments | `Parallel | `Service -> ()
+  | `Experiments | `Parallel | `Service | `Online -> ()

@@ -568,8 +568,16 @@ let serve_cmd =
              wait, solve time, shed reason) are kept for $(b,hsched stats --recent) \
              and dumped to the log on drain.")
   in
+  let sessions_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-sessions" ] ~docv:"S"
+          ~doc:
+            "Bound on concurrently open online-scheduling sessions; an $(b,online \
+             open) beyond it is shed with the typed overloaded response (status 5).")
+  in
   let run socket jobs cache batch queue retry_hint deadline_units io_timeout snapshot
-      chaos recorder budget check quiet trace stats stats_json =
+      chaos recorder sessions budget check quiet trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     if cache < 1 then exit_usage "cache capacity must be >= 1";
@@ -579,6 +587,7 @@ let serve_cmd =
     if deadline_units < 1 then exit_usage "deadline-units must be >= 1";
     if io_timeout <= 0.0 then exit_usage "io-timeout must be > 0";
     if recorder < 1 then exit_usage "recorder capacity must be >= 1";
+    if sessions < 1 then exit_usage "max-sessions must be >= 1";
     if chaos then Hs_service.Engine.install_chaos_sentinel ();
     let log = if quiet then ignore else fun m -> prerr_endline ("hsched-serve: " ^ m) in
     let cfg =
@@ -595,6 +604,7 @@ let serve_cmd =
         snapshot_path = snapshot;
         verify = check;
         recorder_capacity = recorder;
+        max_sessions = sessions;
         log;
       }
     in
@@ -610,8 +620,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ queue_arg
       $ retry_hint_arg $ deadline_units_arg $ io_timeout_arg $ snapshot_arg $ chaos_arg
-      $ recorder_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg $ stats_arg
-      $ stats_json_arg)
+      $ recorder_arg $ sessions_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg
+      $ stats_arg $ stats_json_arg)
 
 let request_cmd =
   let files_arg =
@@ -1050,6 +1060,250 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Replay the solved schedule under explicit migration latencies.")
     Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ latencies)
 
+(* ---------- online -------------------------------------------------------- *)
+
+module Replay = Hs_online.Replay
+module Trace_io = Hs_online.Trace_io
+
+let online_cmd =
+  let trace_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Trace file (Trace_io format). When omitted, a trace is generated from \
+             $(b,--seed)/$(b,--events)/$(b,--topology) and friends.")
+  in
+  let events_arg =
+    Arg.(value & opt int 40 & info [ "events" ] ~docv:"E" ~doc:"Generated trace length.")
+  in
+  let departures_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "departures" ] ~docv:"F"
+          ~doc:"Probability a generated event departs a live job.")
+  in
+  let drains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "drains" ] ~docv:"D"
+          ~doc:"Distinct machines drained at evenly spaced positions of the generated trace.")
+  in
+  let max_live_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-live" ] ~docv:"K"
+          ~doc:"Cap on concurrently live jobs in the generated trace (0 = unlimited).")
+  in
+  let beta_arg =
+    Arg.(
+      value & opt string "inf"
+      & info [ "migration-budget" ] ~docv:"BETA"
+          ~doc:
+            "Migration budget coefficient: the cumulative voluntarily migrated volume \
+             stays within BETA times the arrived volume (exact rationals). An integer, \
+             fraction (\"1/2\"), decimal (\"0.5\"), or \"inf\" (unlimited, the \
+             clairvoyant comparator).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the (loaded or generated) trace to FILE.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Certify every intermediate schedule with the independent checker: \
+             Theorem IV.3 makespan tightness, the fresh LP lower bound, \
+             migration-budget accounting and the conditional factor-2 envelope. Any \
+             violated invariant exits with code 1.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the hsched.online/1 JSON document instead of the table.")
+  in
+  let latencies_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "latencies" ] ~docv:"L0,L1,.."
+          ~doc:
+            "Charge each migration a stall from this per-level table (the height of \
+             the smallest family set spanning the move, clamped at the last entry) \
+             and report totals — the latency model of $(b,hsched simulate).")
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Stream the replay through a running daemon instead of replaying locally: \
+             open an online session, send one event per request, close for the \
+             summary. Output is identical to the local replay.")
+  in
+  let report ~json ~beta ~latencies (outcome : Replay.outcome) =
+    if json then
+      print_endline (Hs_obs.Json.to_string (Replay.outcome_to_json outcome))
+    else begin
+      let buf = Buffer.create 1024 in
+      Replay.render_table buf outcome.Replay.steps;
+      Buffer.add_char buf '\n';
+      Replay.render_summary buf ?beta outcome.Replay.summary;
+      (match latencies with
+      | None -> ()
+      | Some table ->
+          let levels =
+            List.concat_map (fun (s : Replay.step) -> s.Replay.move_levels)
+              outcome.Replay.steps
+          in
+          let table = Array.of_list table in
+          Buffer.add_string buf
+            (Printf.sprintf "migration stall %d over %d move(s)\n"
+               (Hs_sim.Simulator.stall_of_levels ~table levels)
+               (List.length levels));
+          List.iter
+            (fun (h, c) ->
+              Buffer.add_string buf (Printf.sprintf "  moves at level %d: %d\n" h c))
+            (Hs_sim.Simulator.count_by_level levels));
+      print_string (Buffer.contents buf)
+    end;
+    if outcome.Replay.summary.Replay.check_failures > 0 then
+      exit_err
+        (Printf.sprintf "%d online step(s) failed certification"
+           outcome.Replay.summary.Replay.check_failures)
+  in
+  let run trace_pos socket beta_s check jobs json save events m topology seed overhead
+      het departures drains max_live latencies otrace stats stats_json =
+    setup_obs otrace stats stats_json;
+    let jobs = resolve_jobs_or_exit jobs in
+    let beta =
+      match beta_s with
+      | "inf" -> None
+      | s -> (
+          match Hs_numeric.Q.of_string s with
+          | q when Hs_numeric.Q.sign q >= 0 -> Some q
+          | _ -> exit_usage (Printf.sprintf "migration budget %S is negative" s)
+          | exception _ -> exit_usage (Printf.sprintf "unparsable migration budget %S" s))
+    in
+    let tr =
+      match trace_pos with
+      | Some path -> (
+          match Trace_io.load path with Ok t -> t | Error e -> exit_usage e)
+      | None -> (
+          let lam = build_topology topology ~m in
+          let max_live = if max_live = 0 then None else Some max_live in
+          match
+            Hs_workloads.Generators.trace ~seed ~lam ~events ~base:(1, 9)
+              ~heterogeneity:het ~overhead ~departures ~drains ?max_live ()
+          with
+          | t -> t
+          | exception Invalid_argument e -> exit_usage e)
+    in
+    (match save with
+    | None -> ()
+    | Some path -> (
+        match Trace_io.save path tr with
+        | Ok () -> ()
+        | Error e -> exit_usage ("cannot write trace: " ^ e)));
+    match socket with
+    | None -> (
+        match Replay.run ?beta ~check ~jobs tr with
+        | Error e -> exit_usage e
+        | Ok outcome -> report ~json ~beta ~latencies outcome)
+    | Some sock -> (
+        (* Streaming replay: open with the family alone, then one event
+           per request.  Steps come back as JSON and re-render the same
+           table; a certification failure is a status-1 response whose
+           body still carries the step, so the stream continues and the
+           exit code is enforced at the end (same as the local path). *)
+        match Hs_service.Client.connect sock with
+        | Error e -> exit_typed (Hs_core.Hs_error.Unavailable e)
+        | Ok client ->
+            let fail (r : Hs_service.Protocol.response) =
+              Hs_service.Client.close client;
+              exit_with r.status ("online failed: " ^ r.error)
+            in
+            let call req =
+              match Hs_service.Client.call client req with
+              | Error e ->
+                  Hs_service.Client.close client;
+                  exit_err e
+              | Ok r -> r
+            in
+            let header =
+              Trace_io.to_string (Hs_online.Trace.make_exn (Hs_online.Trace.laminar tr) [])
+            in
+            let beta_text = Option.map Hs_numeric.Q.to_string beta in
+            let ropen =
+              call
+                (Hs_service.Protocol.Online
+                   (Hs_service.Protocol.Online_open
+                      { trace_text = header; beta = beta_text; check }))
+            in
+            if ropen.status <> 0 then fail ropen;
+            let sid =
+              match Hs_obs.Json.parse ropen.body with
+              | Ok j -> (
+                  match Hs_obs.Json.member "session" j with
+                  | Some (Hs_obs.Json.Int sid) -> sid
+                  | _ -> exit_err "open answer has no session id")
+              | Error e -> exit_err ("undecodable open answer: " ^ e)
+            in
+            let steps =
+              List.map
+                (fun ev ->
+                  let r =
+                    call
+                      (Hs_service.Protocol.Online
+                         (Hs_service.Protocol.Online_event
+                            { session = sid; event_text = Trace_io.event_to_line ev }))
+                  in
+                  if r.status <> 0 && r.body = "" then fail r;
+                  match Hs_obs.Json.parse r.body with
+                  | Error e -> exit_err ("undecodable step: " ^ e)
+                  | Ok j -> (
+                      match Replay.step_of_json j with
+                      | Error e -> exit_err e
+                      | Ok s -> s))
+                (Hs_online.Trace.events tr)
+            in
+            let rclose =
+              call
+                (Hs_service.Protocol.Online
+                   (Hs_service.Protocol.Online_close { session = sid }))
+            in
+            Hs_service.Client.close client;
+            if rclose.status <> 0 then fail rclose;
+            let summary =
+              match Hs_obs.Json.parse rclose.body with
+              | Error e -> exit_err ("undecodable summary: " ^ e)
+              | Ok j -> (
+                  match Replay.summary_of_json j with
+                  | Error e -> exit_err e
+                  | Ok s -> s)
+            in
+            report ~json ~beta ~latencies { Replay.steps; summary })
+  in
+  Cmd.v
+    (Cmd.info "online"
+       ~doc:
+         "Replay an arrival/departure/drain trace through the online scheduler: a \
+          certified assignment is maintained across events, re-solving with the \
+          Theorem V.2 pipeline whenever the migration budget admits it. Replays a \
+          trace file or a seeded generated trace, locally (byte-identical at any \
+          --jobs) or streamed through a daemon with --socket.")
+    Term.(
+      const run $ trace_pos $ socket_opt_arg $ beta_arg $ check_arg $ jobs_arg
+      $ json_arg $ save_arg $ events_arg $ m_arg $ topology_arg $ seed_arg
+      $ overhead_arg $ het_arg $ departures_arg $ drains_arg $ max_live_arg
+      $ latencies_arg $ trace_arg $ stats_arg $ stats_json_arg)
+
 let () =
   let doc = "hierarchical and semi-partitioned parallel scheduling (IPDPS'17 reproduction)" in
   let info = Cmd.info "hsched" ~version:"1.0.0" ~doc in
@@ -1064,6 +1318,7 @@ let () =
             sweep_cmd;
             check_cmd;
             simulate_cmd;
+            online_cmd;
             topology_cmd;
             realtime_cmd;
             serve_cmd;

@@ -51,6 +51,21 @@ let outcome ?(lp = true) (o : A.Exact.outcome) =
   in
   V.make ~subject:"outcome" items
 
+(* One intermediate state of the online scheduler: the active instance,
+   the current certified assignment and its realised schedule, plus the
+   online-specific accounting invariants.  [?lp] re-derives the step's
+   fresh lower bound with the exact simplex, as for [outcome]. *)
+let online_step ?(lp = false) inst a sched ~makespan ~t_lp ~resolve_admitted
+    ~migrated ~allowed =
+  V.make ~subject:"online-step"
+    (Check.laminar_family (Instance.laminar inst)
+    @ Check.monotonicity inst
+    @ Check.assignment inst a ~tmax:makespan
+    @ Check.schedule inst a sched
+    @ Check.online_step inst a ~makespan ~t_lp ~resolve_admitted ~migrated
+        ~allowed
+    @ if lp then Check.lp_lower_bound inst ~t_lp else [])
+
 module Ilp_exact = Hs_core.Ilp.Make (Hs_lp.Field.Exact)
 
 (* A robust (budgeted) outcome: the lower bound's meaning depends on the

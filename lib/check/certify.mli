@@ -24,6 +24,23 @@ val outcome : ?lp:bool -> Hs_core.Approx.Exact.outcome -> Verdict.t
     the recomputed LP lower bound (feasible at T*, certified infeasible
     at T* − 1), and ALG ≤ 2·T*. *)
 
+val online_step :
+  ?lp:bool ->
+  Instance.t ->
+  Assignment.t ->
+  Schedule.t ->
+  makespan:int ->
+  t_lp:int ->
+  resolve_admitted:bool ->
+  migrated:Hs_numeric.Q.t ->
+  allowed:Hs_numeric.Q.t option ->
+  Verdict.t
+(** One intermediate state of the online scheduler (DESIGN.md §15):
+    instance well-formedness, (IP-2) at the reported makespan, Section II
+    schedule validity, and {!Check.online_step}'s accounting invariants.
+    [?lp] (default [false] — this runs once {e per event}) additionally
+    re-derives the step's fresh lower bound with the exact simplex. *)
+
 val robust : ?lp:bool -> Hs_core.Approx.robust_outcome -> Verdict.t
 (** A budgeted outcome: base checks plus provenance-specific ones — a
     claimed optimum must equal its lower bound and dominate the LP

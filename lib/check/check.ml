@@ -521,6 +521,92 @@ let tape_bounds ~m (stats : Hs_core.Tape.stats) =
       ~detail:(Printf.sprintf "%d stops ≤ 2m−2 = %d" stops ((2 * m) - 2));
   ]
 
+(* {1 Online per-step invariants (DESIGN.md §15)} *)
+
+let online_step inst (a : Assignment.t) ~makespan ~t_lp ~resolve_admitted
+    ~migrated ~allowed =
+  let lam = Instance.laminar inst in
+  let sets = members_of lam in
+  let nsets = Array.length sets in
+  (* Theorem IV.3's closed form, re-derived from raw member arrays: the
+     minimal horizon of a fixed set assignment is the larger of the
+     biggest assigned time and the per-set ceiling of subtree volume
+     over cardinality.  The online scheduler must report exactly it —
+     neither an optimistic underbid nor slack it would hide behind. *)
+  let tight =
+    if Array.length a <> Instance.njobs inst then
+      V.fail ~invariant:"online.makespan-tight"
+        "assignment has %d entries, instance %d jobs" (Array.length a)
+        (Instance.njobs inst)
+    else begin
+      let best = ref 0 in
+      Array.iteri
+        (fun j s ->
+          let p = Ptime.value_exn (Instance.ptime inst ~job:j ~set:s) in
+          if p > !best then best := p)
+        a;
+      for alpha = 0 to nsets - 1 do
+        let vol = ref 0 in
+        Array.iteri
+          (fun j s ->
+            if subset_arr sets.(s) sets.(alpha) then
+              vol := !vol + Ptime.value_exn (Instance.ptime inst ~job:j ~set:s))
+          a;
+        let card = Array.length sets.(alpha) in
+        let need = (!vol + card - 1) / card in
+        if need > !best then best := need
+      done;
+      V.check ~invariant:"online.makespan-tight" (makespan = !best)
+        ~witness:
+          (Printf.sprintf "reported makespan %d ≠ minimal horizon %d" makespan
+             !best)
+        ~detail:
+          (Printf.sprintf "reported makespan is the minimal horizon %d" !best)
+    end
+  in
+  (* Any feasible assignment's makespan dominates OPT, which dominates
+     the LP horizon — so the competitive ratio is well-defined (≥ 1). *)
+  let lower =
+    V.check ~invariant:"online.lower-bound" (t_lp <= makespan)
+      ~witness:(Printf.sprintf "makespan %d below LP lower bound %d" makespan t_lp)
+      ~detail:(Printf.sprintf "LP lower bound %d ≤ makespan %d" t_lp makespan)
+  in
+  let budget =
+    match allowed with
+    | None ->
+        V.pass ~invariant:"online.budget"
+          (Printf.sprintf "migrated volume %s under an unlimited budget"
+             (Q.to_string migrated))
+    | Some cap ->
+        V.check ~invariant:"online.budget" (Q.leq migrated cap)
+          ~witness:
+            (Printf.sprintf "migrated volume %s > allowance %s"
+               (Q.to_string migrated) (Q.to_string cap))
+          ~detail:
+            (Printf.sprintf "migrated volume %s ≤ allowance %s"
+               (Q.to_string migrated) (Q.to_string cap))
+  in
+  (* Whenever the budget admitted the fresh re-solve, the scheduler holds
+     the Theorem V.2 envelope against the fresh lower bound: it either
+     adopted the 2-approximate candidate or kept a strictly better
+     current assignment.  A budget-blocked step asserts nothing — the
+     competitive-ratio harness reports how far those steps drift. *)
+  let regression =
+    if resolve_admitted then
+      V.check ~invariant:"online.no-regression"
+        (makespan <= 2 * t_lp)
+        ~witness:
+          (Printf.sprintf "makespan %d > 2·T* = %d after an admitted re-solve"
+             makespan (2 * t_lp))
+        ~detail:
+          (Printf.sprintf "makespan %d ≤ 2·T* = %d against the fresh LP bound"
+             makespan (2 * t_lp))
+    else
+      V.pass ~invariant:"online.no-regression"
+        "re-solve not admitted by the migration budget; envelope not asserted"
+  in
+  [ tight; lower; budget; regression ]
+
 (* {1 The LP lower bound, recomputed} *)
 
 module Ilp_exact = Hs_core.Ilp.Make (Hs_lp.Field.Exact)

@@ -49,6 +49,25 @@ val schedule : Instance.t -> Assignment.t -> Schedule.t -> Verdict.item list
 val tape_bounds : m:int -> Hs_core.Tape.stats -> Verdict.item list
 (** Proposition III.2: migrations ≤ m−1 and stops ≤ 2m−2. *)
 
+val online_step :
+  Instance.t ->
+  Assignment.t ->
+  makespan:int ->
+  t_lp:int ->
+  resolve_admitted:bool ->
+  migrated:Hs_numeric.Q.t ->
+  allowed:Hs_numeric.Q.t option ->
+  Verdict.item list
+(** Per-event invariants of the online scheduler (DESIGN.md §15) against
+    the {e active} instance of the step: the reported makespan is exactly
+    the Theorem IV.3 minimal horizon of the current assignment
+    (re-derived from raw member arrays); the fresh LP lower bound [t_lp]
+    is dominated (so the competitive ratio is ≥ 1); the cumulative
+    voluntarily migrated volume [migrated] stays within [allowed] ([None]
+    = unlimited, exact rationals); and when [resolve_admitted] — the
+    migration budget admitted adopting the fresh re-solve — the makespan
+    holds the Theorem V.2 envelope [≤ 2·t_lp]. *)
+
 val lp_lower_bound : Instance.t -> t_lp:int -> Verdict.item list
 (** Recompute the certified lower bound: the (IP-3) relaxation is
     feasible at [t_lp] and certified infeasible (verified Farkas

@@ -119,6 +119,7 @@ let gauge_value g =
 (* ---- histograms ------------------------------------------------------- *)
 
 let default_buckets = [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+let ms_buckets = [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000 ]
 
 let histogram ?(buckets = default_buckets) name =
   Mutex.protect lock (fun () ->

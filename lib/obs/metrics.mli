@@ -47,6 +47,12 @@ val histogram : ?buckets:int list -> string -> histogram
     an implicit overflow bucket.  Re-registering an existing name keeps
     the original buckets. *)
 
+val ms_buckets : int list
+(** The shared wall-millisecond bucket ladder (1 ms .. 10 s) used by
+    every [*.phase.*_ms] and per-event latency histogram across the
+    service and online subsystems, so their quantiles line up in
+    [hsched stats] and the Prometheus exposition. *)
+
 val observe : histogram -> int -> unit
 
 (** {1 Snapshots} *)

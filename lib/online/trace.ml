@@ -1,0 +1,162 @@
+(* Typed event traces; see the interface for the validation contract. *)
+
+open Hs_model
+open Hs_laminar
+
+type event =
+  | Arrive of { ptimes : Ptime.t array }
+  | Depart of { job : int }
+  | Drain of { machine : int }
+
+type t = { lam : Laminar.t; evs : (int * event) list }
+
+let laminar t = t.lam
+let events t = t.evs
+let length t = List.length t.evs
+
+let count p t = List.length (List.filter (fun (_, e) -> p e) t.evs)
+let arrivals = count (function Arrive _ -> true | _ -> false)
+let departures = count (function Depart _ -> true | _ -> false)
+let drains = count (function Drain _ -> true | _ -> false)
+
+(* ---- family restriction ---------------------------------------------- *)
+
+let intersect members active =
+  List.filter (fun i -> active.(i)) (Array.to_list members)
+
+(* Group the base sets by their (non-empty) intersection with the active
+   machines.  The keys are the restricted family; the groups feed the
+   min-over-achievers processing times of [active_instance]. *)
+let restriction_groups lam ~active =
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  for s = 0 to Laminar.size lam - 1 do
+    let key = intersect (Laminar.members lam s) active in
+    if key <> [] then
+      match Hashtbl.find_opt groups key with
+      | Some ids -> Hashtbl.replace groups key (s :: ids)
+      | None ->
+          Hashtbl.add groups key [ s ];
+          order := key :: !order
+  done;
+  List.rev_map (fun key -> (key, List.rev (Hashtbl.find groups key))) !order
+
+let restrict_laminar lam ~active =
+  if not (Array.exists Fun.id active) then
+    invalid_arg "Trace.restrict_laminar: no machine active";
+  let keys = List.map fst (restriction_groups lam ~active) in
+  Laminar.of_sets_exn ~m:(Laminar.m lam) keys
+
+(* Restricted processing time: P'_j(γ ∩ S) = min over base sets with the
+   same intersection.  Monotone: for σ ⊆ τ in the restriction, any base
+   achiever of τ either contains a base achiever of σ (nested, so the
+   base monotonicity bounds it) or intersects down to σ = τ. *)
+let active_instance lam ~active ~jobs =
+  let groups = restriction_groups lam ~active in
+  let lam' = Laminar.of_sets_exn ~m:(Laminar.m lam) (List.map fst groups) in
+  let slot = Array.make (Laminar.size lam') [] in
+  List.iter
+    (fun (key, base_ids) ->
+      match Laminar.find lam' key with
+      | Some s' -> slot.(s') <- base_ids
+      | None -> assert false)
+    groups;
+  let rows =
+    List.map
+      (fun (_, row) ->
+        Array.map
+          (fun base_ids ->
+            List.fold_left
+              (fun acc g -> Ptime.min acc row.(g))
+              Ptime.Inf base_ids)
+          slot)
+      jobs
+  in
+  let inst = Instance.make_exn lam' (Array.of_list rows) in
+  (inst, Array.of_list (List.mapi (fun k (id, _) -> (id, k)) jobs))
+
+(* ---- static validation ------------------------------------------------ *)
+
+let admissible row lam active =
+  let ok = ref false in
+  for s = 0 to Laminar.size lam - 1 do
+    if
+      Ptime.is_fin row.(s)
+      && Array.exists (fun i -> active.(i)) (Laminar.members lam s)
+    then ok := true
+  done;
+  !ok
+
+let make lam evs =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let m = Laminar.m lam in
+    let nsets = Laminar.size lam in
+    for i = 0 to m - 1 do
+      if Laminar.singleton lam i = None then
+        fail "machine %d has no singleton set (online traces need a \
+              singleton-complete family)" i
+    done;
+    let seen = Hashtbl.create 64 in
+    let active = Array.make m true in
+    let live : (int, Ptime.t array) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (id, ev) ->
+        if id < 0 then fail "event id %d is negative" id;
+        if Hashtbl.mem seen id then fail "duplicate event id %d" id;
+        Hashtbl.add seen id ();
+        match ev with
+        | Arrive { ptimes } ->
+            if Array.length ptimes <> nsets then
+              fail "event %d: arrival row has %d entries, expected %d" id
+                (Array.length ptimes) nsets;
+            for s = 0 to nsets - 1 do
+              match Laminar.parent lam s with
+              | Some p when not (Ptime.leq ptimes.(s) ptimes.(p)) ->
+                  fail "event %d: arrival row is not monotone (set %d > parent %d)"
+                    id s p
+              | _ -> ()
+            done;
+            if not (admissible ptimes lam active) then
+              fail "event %d: arriving job has no admissible mask on the \
+                    active machines" id;
+            Hashtbl.add live id ptimes
+        | Depart { job } ->
+            if not (Hashtbl.mem live job) then
+              fail "event %d: departure of job %d which is not live" id job;
+            Hashtbl.remove live job
+        | Drain { machine } ->
+            if machine < 0 || machine >= m then
+              fail "event %d: drain of machine %d out of range" id machine;
+            if not active.(machine) then
+              fail "event %d: machine %d already drained" id machine;
+            active.(machine) <- false;
+            if not (Array.exists Fun.id active) then
+              fail "event %d: draining machine %d leaves no machine in service"
+                id machine;
+            Hashtbl.iter
+              (fun job row ->
+                if not (admissible row lam active) then
+                  fail "event %d: draining machine %d leaves job %d without an \
+                        admissible mask" id machine job)
+              live)
+      evs;
+    Ok { lam; evs }
+  with Bad msg -> err "%s" msg
+
+let make_exn lam evs =
+  match make lam evs with Ok t -> t | Error e -> invalid_arg ("Trace.make: " ^ e)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>trace over %d machines / %d sets: %d event(s)@,"
+    (Laminar.m t.lam) (Laminar.size t.lam) (length t);
+  List.iter
+    (fun (id, ev) ->
+      match ev with
+      | Arrive _ -> Format.fprintf fmt "  %d arrive@," id
+      | Depart { job } -> Format.fprintf fmt "  %d depart %d@," id job
+      | Drain { machine } -> Format.fprintf fmt "  %d drain %d@," id machine)
+    t.evs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,75 @@
+(** Typed event traces for the online scheduling subsystem (DESIGN.md §15).
+
+    A trace is a laminar machine family plus a sequence of timestamped
+    events over it: job arrivals (carrying a full processing-time row
+    over the family, monotone like any {!Hs_model.Instance} row), job
+    departures (referencing the arrival's event id) and machine drains
+    (the machine leaves service; the active family becomes the
+    restriction of the base family to the surviving machines).
+
+    Construction is total and {e statically validated}: {!make} replays
+    the liveness/availability bookkeeping once, so a well-formed trace
+    can never strand the online scheduler mid-replay — every departure
+    names a live job, every drain names an active machine and leaves at
+    least one machine in service, and every job keeps an admissible mask
+    on the machines active for its whole lifetime.  Event ids must be
+    unique (duplicates are rejected here, mirroring the duplicate-set
+    rejection of {!Hs_model.Instance_io}). *)
+
+open Hs_model
+open Hs_laminar
+
+type event =
+  | Arrive of { ptimes : Ptime.t array }
+      (** one processing time per set of the base family, in set order;
+          the arriving job's identity is the event's id *)
+  | Depart of { job : int }  (** [job] is the arrival's event id *)
+  | Drain of { machine : int }  (** the machine leaves service *)
+
+type t
+
+(** {1 Accessors} *)
+
+val laminar : t -> Laminar.t
+(** The base family; singleton-complete by construction. *)
+
+val events : t -> (int * event) list
+(** [(id, event)] pairs in trace order. *)
+
+val length : t -> int
+val arrivals : t -> int
+val departures : t -> int
+val drains : t -> int
+
+(** {1 Construction} *)
+
+val make : Laminar.t -> (int * event) list -> (t, string) result
+(** Validates the whole trace statically: the family must be
+    singleton-complete (every machine's singleton present, so drains
+    restrict it cleanly), event ids unique and non-negative, arrival
+    rows of the right arity, monotone, with at least one finite entry;
+    departures must name a job that has arrived and not yet departed;
+    drains must name a distinct machine and leave at least one active;
+    and every job must keep a finite mask on a set intersecting the
+    active machines throughout its lifetime. *)
+
+val make_exn : Laminar.t -> (int * event) list -> t
+
+val restrict_laminar : Laminar.t -> active:bool array -> Laminar.t
+(** The restriction of a family to the active machines: the non-empty
+    intersections [γ ∩ S], deduplicated.  Machine ids are preserved.
+    Raises [Invalid_argument] when no machine is active. *)
+
+val active_instance :
+  Laminar.t ->
+  active:bool array ->
+  jobs:(int * Ptime.t array) list ->
+  Instance.t * (int * int) array
+(** The instance the online scheduler solves at one step: the restricted
+    family over the live jobs, where a restricted set's processing time
+    is the minimum over the base sets intersecting to it (monotone
+    because intersection preserves nesting).  Also returns the job-row
+    mapping: [(id, instance_job_index)] in the order the rows were laid
+    out (the order of [jobs]). *)
+
+val pp : Format.formatter -> t -> unit

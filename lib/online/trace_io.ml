@@ -1,0 +1,198 @@
+(* Plain-text trace files; format in the interface. *)
+
+open Hs_model
+open Hs_laminar
+
+let version_line = "hsched-trace 1"
+
+let event_to_line (id, ev) =
+  match ev with
+  | Trace.Arrive { ptimes } ->
+      Printf.sprintf "%d arrive %s" id
+        (String.concat " "
+           (Array.to_list (Array.map Ptime.to_string ptimes)))
+  | Trace.Depart { job } -> Printf.sprintf "%d depart %d" id job
+  | Trace.Drain { machine } -> Printf.sprintf "%d drain %d" id machine
+
+let event_of_line line =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let cells =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  let time s =
+    if s = "inf" then Some Ptime.Inf
+    else
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> Some (Ptime.fin v)
+      | _ -> None
+  in
+  match cells with
+  | id :: kind :: rest -> (
+      match int_of_string_opt id with
+      | None -> err "invalid event id '%s'" id
+      | Some id -> (
+          match (kind, rest) with
+          | "arrive", _ :: _ -> (
+              let rec times acc = function
+                | [] -> Some (List.rev acc)
+                | s :: rest -> (
+                    match time s with
+                    | Some t -> times (t :: acc) rest
+                    | None -> None)
+              in
+              match times [] rest with
+              | Some ts ->
+                  Ok (id, Trace.Arrive { ptimes = Array.of_list ts })
+              | None -> err "event %d: invalid processing time in '%s'" id line)
+          | "depart", [ job ] -> (
+              match int_of_string_opt job with
+              | Some job -> Ok (id, Trace.Depart { job })
+              | None -> err "event %d: invalid job id '%s'" id job)
+          | "drain", [ machine ] -> (
+              match int_of_string_opt machine with
+              | Some machine -> Ok (id, Trace.Drain { machine })
+              | None -> err "event %d: invalid machine id '%s'" id machine)
+          | _ -> err "malformed event line '%s'" line))
+  | _ -> err "malformed event line '%s'" line
+
+(* Rendering, parameterised by the set order so [to_string] (id order)
+   and [canonicalize] (lexicographic order) share one body.  [perm.(k)]
+   is the base set id printed in column [k]. *)
+let render t perm =
+  let lam = Trace.laminar t in
+  let sets = Array.of_list (Laminar.sets lam) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf version_line;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "machines %d\n" (Laminar.m lam));
+  Buffer.add_string buf (Printf.sprintf "sets %d\n" (Laminar.size lam));
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (String.concat " " (List.map string_of_int sets.(s)));
+      Buffer.add_char buf '\n')
+    perm;
+  let evs = Trace.events t in
+  Buffer.add_string buf (Printf.sprintf "events %d\n" (List.length evs));
+  List.iter
+    (fun (id, ev) ->
+      let ev =
+        match ev with
+        | Trace.Arrive { ptimes } ->
+            Trace.Arrive { ptimes = Array.map (fun s -> ptimes.(s)) perm }
+        | e -> e
+      in
+      Buffer.add_string buf (event_to_line (id, ev));
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf
+
+let to_string t =
+  render t (Array.init (Laminar.size (Trace.laminar t)) Fun.id)
+
+let canonicalize t =
+  let lam = Trace.laminar t in
+  let sets = Array.of_list (Laminar.sets lam) in
+  let perm = Array.init (Laminar.size lam) Fun.id in
+  Array.sort (fun a b -> compare sets.(a) sets.(b)) perm;
+  render t perm
+
+let digest t = Digest.to_hex (Digest.string (canonicalize t))
+
+let of_string text =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  try
+    let lines =
+      match lines with
+      | v :: rest
+        when String.split_on_char ' ' v |> List.filter (( <> ) "")
+             = String.split_on_char ' ' version_line ->
+          rest
+      | v :: _ -> fail "expected '%s' header, got '%s'" version_line v
+      | [] -> fail "empty trace file"
+    in
+    let expect_header name = function
+      | line :: rest -> (
+          match
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          with
+          | [ key; v ] when key = name -> (
+              match int_of_string_opt v with
+              | Some k when k >= 0 -> (k, rest)
+              | _ -> fail "invalid %s count: %s" name v)
+          | _ -> fail "expected '%s <count>', got '%s'" name line)
+      | [] -> fail "missing '%s <count>' header" name
+    in
+    let take k lines what =
+      let rec go k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> fail "unexpected end of file reading %s" what
+        | l :: rest -> go (k - 1) (l :: acc) rest
+      in
+      go k [] lines
+    in
+    let m, lines = expect_header "machines" lines in
+    let nsets, lines = expect_header "sets" lines in
+    let set_lines, lines = take nsets lines "sets" in
+    let sets =
+      List.map
+        (fun line ->
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun s ->
+                 match int_of_string_opt s with
+                 | Some v -> v
+                 | None -> fail "invalid machine index '%s'" s))
+        set_lines
+    in
+    (* Same duplicate-line rejection as Instance_io: the file and the
+       parsed model must not disagree about what was written. *)
+    (let seen = Hashtbl.create 16 in
+     List.iteri
+       (fun k members ->
+         let key = List.sort compare members in
+         match Hashtbl.find_opt seen key with
+         | Some k0 -> fail "set %d duplicates set %d" k k0
+         | None -> Hashtbl.add seen key k)
+       sets);
+    let nevents, lines = expect_header "events" lines in
+    let event_lines, rest = take nevents lines "events" in
+    if rest <> [] then fail "trailing content after event lines";
+    let evs =
+      List.map
+        (fun line ->
+          match event_of_line line with
+          | Ok ev -> ev
+          | Error e -> fail "%s" e)
+        event_lines
+    in
+    match Laminar.of_sets ~m sets with
+    | Error e -> Error e
+    | Ok lam -> Trace.make lam evs
+  with
+  | Bad msg -> err "%s" msg
+  | Stack_overflow -> err "input too deeply nested"
+  | Division_by_zero | Invalid_argument _ | Failure _ | Not_found | Sys_error _
+    ->
+      err "malformed trace text"
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e
+
+let save path t =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (to_string t))
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error e

@@ -1,0 +1,58 @@
+(** Plain-text trace files.
+
+    Format (comments start with [#], blank lines ignored):
+
+    {v
+    hsched-trace 1
+    machines 4
+    sets 7
+    0 1 2 3
+    0 1
+    2 3
+    0
+    1
+    2
+    3
+    events 4
+    0 arrive 9 7 7 4 5 inf inf
+    1 arrive 6 6 inf 3 3 inf inf
+    2 depart 0
+    3 drain 2
+    v}
+
+    An [arrive] line lists one processing time per set in set order
+    ([inf] marks an inadmissible mask); the arriving job's identity is
+    the leading event id.  The family and the event sequence are
+    validated by {!Trace.make} — duplicate event ids are rejected, like
+    duplicate set lines in {!Hs_model.Instance_io}. *)
+
+val to_string : Trace.t -> string
+
+val of_string : string -> (Trace.t, string) result
+(** Total on untrusted input: never raises. *)
+
+val canonicalize : Trace.t -> string
+(** Canonical form: the same format with the family sorted
+    lexicographically and every arrival row permuted to match.  Event
+    ids and order are semantics, so they are preserved verbatim.  Two
+    trace files differing only in whitespace, comments or set order
+    canonicalise — and hash — identically. *)
+
+val digest : Trace.t -> string
+(** MD5 hex of {!canonicalize}; the identity the daemon's flight
+    recorder and the bench harness key online sessions by. *)
+
+val load : string -> (Trace.t, string) result
+val save : string -> Trace.t -> (unit, string) result
+
+(** {1 Single-event codec}
+
+    The streaming surfaces (the daemon's [online] verb) carry one event
+    per message in exactly the file syntax, so a trace file is the
+    concatenation of its event lines and vice versa. *)
+
+val event_to_line : int * Trace.event -> string
+
+val event_of_line : string -> (int * Trace.event, string) result
+(** Parses one event line; the row arity of an [arrive] is checked
+    later, when the event is applied against a family. *)

@@ -15,6 +15,11 @@ let c_shed = Metrics.counter "service.shed"
 let c_deadline_miss = Metrics.counter "service.deadline_miss"
 let g_queue = Metrics.gauge "service.queue.depth"
 
+(* Online streaming ops ride the same admission queue but are counted
+   apart: they are session steps, not solve requests, and must not skew
+   the pinned [service.requests] accounting. *)
+let c_online = Metrics.counter "service.online"
+
 (* The event loop's two latency phases; solve/render live in Solver
    (worker domains) and share the same bucket ladder. *)
 let h_queue_ms = Metrics.histogram ~buckets:Solver.ms_buckets "service.phase.queue_ms"
@@ -33,6 +38,7 @@ type config = {
   snapshot_path : string option;
   verify : bool;
   recorder_capacity : int;
+  max_sessions : int;  (** bound on concurrently open online sessions *)
   log : string -> unit;
 }
 
@@ -50,6 +56,7 @@ let default_config ~socket_path =
     snapshot_path = None;
     verify = false;
     recorder_capacity = 256;
+    max_sessions = 16;
     log = ignore;
   }
 
@@ -60,10 +67,17 @@ type conn = {
   mutable last_read : float;  (** for the partial-frame read deadline *)
 }
 
+(* The admission queue carries both workloads; online ops are session
+   steps (stateful, processed inline and strictly in admission order),
+   solves batch onto the worker pool between them. *)
+type job =
+  | Solve of Protocol.solve_params
+  | Online of Protocol.online_params
+
 type work = {
   w_conn : conn;
   w_rid : int;
-  w_params : Protocol.solve_params;
+  w_job : job;
   w_enq : float;  (** enqueue instant, for queue-expiry of deadlines *)
 }
 
@@ -78,6 +92,7 @@ type state = {
           deterministic [retry_after_ms] ladder *)
   engine : Engine.t;  (** classification, cache, solving, verification *)
   recorder : Recorder.t;  (** flight recorder of recent outcomes *)
+  sessions : Sessions.t;  (** live online-scheduling sessions *)
   mutable draining : (conn * int) option;  (** shutdown requester *)
 }
 
@@ -160,6 +175,13 @@ let introspect_body st ~recent =
           ("connections", Json.Int (List.length st.conns));
           ("draining", Json.Bool (st.draining <> None));
           ("cache_entries", Json.Int (Engine.cache_length st.engine));
+          ( "online_sessions",
+            Json.Obj
+              [
+                ("open", Json.Int (Sessions.length st.sessions));
+                ("capacity", Json.Int (Sessions.capacity st.sessions));
+                ("opened", Json.Int (Sessions.opened st.sessions));
+              ] );
           ( "recorder",
             Json.Obj
               [
@@ -182,27 +204,36 @@ let handle_payload st c payload =
           send st c (Protocol.ok ~rid (introspect_body st ~recent))
       | Ok (rid, Protocol.Shutdown) ->
           if st.draining = None then st.draining <- Some (c, rid)
-      | Ok (rid, Protocol.Solve p) ->
+      | Ok (rid, ((Protocol.Solve _ | Protocol.Online _) as req)) ->
+          let job, trace_id =
+            match req with
+            | Protocol.Solve p -> (Solve p, p.Protocol.trace_id)
+            | Protocol.Online p ->
+                Metrics.incr c_online;
+                (Online p, None)
+            | _ -> assert false
+          in
           if st.draining <> None then
             send st c (Protocol.err ~rid ~status:2 "server is draining")
           else if Queue.length st.queue >= st.cfg.max_queue then begin
             (* Admission control: shed, don't buffer.  The hint climbs
                linearly with the shed position so simultaneous rejects
                spread their retries instead of stampeding back. *)
-            Metrics.incr c_requests;
+            (match job with
+            | Solve _ -> Metrics.incr c_requests
+            | Online _ -> ());
             Metrics.incr c_shed;
             st.shed_streak <- st.shed_streak + 1;
             let retry_after_ms = st.cfg.retry_hint_ms * st.shed_streak in
             Recorder.record st.recorder ~digest:""
               ~status:(Protocol.status_of_error (E.Overloaded { retry_after_ms }))
-              ?trace_id:p.Protocol.trace_id ~shed_reason:"queue_full"
-              ~retry_after_ms ();
+              ?trace_id ~shed_reason:"queue_full" ~retry_after_ms ();
             send st c (Protocol.overloaded ~rid ~retry_after_ms)
           end
           else begin
             st.shed_streak <- 0;
             Queue.add
-              { w_conn = c; w_rid = rid; w_params = p; w_enq = Unix.gettimeofday () }
+              { w_conn = c; w_rid = rid; w_job = job; w_enq = Unix.gettimeofday () }
               st.queue;
             Metrics.set g_queue
               (Stdlib.max (Metrics.gauge_value g_queue) (Queue.length st.queue))
@@ -289,10 +320,151 @@ let spans_for ~trace_id batch_spans =
         { sp with args = sp.args @ [ ("trace_id", Tracer.Str trace_id) ] })
     batch_spans
 
-(* One batch: expire overdue deadlines at dispatch, hand the survivors
-   to the engine (which classifies against the cache, coalesces
-   duplicates and solves the distinct misses on the pool), then respond
-   in admission order. *)
+(* ---- online sessions -------------------------------------------------- *)
+
+module Replay = Hs_online.Replay
+module Trace_io = Hs_online.Trace_io
+
+(* The migration-budget coefficient comes over the wire as text so the
+   codec stays rational-agnostic; "inf" and absence both mean unlimited. *)
+let beta_of_string = function
+  | None | Some "inf" -> Ok None
+  | Some s -> (
+      match Hs_numeric.Q.of_string s with
+      | q when Hs_numeric.Q.sign q >= 0 -> Ok (Some q)
+      | _ -> Error (Printf.sprintf "migration budget %S is negative" s)
+      | exception _ -> Error (Printf.sprintf "unparsable migration budget %S" s))
+
+(* One online op, inline on the event loop (sessions are stateful and
+   strictly ordered; the per-event work is one small re-solve).  Every
+   op leaves a flight-recorder entry keyed by the session's trace
+   digest, so a post-mortem can tell the streams apart. *)
+let process_online st (w : work) p =
+  let t0 = Unix.gettimeofday () in
+  let respond ?(digest = "") (r : Protocol.response) =
+    Recorder.record st.recorder ~digest ~status:r.Protocol.status
+      ~queue_ms:(wall_ms w.w_enq) ~solve_ms:(wall_ms t0) ();
+    send st w.w_conn r
+  in
+  let rid = w.w_rid in
+  match p with
+  | Protocol.Online_open { trace_text; beta; check } -> (
+      match beta_of_string beta with
+      | Error e -> respond (Protocol.err ~rid ~status:2 e)
+      | Ok beta -> (
+          match Trace_io.of_string trace_text with
+          | Error e -> respond (Protocol.err ~rid ~status:2 ("bad trace: " ^ e))
+          | Ok trace -> (
+              let digest = Trace_io.digest trace in
+              match
+                Replay.Session.create ?beta ~check
+                  (Hs_online.Trace.laminar trace)
+              with
+              | Error e -> respond ~digest (Protocol.err ~rid ~status:2 e)
+              | Ok session -> (
+                  match Sessions.open_ st.sessions ~digest session with
+                  | None ->
+                      (* The session table is the admission bound here:
+                         same typed overloaded answer as a full queue. *)
+                      Metrics.incr c_shed;
+                      Recorder.record st.recorder ~digest
+                        ~status:
+                          (Protocol.status_of_error
+                             (E.Overloaded
+                                { retry_after_ms = st.cfg.retry_hint_ms }))
+                        ~shed_reason:"sessions_full"
+                        ~retry_after_ms:st.cfg.retry_hint_ms ();
+                      send st w.w_conn
+                        (Protocol.overloaded ~rid
+                           ~retry_after_ms:st.cfg.retry_hint_ms)
+                  | Some sid -> (
+                      (* Events already in the document replay at open;
+                         they passed Trace.make, so a failure here is an
+                         internal fault, not a client error. *)
+                      let entry = Option.get (Sessions.find st.sessions sid) in
+                      let rec replay = function
+                        | [] -> Ok ()
+                        | ev :: rest -> (
+                            match Replay.Session.step session ev with
+                            | Error e -> Error e
+                            | Ok _ ->
+                                entry.Sessions.events <-
+                                  entry.Sessions.events + 1;
+                                replay rest)
+                      in
+                      match replay (Hs_online.Trace.events trace) with
+                      | Error e ->
+                          ignore (Sessions.close st.sessions sid);
+                          respond ~digest
+                            (Protocol.err ~rid ~status:1
+                               ("replay failed at open: " ^ e))
+                      | Ok () ->
+                          respond ~digest
+                            (Protocol.ok ~rid
+                               (Json.to_string
+                                  (Json.Obj
+                                     [
+                                       ( "schema",
+                                         Json.String "hsched.online.open/1" );
+                                       ("session", Json.Int sid);
+                                       ("digest", Json.String digest);
+                                       ( "events",
+                                         Json.Int entry.Sessions.events );
+                                     ]))))))))
+  | Protocol.Online_event { session = sid; event_text } -> (
+      match Sessions.find st.sessions sid with
+      | None ->
+          respond
+            (Protocol.err ~rid ~status:2
+               (Printf.sprintf "unknown online session %d" sid))
+      | Some entry -> (
+          match Trace_io.event_of_line event_text with
+          | Error e ->
+              respond ~digest:entry.Sessions.digest
+                (Protocol.err ~rid ~status:2 ("bad event: " ^ e))
+          | Ok ev -> (
+              match Replay.Session.step entry.Sessions.session ev with
+              | Error e ->
+                  (* Dynamic validation failed; the session survives. *)
+                  respond ~digest:entry.Sessions.digest
+                    (Protocol.err ~rid ~status:2 ("rejected event: " ^ e))
+              | Ok step ->
+                  entry.Sessions.events <- entry.Sessions.events + 1;
+                  let failed =
+                    match step.Replay.verdict with
+                    | Some v -> not (Hs_check.Verdict.ok v)
+                    | None -> false
+                  in
+                  respond ~digest:entry.Sessions.digest
+                    {
+                      Protocol.rid;
+                      status = (if failed then 1 else 0);
+                      cached = false;
+                      body = Json.to_string (Replay.step_to_json step);
+                      error =
+                        (if failed then "online step failed certification"
+                         else "");
+                      retry_after_ms = 0;
+                      spans = [];
+                    })))
+  | Protocol.Online_close { session = sid } -> (
+      match Sessions.close st.sessions sid with
+      | None ->
+          respond
+            (Protocol.err ~rid ~status:2
+               (Printf.sprintf "unknown online session %d" sid))
+      | Some entry ->
+          respond ~digest:entry.Sessions.digest
+            (Protocol.ok ~rid
+               (Json.to_string
+                  (Replay.summary_to_json
+                     (Replay.Session.summary entry.Sessions.session)))))
+
+(* One batch: expire overdue deadlines at dispatch, hand the solves to
+   the engine (which classifies against the cache, coalesces duplicates
+   and solves the distinct misses on the pool) with online session ops
+   interleaved inline at their admitted positions, then respond in
+   admission order. *)
 let process_batch st =
   let now = Unix.gettimeofday () in
   let taken = ref 0 and batch = ref [] and expired = ref [] in
@@ -300,35 +472,41 @@ let process_batch st =
     incr taken;
     let w = Queue.pop st.queue in
     let overdue =
-      match w.w_params.Protocol.deadline_ms with
-      | Some d -> (now -. w.w_enq) *. 1000.0 >= float_of_int d
-      | None -> false
+      (* Online ops carry no deadline: a session step is cheap and
+         skipping one would corrupt the stream. *)
+      match w.w_job with
+      | Solve { Protocol.deadline_ms = Some d; _ } ->
+          (now -. w.w_enq) *. 1000.0 >= float_of_int d
+      | Solve _ | Online _ -> false
     in
     if overdue then expired := w :: !expired else batch := w :: !batch
   done;
   List.iter
     (fun w ->
+      let p = match w.w_job with Solve p -> p | Online _ -> assert false in
       Metrics.incr c_requests;
       Metrics.incr c_deadline_miss;
       let queue_ms = wall_ms w.w_enq in
       Metrics.observe h_queue_ms queue_ms;
-      let deadline_ms = Option.value ~default:0 w.w_params.Protocol.deadline_ms in
+      let deadline_ms = Option.value ~default:0 p.Protocol.deadline_ms in
       let e =
         E.Deadline_exceeded { deadline_ms; detail = "expired in the admission queue" }
       in
       Recorder.record st.recorder ~digest:"" ~status:(Protocol.status_of_error e)
-        ~queue_ms ?trace_id:w.w_params.Protocol.trace_id
-        ~shed_reason:"queue_deadline" ();
+        ~queue_ms ?trace_id:p.Protocol.trace_id ~shed_reason:"queue_deadline" ();
       send st w.w_conn
         (Protocol.err ~rid:w.w_rid ~status:(Protocol.status_of_error e)
            (E.to_string e)))
     (List.rev !expired);
-  let batch = List.rev !batch in
-  if batch <> [] then begin
+  (* Walk the admitted work in order: runs of solves form engine
+     batches, online ops run inline between them, so every response
+     still leaves in admission order. *)
+  let flush_solves batch = if batch <> [] then begin
     Metrics.incr c_batches;
     Metrics.observe h_batch (List.length batch);
+    let sp w = match w.w_job with Solve p -> p | Online _ -> assert false in
     let traced =
-      List.exists (fun w -> w.w_params.Protocol.trace_id <> None) batch
+      List.exists (fun w -> (sp w).Protocol.trace_id <> None) batch
     in
     let was_tracing = Tracer.enabled () in
     if traced && not was_tracing then begin
@@ -344,7 +522,7 @@ let process_batch st =
         (fun w ->
           let queue_ms = wall_ms w.w_enq in
           Metrics.observe h_queue_ms queue_ms;
-          if w.w_params.Protocol.trace_id <> None then
+          if (sp w).Protocol.trace_id <> None then
             Tracer.record_span ~cat:"service"
               ~args:[ ("rid", Tracer.Int w.w_rid) ]
               ~start_ns:(Int64.of_float (w.w_enq *. 1e9))
@@ -358,7 +536,7 @@ let process_batch st =
         ~args:[ ("batch.size", Hs_obs.Tracer.Int (List.length batch)) ]
         "service.batch"
         (fun () ->
-          Engine.solve_batch st.engine (List.map (fun w -> w.w_params) batch))
+          Engine.solve_batch st.engine (List.map sp batch))
     in
     let batch_spans =
       if traced then drop_prefix spans_before (Tracer.spans ()) else []
@@ -367,9 +545,9 @@ let process_batch st =
       (fun (w, queue_ms) (a : Engine.answer) ->
         Recorder.record st.recorder ~digest:a.Engine.key ~status:a.Engine.status
           ~cached:a.Engine.cached ~queue_ms ~solve_ms:a.Engine.solve_ms
-          ?trace_id:w.w_params.Protocol.trace_id ();
+          ?trace_id:(sp w).Protocol.trace_id ();
         let spans =
-          match w.w_params.Protocol.trace_id with
+          match (sp w).Protocol.trace_id with
           | Some t -> spans_for ~trace_id:t batch_spans
           | None -> []
         in
@@ -393,6 +571,18 @@ let process_batch st =
       Tracer.clear ()
     end
   end
+  in
+  let rec walk pending = function
+    | [] -> flush_solves (List.rev pending)
+    | w :: rest -> (
+        match w.w_job with
+        | Solve _ -> walk (w :: pending) rest
+        | Online p ->
+            flush_solves (List.rev pending);
+            process_online st w p;
+            walk [] rest)
+  in
+  walk [] (List.rev !batch)
 
 let drain_queue st =
   while not (Queue.is_empty st.queue) do
@@ -477,6 +667,7 @@ let run cfg =
   if cfg.io_timeout_s <= 0.0 then invalid_arg "Daemon.run: io_timeout_s must be > 0";
   if cfg.recorder_capacity < 1 then
     invalid_arg "Daemon.run: recorder_capacity must be >= 1";
+  if cfg.max_sessions < 1 then invalid_arg "Daemon.run: max_sessions must be >= 1";
   (ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) : unit);
   match listen_on cfg.socket_path with
   | Error _ as e -> e
@@ -495,6 +686,7 @@ let run cfg =
               ~cache_capacity:cfg.cache_capacity ~default_budget:cfg.default_budget
               ();
           recorder = Recorder.create ~capacity:cfg.recorder_capacity;
+          sessions = Sessions.create ~capacity:cfg.max_sessions;
           draining = None;
         }
       in

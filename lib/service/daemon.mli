@@ -9,9 +9,10 @@
     + accept pending connections, read every readable one, decode
       complete frames into requests ([ping]/[stats]/[introspect]
       answered inline — introspection is out-of-band by construction, so
-      it stays available during overload —, [solve] admitted to the
-      queue, wire-level faults answered with a typed status-2 response —
-      the daemon never crashes or hangs on malformed input);
+      it stays available during overload —, [solve] and [online]
+      admitted to the queue, wire-level faults answered with a typed
+      status-2 response — the daemon never crashes or hangs on malformed
+      input);
     + cut off clients that sat on a partial frame past [io_timeout_s]
       (typed status-2 response, then close) — an idle connection at a
       frame boundary costs nothing and may idle forever;
@@ -24,6 +25,19 @@
       the requested budget and the deadline-derived cap
       ({!Hs_core.Budget.of_deadline_ms}); responses go out in admission
       order.
+
+    {b Online sessions} (DESIGN.md §15): the [online] verb streams
+    events into a persistent server-side {!Hs_online.Replay.Session},
+    held in a bounded {!Sessions} table ([max_sessions]; opening beyond
+    the bound is answered with the same typed status-5 overloaded
+    response as a full queue).  Online ops share the admission queue
+    with solves — they are shed under the same [max_queue] bound — but
+    run inline on the event loop at their admitted positions, strictly
+    in admission order (sessions are stateful), with runs of solves
+    batched onto the pool between them.  Every op leaves a
+    flight-recorder entry keyed by the session's trace digest.  Online
+    ops carry no deadline.  Sessions die with the daemon — they are
+    scheduler state, not cache, and are deliberately not snapshotted.
 
     {b Admission control} (DESIGN.md §13): the queue is bounded by
     [max_queue].  A solve arriving at a full queue is shed immediately
@@ -88,19 +102,22 @@ type config = {
   recorder_capacity : int;
       (** flight-recorder ring size: the last this-many request outcomes
           are kept for [introspect]/post-mortem, >= 1 *)
+  max_sessions : int;
+      (** bound on concurrently open online sessions, >= 1; opens beyond
+          it are answered with the typed status-5 overloaded response *)
   log : string -> unit;  (** server-side log sink *)
 }
 
 val default_config : socket_path:string -> config
 (** jobs 1, cache 128, no default budget, batches of 64, queue bound
     256, retry hint 50 ms, deadline rate 100 units/ms, 10 s IO timeout,
-    no snapshot, no verification, a 256-entry flight recorder, silent
-    log. *)
+    no snapshot, no verification, a 256-entry flight recorder, 16
+    online sessions, silent log. *)
 
 val run : config -> (unit, string) result
 (** Serve until a shutdown request arrives.  [Error] covers startup
     failures (socket in use, unbindable path) and nothing else: once
     listening, every fault is handled inside the loop.  Raises
     [Invalid_argument] on out-of-range config values ([jobs],
-    [max_batch], [retry_hint_ms] < 1; [max_queue] < 0;
+    [max_batch], [retry_hint_ms], [max_sessions] < 1; [max_queue] < 0;
     [io_timeout_s] <= 0). *)

@@ -10,8 +10,14 @@ type solve_params = {
   trace_id : string option;
 }
 
+type online_params =
+  | Online_open of { trace_text : string; beta : string option; check : bool }
+  | Online_event of { session : int; event_text : string }
+  | Online_close of { session : int }
+
 type request =
   | Solve of solve_params
+  | Online of online_params
   | Stats
   | Introspect of { recent : bool }
   | Ping
@@ -58,6 +64,24 @@ let request_to_json ~id req =
         @ (match budget with None -> [] | Some k -> [ ("budget", Json.Int k) ])
         @ (match deadline_ms with None -> [] | Some d -> [ ("deadline_ms", Json.Int d) ])
         @ (match trace_id with None -> [] | Some t -> [ ("trace_id", Json.String t) ])
+    | Online (Online_open { trace_text; beta; check }) ->
+        [ ("verb", Json.String "online"); ("op", Json.String "open");
+          ("trace", Json.String trace_text) ]
+        @ (match beta with None -> [] | Some b -> [ ("beta", Json.String b) ])
+        @ if check then [ ("check", Json.Bool true) ] else []
+    | Online (Online_event { session; event_text }) ->
+        [
+          ("verb", Json.String "online");
+          ("op", Json.String "event");
+          ("session", Json.Int session);
+          ("event", Json.String event_text);
+        ]
+    | Online (Online_close { session }) ->
+        [
+          ("verb", Json.String "online");
+          ("op", Json.String "close");
+          ("session", Json.Int session);
+        ]
     | Stats -> [ ("verb", Json.String "stats") ]
     | Introspect { recent } ->
         ("verb", Json.String "introspect")
@@ -116,6 +140,42 @@ let request_of_json json =
               | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error (id, e)
               | Ok budget, Ok deadline_ms, Ok trace_id ->
                   Ok (id, Solve { instance_text; budget; deadline_ms; trace_id })))
+      | Some "online" -> (
+          match string_member "op" json with
+          | None -> Error (id, "online needs a string \"op\"")
+          | Some "open" -> (
+              match string_member "trace" json with
+              | None -> Error (id, "online open needs a string \"trace\"")
+              | Some trace_text -> (
+                  let beta =
+                    match Json.member "beta" json with
+                    | None -> Ok None
+                    | Some (Json.String b) when b <> "" -> Ok (Some b)
+                    | Some _ -> Error "\"beta\" must be a non-empty string"
+                  in
+                  match beta with
+                  | Error e -> Error (id, e)
+                  | Ok beta ->
+                      let check =
+                        Option.value ~default:false (bool_member "check" json)
+                      in
+                      Ok (id, Online (Online_open { trace_text; beta; check }))))
+          | Some "event" -> (
+              match (int_member "session" json, string_member "event" json) with
+              | Some session, Some event_text when session >= 0 ->
+                  Ok (id, Online (Online_event { session; event_text }))
+              | _ ->
+                  Error
+                    ( id,
+                      "online event needs a non-negative integer \"session\" and \
+                       a string \"event\"" ))
+          | Some "close" -> (
+              match int_member "session" json with
+              | Some session when session >= 0 ->
+                  Ok (id, Online (Online_close { session }))
+              | _ ->
+                  Error (id, "online close needs a non-negative integer \"session\""))
+          | Some op -> Error (id, Printf.sprintf "unknown online op %S" op))
       | Some "stats" -> Ok (id, Stats)
       | Some "introspect" ->
           Ok

@@ -4,9 +4,14 @@
 
     {v
     request  ::= {"hsched.rpc": 1, "id": int, "verb": verb, ...}
-    verb     ::= "solve" | "stats" | "introspect" | "ping" | "shutdown"
+    verb     ::= "solve" | "online" | "stats" | "introspect" | "ping"
+               | "shutdown"
     solve    ::= ... "instance": string  ["budget": int]
                  ["deadline_ms": int>=0]  ["trace_id": string]
+    online   ::= ... "op": "open"  "trace": string
+                 ["beta": string] ["check": bool]
+               | ... "op": "event" "session": int  "event": string
+               | ... "op": "close" "session": int
     introspect ::= ... ["recent": bool]
     response ::= {"hsched.rpc": 1, "id": int, "status": int,
                   "cached": bool, "body": string, "error": string
@@ -40,8 +45,26 @@ type solve_params = {
           client can stitch one merged timeline (DESIGN.md section 14) *)
 }
 
+(** One streaming online-scheduling session (DESIGN.md §15): [open]
+    parses a {!Hs_online.Trace_io} document, creates a server-side
+    {!Hs_online.Replay.Session} (replaying any events the document
+    already carries) and answers a session id; [event] applies one event
+    line and answers the step as JSON; [close] answers the summary and
+    frees the session. *)
+type online_params =
+  | Online_open of {
+      trace_text : string;  (** Trace_io format; embedded events replay at open *)
+      beta : string option;
+          (** migration-budget coefficient, an exact rational or decimal
+              literal parsed server-side; [None] (or ["inf"]) = unlimited *)
+      check : bool;  (** certify every step inline ({!Hs_check.Certify}) *)
+    }
+  | Online_event of { session : int; event_text : string (** one Trace_io event line *) }
+  | Online_close of { session : int }
+
 type request =
   | Solve of solve_params
+  | Online of online_params
   | Stats  (** service counters, one ["name = value"] line each *)
   | Introspect of { recent : bool }
       (** live JSON introspection ("hsched.introspect/1": uptime, queue

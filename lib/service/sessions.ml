@@ -1,0 +1,39 @@
+(* Bounded table of live online sessions; see the interface. *)
+
+type entry = {
+  session : Hs_online.Replay.Session.t;
+  digest : string;
+  mutable events : int;
+}
+
+type t = {
+  cap : int;
+  tbl : (int, entry) Hashtbl.t;
+  mutable next : int;  (* ids are monotone, never reused *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Sessions.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hashtbl.create 8; next = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let opened t = t.next
+
+let open_ t ~digest session =
+  if Hashtbl.length t.tbl >= t.cap then None
+  else begin
+    let id = t.next in
+    t.next <- id + 1;
+    Hashtbl.replace t.tbl id { session; digest; events = 0 };
+    Some id
+  end
+
+let find t id = Hashtbl.find_opt t.tbl id
+
+let close t id =
+  match Hashtbl.find_opt t.tbl id with
+  | None -> None
+  | Some e ->
+      Hashtbl.remove t.tbl id;
+      Some e

@@ -1,0 +1,40 @@
+(** The daemon's table of live online-scheduling sessions.
+
+    One {!entry} per [online open] (DESIGN.md §15): the server-side
+    {!Hs_online.Replay.Session} plus the identity and accounting the
+    flight recorder and introspection report.  The table is bounded —
+    [open] beyond [capacity] is refused so a client cannot grow daemon
+    state without limit (the admission-control stance of the solve
+    queue, answered with the same typed overloaded response).
+
+    Ids are never reused within one daemon lifetime, so a stale id after
+    a [close] fails loudly instead of landing on a stranger's session. *)
+
+type entry = {
+  session : Hs_online.Replay.Session.t;
+  digest : string;  (** trace digest from [open]; recorder correlation *)
+  mutable events : int;  (** events applied, including those replayed at open *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Sessions currently open. *)
+
+val opened : t -> int
+(** Total sessions ever opened (monotone). *)
+
+val open_ :
+  t -> digest:string -> Hs_online.Replay.Session.t -> int option
+(** Register a session and return its id; [None] when the table is at
+    capacity. *)
+
+val find : t -> int -> entry option
+val close : t -> int -> entry option
+(** Remove and return the session; [None] for an unknown (or already
+    closed) id. *)

@@ -8,7 +8,7 @@ let default_deadline_units_per_ms = 100
    algorithmic counters these are intentionally nondeterministic — they
    answer "where did this request spend its time", which only wall time
    can.  Observed in the worker domain and merged back by Hs_exec. *)
-let ms_buckets = [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1_000; 2_500; 5_000; 10_000 ]
+let ms_buckets = Metrics.ms_buckets
 let h_solve_ms = Metrics.histogram ~buckets:ms_buckets "service.phase.solve_ms"
 let h_render_ms = Metrics.histogram ~buckets:ms_buckets "service.phase.render_ms"
 

@@ -107,3 +107,21 @@ let run ?(lam : Hs_laminar.Laminar.t option) (sched : Schedule.t) ~latency =
     migrations_by_level =
       Hashtbl.fold (fun h c acc -> (h, c) :: acc) migrations [] |> List.sort compare;
   }
+
+(* Online-replay stall accounting: the per-step [move_levels] of an
+   online replay already carry each migration's level (the height of the
+   smallest family set spanning the old and new homes), so charging a
+   latency table is a fold — no segment graph needed.  Clamping matches
+   [latency_of_levels]. *)
+let stall_of_levels ~table levels =
+  let n = Array.length table in
+  List.fold_left
+    (fun acc h -> if n = 0 then acc else acc + table.(Stdlib.min h (n - 1)))
+    0 levels
+
+let count_by_level levels =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun h -> Hashtbl.replace tbl h (1 + Option.value ~default:0 (Hashtbl.find_opt tbl h)))
+    levels;
+  Hashtbl.fold (fun h c acc -> (h, c) :: acc) tbl [] |> List.sort compare

@@ -26,3 +26,18 @@ val latency_of_levels : Hs_laminar.Laminar.t -> int array -> int -> int -> int
 val run :
   ?lam:Hs_laminar.Laminar.t -> Schedule.t -> latency:(int -> int -> int) -> result
 (** Replay; [lam] enables the per-level migration counts. *)
+
+(** {1 Online migration stalls}
+
+    The online replay ({!Hs_online.Replay}) reports every migration as a
+    level — the height of the smallest family set spanning the job's old
+    and new homes — in its per-step [move_levels].  These fold a latency
+    table over such levels, so [hsched online --latencies] charges moves
+    under the same model as {!latency_of_levels}. *)
+
+val stall_of_levels : table:int array -> int list -> int
+(** Total stall: [table.(level)] per move, clamped to the last entry;
+    [0] on an empty table. *)
+
+val count_by_level : int list -> (int * int) list
+(** [(level, count)] aggregation, sorted by level. *)

@@ -121,6 +121,109 @@ let semi_partitioned_load rng ~m ~load ~pmin ~pmax ?(premium = 0.2) () =
   in
   Instance.semi_partitioned ~global ~local
 
+(** Seeded online trace over a singleton-complete family (DESIGN.md §15).
+
+    Deterministic shard split: event [e] draws from its own SplitMix64
+    stream derived from [(seed, e)] (the oracle's recipe), so the trace
+    is a pure function of the seed regardless of how callers batch or
+    parallelise around the generator.  Arrival rows reuse the
+    {!hierarchical} fill (per-machine speeds from the trace-level
+    stream, per-level overhead); a [restricted] fraction of jobs is
+    confined to a random subtree that intersects the never-drained
+    machines, so every trace passes {!Hs_online.Trace.make}'s lifetime
+    admissibility by construction.  Drains hit distinct machines at
+    evenly spaced positions and never empty the machine set. *)
+let trace ~seed ~lam ~events:nevents ~base:(blo, bhi) ?(heterogeneity = 1.0)
+    ?(overhead = 0.1) ?(departures = 0.3) ?(drains = 0) ?(restricted = 0.3)
+    ?max_live () =
+  let m = Laminar.m lam in
+  if nevents < 0 || blo <= 0 || bhi < blo then invalid_arg "Generators.trace";
+  if heterogeneity < 1.0 || overhead < 0.0 then invalid_arg "Generators.trace";
+  if departures < 0.0 || departures > 1.0 || restricted < 0.0 || restricted > 1.0
+  then invalid_arg "Generators.trace";
+  if drains < 0 || drains >= m then invalid_arg "Generators.trace";
+  (match max_live with
+  | Some k when k < 1 -> invalid_arg "Generators.trace"
+  | _ -> ());
+  let nsets = Laminar.size lam in
+  let rng0 = Rng.create seed in
+  let speed =
+    Array.init m (fun _ -> 1.0 +. (Rng.float rng0 *. (heterogeneity -. 1.0)))
+  in
+  let drained_machines =
+    let order = Array.init m (fun i -> i) in
+    Rng.shuffle rng0 order;
+    Array.sub order 0 drains
+  in
+  let survives i = not (Array.exists (fun d -> d = i) drained_machines) in
+  (* Sets a restricted job may be confined to: subtrees that keep a
+     surviving machine (so the job stays admissible through all drains). *)
+  let safe_sets =
+    List.filter
+      (fun s -> Array.exists survives (Laminar.members lam s))
+      (List.init nsets Fun.id)
+  in
+  let drain_at =
+    (* evenly spaced, strictly increasing, never at index 0 (an empty
+       system has nothing to re-seat, which would waste the drain);
+       positions pushed past the end are dropped *)
+    let at = Array.make drains 0 in
+    let prev = ref 0 in
+    for k = 0 to drains - 1 do
+      let p = Stdlib.max (!prev + 1) ((k + 1) * nevents / (drains + 1)) in
+      at.(k) <- p;
+      prev := p
+    done;
+    at
+  in
+  let drain_index e =
+    let found = ref None in
+    Array.iteri (fun k pos -> if pos = e && !found = None then found := Some k) drain_at;
+    !found
+  in
+  let live = ref [] in
+  let evs = ref [] in
+  for e = 0 to nevents - 1 do
+    let rng = Rng.create (seed + (0x9e3779b9 * (e + 1))) in
+    let over_cap =
+      match max_live with Some k -> List.length !live >= k | None -> false
+    in
+    match drain_index e with
+    | Some k ->
+        evs := (e, Hs_online.Trace.Drain { machine = drained_machines.(k) }) :: !evs
+    | None ->
+        if !live <> [] && (over_cap || Rng.bool rng departures) then begin
+          let victims = Array.of_list (List.sort compare !live) in
+          let job = Rng.choose rng victims in
+          live := List.filter (fun j -> j <> job) !live;
+          evs := (e, Hs_online.Trace.Depart { job }) :: !evs
+        end
+        else begin
+          let b = Rng.int_range rng blo bhi in
+          let ov = Stdlib.max 1 (int_of_float (ceil (overhead *. float_of_int b))) in
+          let row = Array.make nsets Ptime.Inf in
+          let rec fill set =
+            let v =
+              match Laminar.children lam set with
+              | [] ->
+                  let i = (Laminar.members lam set).(0) in
+                  int_of_float (ceil (float_of_int b *. speed.(i)))
+              | children ->
+                  List.fold_left (fun acc c -> Stdlib.max acc (fill c)) 0 children
+                  + ov
+            in
+            row.(set) <- Ptime.fin v;
+            v
+          in
+          (if Rng.bool rng restricted && safe_sets <> [] then
+             ignore (fill (Rng.choose rng (Array.of_list safe_sets)))
+           else List.iter (fun r -> ignore (fill r)) (Laminar.roots lam));
+          live := e :: !live;
+          evs := (e, Hs_online.Trace.Arrive { ptimes = row }) :: !evs
+        end
+  done;
+  Hs_online.Trace.make_exn lam (List.rev !evs)
+
 (** Memory payload for Model 1: per-machine budgets and per-(job,machine)
     space requirements with a feasibility [slack] factor (> 1 loosens the
     budgets). *)

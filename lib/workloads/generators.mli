@@ -50,6 +50,29 @@ val semi_partitioned_load :
 (** Semi-partitioned instance at a target load factor; global times carry
     a migration [premium] over the worst local time. *)
 
+val trace :
+  seed:int ->
+  lam:Laminar.t ->
+  events:int ->
+  base:int * int ->
+  ?heterogeneity:float ->
+  ?overhead:float ->
+  ?departures:float ->
+  ?drains:int ->
+  ?restricted:float ->
+  ?max_live:int ->
+  unit ->
+  Hs_online.Trace.t
+(** Seeded online trace over a singleton-complete family: a pure
+    function of [seed] (each event draws from its own derived stream —
+    the oracle's shard recipe).  [departures] is the probability an
+    event departs a live job ([max_live] forces one at the cap);
+    [drains] distinct machines leave at evenly spaced positions, never
+    emptying the machine set; a [restricted] fraction of arrivals is
+    confined to a subtree intersecting the never-drained machines, so
+    the trace satisfies {!Hs_online.Trace.make}'s lifetime admissibility
+    by construction.  Rows follow the {!hierarchical} cost model. *)
+
 val model1_payload :
   Rng.t -> Instance.t -> smax:int -> slack:float -> Hs_core.Memory.model1
 (** Per-machine budgets and per-(job, machine) space requirements;

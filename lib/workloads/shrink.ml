@@ -112,3 +112,77 @@ let minimize ~still_failing inst =
       | None -> inst
   in
   go 10_000 inst
+
+(* {1 Online traces} *)
+
+module Trace = Hs_online.Trace
+
+let trace_measure t =
+  let vol = ref 0 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Arrive { ptimes } ->
+          Array.iter
+            (function Ptime.Fin v -> vol := !vol + v | Ptime.Inf -> ())
+            ptimes
+      | _ -> ())
+    (Trace.events t);
+  (Trace.length t, !vol)
+
+let trace_smaller a b = trace_measure a < trace_measure b
+
+(* Candidates in deterministic order, all strictly smaller and
+   re-validated through Trace.make: drop one event (an arrival takes its
+   departure with it — a dangling departure would be rejected anyway),
+   halve one arrival's row.  Invalid shrinks (e.g. a drop that strands a
+   later drain's bookkeeping) are skipped, not repaired. *)
+let trace_candidates t =
+  let lam = Trace.laminar t in
+  let evs = Trace.events t in
+  let acc = ref [] in
+  let emit evs' =
+    match Trace.make lam evs' with Ok c -> acc := c :: !acc | Error _ -> ()
+  in
+  List.iter
+    (fun (id, ev) ->
+      let drops (id', ev') =
+        id' = id
+        || match (ev, ev') with
+           | Trace.Arrive _, Trace.Depart { job } -> job = id
+           | _ -> false
+      in
+      emit (List.filter (fun e -> not (drops e)) evs))
+    evs;
+  List.iter
+    (fun (id, ev) ->
+      match ev with
+      | Trace.Arrive { ptimes }
+        when Array.exists
+               (function Ptime.Fin v -> v >= 2 | Ptime.Inf -> false)
+               ptimes ->
+          let halved =
+            Array.map
+              (function
+                | Ptime.Fin v -> Ptime.Fin ((v + 1) / 2) | Ptime.Inf -> Ptime.Inf)
+              ptimes
+          in
+          emit
+            (List.map
+               (fun (id', ev') ->
+                 if id' = id then (id', Trace.Arrive { ptimes = halved })
+                 else (id', ev'))
+               evs)
+      | _ -> ())
+    evs;
+  List.filter (fun c -> trace_smaller c t) (List.rev !acc)
+
+let minimize_trace ~still_failing t =
+  let rec go budget t =
+    if budget = 0 then t
+    else
+      match List.find_opt still_failing (trace_candidates t) with
+      | Some c -> go (budget - 1) c
+      | None -> t
+  in
+  go 10_000 t

@@ -21,3 +21,18 @@ val minimize : still_failing:(Instance.t -> bool) -> Instance.t -> Instance.t
 (** Greedy descent: repeatedly move to the first candidate on which
     [still_failing] holds, until none does.  The result is locally
     minimal: no single candidate step reproduces the failure. *)
+
+(** {1 Online traces} *)
+
+val trace_measure : Hs_online.Trace.t -> int * int
+(** (events, total finite arrival volume) — the trace shrink order. *)
+
+val trace_candidates : Hs_online.Trace.t -> Hs_online.Trace.t list
+(** Strictly smaller valid traces, deterministic order: drop one event
+    (an arrival takes its departure with it), halve one arrival's row
+    ([⌈p/2⌉], monotone).  Every candidate re-passes
+    {!Hs_online.Trace.make}. *)
+
+val minimize_trace :
+  still_failing:(Hs_online.Trace.t -> bool) -> Hs_online.Trace.t -> Hs_online.Trace.t
+(** Greedy descent over {!trace_candidates}, as {!minimize}. *)

@@ -26,4 +26,5 @@ let () =
       Test_pushdown.suite;
       Test_differential.suite;
       Test_check.suite;
+      Test_online.suite;
     ]

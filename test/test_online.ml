@@ -1,0 +1,328 @@
+(* Tests for the online scheduling subsystem (DESIGN.md §15): trace
+   validation and IO, the migration-budgeted replay, per-step
+   certification, JSON round trips, the daemon session table and the
+   trace shrinker. *)
+
+open Hs_online
+module Q = Hs_numeric.Q
+module T = Hs_laminar.Topology
+
+let gen_trace ?(seed = 11) ?(events = 40) ?(departures = 0.4) ?(drains = 0)
+    ?(max_live = 6) () =
+  Hs_workloads.Generators.trace ~seed ~lam:(T.semi_partitioned 6) ~events
+    ~base:(1, 9) ~heterogeneity:1.4 ~overhead:0.2 ~departures ~drains ~max_live
+    ()
+
+let run_exn ?beta ?(check = false) ?(jobs = 1) tr =
+  match Replay.run ?beta ~check ~jobs tr with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "replay failed: %s" e
+
+(* ---------------- trace construction ---------------------------------- *)
+
+let test_trace_static_validation () =
+  let lam = T.semi_partitioned 2 in
+  let nsets = Hs_laminar.Laminar.size lam in
+  let row v = Array.make nsets (Hs_model.Ptime.fin v) in
+  let ok = Trace.make lam [ (0, Trace.Arrive { ptimes = row 3 }); (1, Trace.Depart { job = 0 }) ] in
+  Alcotest.(check bool) "valid trace accepted" true (Result.is_ok ok);
+  let bad l = Alcotest.(check bool) "rejected" true (Result.is_error (Trace.make lam l)) in
+  bad [ (0, Trace.Arrive { ptimes = row 3 }); (0, Trace.Depart { job = 0 }) ];
+  (* duplicate id *)
+  bad [ (0, Trace.Depart { job = 7 }) ];
+  (* unknown job *)
+  bad [ (0, Trace.Drain { machine = 0 }); (1, Trace.Drain { machine = 1 }) ];
+  (* last machine drained *)
+  bad [ (0, Trace.Arrive { ptimes = Array.make nsets Hs_model.Ptime.Inf }) ]
+(* no finite entry *)
+
+let test_trace_io_roundtrip () =
+  let tr = gen_trace ~drains:1 () in
+  let text = Trace_io.to_string tr in
+  match Trace_io.of_string text with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok tr' ->
+      Alcotest.(check string) "round trip" text (Trace_io.to_string tr');
+      Alcotest.(check string) "digest stable" (Trace_io.digest tr) (Trace_io.digest tr')
+
+let test_trace_io_rejects_duplicates () =
+  let tr = gen_trace ~events:4 ~departures:0.0 () in
+  let text = Trace_io.to_string tr in
+  (* duplicate the first event line verbatim *)
+  let lines = String.split_on_char '\n' text in
+  let dup =
+    List.concat_map
+      (fun l ->
+        if String.length l > 6 && String.sub l 0 6 = "events" then
+          (* bump the count so arity still matches *)
+          [ Printf.sprintf "events %d" (Trace.length tr + 1) ]
+        else if
+          String.length l > 2 && (String.sub l 0 2 = "0 " || String.sub l 0 2 = "0\t")
+        then [ l; l ]
+        else [ l ])
+      lines
+  in
+  match Trace_io.of_string (String.concat "\n" dup) with
+  | Ok _ -> Alcotest.fail "duplicate event id accepted"
+  | Error e ->
+      Alcotest.(check bool) "mentions the id" true
+        (String.length e > 0)
+
+(* ---------------- replay: budget, determinism, certification ----------- *)
+
+let test_budget_accounting_exact () =
+  let tr = gen_trace ~seed:23 ~events:60 ~drains:1 () in
+  let beta = Q.of_ints 1 2 in
+  let o = run_exn ~beta tr in
+  List.iter
+    (fun (s : Replay.step) ->
+      let bound = Q.mul beta (Q.of_int s.arrived_total) in
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d: migrated %d within beta*arrived %d" s.event_id
+           s.migrated_total s.arrived_total)
+        true
+        (Q.leq (Q.of_int s.migrated_total) bound))
+    o.steps;
+  (* beta = 0 admits nothing voluntary, ever *)
+  let o0 = run_exn ~beta:(Q.of_ints 0 1) tr in
+  Alcotest.(check int) "beta=0 migrates nothing" 0 o0.summary.migrated_volume;
+  List.iter
+    (fun (s : Replay.step) -> Alcotest.(check bool) "never adopted" false s.adopted)
+    o0.steps
+
+let test_jobs_determinism () =
+  let tr = gen_trace ~seed:31 ~events:50 ~drains:2 () in
+  let render o =
+    let buf = Buffer.create 4096 in
+    Replay.render_table buf o.Replay.steps;
+    Replay.render_summary buf o.Replay.summary;
+    Buffer.contents buf ^ Hs_obs.Json.to_string (Replay.outcome_to_json o)
+  in
+  let ref_out = render (run_exn ~check:true ~jobs:1 tr) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d identical" jobs)
+        ref_out
+        (render (run_exn ~check:true ~jobs tr)))
+    [ 2; 4 ]
+
+let test_every_step_certified () =
+  List.iter
+    (fun (seed, drains) ->
+      let tr = gen_trace ~seed ~events:50 ~drains () in
+      let o = run_exn ~beta:(Q.of_ints 1 3) ~check:true tr in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: all steps certified" seed)
+        o.summary.events o.summary.certified;
+      Alcotest.(check int) "no failures" 0 o.summary.check_failures;
+      List.iter
+        (fun (s : Replay.step) ->
+          match s.verdict with
+          | Some v when Hs_check.Verdict.ok v -> ()
+          | Some v ->
+              Alcotest.failf "event %d: %s" s.event_id
+                (Format.asprintf "%a" Hs_check.Verdict.pp v)
+          | None -> Alcotest.failf "event %d: no verdict" s.event_id)
+        o.steps)
+    [ (41, 0); (42, 1); (43, 2) ]
+
+let test_competitive_ratio_bounds () =
+  List.iter
+    (fun seed ->
+      let tr = gen_trace ~seed ~events:40 () in
+      let o = run_exn tr in
+      (* unlimited budget: every step within the proven factor-2 envelope *)
+      List.iter
+        (fun (s : Replay.step) ->
+          match s.ratio with
+          | None -> ()
+          | Some r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "event %d: 1 <= ratio <= 2" s.event_id)
+                true
+                (Q.geq r Q.one && Q.leq r (Q.of_int 2)))
+        o.steps;
+      (* any budget: ratio never drops below 1 (T* is a lower bound) *)
+      let o0 = run_exn ~beta:(Q.of_ints 0 1) tr in
+      List.iter
+        (fun (s : Replay.step) ->
+          match s.ratio with
+          | None -> ()
+          | Some r -> Alcotest.(check bool) "ratio >= 1" true (Q.geq r Q.one))
+        o0.steps;
+      (* the clairvoyant comparator never beats itself *)
+      let vmax, _ = Replay.vs_baseline o ~baseline:o in
+      match vmax with
+      | None -> ()
+      | Some r -> Alcotest.(check bool) "self ratio = 1" true (Q.equal r Q.one))
+    [ 51; 52; 53 ]
+
+let test_drain_exempt_from_budget () =
+  (* a drain must re-seat stranded jobs even at beta = 0 *)
+  let tr = gen_trace ~seed:61 ~events:50 ~departures:0.2 ~drains:2 () in
+  let o = run_exn ~beta:(Q.of_ints 0 1) ~check:true tr in
+  Alcotest.(check int) "voluntary stays zero" 0 o.summary.migrated_volume;
+  Alcotest.(check int) "all certified" o.summary.events o.summary.certified
+
+(* ---------------- sessions: dynamic validation ------------------------- *)
+
+let test_session_rejects_and_survives () =
+  let lam = T.semi_partitioned 3 in
+  let nsets = Hs_laminar.Laminar.size lam in
+  let row v = Array.make nsets (Hs_model.Ptime.fin v) in
+  match Replay.Session.create ~check:true lam with
+  | Error e -> Alcotest.failf "session: %s" e
+  | Ok s ->
+      let ok ev = Alcotest.(check bool) "accepted" true (Result.is_ok (Replay.Session.step s ev)) in
+      let bad ev = Alcotest.(check bool) "rejected" true (Result.is_error (Replay.Session.step s ev)) in
+      ok (0, Trace.Arrive { ptimes = row 4 });
+      bad (0, Trace.Arrive { ptimes = row 2 });
+      (* duplicate id *)
+      bad (1, Trace.Depart { job = 99 });
+      (* unknown job *)
+      bad (1, Trace.Drain { machine = 17 });
+      (* no such machine *)
+      ok (1, Trace.Depart { job = 0 });
+      (* the rejections left the session consistent *)
+      let sum = Replay.Session.summary s in
+      Alcotest.(check int) "two applied events" 2 sum.events;
+      Alcotest.(check int) "both certified" 2 sum.certified
+
+let test_sessions_table () =
+  let lam = T.semi_partitioned 2 in
+  let mk () =
+    match Replay.Session.create lam with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "session: %s" e
+  in
+  let t = Hs_service.Sessions.create ~capacity:2 in
+  let sid x =
+    match Hs_service.Sessions.open_ t ~digest:"d" x with
+    | Some id -> id
+    | None -> Alcotest.fail "table full too early"
+  in
+  let a = sid (mk ()) and b = sid (mk ()) in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check bool) "full table refuses" true
+    (Hs_service.Sessions.open_ t ~digest:"d" (mk ()) = None);
+  Alcotest.(check bool) "close returns entry" true
+    (Hs_service.Sessions.close t a <> None);
+  Alcotest.(check bool) "double close is None" true
+    (Hs_service.Sessions.close t a = None);
+  let c = sid (mk ()) in
+  Alcotest.(check bool) "ids never reused" true (c > b);
+  Alcotest.(check int) "opened counts all" 3 (Hs_service.Sessions.opened t)
+
+(* ---------------- wire codecs ------------------------------------------ *)
+
+let test_protocol_online_roundtrip () =
+  let reqs =
+    [
+      Hs_service.Protocol.Online
+        (Hs_service.Protocol.Online_open
+           { trace_text = "hsched-trace 1\n"; beta = Some "1/2"; check = true });
+      Hs_service.Protocol.Online
+        (Hs_service.Protocol.Online_open
+           { trace_text = "x"; beta = None; check = false });
+      Hs_service.Protocol.Online
+        (Hs_service.Protocol.Online_event { session = 3; event_text = "7 arrive 1 2" });
+      Hs_service.Protocol.Online (Hs_service.Protocol.Online_close { session = 0 });
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      let j = Hs_service.Protocol.request_to_json ~id:i req in
+      match Hs_service.Protocol.request_of_json j with
+      | Error (_, e) -> Alcotest.failf "request %d: %s" i e
+      | Ok (id, req') ->
+          Alcotest.(check int) "id" i id;
+          Alcotest.(check bool) "request round trips" true (req = req'))
+    reqs
+
+let test_step_json_render_faithful () =
+  let tr = gen_trace ~seed:71 ~events:30 ~drains:1 () in
+  let o = run_exn ~beta:(Q.of_ints 1 2) ~check:true tr in
+  let steps' =
+    List.map
+      (fun s ->
+        match Replay.step_of_json (Replay.step_to_json s) with
+        | Ok s' -> s'
+        | Error e -> Alcotest.failf "step decode: %s" e)
+      o.steps
+  in
+  let render steps =
+    let buf = Buffer.create 2048 in
+    Replay.render_table buf steps;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "decoded steps render identically" (render o.steps)
+    (render steps');
+  match Replay.summary_of_json (Replay.summary_to_json o.summary) with
+  | Error e -> Alcotest.failf "summary decode: %s" e
+  | Ok sum' ->
+      let render_sum sum =
+        let buf = Buffer.create 512 in
+        Replay.render_summary buf ~beta:(Q.of_ints 1 2) sum;
+        Buffer.contents buf
+      in
+      Alcotest.(check string) "decoded summary renders identically"
+        (render_sum o.summary) (render_sum sum')
+
+(* ---------------- generator + shrinker --------------------------------- *)
+
+let test_generator_respects_caps () =
+  let tr = gen_trace ~seed:81 ~events:80 ~max_live:4 ~drains:2 () in
+  Alcotest.(check int) "drains as requested" 2 (Trace.drains tr);
+  (* replay the liveness bookkeeping: the cap holds at every prefix *)
+  let live = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (_, ev) ->
+      (match ev with
+      | Trace.Arrive _ -> incr live
+      | Trace.Depart _ -> decr live
+      | Trace.Drain _ -> ());
+      peak := Stdlib.max !peak !live)
+    (Trace.events tr);
+  Alcotest.(check bool) "live cap holds" true (!peak <= 4)
+
+let test_shrinker_minimizes () =
+  let tr = gen_trace ~seed:91 ~events:40 ~drains:1 () in
+  (* predicate: the trace still contains a drain event *)
+  let has_drain t =
+    List.exists (fun (_, e) -> match e with Trace.Drain _ -> true | _ -> false)
+      (Trace.events t)
+  in
+  let small = Hs_workloads.Shrink.minimize_trace ~still_failing:has_drain tr in
+  Alcotest.(check bool) "still fails" true (has_drain small);
+  let e0, v0 = Hs_workloads.Shrink.trace_measure tr in
+  let e1, v1 = Hs_workloads.Shrink.trace_measure small in
+  Alcotest.(check bool) "did not grow" true (e1 <= e0 && v1 <= v0);
+  (* a drain alone needs no arrivals at all *)
+  Alcotest.(check int) "one event suffices" 1 (Trace.length small);
+  (* every candidate of any trace is still statically valid *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate valid" true
+        (Result.is_ok (Trace.make (Trace.laminar c) (Trace.events c))))
+    (Hs_workloads.Shrink.trace_candidates tr)
+
+let suite =
+  let u name f = Alcotest.test_case name `Quick f in
+  ( "online",
+    [
+      u "trace static validation" test_trace_static_validation;
+      u "trace io round trip" test_trace_io_roundtrip;
+      u "trace io rejects duplicate ids" test_trace_io_rejects_duplicates;
+      u "budget accounting exact" test_budget_accounting_exact;
+      u "byte-identical at any jobs" test_jobs_determinism;
+      u "every step certified" test_every_step_certified;
+      u "competitive ratio bounds" test_competitive_ratio_bounds;
+      u "drains exempt from budget" test_drain_exempt_from_budget;
+      u "session rejects bad events, survives" test_session_rejects_and_survives;
+      u "sessions table bounds and ids" test_sessions_table;
+      u "protocol online codec round trip" test_protocol_online_roundtrip;
+      u "step/summary json render-faithful" test_step_json_render_faithful;
+      u "generator respects caps" test_generator_respects_caps;
+      u "shrinker minimizes traces" test_shrinker_minimizes;
+    ] )
