@@ -609,6 +609,264 @@ let run_online ~quick ~jobs () =
     exit 1
   end
 
+(* ---------------- LP engine bench --------------------------------------- *)
+
+(* Solver-scaling study of the two simplex engines (DESIGN.md §16): a
+   size ladder of single LP-feasibility solves timed under the dense
+   tableau, the sparse revised engine, and the sparse engine with the
+   float pre-solve; cold-vs-warm pivot counts for the Theorem V.2
+   binary search (one warm store shared by its probes); and the
+   growth-family online replay solved cold and warm-started.  The dense
+   tableau and exact arithmetic are capped to the sizes they can carry —
+   the top of the ladder (10k jobs / 1k machines in the full run) is
+   float-field sparse only, with a pivot allowance so the run always
+   terminates.  Writes BENCH_lp.json; exits non-zero if the warm growth
+   replay fails to use strictly fewer pivots than the cold one or
+   diverges from it. *)
+let run_lp ~quick () =
+  print_endline "\n== LP engines: dense vs sparse revised, cold vs warm (Hs_lp) ==";
+  let module I = Hs_core.Ilp.Make (Hs_lp.Field.Exact) in
+  let module IF = Hs_core.Ilp.Make (Hs_lp.Field.Float) in
+  let module E = Hs_lp.Engine in
+  let counter snap name =
+    Option.value ~default:0 (List.assoc_opt name snap.Hs_obs.Metrics.counters)
+  in
+  (* Each measurement resets the registry, so counter values are exact
+     per-solve rates, and wall time is a single monotonic interval. *)
+  let measure f =
+    Hs_obs.Metrics.reset ();
+    let t0 = Unix.gettimeofday () in
+    let outcome = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    (outcome, wall, Hs_obs.Metrics.snapshot ())
+  in
+  let instance ~n ~m =
+    let rng = Hs_workloads.Rng.create (7100 + n + m) in
+    Hs_workloads.Generators.hierarchical rng ~lam:(T.semi_partitioned m) ~n
+      ~base:(2, 15) ~heterogeneity:1.6 ~overhead:0.2 ()
+  in
+  (* -- section 1: one feasibility solve per engine across the ladder -- *)
+  let allowance = 2_000_000 in
+  (* (n, m, pivot allowance).  The 10k/1k row exists to measure how far
+     a bounded pivot allowance gets at that scale — a full float solve
+     there runs for hours, so its row is expected (and recorded) as
+     budget_exhausted rather than left open-ended. *)
+  let ladder =
+    if quick then [ (12, 4, allowance); (30, 8, allowance); (60, 16, allowance) ]
+    else
+      [
+        (30, 8, allowance);
+        (100, 32, allowance);
+        (300, 64, allowance);
+        (1000, 128, allowance);
+        (3000, 512, allowance);
+        (10000, 1000, 1_500);
+      ]
+  in
+  let dense_cap = if quick then 60 else 300 in
+  let exact_cap = if quick then 60 else 1000 in
+  let feasibility_case name f =
+    match measure f with
+    | ok, wall, snap ->
+        ( name,
+          Hs_obs.Json.Obj
+            [
+              ("feasible", Hs_obs.Json.Bool ok);
+              ("wall_s", Hs_obs.Json.Float wall);
+              ("pivots", Hs_obs.Json.Int (counter snap "simplex.pivots"));
+              ("budget_exhausted", Hs_obs.Json.Bool false);
+            ] )
+    | exception Hs_core.Hs_error.Error (Hs_core.Hs_error.Budget_exhausted _) ->
+        (name, Hs_obs.Json.Obj [ ("budget_exhausted", Hs_obs.Json.Bool true) ])
+  in
+  let scaling_row (n, m, row_allowance) =
+    let inst = instance ~n ~m in
+    match I.t_bounds inst with
+    | None -> None
+    | Some (_, hi) ->
+        (* Solve at the certified upper bound: always feasible, so every
+           engine does the same full phase-1 work. *)
+        let exact engine () =
+          E.with_engine engine (fun () ->
+              I.lp_feasible_x ~pivots:(Hs_lp.Simplex.budget row_allowance) inst
+                ~tmax:hi
+              <> None)
+        in
+        let cases =
+          [ feasibility_case "sparse_float"
+              (fun () ->
+                E.with_engine E.Sparse (fun () ->
+                    IF.lp_feasible_x ~pivots:(Hs_lp.Simplex.budget row_allowance)
+                      inst ~tmax:hi
+                    <> None)) ]
+          @ (if n <= exact_cap then
+               [ feasibility_case "sparse_exact" (exact E.Sparse);
+                 feasibility_case "sparse_exact_presolve"
+                   (fun () ->
+                     E.set_presolve true;
+                     Fun.protect
+                       ~finally:(fun () -> E.set_presolve false)
+                       (exact E.Sparse)) ]
+             else [])
+          @
+          if n <= dense_cap then [ feasibility_case "dense_exact" (exact E.Dense) ]
+          else []
+        in
+        let wall_of name =
+          match List.assoc_opt name cases with
+          | Some (Hs_obs.Json.Obj fields) -> (
+              match List.assoc_opt "wall_s" fields with
+              | Some (Hs_obs.Json.Float w) -> Printf.sprintf "%8.3fs" w
+              | _ -> "  budget!")
+          | _ -> "       -"
+        in
+        Printf.printf "n=%-6d m=%-5d tmax=%-6d float=%s exact=%s presolve=%s dense=%s\n%!"
+          n m hi (wall_of "sparse_float") (wall_of "sparse_exact")
+          (wall_of "sparse_exact_presolve") (wall_of "dense_exact");
+        Some
+          (Hs_obs.Json.Obj
+             [
+               ("n", Hs_obs.Json.Int n);
+               ("m", Hs_obs.Json.Int m);
+               ("tmax", Hs_obs.Json.Int hi);
+               ("allowance", Hs_obs.Json.Int row_allowance);
+               ("engines", Hs_obs.Json.Obj cases);
+             ])
+  in
+  let scaling = List.filter_map scaling_row ladder in
+  (* -- section 2: the binary search, cold vs warm-started probes -- *)
+  let search_sizes = if quick then [ (12, 4); (24, 8) ] else [ (30, 8); (100, 32) ] in
+  let search_row (n, m) =
+    let inst = instance ~n ~m in
+    let solve warm () =
+      match
+        (if warm then
+           Hs_core.Approx.Exact.solve_checked
+             ~warm:(Hs_core.Approx.Exact.I.warm_store ())
+             inst
+         else Hs_core.Approx.Exact.solve_checked inst)
+      with
+      | Ok o -> o.Hs_core.Approx.Exact.t_lp
+      | Error e -> failwith ("bench lp: " ^ Hs_core.Hs_error.to_string e)
+    in
+    let t_cold, wall_cold, snap_cold = measure (solve false) in
+    let t_warm, wall_warm, snap_warm = measure (solve true) in
+    if t_cold <> t_warm then
+      failwith
+        (Printf.sprintf "bench lp: warm binary search changed T* (%d vs %d)" t_cold
+           t_warm);
+    let pc = counter snap_cold "simplex.pivots"
+    and pw = counter snap_warm "simplex.pivots" in
+    Printf.printf
+      "search n=%-4d m=%-3d T*=%-4d pivots cold=%-6d warm=%-6d hits=%d repairs=%d\n%!"
+      n m t_cold pc pw
+      (counter snap_warm "lp.warm_start.hits")
+      (counter snap_warm "lp.warm_start.repairs");
+    Hs_obs.Json.Obj
+      [
+        ("n", Hs_obs.Json.Int n);
+        ("m", Hs_obs.Json.Int m);
+        ("t_lp", Hs_obs.Json.Int t_cold);
+        ( "cold",
+          Hs_obs.Json.Obj
+            [ ("pivots", Hs_obs.Json.Int pc); ("wall_s", Hs_obs.Json.Float wall_cold) ]
+        );
+        ( "warm",
+          Hs_obs.Json.Obj
+            [
+              ("pivots", Hs_obs.Json.Int pw);
+              ("wall_s", Hs_obs.Json.Float wall_warm);
+              ("hits", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.hits"));
+              ("misses", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.misses"));
+              ("repairs", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.repairs"));
+            ] );
+      ]
+  in
+  let searches = List.map search_row search_sizes in
+  (* -- section 3: the growth family replayed cold and warm-started -- *)
+  let nevents = if quick then 60 else 500 in
+  let tr =
+    Hs_workloads.Generators.trace ~seed:1301
+      ~lam:(T.smp_cmp ~nodes:2 ~chips_per_node:2 ~cores_per_chip:2) ~events:nevents
+      ~base:(1, 9) ~heterogeneity:1.3 ~overhead:0.2 ~departures:0.0 ~max_live:12 ()
+  in
+  let module Replay = Hs_online.Replay in
+  let replay warm_start () =
+    match Replay.run ~warm_start tr with
+    | Error e -> failwith ("bench lp: growth replay: " ^ e)
+    | Ok o -> o
+  in
+  let ocold, wall_cold, snap_cold = measure (replay false) in
+  let owarm, wall_warm, snap_warm = measure (replay true) in
+  let pc = counter snap_cold "simplex.pivots"
+  and pw = counter snap_warm "simplex.pivots" in
+  let identical =
+    List.length ocold.Replay.steps = List.length owarm.Replay.steps
+    && List.for_all2
+         (fun (a : Replay.step) (b : Replay.step) -> a.makespan = b.makespan)
+         ocold.Replay.steps owarm.Replay.steps
+  in
+  Printf.printf
+    "growth  events=%-4d pivots cold=%-7d warm=%-7d saved=%4.1f%% hits=%d \
+     misses=%d repairs=%d schedules=%s\n\
+     %!"
+    nevents pc pw
+    (100. *. float_of_int (pc - pw) /. Float.max 1. (float_of_int pc))
+    (counter snap_warm "lp.warm_start.hits")
+    (counter snap_warm "lp.warm_start.misses")
+    (counter snap_warm "lp.warm_start.repairs")
+    (if identical then "identical" else "DIFFER");
+  let online =
+    Hs_obs.Json.Obj
+      [
+        ("events", Hs_obs.Json.Int nevents);
+        ( "cold",
+          Hs_obs.Json.Obj
+            [ ("pivots", Hs_obs.Json.Int pc); ("wall_s", Hs_obs.Json.Float wall_cold) ]
+        );
+        ( "warm",
+          Hs_obs.Json.Obj
+            [
+              ("pivots", Hs_obs.Json.Int pw);
+              ("wall_s", Hs_obs.Json.Float wall_warm);
+              ("hits", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.hits"));
+              ("misses", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.misses"));
+              ("repairs", Hs_obs.Json.Int (counter snap_warm "lp.warm_start.repairs"));
+            ] );
+        ("schedules_identical", Hs_obs.Json.Bool identical);
+        ( "pivots_saved_pct",
+          Hs_obs.Json.Float
+            (100. *. float_of_int (pc - pw) /. Float.max 1. (float_of_int pc)) );
+      ]
+  in
+  let doc =
+    Hs_obs.Json.Obj
+      [
+        ("schema", Hs_obs.Json.String "hsched.bench.lp/1");
+        ("quick", Hs_obs.Json.Bool quick);
+        ("pivot_allowance", Hs_obs.Json.Int allowance);
+        ("scaling", Hs_obs.Json.List scaling);
+        ("warm_binary_search", Hs_obs.Json.List searches);
+        ("online_growth", online);
+      ]
+  in
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Hs_obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_lp.json";
+  if not identical then begin
+    prerr_endline "lp bench FAILED: warm growth replay diverged from the cold one";
+    exit 1
+  end;
+  if pw >= pc then begin
+    Printf.eprintf
+      "lp bench FAILED: warm growth replay used %d pivots, cold used %d — warm \
+       must be strictly cheaper\n"
+      pw pc;
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
@@ -629,18 +887,20 @@ let () =
     else if List.mem "parallel" args then `Parallel
     else if List.mem "service" args then `Service
     else if List.mem "online" args then `Online
+    else if List.mem "lp" args then `Lp
     else `Both
   in
   (match which with
   | `Experiments | `Both ->
       print_endline "== Evaluation suite (DESIGN.md section 4; see EXPERIMENTS.md) ==";
       Hs_experiments.Experiments.all ~quick ~jobs ()
-  | `Timings | `Parallel | `Service | `Online -> ());
+  | `Timings | `Parallel | `Service | `Online | `Lp -> ());
   (match which with
   | `Parallel -> run_parallel ~quick ()
   | `Service -> run_service ~quick ~jobs ()
   | `Online -> run_online ~quick ~jobs ()
+  | `Lp -> run_lp ~quick ()
   | _ -> ());
   match which with
   | `Timings | `Both -> run_timings ()
-  | `Experiments | `Parallel | `Service | `Online -> ()
+  | `Experiments | `Parallel | `Service | `Online | `Lp -> ()

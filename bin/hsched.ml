@@ -80,6 +80,39 @@ let stats_json_arg =
     & info [ "stats-json" ] ~docv:"FILE"
         ~doc:"Write the solver metrics registry as JSON to FILE.")
 
+(* ---------- LP engine selection ---------------------------------------- *)
+
+let lp_engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("dense", Hs_lp.Engine.Dense); ("sparse", Hs_lp.Engine.Sparse) ])
+        Hs_lp.Engine.Sparse
+    & info [ "lp-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "LP solver engine: 'sparse' (default) is the revised simplex over sparse \
+           rows with warm-started bases; 'dense' is the two-phase tableau kept as the \
+           differential oracle. Both follow identical pivot trajectories in exact \
+           arithmetic, so results, budgets and exit codes are engine-independent.")
+
+let lp_presolve_arg =
+  Arg.(
+    value & flag
+    & info [ "lp-presolve" ]
+        ~doc:
+          "Guess the optimal basis with a floating-point pre-solve and promote it to \
+           exact arithmetic only for certification (sparse engine only). Every guess \
+           is re-verified exactly, so verdicts and bounds are unaffected.")
+
+(* Evaluated by cmdliner before any run function body, so the engine is
+   pinned for the whole process including at_exit stat dumps. *)
+let setup_lp_term =
+  let setup engine presolve =
+    Hs_lp.Engine.set engine;
+    Hs_lp.Engine.set_presolve presolve
+  in
+  Term.(const setup $ lp_engine_arg $ lp_presolve_arg)
+
 (* The writers run from [at_exit] so that a run cut short by budget
    exhaustion (exit 4) still flushes a well-formed, merely truncated,
    trace and its metrics. *)
@@ -184,7 +217,7 @@ let solve_cmd =
   let use_float =
     Arg.(value & flag & info [ "float-lp" ] ~doc:"Use the floating-point LP (faster, uncertified).")
   in
-  let run file topology m n seed overhead het show_schedule show_gantt use_float budget
+  let run () file topology m n seed overhead het show_schedule show_gantt use_float budget
       on_exhausted check trace stats stats_json =
     setup_obs trace stats stats_json;
     if check && use_float then
@@ -219,7 +252,7 @@ let solve_cmd =
                   if check then enforce_verdict (Hs_check.Certify.outcome o)))
   in
   Cmd.v (Cmd.info "solve" ~doc:"Run the 2-approximation pipeline (Theorem V.2).")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ setup_lp_term $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ show_schedule $ show_gantt $ use_float $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- exact ------------------------------------------------------ *)
 
@@ -227,7 +260,7 @@ let exact_cmd =
   let limit =
     Arg.(value & opt int 20_000_000 & info [ "node-limit" ] ~docv:"K" ~doc:"Branch-and-bound node budget.")
   in
-  let run file topology m n seed overhead het limit on_exhausted trace stats stats_json =
+  let run () file topology m n seed overhead het limit on_exhausted trace stats stats_json =
     setup_obs trace stats stats_json;
     match load_or_generate file topology m n seed overhead het with
     | Error e -> exit_usage e
@@ -253,7 +286,7 @@ let exact_cmd =
             Array.iteri (fun j s -> Printf.printf "  job %d -> set #%d\n" j s) a)
   in
   Cmd.v (Cmd.info "exact" ~doc:"Compute the optimal makespan by branch and bound.")
-    Term.(const run $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ setup_lp_term $ file_arg $ topology_arg $ m_arg $ n_arg $ seed_arg $ overhead_arg $ het_arg $ limit $ on_exhausted_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- generate --------------------------------------------------- *)
 
@@ -298,7 +331,7 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"T1..T6, F1..F5, or 'all'.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps.") in
-  let run exp_name quick jobs trace stats stats_json =
+  let run () exp_name quick jobs trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     Hs_experiments.Experiments.by_name exp_name ~quick ~jobs ()
@@ -306,7 +339,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the evaluation tables/figures from DESIGN.md.")
-    Term.(const run $ exp_name $ quick $ jobs_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ setup_lp_term $ exp_name $ quick $ jobs_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- sweep ------------------------------------------------------- *)
 
@@ -316,7 +349,7 @@ let sweep_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"FILE" ~doc:"Instance files (Instance_io format) to solve in batch.")
   in
-  let run files jobs budget on_exhausted check trace stats stats_json =
+  let run () files jobs budget on_exhausted check trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     (* Each file is one deterministic work item; [parmap] returns the
@@ -379,7 +412,7 @@ let sweep_cmd =
        ~doc:
          "Batch-solve instance files on a worker-domain pool. Output order and exit code \
           match a sequential run at any --jobs.")
-    Term.(const run $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ setup_lp_term $ files_arg $ jobs_arg $ budget_arg $ on_exhausted_arg $ check_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- check ------------------------------------------------------- *)
 
@@ -416,7 +449,7 @@ let check_cmd =
             "Skip the LP lower-bound recomputation (the exact-simplex re-derivation of \
              T* and the Farkas check at T*-1); the remaining invariants still run.")
   in
-  let run files json assignment tmax budget jobs no_lp trace stats stats_json =
+  let run () files json assignment tmax budget jobs no_lp trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
     let lp = not no_lp in
@@ -487,7 +520,7 @@ let check_cmd =
           validity, the recomputed LP lower bound and the Theorem V.2 factor-2 bound), \
           or certify an externally produced --assignment at a given --tmax. Exit 0 \
           only when every certificate passes.")
-    Term.(const run $ files_arg $ json_arg $ assignment_arg $ tmax_arg $ budget_arg $ jobs_arg $ no_lp_arg $ trace_arg $ stats_arg $ stats_json_arg)
+    Term.(const run $ setup_lp_term $ files_arg $ json_arg $ assignment_arg $ tmax_arg $ budget_arg $ jobs_arg $ no_lp_arg $ trace_arg $ stats_arg $ stats_json_arg)
 
 (* ---------- service: serve / request / shutdown -------------------------- *)
 
@@ -576,7 +609,7 @@ let serve_cmd =
             "Bound on concurrently open online-scheduling sessions; an $(b,online \
              open) beyond it is shed with the typed overloaded response (status 5).")
   in
-  let run socket jobs cache batch queue retry_hint deadline_units io_timeout snapshot
+  let run () socket jobs cache batch queue retry_hint deadline_units io_timeout snapshot
       chaos recorder sessions budget check quiet trace stats stats_json =
     setup_obs trace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
@@ -618,7 +651,7 @@ let serve_cmd =
           admission (overload shedding), per-request deadlines, a canonical-hash \
           result cache and optional crash-recovery snapshots.")
     Term.(
-      const run $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ queue_arg
+      const run $ setup_lp_term $ socket_arg $ jobs_arg $ cache_arg $ batch_arg $ queue_arg
       $ retry_hint_arg $ deadline_units_arg $ io_timeout_arg $ snapshot_arg $ chaos_arg
       $ recorder_arg $ sessions_arg $ budget_arg $ check_arg $ quiet_arg $ trace_arg
       $ stats_arg $ stats_json_arg)
@@ -1178,7 +1211,7 @@ let online_cmd =
         (Printf.sprintf "%d online step(s) failed certification"
            outcome.Replay.summary.Replay.check_failures)
   in
-  let run trace_pos socket beta_s check jobs json save events m topology seed overhead
+  let run () trace_pos socket beta_s check jobs json save events m topology seed overhead
       het departures drains max_live latencies otrace stats stats_json =
     setup_obs otrace stats stats_json;
     let jobs = resolve_jobs_or_exit jobs in
@@ -1299,7 +1332,7 @@ let online_cmd =
           trace file or a seeded generated trace, locally (byte-identical at any \
           --jobs) or streamed through a daemon with --socket.")
     Term.(
-      const run $ trace_pos $ socket_opt_arg $ beta_arg $ check_arg $ jobs_arg
+      const run $ setup_lp_term $ trace_pos $ socket_opt_arg $ beta_arg $ check_arg $ jobs_arg
       $ json_arg $ save_arg $ events_arg $ m_arg $ topology_arg $ seed_arg
       $ overhead_arg $ het_arg $ departures_arg $ drains_arg $ max_live_arg
       $ latencies_arg $ trace_arg $ stats_arg $ stats_json_arg)

@@ -611,15 +611,114 @@ let online_step inst (a : Assignment.t) ~makespan ~t_lp ~resolve_admitted
 
 module Ilp_exact = Hs_core.Ilp.Make (Hs_lp.Field.Exact)
 
-let lp_lower_bound inst ~t_lp =
-  let feasible =
-    match Ilp_exact.lp_feasible inst ~tmax:t_lp with
-    | Some _ ->
-        V.pass ~invariant:"lp.feasible-at-t"
-          (Printf.sprintf "(IP-3) relaxation feasible at T* = %d" t_lp)
+(* {1 LP vertex structure}
+
+   simplex.mli promises basic feasible solutions (vertices), and the
+   Lenstra–Shmoys–Tardos support bound rests on that promise; these
+   checks hold a returned solution to it.  The [basic] flags must be
+   consistent with [x] (a nonbasic variable sits at its bound 0), the
+   basic support cannot exceed the row count (a basis has one column
+   per row), the point must satisfy every constraint with [x ≥ 0], and
+   the reported objective must equal [c·x] recomputed from the problem
+   statement. *)
+let lp_vertex (lp : Q.t Hs_lp.Lp_problem.t) ~x ~basic ~objective =
+  let open Hs_lp.Lp_problem in
+  let nv = Stdlib.min (Array.length x) (Array.length basic) in
+  let shape =
+    V.check ~invariant:"lp.vertex.shape"
+      (Array.length x = lp.nvars && Array.length basic = lp.nvars)
+      ~witness:
+        (Printf.sprintf "|x| = %d and |basic| = %d against nvars = %d"
+           (Array.length x) (Array.length basic) lp.nvars)
+      ~detail:(Printf.sprintf "solution arrays match nvars = %d" lp.nvars)
+  in
+  let loose = ref None in
+  for v = nv - 1 downto 0 do
+    if (not basic.(v)) && Q.sign x.(v) <> 0 then loose := Some v
+  done;
+  let at_bound =
+    match !loose with
     | None ->
-        V.fail ~invariant:"lp.feasible-at-t" "(IP-3) relaxation infeasible at T* = %d"
-          t_lp
+        V.pass ~invariant:"lp.vertex.nonbasic-at-bound"
+          "every nonbasic variable sits at its bound 0"
+    | Some v ->
+        V.fail ~invariant:"lp.vertex.nonbasic-at-bound"
+          "variable %d is flagged nonbasic but x = %s ≠ 0 — not the claimed vertex"
+          v (Q.to_string x.(v))
+  in
+  let support = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 basic in
+  let rows = nconstrs lp in
+  let support_ok =
+    V.check ~invariant:"lp.vertex.support"
+      (support <= rows)
+      ~witness:
+        (Printf.sprintf "%d basic variables exceed the %d constraint rows" support rows)
+      ~detail:(Printf.sprintf "basic support %d ≤ %d rows" support rows)
+  in
+  let nonneg = ref true in
+  Array.iter (fun xv -> if Q.sign xv < 0 then nonneg := false) x;
+  let violated =
+    List.find_opt
+      (fun c ->
+        let lhs =
+          List.fold_left
+            (fun acc (v, a) ->
+              if v < Array.length x then Q.add acc (Q.mul a x.(v)) else acc)
+            Q.zero c.terms
+        in
+        match c.rel with
+        | Le -> Q.compare lhs c.rhs > 0
+        | Ge -> Q.compare lhs c.rhs < 0
+        | Eq -> Q.sign (Q.sub lhs c.rhs) <> 0)
+      lp.constrs
+  in
+  let feasible_pt =
+    match (!nonneg, violated) with
+    | true, None ->
+        V.pass ~invariant:"lp.vertex.feasible"
+          "x ≥ 0 and every constraint holds"
+    | false, _ -> V.fail ~invariant:"lp.vertex.feasible" "some x is negative"
+    | _, Some c ->
+        V.fail ~invariant:"lp.vertex.feasible" "constraint %s violated at x"
+          (if c.cname = "" then "<unnamed>" else c.cname)
+  in
+  let cx =
+    List.fold_left
+      (fun acc (v, c) ->
+        if v < Array.length x then Q.add acc (Q.mul c x.(v)) else acc)
+      Q.zero lp.objective
+  in
+  let obj_ok =
+    V.check ~invariant:"lp.vertex.objective"
+      (Q.sign (Q.sub cx objective) = 0)
+      ~witness:
+        (Printf.sprintf "reported objective %s but c·x = %s" (Q.to_string objective)
+           (Q.to_string cx))
+      ~detail:"reported objective equals c·x"
+  in
+  [ shape; at_bound; support_ok; feasible_pt; obj_ok ]
+
+let lp_lower_bound inst ~t_lp =
+  let feasible, vertex =
+    match Ilp_exact.relaxation inst ~tmax:t_lp with
+    | None ->
+        ( V.fail ~invariant:"lp.feasible-at-t"
+            "(IP-3) relaxation infeasible at T* = %d" t_lp,
+          [] )
+    | Some (lp, _) -> (
+        match Ilp_exact.Solver.feasible lp with
+        | Some sol ->
+            ( V.pass ~invariant:"lp.feasible-at-t"
+                (Printf.sprintf "(IP-3) relaxation feasible at T* = %d" t_lp),
+              (* The recomputed witness must itself be the vertex the
+                 solver contract promises. *)
+              lp_vertex lp ~x:sol.Ilp_exact.Solver.x
+                ~basic:sol.Ilp_exact.Solver.basic
+                ~objective:sol.Ilp_exact.Solver.objective )
+        | None ->
+            ( V.fail ~invariant:"lp.feasible-at-t"
+                "(IP-3) relaxation infeasible at T* = %d" t_lp,
+              [] ))
   in
   let minimal =
     if t_lp = 0 then V.pass ~invariant:"lp.minimal" "T* = 0 is trivially minimal"
@@ -631,7 +730,7 @@ let lp_lower_bound inst ~t_lp =
         "relaxation not certified infeasible at T* − 1 = %d — T* is not minimal"
         (t_lp - 1)
   in
-  [ feasible; minimal ]
+  (feasible :: vertex) @ [ minimal ]
 
 (* {1 Theorem V.2} *)
 

@@ -68,9 +68,25 @@ val online_step :
     migration budget admitted adopting the fresh re-solve — the makespan
     holds the Theorem V.2 envelope [≤ 2·t_lp]. *)
 
+val lp_vertex :
+  Hs_numeric.Q.t Hs_lp.Lp_problem.t ->
+  x:Hs_numeric.Q.t array ->
+  basic:bool array ->
+  objective:Hs_numeric.Q.t ->
+  Verdict.item list
+(** Vertex-structure invariants for a solution the simplex engines claim
+    is basic feasible: array shapes match [nvars]; every variable flagged
+    nonbasic sits at its bound 0; the basic support has at most one
+    variable per constraint row; the point is primal feasible ([x ≥ 0]
+    and every constraint holds, in exact arithmetic); and the reported
+    objective equals [c·x] recomputed from the problem statement.
+    {!lp_lower_bound} runs these on its recomputed witness; tests feed
+    deliberately corrupted solutions to check the blame messages. *)
+
 val lp_lower_bound : Instance.t -> t_lp:int -> Verdict.item list
 (** Recompute the certified lower bound: the (IP-3) relaxation is
-    feasible at [t_lp] and certified infeasible (verified Farkas
+    feasible at [t_lp] — with the recomputed witness held to the
+    {!lp_vertex} contract — and certified infeasible (verified Farkas
     witness) at [t_lp − 1]. *)
 
 val theorem_v2 : t_lp:int -> makespan:int -> Verdict.item list

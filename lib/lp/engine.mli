@@ -1,0 +1,37 @@
+(** Process-wide LP engine selection.
+
+    Two interchangeable simplex engines live in this library: the dense
+    two-phase tableau ({!Simplex}, the historical implementation, kept
+    as the differential oracle) and the sparse revised simplex
+    ({!Revised}, the default).  Both run the same pivot rules over the
+    same standard form, so with {!Field.Exact} they follow identical
+    pivot trajectories on non-degenerate-row problems and return
+    identical solutions — the CLI output is byte-identical either way.
+
+    The selection is a process-wide default consulted by the public
+    entry points of {!Simplex.Make}; the CLI's [--lp-engine] flag sets
+    it once at startup. *)
+
+type t = Dense | Sparse
+
+val set : t -> unit
+val get : unit -> t
+(** The current engine; initially {!Sparse}. *)
+
+val set_presolve : bool -> unit
+
+val presolve_enabled : unit -> bool
+(** Whether exact feasibility solves may first guess a basis with a
+    floating-point revised simplex and promote it to exact Q (the guess
+    is always re-verified exactly; a float "infeasible" is never
+    trusted).  Off by default; the CLI's [--lp-presolve] enables it. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** ["dense"] / ["sparse"]. *)
+
+val with_engine : t -> (unit -> 'a) -> 'a
+(** Run a thunk under a temporary engine selection, restoring the
+    previous one afterwards (exception-safe).  Used by the differential
+    tests to query both engines side by side. *)

@@ -37,6 +37,11 @@ module type S = sig
 
   val to_float : t -> float
   val to_string : t -> string
+
+  val exact : bool
+  (** Whether arithmetic is exact.  Gates paths that are only sound when
+      verification happens in the same field, e.g. promoting a float
+      pre-solve's basis guess to an exact certification. *)
 end
 
 (** Exact rational instance: every comparison is certified. *)
@@ -60,6 +65,7 @@ module Exact : S with type t = Hs_numeric.Q.t = struct
   let is_zero = Q.is_zero
   let to_float = Q.to_float
   let to_string = Q.to_string
+  let exact = true
 end
 
 (** Floating-point instance with a fixed absolute tolerance.  Only used
@@ -85,4 +91,5 @@ module Float : S with type t = float = struct
   let is_zero x = Float.abs x <= eps
   let to_float x = x
   let to_string = string_of_float
+  let exact = false
 end

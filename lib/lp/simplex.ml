@@ -14,25 +14,18 @@
    rule terminates from any basis, the combination terminates even on
    degenerate tableaus while keeping Dantzig's practical pivot counts. *)
 
-type budget = { mutable pivots_left : int; total : int }
+(* Budgets, exceptions and metric cells live in {!Pivot_budget} so the
+   sparse revised engine can share them; re-exported here under their
+   historical names. *)
+type budget = Pivot_budget.t = { mutable pivots_left : int; total : int }
 
-let budget n = { pivots_left = n; total = n }
-let consumed b = b.total - b.pivots_left
+let budget = Pivot_budget.budget
+let consumed = Pivot_budget.consumed
 
-exception Pivot_limit
-exception Stall
+exception Pivot_limit = Pivot_budget.Pivot_limit
+exception Stall = Pivot_budget.Stall
 
-(* Telemetry (Hs_obs): metric cells are registered once here, outside
-   the functor, so the exact and float instantiations share them. *)
-module Obs = struct
-  module M = Hs_obs.Metrics
-  module Tr = Hs_obs.Tracer
-
-  let pivots = M.counter "simplex.pivots"
-  let degenerate = M.counter "simplex.degenerate_pivots"
-  let solves = M.counter "simplex.solves"
-  let pivots_per_solve = M.histogram ~buckets:[ 10; 30; 100; 300; 1_000; 10_000 ] "simplex.pivots_per_solve"
-end
+module Obs = Pivot_budget.Obs
 
 module Make (F : Field.S) = struct
   type solution = { x : F.t array; objective : F.t; basic : bool array }
@@ -127,16 +120,7 @@ module Make (F : Field.S) = struct
      given, is decremented once per pivot across every call sharing it;
      {!Pivot_limit} is raised when it runs dry. *)
   let optimize ?(pricing = Dantzig) ?budget ?(on_stall = `Bland) t cost ~max_col =
-    let charge () =
-      (match budget with
-      | None -> ()
-      | Some b ->
-          if b.pivots_left <= 0 then raise Pivot_limit
-          else b.pivots_left <- b.pivots_left - 1);
-      (* The metrics counter and the budget meter decrement at the same
-         site, so `simplex.pivots` always equals the consumed allowance. *)
-      Hs_obs.Metrics.incr Obs.pivots
-    in
+    let charge () = Pivot_budget.charge budget in
     let degenerate_limit = (2 * t.ncols) + 16 in
     let rec go pricing degenerate =
       match entering pricing cost ~max_col with
@@ -330,8 +314,51 @@ module Make (F : Field.S) = struct
       "simplex.solve"
       (fun () -> Fun.protect ~finally:observe f)
 
-  let solve ?pricing ?budget ?on_stall ?(maximize = false) (p : F.t Lp_problem.t) =
-    instrumented ~what:"solve" p @@ fun () ->
+  (* ---- sparse engine bridge ---------------------------------------
+
+     Both engines sit behind the same public entry points; {!Engine}
+     picks which one actually pivots.  All the instrumentation (spans,
+     solve counters, pivot histograms) stays on this side of the
+     dispatch so the two engines are observed identically. *)
+
+  module R = Revised.Make (F)
+  module RFloat = Revised.Make (Field.Float)
+
+  let to_rpricing = function Bland -> R.Bland | Dantzig -> R.Dantzig
+
+  let of_rsolution (s : R.solution) =
+    { x = s.R.x; objective = s.R.objective; basic = s.R.basic }
+
+  (* Float pre-solve: guess the optimal basis numerically and promote it
+     to the exact field as a warm-start hint.  The guess is re-verified
+     by the exact engine's warm loader, so float noise costs pivots,
+     never correctness — in particular a float "infeasible" is never
+     trusted (we just keep the caller's own hint). *)
+  let presolve_hint (p : F.t Lp_problem.t) warm =
+    Hs_obs.Metrics.incr Pivot_budget.Obs.presolve_guesses;
+    let fp =
+      {
+        Lp_problem.nvars = p.Lp_problem.nvars;
+        objective = [];
+        constrs =
+          List.map
+            (fun (c : F.t Lp_problem.constr) ->
+              {
+                Lp_problem.cname = c.Lp_problem.cname;
+                terms =
+                  List.map (fun (v, k) -> (v, F.to_float k)) c.Lp_problem.terms;
+                rel = c.Lp_problem.rel;
+                rhs = F.to_float c.Lp_problem.rhs;
+              })
+            p.Lp_problem.constrs;
+      }
+    in
+    match RFloat.feasible_basis ?warm fp with
+    | Some (_, basis) -> Some basis
+    | None -> warm
+    | exception Division_by_zero -> warm
+
+  let dense_solve ?pricing ?budget ?on_stall ~maximize (p : F.t Lp_problem.t) =
     let p =
       if maximize then
         { p with Lp_problem.objective = List.map (fun (v, c) -> (v, F.neg c)) p.Lp_problem.objective }
@@ -364,11 +391,70 @@ module Make (F : Field.S) = struct
           Optimal (extract t ~objective:obj)
     end
 
+  let solve ?pricing ?budget ?on_stall ?(maximize = false) (p : F.t Lp_problem.t) =
+    instrumented ~what:"solve" p @@ fun () ->
+    match Engine.get () with
+    | Engine.Dense -> dense_solve ?pricing ?budget ?on_stall ~maximize p
+    | Engine.Sparse -> (
+        match
+          R.solve ?pricing:(Option.map to_rpricing pricing) ?budget ?on_stall
+            ~maximize p
+        with
+        | R.Optimal s -> Optimal (of_rsolution s)
+        | R.Infeasible -> Infeasible
+        | R.Unbounded -> Unbounded)
+
   let feasible ?pricing ?budget ?on_stall p =
     match solve ?pricing ?budget ?on_stall { p with Lp_problem.objective = [] } with
     | Optimal s -> Some s
     | Infeasible -> None
     | Unbounded -> assert false
+
+  (* Dense twin of the revised engine's basis descriptor: read the final
+     basis off the tableau (redundant rows were deleted, artificials
+     cannot remain basic at a nonzero level once feasible). *)
+  let dense_feasible_basis ?pricing ?budget ?on_stall (p : F.t Lp_problem.t) =
+    let p = { p with Lp_problem.objective = [] } in
+    let t = build p in
+    if not (fst (phase1 ?pricing ?budget ?on_stall t)) then None
+    else begin
+      let cost = Array.make (t.ncols + 1) F.zero in
+      drive_out_artificials t cost;
+      let aux_owner = Array.make (Stdlib.max 1 t.ncols) (-1) in
+      Array.iteri
+        (fun r info ->
+          (match info.surplus with Some c -> aux_owner.(c) <- r | None -> ());
+          match info.slack with Some c -> aux_owner.(c) <- r | None -> ())
+        t.row_info;
+      let basis =
+        Array.to_list t.basis
+        |> List.filter_map (fun b ->
+               if b < t.nvars then Some (Basis.Var b)
+               else if b < t.art_start then Some (Basis.Aux aux_owner.(b))
+               else None)
+      in
+      Some (extract t ~objective:F.zero, basis)
+    end
+
+  let feasible_basis ?pricing ?budget ?on_stall ?warm (p : F.t Lp_problem.t) =
+    instrumented ~what:"feasible_basis" p @@ fun () ->
+    let warm = match warm with Some [] -> None | w -> w in
+    match Engine.get () with
+    | Engine.Dense ->
+        (* The dense oracle ignores warm hints: it exists to pin down
+           cold behaviour, and its phase 1 always runs in full. *)
+        dense_feasible_basis ?pricing ?budget ?on_stall p
+    | Engine.Sparse -> (
+        let warm =
+          if Engine.presolve_enabled () && F.exact then presolve_hint p warm
+          else warm
+        in
+        match
+          R.feasible_basis ?pricing:(Option.map to_rpricing pricing) ?budget
+            ?on_stall ?warm p
+        with
+        | Some (s, basis) -> Some (of_rsolution s, basis)
+        | None -> None)
 
   (* Recover the phase-2 dual values from the final reduced-cost row: in
      phase 2 every auxiliary column has zero original cost, so
@@ -398,8 +484,7 @@ module Make (F : Field.S) = struct
 
   (* Like [solve] (minimisation only) but also returning the dual values
      that certify optimality. *)
-  let solve_certified (p : F.t Lp_problem.t) =
-    instrumented ~what:"solve_certified" p @@ fun () ->
+  let dense_solve_certified (p : F.t Lp_problem.t) =
     let t = build p in
     let ok, cost1 = phase1 t in
     if not ok then Certified_infeasible (farkas_of_phase1 t cost1)
@@ -424,6 +509,18 @@ module Make (F : Field.S) = struct
           Certified_optimal
             { primal = extract t ~objective:obj; duals = duals_of_phase2 t cost }
     end
+
+  let solve_certified (p : F.t Lp_problem.t) =
+    instrumented ~what:"solve_certified" p @@ fun () ->
+    match Engine.get () with
+    | Engine.Dense -> dense_solve_certified p
+    | Engine.Sparse -> (
+        match R.solve_certified p with
+        | R.Certified_optimal c ->
+            Certified_optimal
+              { primal = of_rsolution c.R.primal; duals = c.R.duals }
+        | R.Certified_infeasible y -> Certified_infeasible y
+        | R.Certified_unbounded -> Certified_unbounded)
 
   (* Independent verification of an optimality certificate for the
      minimisation problem: the primal point is feasible, the duals are
@@ -477,8 +574,7 @@ module Make (F : Field.S) = struct
 
   type feasibility = Feasible of solution | Infeasible_certificate of F.t array
 
-  let feasible_certified ?pricing ?budget ?on_stall p =
-    instrumented ~what:"feasible_certified" p @@ fun () ->
+  let dense_feasible_certified ?pricing ?budget ?on_stall p =
     let p = { p with Lp_problem.objective = [] } in
     let t = build p in
     let ok, cost = phase1 ?pricing ?budget ?on_stall t in
@@ -487,6 +583,18 @@ module Make (F : Field.S) = struct
       drive_out_artificials t cost;
       Feasible (extract t ~objective:F.zero)
     end
+
+  let feasible_certified ?pricing ?budget ?on_stall p =
+    instrumented ~what:"feasible_certified" p @@ fun () ->
+    match Engine.get () with
+    | Engine.Dense -> dense_feasible_certified ?pricing ?budget ?on_stall p
+    | Engine.Sparse -> (
+        match
+          R.feasible_certified ?pricing:(Option.map to_rpricing pricing) ?budget
+            ?on_stall p
+        with
+        | R.Feasible s -> Feasible (of_rsolution s)
+        | R.Infeasible_certificate y -> Infeasible_certificate y)
 
   (* Independent verification of a Farkas certificate: y respects the
      row-sense sign conditions, prices every variable column

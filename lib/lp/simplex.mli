@@ -7,9 +7,16 @@
 
     Solutions returned are {e basic} feasible solutions (vertices of the
     standard-form polyhedron): the Lenstra–Shmoys–Tardos rounding step
-    depends on this to bound the fractional support. *)
+    depends on this to bound the fractional support.
 
-type budget = {
+    Since the sparse revised engine landed, this module is the single
+    dispatch point for both LP engines: every public solver entry
+    consults {!Engine} and runs either the dense tableau below (the
+    differential oracle) or {!Revised} (the default).  With
+    {!Field.Exact} the engines follow identical pivot trajectories, so
+    budgets, stalls and certificates behave the same either way. *)
+
+type budget = Pivot_budget.t = {
   mutable pivots_left : int;
   total : int;  (** the initial allowance, for consumed-vs-allotted reporting *)
 }
@@ -66,6 +73,24 @@ module Make (F : Field.S) : sig
     solution option
   (** Phase-1 only: [Some] basic feasible solution, or [None].  The
       problem's objective is ignored. *)
+
+  val feasible_basis :
+    ?pricing:pricing ->
+    ?budget:budget ->
+    ?on_stall:[ `Bland | `Fail ] ->
+    ?warm:Basis.t ->
+    F.t Lp_problem.t ->
+    (solution * Basis.t) option
+  (** Like {!feasible}, additionally returning the optimal basis as a
+      structural {!Basis.t} descriptor.  Under the sparse engine a later
+      solve on a similar problem can pass the descriptor back as
+      [?warm]: the proposal is re-factorised and re-verified in the
+      solver's field — accepted hints skip phase 1 entirely, stale or
+      corrupted ones are repaired or rejected (never trusted), so the
+      verdict and solution are unaffected by hint quality.  With
+      [--lp-presolve] (see {!Engine.set_presolve}) an exact-field solve
+      first runs a float revised solve and uses {e its} basis as the
+      hint.  The dense oracle ignores [?warm] and always solves cold. *)
 
   type feasibility =
     | Feasible of solution

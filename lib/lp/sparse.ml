@@ -1,0 +1,100 @@
+(* Compressed sparse row matrices over a simplex field; see sparse.mli. *)
+
+module Make (F : Field.S) = struct
+  type t = {
+    nrows : int;
+    ncols : int;
+    rptr : int array;  (* length nrows + 1 *)
+    cidx : int array;  (* length nnz, column index per entry *)
+    vals : F.t array;  (* length nnz *)
+  }
+
+  let nrows m = m.nrows
+  let ncols m = m.ncols
+  let nnz m = m.rptr.(m.nrows)
+
+  (* Build from per-row term lists, summing duplicate column entries
+     (the sparse twin of the dense solver's [densify]) and dropping the
+     sums that vanish under the field's zero test. *)
+  let of_rows ~nrows ~ncols rows =
+    if Array.length rows <> nrows then invalid_arg "Sparse.of_rows: row count";
+    let acc = Hashtbl.create 16 in
+    let cleaned =
+      Array.map
+        (fun terms ->
+          Hashtbl.reset acc;
+          let order = ref [] in
+          List.iter
+            (fun (j, v) ->
+              if j < 0 || j >= ncols then invalid_arg "Sparse.of_rows: column out of range";
+              match Hashtbl.find_opt acc j with
+              | None ->
+                  Hashtbl.add acc j v;
+                  order := j :: !order
+              | Some prev -> Hashtbl.replace acc j (F.add prev v))
+            terms;
+          List.rev !order
+          |> List.filter_map (fun j ->
+                 let v = Hashtbl.find acc j in
+                 if F.is_zero v then None else Some (j, v))
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+        rows
+    in
+    let rptr = Array.make (nrows + 1) 0 in
+    Array.iteri (fun r terms -> rptr.(r + 1) <- rptr.(r) + List.length terms) cleaned;
+    let total = rptr.(nrows) in
+    let cidx = Array.make total 0 and vals = Array.make total F.zero in
+    Array.iteri
+      (fun r terms ->
+        List.iteri
+          (fun k (j, v) ->
+            cidx.(rptr.(r) + k) <- j;
+            vals.(rptr.(r) + k) <- v)
+          terms)
+      cleaned;
+    { nrows; ncols; rptr; cidx; vals }
+
+  let iter_row m r f =
+    for k = m.rptr.(r) to m.rptr.(r + 1) - 1 do
+      f m.cidx.(k) m.vals.(k)
+    done
+
+  let fold_row m r f init =
+    let acc = ref init in
+    iter_row m r (fun j v -> acc := f !acc j v);
+    !acc
+
+  let row_nnz m r = m.rptr.(r + 1) - m.rptr.(r)
+
+  (* Dot product of row [r] with a dense vector. *)
+  let dot_row m r (x : F.t array) =
+    let acc = ref F.zero in
+    iter_row m r (fun j v -> acc := F.add !acc (F.mul v x.(j)));
+    !acc
+
+  (* Two-pass CSR transpose: counting sort by column, stable within a
+     column, so transposed rows come out sorted by (old) row index. *)
+  let transpose m =
+    let total = nnz m in
+    let rptr = Array.make (m.ncols + 1) 0 in
+    for k = 0 to total - 1 do
+      rptr.(m.cidx.(k) + 1) <- rptr.(m.cidx.(k) + 1) + 1
+    done;
+    for j = 1 to m.ncols do
+      rptr.(j) <- rptr.(j) + rptr.(j - 1)
+    done;
+    let fill = Array.copy rptr in
+    let cidx = Array.make total 0 and vals = Array.make total F.zero in
+    for r = 0 to m.nrows - 1 do
+      for k = m.rptr.(r) to m.rptr.(r + 1) - 1 do
+        let j = m.cidx.(k) in
+        cidx.(fill.(j)) <- r;
+        vals.(fill.(j)) <- m.vals.(k);
+        fill.(j) <- fill.(j) + 1
+      done
+    done;
+    { nrows = m.ncols; ncols = m.nrows; rptr; cidx; vals }
+
+  (* Scatter row [r] into a dense vector (previously cleared). *)
+  let scatter_row m r (d : F.t array) = iter_row m r (fun j v -> d.(j) <- v)
+end

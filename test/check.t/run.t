@@ -22,6 +22,11 @@ LP side, an event sweep for the schedule:
     [ok] sched.work-conserved         every job receives exactly its processing time
     [ok] outcome.makespan             schedule completes within reported makespan 8
     [ok] lp.feasible-at-t             (IP-3) relaxation feasible at T* = 5
+    [ok] lp.vertex.shape              solution arrays match nvars = 15
+    [ok] lp.vertex.nonbasic-at-bound  every nonbasic variable sits at its bound 0
+    [ok] lp.vertex.support            basic support 5 ≤ 10 rows
+    [ok] lp.vertex.feasible           x ≥ 0 and every constraint holds
+    [ok] lp.vertex.objective          reported objective equals c·x
     [ok] lp.minimal                   T* − 1 = 4 certified infeasible (Farkas)
     [ok] thm-v2.bound                 makespan 8 ≤ 2·T* = 10
 
@@ -53,7 +58,7 @@ strictly additive:
   achieved makespan = 8  (guarantee: <= 10)
   fractional jobs rounded: 2 (matched 2)
   $ ../../bin/hsched.exe solve --file inst.txt --check | tail -3
-    [ok] lp.feasible-at-t             (IP-3) relaxation feasible at T* = 5
+    [ok] lp.vertex.objective          reported objective equals c·x
     [ok] lp.minimal                   T* − 1 = 4 certified infeasible (Farkas)
     [ok] thm-v2.bound                 makespan 8 ≤ 2·T* = 10
 
@@ -72,8 +77,8 @@ a usage error (exit 2):
   == inst.txt ==
   LP lower bound T* = 5
   achieved makespan = 8  (guarantee: <= 10)
-  certified: 15 invariants re-verified
+  certified: 20 invariants re-verified
   == inst2.txt ==
   LP lower bound T* = 12
   achieved makespan = 20  (guarantee: <= 24)
-  certified: 15 invariants re-verified
+  certified: 20 invariants re-verified

@@ -1,0 +1,83 @@
+The LP engine is process-wide and CLI-selectable (DESIGN.md section 16):
+--lp-engine sparse (the default) is the revised simplex over sparse rows
+with warm-started bases; --lp-engine dense is the two-phase tableau kept
+as the differential oracle.  With exact arithmetic both walk identical
+pivot trajectories, so the solve verb must be byte-identical across
+engines -- stdout AND the metrics registry, pivot for pivot:
+
+  $ ../../bin/hsched.exe generate --seed 7 -n 8 -m 4 -o inst.txt
+  wrote inst.txt
+  $ ../../bin/hsched.exe solve -f inst.txt --lp-engine dense --stats-json dense.json > dense.out
+  $ ../../bin/hsched.exe solve -f inst.txt --lp-engine sparse --stats-json sparse.json > sparse.out
+  $ cmp dense.out sparse.out && echo "solve output identical"
+  solve output identical
+  $ cmp dense.json sparse.json && echo "solve metrics identical"
+  solve metrics identical
+  $ cat sparse.out
+  LP lower bound T* = 16
+  achieved makespan = 24  (guarantee: <= 32)
+  fractional jobs rounded: 3 (matched 3)
+    job 0 -> {3} (p=12)
+    job 1 -> {1} (p=7)
+    job 2 -> {3} (p=12)
+    job 3 -> {2} (p=12)
+    job 4 -> {1} (p=6)
+    job 5 -> {0} (p=3)
+    job 6 -> {0} (p=6)
+    job 7 -> {0} (p=6)
+  schedule: VALID, horizon 24
+
+The sweep verb batch-solves at any --jobs; engine choice must not leak
+into outcomes or metrics either:
+
+  $ ../../bin/hsched.exe generate --seed 8 -n 6 -m 3 -o b.txt
+  wrote b.txt
+  $ ../../bin/hsched.exe sweep inst.txt b.txt --lp-engine dense --stats-json sd.json > sd.out
+  $ ../../bin/hsched.exe sweep inst.txt b.txt --jobs 4 --lp-engine sparse --stats-json ss.json > ss.out
+  $ cmp sd.out ss.out && cmp sd.json ss.json && echo "sweep identical across engines and --jobs"
+  sweep identical across engines and --jobs
+
+The online replay warm-starts each per-event re-solve from the previous
+optimal basis under the sparse engine.  The event table is still
+byte-identical to the dense oracle's (warm starts change pivot counts,
+never schedules):
+
+  $ ../../bin/hsched.exe online --seed 11 --events 12 --lp-engine dense --stats-json od.json > od.out
+  $ ../../bin/hsched.exe online --seed 11 --events 12 --lp-engine sparse --stats-json os.json > os.out
+  $ cmp od.out os.out && echo "online table identical"
+  online table identical
+
+The dense oracle never consults the basis store; the sparse replay does,
+and pays strictly fewer pivots for it:
+
+  $ tr ',' '\n' < od.json | grep -o '"lp.warm_start.[a-z]*":0' | sort
+  "lp.warm_start.hits":0
+  "lp.warm_start.misses":0
+  "lp.warm_start.repairs":0
+  $ hits=$(tr ',' '\n' < os.json | sed -n 's/.*"lp.warm_start.hits":\([0-9]*\).*/\1/p')
+  $ test "$hits" -gt 0 && echo "sparse replay recorded warm hits"
+  sparse replay recorded warm hits
+  $ pd=$(tr ',' '\n' < od.json | sed -n 's/.*"simplex.pivots":\([0-9]*\).*/\1/p')
+  $ ps=$(tr ',' '\n' < os.json | sed -n 's/.*"simplex.pivots":\([0-9]*\).*/\1/p')
+  $ test "$ps" -lt "$pd" && echo "warm replay pivots strictly below cold"
+  warm replay pivots strictly below cold
+
+--lp-presolve guesses the basis with a float pre-solve and certifies it
+exactly.  The certified bounds and validity are unaffected (the rounded
+assignment may legitimately pick a different optimal vertex):
+
+  $ ../../bin/hsched.exe solve -f inst.txt --lp-presolve --stats-json pre.json > pre.out
+  $ grep -E "T\* =|makespan|schedule:" pre.out
+  LP lower bound T* = 16
+  achieved makespan = 24  (guarantee: <= 32)
+  schedule: VALID, horizon 24
+  $ g=$(tr ',' '\n' < pre.json | sed -n 's/.*"lp.presolve.guesses":\([0-9]*\).*/\1/p')
+  $ test "$g" -gt 0 && echo "presolve guessed bases"
+  presolve guessed bases
+
+Both JSON files are well-formed metrics documents:
+
+  $ ../json_check.exe dense.json schema counters gauges histograms
+  dense.json: valid JSON; keys ok
+  $ ../json_check.exe os.json schema counters gauges histograms
+  os.json: valid JSON; keys ok

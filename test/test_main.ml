@@ -27,4 +27,5 @@ let () =
       Test_differential.suite;
       Test_check.suite;
       Test_online.suite;
+      Test_revised.suite;
     ]
